@@ -1,0 +1,76 @@
+// Command hydra-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	hydra-bench -fig all            # everything, quick scale
+//	hydra-bench -fig 9,10 -scale full
+//	hydra-bench -fig 12
+//
+// Output is the set of aligned tables the harness produces; EXPERIMENTS.md
+// records a captured run side by side with the paper's numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"hydradb/internal/bench"
+	"hydradb/internal/ycsb"
+)
+
+func main() {
+	figs := flag.String("fig", "all", "comma-separated figures: 2,3,9,10,11,12,13,claims,ablations or 'all'")
+	scaleName := flag.String("scale", "quick", "experiment scale: quick or full")
+	flag.Parse()
+
+	var scale bench.Scale
+	switch *scaleName {
+	case "quick":
+		scale = bench.Quick
+	case "full":
+		scale = bench.Full
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want quick or full)\n", *scaleName)
+		os.Exit(2)
+	}
+
+	want := map[string]bool{}
+	for _, f := range strings.Split(*figs, ",") {
+		want[strings.TrimSpace(f)] = true
+	}
+	all := want["all"]
+	run := func(name string, fn func()) {
+		if !all && !want[name] {
+			return
+		}
+		start := time.Now()
+		fn()
+		fmt.Printf("(%s regenerated in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	fmt.Printf("hydradb benchmark harness — scale=%s records=%d ops=%d clients=%d\n\n",
+		scale.Name, scale.Records, scale.Ops, scale.Clients)
+
+	run("2", func() { fmt.Println(bench.Fig02(scale)) })
+	run("3", func() { fmt.Println(bench.Fig03(scale)) })
+	run("9", func() { fmt.Println(bench.Fig09(scale)) })
+	run("10", func() { fmt.Println(bench.Fig10(scale)) })
+	run("11", func() { fmt.Println(bench.Fig11(scale)) })
+	run("claims", func() { fmt.Println(bench.SectionClaims(scale)) })
+	run("12", func() {
+		fmt.Println(bench.Fig12ScaleOut(scale, ycsb.Uniform))
+		fmt.Println(bench.Fig12ScaleOut(scale, ycsb.Zipfian))
+		fmt.Println(bench.Fig12ScaleUp(scale, ycsb.Uniform))
+		fmt.Println(bench.Fig12ScaleUp(scale, ycsb.Zipfian))
+	})
+	run("13", func() { fmt.Println(bench.Fig13(scale)) })
+	run("ablations", func() {
+		fmt.Println(bench.AblationSubsharding(scale))
+		fmt.Println(bench.AblationPointerSharing(scale))
+		fmt.Println(bench.AblationLeasePolicy(scale))
+		fmt.Println(bench.AblationNUMA(scale))
+	})
+}

@@ -1,0 +1,135 @@
+// Command hydra-demo runs a live in-process HydraDB cluster and exposes a
+// tiny REPL over stdin — the real middleware stack (polled mailboxes,
+// RDMA-Read GETs, replication, SWAT failover), not the simulator.
+//
+// Commands:
+//
+//	put <key> <value>
+//	get <key>
+//	del <key>
+//	renew <key>
+//	stats
+//	shards
+//	kill <shardID>     (with -replicas > 0 the SWAT promotes a secondary)
+//	quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"hydradb"
+)
+
+func main() {
+	var (
+		servers  = flag.Int("servers", 2, "server machines")
+		shards   = flag.Int("shards", 2, "shards per machine")
+		replicas = flag.Int("replicas", 1, "secondaries per primary")
+	)
+	flag.Parse()
+
+	opts := hydradb.DefaultOptions()
+	opts.ServerMachines = *servers
+	opts.ShardsPerMachine = *shards
+	opts.Replicas = *replicas
+	opts.ArenaBytesPerShard = 16 << 20
+	opts.MaxItemsPerShard = 1 << 16
+	db, err := hydradb.Start(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer db.Close()
+	c := db.NewClient()
+
+	fmt.Printf("%v ready — type 'help'\n", db)
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("hydra> ")
+		if !sc.Scan() {
+			return
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "help":
+			fmt.Println("put <k> <v> | get <k> | del <k> | renew <k> | stats | shards | kill <id> | quit")
+		case "put":
+			if len(fields) < 3 {
+				fmt.Println("usage: put <key> <value>")
+				continue
+			}
+			if err := c.Put([]byte(fields[1]), []byte(strings.Join(fields[2:], " "))); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Println("OK")
+			}
+		case "get":
+			if len(fields) != 2 {
+				fmt.Println("usage: get <key>")
+				continue
+			}
+			v, err := c.Get([]byte(fields[1]))
+			if err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Printf("%q\n", v)
+			}
+		case "del":
+			if len(fields) != 2 {
+				fmt.Println("usage: del <key>")
+				continue
+			}
+			if err := c.Delete([]byte(fields[1])); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Println("OK")
+			}
+		case "renew":
+			if len(fields) != 2 {
+				fmt.Println("usage: renew <key>")
+				continue
+			}
+			if err := c.Renew([]byte(fields[1])); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Println("lease renewed")
+			}
+		case "stats":
+			s := db.Stats()
+			fmt.Printf("server: gets=%d updates=%d inserts=%d deletes=%d reclaims=%d replications=%d\n",
+				s.Gets, s.Updates, s.Inserts, s.Deletes, s.Reclaims, s.Replications)
+			cs := c.Counters().Snapshot()
+			fmt.Printf("client: rdma-read hits=%d invalid=%d misses=%d renewals=%d reroutes=%d\n",
+				cs.RDMAReadHits, cs.RDMAReadStale, cs.PointerMisses, cs.LeaseRenewals, cs.RoutingRetries)
+		case "shards":
+			fmt.Println("shard IDs:", db.ShardIDs(), "epoch:", db.Cluster().Epoch())
+		case "kill":
+			if len(fields) != 2 {
+				fmt.Println("usage: kill <shardID>")
+				continue
+			}
+			id, err := strconv.ParseUint(fields[1], 10, 32)
+			if err != nil {
+				fmt.Println("bad shard id")
+				continue
+			}
+			if err := db.KillShard(uint32(id)); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Println("killed; SWAT reacting...")
+			}
+		case "quit", "exit":
+			return
+		default:
+			fmt.Println("unknown command; try 'help'")
+		}
+	}
+}

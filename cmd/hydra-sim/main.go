@@ -1,0 +1,115 @@
+// Command hydra-sim runs a single virtual-time HydraDB scenario with
+// tunable topology, workload and cost knobs — the exploration companion to
+// the fixed figures of hydra-bench.
+//
+// Examples:
+//
+//	hydra-sim -mode write+read -dist zipfian -read 90 -clients 50
+//	hydra-sim -servers 4 -shards 1 -clients 60 -dist uniform -read 50
+//	hydra-sim -replicas 2 -strict -read 0 -clients 8 -shards 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hydradb/internal/simcluster"
+	"hydradb/internal/ycsb"
+)
+
+func main() {
+	var (
+		mode     = flag.String("mode", "write+read", "send/recv | write-only | write+read | pipeline | tcp")
+		dist     = flag.String("dist", "zipfian", "zipfian | uniform | scrambled | latest")
+		readPct  = flag.Int("read", 90, "GET percentage (rest are UPDATEs; 0 with -insert makes INSERTs)")
+		insert   = flag.Bool("insert", false, "make the write portion INSERTs of new keys")
+		records  = flag.Int64("records", 50_000, "pre-loaded records")
+		ops      = flag.Int("ops", 200_000, "operations to run")
+		clients  = flag.Int("clients", 50, "client count")
+		servers  = flag.Int("servers", 1, "server machines (of an 8-machine testbed)")
+		shards   = flag.Int("shards", 4, "shards per server machine")
+		replicas = flag.Int("replicas", 0, "secondaries per primary")
+		strict   = flag.Bool("strict", false, "strict request/ack replication")
+		shared   = flag.Bool("shared-cache", true, "share pointer caches per machine")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	var m simcluster.Mode
+	switch *mode {
+	case "send/recv", "sendrecv":
+		m = simcluster.ModeSendRecv
+	case "write-only":
+		m = simcluster.ModeWriteOnly
+	case "write+read":
+		m = simcluster.ModeWriteRead
+	case "pipeline":
+		m = simcluster.ModePipelineWrite
+	case "tcp":
+		m = simcluster.ModeTCP
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	var d ycsb.Distribution
+	switch *dist {
+	case "zipfian":
+		d = ycsb.Zipfian
+	case "uniform":
+		d = ycsb.Uniform
+	case "scrambled":
+		d = ycsb.ScrambledZipfian
+	case "latest":
+		d = ycsb.Latest
+	default:
+		fmt.Fprintf(os.Stderr, "unknown distribution %q\n", *dist)
+		os.Exit(2)
+	}
+
+	spec := ycsb.StandardSpec(*records, *ops, *readPct, d, 20150415)
+	if *insert {
+		spec.InsertProportion = spec.UpdateProportion
+		spec.UpdateProportion = 0
+	}
+	w, err := ycsb.Generate(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	serverMs := make([]int, *servers)
+	for i := range serverMs {
+		serverMs[i] = i
+	}
+	cfg := simcluster.HydraConfig{
+		Machines:         8,
+		ServerMachines:   serverMs,
+		ShardsPerMachine: *shards,
+		Clients:          *clients,
+		ClientMachines:   []int{2, 3, 4, 5, 6, 7},
+		Mode:             m,
+		SharedCache:      *shared,
+		Replicas:         *replicas,
+		Strict:           *strict,
+		Workload:         w,
+		Seed:             *seed,
+	}
+	h, err := simcluster.NewHydraSim(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	r := h.Run(fmt.Sprintf("%s/%s/%d%%GET", m, d, *readPct))
+	fmt.Printf("label:            %s\n", r.Label)
+	fmt.Printf("ops:              %d in %.3f virtual s (%d events)\n",
+		r.Ops, float64(r.VirtualNs)/1e9, h.Engine().Events())
+	fmt.Printf("throughput:       %.3f Mops/s\n", r.ThroughputMops)
+	fmt.Printf("get latency:      mean %.1f us, p99 %.1f us\n", r.GetMeanUs, r.GetP99Us)
+	fmt.Printf("update latency:   mean %.1f us, p99 %.1f us\n", r.UpdMeanUs, r.UpdP99Us)
+	fmt.Printf("pointer cache:    hits=%d invalid=%d misses=%d\n", r.Hits, r.Stale, r.Misses)
+	fmt.Printf("hot shard util:   %.1f%%   server NIC util: %.1f%%\n", r.MaxShardUtil*100, r.NICUtil*100)
+	if r.Replicated > 0 {
+		fmt.Printf("replicated:       %d records\n", r.Replicated)
+	}
+}

@@ -1,0 +1,157 @@
+// Command hydra-ycsb drives a live (non-simulated) in-process HydraDB
+// cluster with a pre-generated YCSB workload and reports wall-clock
+// throughput, latency and pointer-cache statistics — the live counterpart
+// of the virtual-testbed figures, and the tool used to calibrate the
+// simulator's shard-side cost constants.
+//
+// Example:
+//
+//	hydra-ycsb -records 100000 -ops 500000 -read 90 -dist zipfian -clients 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"hydradb"
+	"hydradb/internal/stats"
+	"hydradb/internal/ycsb"
+)
+
+func main() {
+	var (
+		records  = flag.Int64("records", 100_000, "records to preload")
+		ops      = flag.Int("ops", 500_000, "operations to run")
+		readPct  = flag.Int("read", 90, "GET percentage")
+		distName = flag.String("dist", "zipfian", "zipfian | uniform | scrambled | latest")
+		clients  = flag.Int("clients", 4, "concurrent client goroutines")
+		shards   = flag.Int("shards", 4, "shards")
+		noRead   = flag.Bool("no-rdma-read", false, "disable the one-sided GET path")
+		sendRecv = flag.Bool("send-recv", false, "two-sided transport baseline")
+		seed     = flag.Int64("seed", 20150415, "workload seed")
+		loadFile = flag.String("load", "", "replay a pre-generated workload file (see cmd/ycsbgen)")
+	)
+	flag.Parse()
+
+	var dist ycsb.Distribution
+	switch *distName {
+	case "zipfian":
+		dist = ycsb.Zipfian
+	case "uniform":
+		dist = ycsb.Uniform
+	case "scrambled":
+		dist = ycsb.ScrambledZipfian
+	case "latest":
+		dist = ycsb.Latest
+	default:
+		fmt.Fprintf(os.Stderr, "unknown distribution %q\n", *distName)
+		os.Exit(2)
+	}
+
+	var w *ycsb.Workload
+	if *loadFile != "" {
+		f, err := os.Open(*loadFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		w, err = ycsb.Load(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		*records = w.Spec.Records
+		fmt.Printf("replaying %s: %d ops over %d records\n", *loadFile, len(w.Requests), *records)
+	} else {
+		fmt.Printf("generating %d-op %d%%GET %s workload over %d records...\n",
+			*ops, *readPct, dist, *records)
+		var err error
+		w, err = ycsb.Generate(ycsb.StandardSpec(*records, *ops, *readPct, dist, *seed))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	opts := hydradb.DefaultOptions()
+	opts.ShardsPerMachine = *shards
+	opts.DisableRDMARead = *noRead
+	opts.SendRecv = *sendRecv
+	opts.ArenaBytesPerShard = 256 << 20
+	opts.MaxItemsPerShard = int(*records)*2 + *ops
+	db, err := hydradb.Start(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer db.Close()
+
+	// Load phase.
+	loader := db.NewClient()
+	t0 := time.Now()
+	for i := int64(0); i < *records; i++ {
+		if err := loader.Put(w.Key(i), w.Value()); err != nil {
+			fmt.Fprintf(os.Stderr, "load %d: %v\n", i, err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("loaded %d records in %v\n", *records, time.Since(t0).Round(time.Millisecond))
+
+	// Run phase: clients split the pre-generated stream round-robin.
+	var wg sync.WaitGroup
+	getH := make([]*stats.Histogram, *clients)
+	updH := make([]*stats.Histogram, *clients)
+	start := time.Now()
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		getH[c], updH[c] = stats.NewHistogram(), stats.NewHistogram()
+		cli := db.NewClient()
+		go func(c int, cli *hydradb.Client, gh, uh *stats.Histogram) {
+			defer wg.Done()
+			keyBuf := make([]byte, w.Spec.KeyLen)
+			for i := c; i < len(w.Requests); i += *clients {
+				req := w.Requests[i]
+				key := w.KeyInto(keyBuf, req.KeyIdx)
+				t := time.Now()
+				switch req.Op {
+				case ycsb.OpRead:
+					if _, err := cli.Get(key); err != nil && err != hydradb.ErrNotFound {
+						fmt.Fprintf(os.Stderr, "get: %v\n", err)
+						return
+					}
+					gh.Record(int64(time.Since(t)))
+				default:
+					if err := cli.Put(key, w.Value()); err != nil {
+						fmt.Fprintf(os.Stderr, "put: %v\n", err)
+						return
+					}
+					uh.Record(int64(time.Since(t)))
+				}
+			}
+		}(c, cli, getH[c], updH[c])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	gets, upds := stats.NewHistogram(), stats.NewHistogram()
+	for c := 0; c < *clients; c++ {
+		gets.Merge(getH[c])
+		upds.Merge(updH[c])
+	}
+	total := gets.Count() + upds.Count()
+	fmt.Printf("\n%d ops in %v — %.0f ops/s wall-clock\n",
+		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds())
+	fmt.Printf("GET:    %v\n", gets.Summarize())
+	if upds.Count() > 0 {
+		fmt.Printf("UPDATE: %v\n", upds.Summarize())
+	}
+	srv := db.Stats()
+	fmt.Printf("server: message-GETs=%d inserts=%d updates=%d reclaims=%d\n",
+		srv.Gets, srv.Inserts, srv.Updates, srv.Reclaims)
+	fmt.Println("note: wall-clock numbers on this host serialize on available cores;")
+	fmt.Println("use cmd/hydra-bench for the paper's multi-machine figures.")
+}

@@ -1,0 +1,95 @@
+// Command ycsbgen pre-generates YCSB workload files, the practice the paper
+// adopts because generation is CPU-intensive ("all the workloads are
+// pre-generated", §6). The files replay identically across tools and runs.
+//
+// Examples:
+//
+//	ycsbgen -records 1000000 -ops 10000000 -read 90 -dist zipfian -out wl-b.hywl
+//	ycsbgen -inspect wl-b.hywl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hydradb/internal/ycsb"
+)
+
+func main() {
+	var (
+		records = flag.Int64("records", 1_000_000, "records in the keyspace")
+		ops     = flag.Int("ops", 10_000_000, "operations to generate")
+		readPct = flag.Int("read", 90, "GET percentage")
+		dist    = flag.String("dist", "zipfian", "zipfian | uniform | scrambled | latest")
+		seed    = flag.Int64("seed", 20150415, "generator seed")
+		out     = flag.String("out", "", "output file (required unless -inspect)")
+		inspect = flag.String("inspect", "", "print the header and op mix of an existing file")
+	)
+	flag.Parse()
+
+	if *inspect != "" {
+		f, err := os.Open(*inspect)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w, err := ycsb.Load(f)
+		if err != nil {
+			fatal(err)
+		}
+		var reads, updates, inserts int
+		for _, r := range w.Requests {
+			switch r.Op {
+			case ycsb.OpRead:
+				reads++
+			case ycsb.OpUpdate:
+				updates++
+			default:
+				inserts++
+			}
+		}
+		fmt.Printf("spec:     %s over %d records (seed %d)\n", w.Spec.Name(), w.Spec.Records, w.Spec.Seed)
+		fmt.Printf("requests: %d (reads %d, updates %d, inserts %d)\n",
+			len(w.Requests), reads, updates, inserts)
+		return
+	}
+
+	if *out == "" {
+		fatal(fmt.Errorf("-out is required"))
+	}
+	var d ycsb.Distribution
+	switch *dist {
+	case "zipfian":
+		d = ycsb.Zipfian
+	case "uniform":
+		d = ycsb.Uniform
+	case "scrambled":
+		d = ycsb.ScrambledZipfian
+	case "latest":
+		d = ycsb.Latest
+	default:
+		fatal(fmt.Errorf("unknown distribution %q", *dist))
+	}
+	w, err := ycsb.Generate(ycsb.StandardSpec(*records, *ops, *readPct, d, *seed))
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	if err := w.Save(f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	st, _ := os.Stat(*out)
+	fmt.Printf("wrote %s: %d requests, %d bytes\n", *out, len(w.Requests), st.Size())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ycsbgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module hydradb
+
+go 1.22

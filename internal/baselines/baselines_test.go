@@ -1,0 +1,192 @@
+package baselines
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestMemcachedLikeBasics(t *testing.T) {
+	s := NewMemcachedLike(16)
+	if _, ok := s.Get([]byte("a")); ok {
+		t.Fatal("empty get")
+	}
+	s.Set([]byte("a"), []byte("1"))
+	v, ok := s.Get([]byte("a"))
+	if !ok || string(v) != "1" {
+		t.Fatalf("get: %q %v", v, ok)
+	}
+	s.Set([]byte("a"), []byte("2"))
+	v, _ = s.Get([]byte("a"))
+	if string(v) != "2" {
+		t.Fatal("overwrite failed")
+	}
+	if !s.Delete([]byte("a")) || s.Delete([]byte("a")) {
+		t.Fatal("delete semantics")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestMemcachedLikeCopies(t *testing.T) {
+	s := NewMemcachedLike(4)
+	val := []byte("mutable")
+	s.Set([]byte("k"), val)
+	val[0] = 'X'
+	got, _ := s.Get([]byte("k"))
+	if string(got) != "mutable" {
+		t.Fatal("set did not copy")
+	}
+	got[0] = 'Y'
+	got2, _ := s.Get([]byte("k"))
+	if string(got2) != "mutable" {
+		t.Fatal("get did not copy")
+	}
+}
+
+func TestMemcachedLikeConcurrent(t *testing.T) {
+	s := NewMemcachedLike(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := []byte(fmt.Sprintf("key%03d", (w*13+i)%200))
+				switch i % 3 {
+				case 0:
+					s.Set(k, []byte{byte(i)})
+				case 1:
+					s.Get(k)
+				default:
+					s.Delete(k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestRedisLikeShardingStable(t *testing.T) {
+	r := NewRedisLike(8)
+	if r.Instances() != 8 {
+		t.Fatal("instances")
+	}
+	key := []byte("user123")
+	inst := r.InstanceOf(key)
+	for i := 0; i < 10; i++ {
+		if r.InstanceOf(key) != inst {
+			t.Fatal("routing unstable")
+		}
+	}
+	r.Set(inst, key, []byte("v"))
+	v, ok := r.Get(inst, key)
+	if !ok || string(v) != "v" {
+		t.Fatalf("get: %q %v", v, ok)
+	}
+	// Other instances do not see the key.
+	other := (inst + 1) % 8
+	if _, ok := r.Get(other, key); ok {
+		t.Fatal("cross-instance leak")
+	}
+	if !r.Delete(inst, key) || r.Delete(inst, key) {
+		t.Fatal("delete semantics")
+	}
+}
+
+func TestRedisLikeSpread(t *testing.T) {
+	r := NewRedisLike(8)
+	for i := 0; i < 4000; i++ {
+		k := []byte(fmt.Sprintf("user%08d", i))
+		r.Set(r.InstanceOf(k), k, []byte("v"))
+	}
+	if r.Len() != 4000 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	for i, m := range r.instances {
+		if len(m) < 250 || len(m) > 750 {
+			t.Fatalf("instance %d holds %d keys", i, len(m))
+		}
+	}
+}
+
+func TestRAMCloudLikeBasics(t *testing.T) {
+	s := NewRAMCloudLike(1 << 16)
+	if _, ok := s.Get([]byte("a")); ok {
+		t.Fatal("empty get")
+	}
+	s.Set([]byte("a"), []byte("one"))
+	v, ok := s.Get([]byte("a"))
+	if !ok || string(v) != "one" {
+		t.Fatalf("get: %q %v", v, ok)
+	}
+	// Log-structured: update appends, old bytes remain in the log.
+	before := s.LogBytes()
+	s.Set([]byte("a"), []byte("two"))
+	if s.LogBytes() <= before {
+		t.Fatal("update did not append")
+	}
+	v, _ = s.Get([]byte("a"))
+	if string(v) != "two" {
+		t.Fatal("latest version not returned")
+	}
+	if !s.Delete([]byte("a")) {
+		t.Fatal("delete failed")
+	}
+	if _, ok := s.Get([]byte("a")); ok {
+		t.Fatal("get after tombstone")
+	}
+	if s.Delete([]byte("a")) {
+		t.Fatal("double delete")
+	}
+	// Re-insert after tombstone.
+	s.Set([]byte("a"), []byte("three"))
+	if v, _ := s.Get([]byte("a")); string(v) != "three" {
+		t.Fatal("reinsert failed")
+	}
+}
+
+func TestRAMCloudLikeSegmentRollover(t *testing.T) {
+	s := NewRAMCloudLike(256)
+	val := bytes.Repeat([]byte("x"), 50)
+	for i := 0; i < 50; i++ {
+		s.Set([]byte(fmt.Sprintf("key%04d", i)), val)
+	}
+	if s.Segments() < 10 {
+		t.Fatalf("segments = %d, expected rollover", s.Segments())
+	}
+	for i := 0; i < 50; i++ {
+		if _, ok := s.Get([]byte(fmt.Sprintf("key%04d", i))); !ok {
+			t.Fatalf("key%04d lost across segments", i)
+		}
+	}
+	if s.Len() != 50 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func BenchmarkMemcachedLikeGet(b *testing.B) {
+	s := NewMemcachedLike(64)
+	keys := make([][]byte, 1024)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("user%012d", i))
+		s.Set(keys[i], bytes.Repeat([]byte("v"), 32))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Get(keys[i&1023])
+	}
+}
+
+func BenchmarkRAMCloudLikeSet(b *testing.B) {
+	s := NewRAMCloudLike(8 << 20)
+	val := bytes.Repeat([]byte("v"), 32)
+	key := make([]byte, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(key, fmt.Sprintf("user%012d", i&0xFFFFF))
+		s.Set(key, val)
+	}
+}

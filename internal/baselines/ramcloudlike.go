@@ -1,0 +1,124 @@
+package baselines
+
+import (
+	"encoding/binary"
+
+	"hydradb/internal/hashx"
+)
+
+// RAMCloudLike models RAMCloud's storage core: all values live in
+// append-only log segments and a hash index maps keys to log offsets. The
+// harness drives it through a dispatch thread + worker pool with native
+// InfiniBand Send/Recv costs ("a single RAMCloud server instance ... with 8
+// threads allocated and logging silenced", §6.1).
+//
+// Entry layout in a segment: [2B keyLen][4B valLen][1B tombstone][key][val].
+type RAMCloudLike struct {
+	segments   [][]byte
+	segSize    int
+	index      map[uint64]ramRef // key hash -> latest entry
+	liveBytes  int64
+	totalBytes int64
+}
+
+type ramRef struct {
+	seg, off int
+}
+
+const ramHeader = 7
+
+// NewRAMCloudLike creates a store with the given segment size (RAMCloud
+// uses 8 MB segments).
+func NewRAMCloudLike(segSize int) *RAMCloudLike {
+	if segSize <= 0 {
+		segSize = 8 << 20
+	}
+	return &RAMCloudLike{
+		segSize: segSize,
+		index:   make(map[uint64]ramRef),
+	}
+}
+
+func (s *RAMCloudLike) appendEntry(key, val []byte, tombstone bool) ramRef {
+	need := ramHeader + len(key) + len(val)
+	if len(s.segments) == 0 || len(s.segments[len(s.segments)-1])+need > s.segSize {
+		s.segments = append(s.segments, make([]byte, 0, s.segSize))
+	}
+	si := len(s.segments) - 1
+	seg := s.segments[si]
+	off := len(seg)
+	var hdr [ramHeader]byte
+	binary.LittleEndian.PutUint16(hdr[0:2], uint16(len(key)))
+	binary.LittleEndian.PutUint32(hdr[2:6], uint32(len(val)))
+	if tombstone {
+		hdr[6] = 1
+	}
+	seg = append(seg, hdr[:]...)
+	seg = append(seg, key...)
+	seg = append(seg, val...)
+	s.segments[si] = seg
+	s.totalBytes += int64(need)
+	return ramRef{seg: si, off: off}
+}
+
+func (s *RAMCloudLike) entryAt(r ramRef) (key, val []byte, tombstone bool) {
+	seg := s.segments[r.seg]
+	keyLen := int(binary.LittleEndian.Uint16(seg[r.off : r.off+2]))
+	valLen := int(binary.LittleEndian.Uint32(seg[r.off+2 : r.off+6]))
+	tombstone = seg[r.off+6] == 1
+	base := r.off + ramHeader
+	return seg[base : base+keyLen], seg[base+keyLen : base+keyLen+valLen], tombstone
+}
+
+// Get reads the latest version of key.
+func (s *RAMCloudLike) Get(key []byte) ([]byte, bool) {
+	ref, ok := s.index[hashx.Hash(key)]
+	if !ok {
+		return nil, false
+	}
+	k, v, dead := s.entryAt(ref)
+	if dead || string(k) != string(key) {
+		return nil, false
+	}
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out, true
+}
+
+// Set appends a new version and repoints the index.
+func (s *RAMCloudLike) Set(key, val []byte) {
+	ref := s.appendEntry(key, val, false)
+	s.index[hashx.Hash(key)] = ref
+	s.liveBytes += int64(ramHeader + len(key) + len(val))
+}
+
+// Delete appends a tombstone.
+func (s *RAMCloudLike) Delete(key []byte) bool {
+	h := hashx.Hash(key)
+	ref, ok := s.index[h]
+	if !ok {
+		return false
+	}
+	if _, _, dead := s.entryAt(ref); dead {
+		return false
+	}
+	s.index[h] = s.appendEntry(key, nil, true)
+	return true
+}
+
+// Len reports live keys (scan-free approximation via index minus dead).
+func (s *RAMCloudLike) Len() int {
+	n := 0
+	for _, ref := range s.index {
+		if _, _, dead := s.entryAt(ref); !dead {
+			n++
+		}
+	}
+	return n
+}
+
+// LogBytes reports total appended bytes (log growth, pre-cleaning).
+func (s *RAMCloudLike) LogBytes() int64 { return s.totalBytes }
+
+// Segments reports the segment count.
+func (s *RAMCloudLike) Segments() int { return len(s.segments) }

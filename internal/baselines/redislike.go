@@ -1,0 +1,67 @@
+package baselines
+
+import "hydradb/internal/hashx"
+
+// RedisLike models a fleet of single-threaded Redis instances with
+// client-side sharding ("we run 8 Redis instances on our machine and
+// leverage fine-grained sharding on the client sides", §6.1). Each instance
+// is a plain map owned by one event-loop; the harness serializes access per
+// instance exactly as Redis's single thread does.
+type RedisLike struct {
+	instances []map[string][]byte
+}
+
+// NewRedisLike creates n instances.
+func NewRedisLike(n int) *RedisLike {
+	if n <= 0 {
+		n = 1
+	}
+	r := &RedisLike{instances: make([]map[string][]byte, n)}
+	for i := range r.instances {
+		r.instances[i] = make(map[string][]byte)
+	}
+	return r
+}
+
+// Instances reports the instance count.
+func (r *RedisLike) Instances() int { return len(r.instances) }
+
+// InstanceOf routes a key client-side.
+func (r *RedisLike) InstanceOf(key []byte) int {
+	return int(hashx.Hash(key) % uint64(len(r.instances)))
+}
+
+// Get reads from the owning instance. The caller must serialize calls per
+// instance (the harness's single-server resource does).
+func (r *RedisLike) Get(inst int, key []byte) ([]byte, bool) {
+	v, ok := r.instances[inst][string(key)]
+	if !ok {
+		return nil, false
+	}
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out, true
+}
+
+// Set writes to the owning instance.
+func (r *RedisLike) Set(inst int, key, val []byte) {
+	cp := make([]byte, len(val))
+	copy(cp, val)
+	r.instances[inst][string(key)] = cp
+}
+
+// Delete removes key from the owning instance.
+func (r *RedisLike) Delete(inst int, key []byte) bool {
+	_, ok := r.instances[inst][string(key)]
+	delete(r.instances[inst], string(key))
+	return ok
+}
+
+// Len reports total items.
+func (r *RedisLike) Len() int {
+	n := 0
+	for _, m := range r.instances {
+		n += len(m)
+	}
+	return n
+}

@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"fmt"
+
+	"hydradb/internal/lease"
+	"hydradb/internal/simcluster"
+	"hydradb/internal/stats"
+	"hydradb/internal/ycsb"
+)
+
+// AblationSubsharding evaluates the §6.3 proposed extension: for a fixed
+// core budget on one machine, trade independent shard processes (one QP set
+// per core) against instances that own the connections and demultiplex onto
+// sub-shard cores (one QP set per instance). The paper predicts sub-sharding
+// relieves the driver's QP-count bottleneck at high core counts.
+func AblationSubsharding(s Scale) *stats.Table {
+	t := &stats.Table{
+		Title:   "Ablation — sub-sharding (§6.3 extension), 8 cores, 60 clients (" + s.Name + " scale)",
+		Headers: []string{"instances x subshards", "QPs at server", "Mops/s", "get avg us"},
+	}
+	w := workload(s, 50, ycsb.Uniform)
+	for _, cfg := range []struct{ inst, sub int }{
+		{8, 1}, {4, 2}, {2, 4}, {1, 8},
+	} {
+		c := paperTestbed(s, w, simcluster.ModeWriteOnly)
+		c.ShardsPerMachine = cfg.inst
+		c.SubShards = cfg.sub
+		c.Clients = 60
+		r := runHydra(c, "subshard")
+		t.AddRow(fmt.Sprintf("%dx%d", cfg.inst, cfg.sub),
+			fmt.Sprintf("%d", cfg.inst*60),
+			f2(r.ThroughputMops), f1(r.GetMeanUs))
+	}
+	return t
+}
+
+// AblationPointerSharing evaluates §4.2.4: collocated clients sharing one
+// remote-pointer cache versus isolated per-client caches. Sharing
+// accelerates warm-up (misses fall) and suppresses the cascading
+// invalidation (invalid hits fall) on update-carrying zipfian workloads.
+func AblationPointerSharing(s Scale) *stats.Table {
+	t := &stats.Table{
+		Title:   "Ablation — remote pointer sharing (§4.2.4) (" + s.Name + " scale)",
+		Headers: []string{"workload", "cache", "Mops/s", "hits", "invalid", "misses"},
+	}
+	for _, wd := range []workloadDef{
+		{"zipf 90%GET", 90, ycsb.Zipfian},
+		{"zipf 50%GET", 50, ycsb.Zipfian},
+	} {
+		w := workload(s, wd.ReadPct, wd.Dist)
+		for _, shared := range []bool{true, false} {
+			cfg := paperTestbed(s, w, simcluster.ModeWriteRead)
+			cfg.SharedCache = shared
+			r := runHydra(cfg, "sharing")
+			label := "shared"
+			if !shared {
+				label = "private"
+			}
+			t.AddRow(wd.Tag, label, f2(r.ThroughputMops),
+				fmt.Sprintf("%d", r.Hits), fmt.Sprintf("%d", r.Stale), fmt.Sprintf("%d", r.Misses))
+		}
+	}
+	return t
+}
+
+// AblationLeasePolicy evaluates the §4.2.3 lease design space: the
+// popularity-scaled 1–64 s policy versus short and long fixed terms. Short
+// leases force expiry fallbacks (counted as invalid hits) and keep memory
+// pressure low; long leases maximize one-sided reads but hold detached
+// areas longer (MaxPendingReclaims).
+func AblationLeasePolicy(s Scale) *stats.Table {
+	t := &stats.Table{
+		Title:   "Ablation — lease policy (§4.2.3) on zipf 90%GET (" + s.Name + " scale)",
+		Headers: []string{"policy", "Mops/s", "hits", "invalid", "peak pending reclaims"},
+	}
+	w := workload(s, 90, ycsb.Zipfian)
+	policies := []struct {
+		name   string
+		policy lease.Policy
+	}{
+		// The run lasts a few virtual ms, so "short" must sit near the run
+		// length to show expiry effects at this scale.
+		{"fixed 2ms", lease.Policy{BaseTermNs: 2e6, MaxShift: 0, GraceNs: 1e5, DecayEpochNs: 10e9}},
+		{"fixed 1s", lease.Policy{BaseTermNs: 1e9, MaxShift: 0, GraceNs: 1e8, DecayEpochNs: 10e9}},
+		{"popularity 1-64s (paper)", lease.DefaultPolicy()},
+	}
+	for _, p := range policies {
+		cfg := paperTestbed(s, w, simcluster.ModeWriteRead)
+		cfg.LeasePolicy = p.policy
+		r := runHydra(cfg, p.name)
+		t.AddRow(p.name, f2(r.ThroughputMops),
+			fmt.Sprintf("%d", r.Hits), fmt.Sprintf("%d", r.Stale),
+			fmt.Sprintf("%d", r.MaxPendingReclaims))
+	}
+	return t
+}
+
+// AblationNUMA evaluates §4.1.2: NUMA-aware memory placement (allocation
+// confined to the shard thread's domain) versus interleaved allocation that
+// pays remote-node latency on every access.
+func AblationNUMA(s Scale) *stats.Table {
+	t := &stats.Table{
+		Title:   "Ablation — NUMA awareness (§4.1.2) (" + s.Name + " scale)",
+		Headers: []string{"workload", "placement", "Mops/s", "get avg us"},
+	}
+	for _, wd := range []workloadDef{
+		{"unif 50%GET", 50, ycsb.Uniform},
+		{"unif 90%GET", 90, ycsb.Uniform},
+	} {
+		w := workload(s, wd.ReadPct, wd.Dist)
+		for _, interleaved := range []bool{false, true} {
+			cfg := paperTestbed(s, w, simcluster.ModeWriteOnly)
+			cfg.NUMAInterleaved = interleaved
+			r := runHydra(cfg, "numa")
+			label := "NUMA-aware"
+			if interleaved {
+				label = "interleaved"
+			}
+			t.AddRow(wd.Tag, label, f2(r.ThroughputMops), f1(r.GetMeanUs))
+		}
+	}
+	return t
+}

@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"fmt"
+
+	"hydradb/internal/simcluster"
+	"hydradb/internal/stats"
+)
+
+// Fig09 reproduces Figure 9: peak throughput and average GET/UPDATE latency
+// of HydraDB versus Memcached (IPoIB), Redis (IPoIB) and RAMCloud (native
+// IB) across the six YCSB workloads, replication disabled ("to achieve fair
+// comparison, we disable the data replication", §6.1).
+func Fig09(s Scale) *stats.Table {
+	t := &stats.Table{
+		Title:   "Figure 9 — store comparison (" + s.Name + " scale)",
+		Headers: []string{"workload", "store", "Mops/s", "get avg us", "upd avg us", "vs HydraDB"},
+	}
+	for _, wd := range sixWorkloads {
+		w := workload(s, wd.ReadPct, wd.Dist)
+		hydra := runHydra(paperTestbed(s, w, simcluster.ModeWriteRead), "HydraDB")
+		rows := []simcluster.Result{hydra}
+		for _, kind := range []simcluster.BaselineKind{
+			simcluster.KindMemcached, simcluster.KindRedis, simcluster.KindRAMCloud,
+		} {
+			b, err := simcluster.NewBaselineSim(simcluster.BaselineConfig{
+				Kind:           kind,
+				Clients:        s.Clients,
+				ClientMachines: 6,
+				Workload:       w,
+				Seed:           1,
+			})
+			if err != nil {
+				panic(err)
+			}
+			rows = append(rows, b.Run(kind.String()))
+		}
+		for i, r := range rows {
+			rel := "1.00x"
+			if i > 0 {
+				rel = fmt.Sprintf("%.2fx", r.ThroughputMops/hydra.ThroughputMops)
+			}
+			t.AddRow(wd.Tag, r.Label, f2(r.ThroughputMops), f1(r.GetMeanUs), f1(r.UpdMeanUs), rel)
+		}
+	}
+	return t
+}

@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"hydradb/internal/simcluster"
+	"hydradb/internal/stats"
+)
+
+// fig10Results runs the incremental design-choice evaluation once per
+// workload×mode; Fig10, Fig11 and SectionClaims render different views of
+// the same runs.
+func fig10Results(s Scale) map[string]map[simcluster.Mode]simcluster.Result {
+	out := map[string]map[simcluster.Mode]simcluster.Result{}
+	modes := []simcluster.Mode{
+		simcluster.ModeSendRecv,
+		simcluster.ModeWriteOnly,
+		simcluster.ModeWriteRead,
+		simcluster.ModePipelineWrite,
+	}
+	for _, wd := range sixWorkloads {
+		w := workload(s, wd.ReadPct, wd.Dist)
+		out[wd.Tag] = map[simcluster.Mode]simcluster.Result{}
+		for _, m := range modes {
+			out[wd.Tag][m] = runHydra(paperTestbed(s, w, m), m.String())
+		}
+	}
+	return out
+}
+
+// Fig10 reproduces Figure 10: throughput of Send/Recv vs RDMA Write Only vs
+// RDMA Write + Read vs Pipeline + RDMA Write across the six workloads
+// (§6.2, §6.2.1).
+func Fig10(s Scale) *stats.Table {
+	res := fig10Results(s)
+	t := &stats.Table{
+		Title:   "Figure 10 — incremental RDMA design choices (" + s.Name + " scale)",
+		Headers: []string{"workload", "mode", "Mops/s", "get avg us", "vs Send/Recv"},
+	}
+	for _, wd := range sixWorkloads {
+		r := res[wd.Tag]
+		base := r[simcluster.ModeSendRecv]
+		for _, m := range []simcluster.Mode{
+			simcluster.ModeSendRecv,
+			simcluster.ModeWriteOnly,
+			simcluster.ModeWriteRead,
+			simcluster.ModePipelineWrite,
+		} {
+			t.AddRow(wd.Tag, m.String(), f2(r[m].ThroughputMops), f1(r[m].GetMeanUs),
+				pct(r[m].ThroughputMops, base.ThroughputMops))
+		}
+	}
+	return t
+}
+
+// Fig11 reproduces Figure 11: the remote-pointer hit analysis of the
+// RDMA Write + Read configuration — successful hits, invalid hits
+// (outdated item observed) and misses per workload (§6.2).
+func Fig11(s Scale) *stats.Table {
+	t := &stats.Table{
+		Title:   "Figure 11 — remote pointer hit analysis (" + s.Name + " scale)",
+		Headers: []string{"workload", "hits", "invalid hits", "misses", "hit rate"},
+	}
+	for _, wd := range sixWorkloads {
+		w := workload(s, wd.ReadPct, wd.Dist)
+		r := runHydra(paperTestbed(s, w, simcluster.ModeWriteRead), "hydra")
+		total := r.Hits + r.Stale + r.Misses
+		rate := 0.0
+		if total > 0 {
+			rate = float64(r.Hits) / float64(total)
+		}
+		t.AddRow(wd.Tag,
+			f2(float64(r.Hits)/1e3)+"k",
+			f2(float64(r.Stale)/1e3)+"k",
+			f2(float64(r.Misses)/1e3)+"k",
+			f2(rate*100)+"%")
+	}
+	return t
+}
+
+// SectionClaims derives the §4/§6.2 headline percentages from the Fig. 10
+// runs: RDMA-Write messaging vs Send/Recv (paper: up to +162.6%), pointer
+// caching on top (paper: up to +29.9% for zipfian reads), and
+// single-threaded vs pipelined execution (paper: up to +94.8%).
+func SectionClaims(s Scale) *stats.Table {
+	res := fig10Results(s)
+	t := &stats.Table{
+		Title:   "Section 4/6.2 claims — derived from Figure 10 runs",
+		Headers: []string{"workload", "Write vs Send/Recv", "+Read vs Write", "Single vs Pipeline"},
+	}
+	for _, wd := range sixWorkloads {
+		r := res[wd.Tag]
+		t.AddRow(wd.Tag,
+			pct(r[simcluster.ModeWriteOnly].ThroughputMops, r[simcluster.ModeSendRecv].ThroughputMops),
+			pct(r[simcluster.ModeWriteRead].ThroughputMops, r[simcluster.ModeWriteOnly].ThroughputMops),
+			pct(r[simcluster.ModeWriteOnly].ThroughputMops, r[simcluster.ModePipelineWrite].ThroughputMops))
+	}
+	return t
+}

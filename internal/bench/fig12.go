@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"fmt"
+
+	"hydradb/internal/simcluster"
+	"hydradb/internal/stats"
+	"hydradb/internal/ycsb"
+)
+
+// fig12Mixes are the three GET/UPDATE mixes of Figure 12.
+var fig12Mixes = []int{50, 90, 100}
+
+// Fig12ScaleOut reproduces Figure 12(a,b): normalized aggregated throughput
+// as server machines grow 1→7 with one shard instance per machine and 60
+// clients spread over 6 machines. Past 2 servers, shards collocate with
+// client machines on the 8-machine testbed — the collocation whose NIC
+// sharing "attenuates the benefit of adding more NICs" for 100% GET (§6.3).
+func Fig12ScaleOut(s Scale, dist ycsb.Distribution) *stats.Table {
+	t := &stats.Table{
+		Title:   fmt.Sprintf("Figure 12 scale-out — %s (%s scale)", dist, s.Name),
+		Headers: []string{"servers", "50%GET norm", "90%GET norm", "100%GET norm"},
+	}
+	base := map[int]float64{}
+	rows := map[int][]string{}
+	for _, readPct := range fig12Mixes {
+		w := workload(s, readPct, dist)
+		for servers := 1; servers <= 7; servers++ {
+			cfg := paperTestbed(s, w, simcluster.ModeWriteRead)
+			cfg.ServerMachines = machineRange(servers)
+			cfg.ShardsPerMachine = 1
+			cfg.Clients = 60
+			r := runHydra(cfg, fmt.Sprintf("%d servers", servers))
+			if servers == 1 {
+				base[readPct] = r.ThroughputMops
+			}
+			norm := r.ThroughputMops / base[readPct]
+			rows[servers] = append(rows[servers], f2(norm))
+		}
+	}
+	for servers := 1; servers <= 7; servers++ {
+		t.AddRow(append([]string{fmt.Sprintf("%d", servers)}, rows[servers]...)...)
+	}
+	return t
+}
+
+// Fig12ScaleUp reproduces Figure 12(c,d): normalized throughput as shard
+// instances on a single machine grow 1→8 under 60 clients. The QP-count
+// driver overhead (shards × clients connections) and the NIC ceiling flatten
+// the curve beyond ~5 shards (§6.3).
+func Fig12ScaleUp(s Scale, dist ycsb.Distribution) *stats.Table {
+	t := &stats.Table{
+		Title:   fmt.Sprintf("Figure 12 scale-up — %s (%s scale)", dist, s.Name),
+		Headers: []string{"shards", "50%GET norm", "90%GET norm", "100%GET norm"},
+	}
+	base := map[int]float64{}
+	rows := map[int][]string{}
+	for _, readPct := range fig12Mixes {
+		w := workload(s, readPct, dist)
+		for shards := 1; shards <= 8; shards++ {
+			cfg := paperTestbed(s, w, simcluster.ModeWriteRead)
+			cfg.ShardsPerMachine = shards
+			cfg.Clients = 60
+			r := runHydra(cfg, fmt.Sprintf("%d shards", shards))
+			if shards == 1 {
+				base[readPct] = r.ThroughputMops
+			}
+			rows[shards] = append(rows[shards], f2(r.ThroughputMops/base[readPct]))
+		}
+	}
+	for shards := 1; shards <= 8; shards++ {
+		t.AddRow(append([]string{fmt.Sprintf("%d", shards)}, rows[shards]...)...)
+	}
+	return t
+}
+
+func machineRange(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Fig13 reproduces Figure 13: average INSERT latency under no replication,
+// strict request/acknowledge, and RDMA Logging replication with 1 and 2
+// replicas, across client counts (§6.4).
+func Fig13(s Scale) *stats.Table {
+	t := &stats.Table{
+		Title:   "Figure 13 — replication cost (" + s.Name + " scale)",
+		Headers: []string{"clients", "mode", "replicas", "insert avg us", "vs no-repl"},
+	}
+	ops := s.Ops / 2
+	w := insertWorkload(s, ops)
+	for _, clients := range []int{1, 2, 4, 8, 16} {
+		run := func(replicas int, strict bool) simcluster.Result {
+			cfg := paperTestbed(s, w, simcluster.ModeWriteOnly)
+			cfg.ShardsPerMachine = 1 // "a single shard instance" (§6.4)
+			cfg.Clients = clients
+			cfg.Replicas = replicas
+			cfg.Strict = strict
+			cfg.MaxItemsPerShard = ops*3 + 4096
+			return runHydra(cfg, "repl")
+		}
+		base := run(0, false)
+		t.AddRow(fmt.Sprintf("%d", clients), "none", "0", f1(base.UpdMeanUs), "-")
+		for _, replicas := range []int{1, 2} {
+			strict := run(replicas, true)
+			logging := run(replicas, false)
+			t.AddRow(fmt.Sprintf("%d", clients), "strict req/ack", fmt.Sprintf("%d", replicas),
+				f1(strict.UpdMeanUs), pct(strict.UpdMeanUs, base.UpdMeanUs))
+			t.AddRow(fmt.Sprintf("%d", clients), "RDMA logging", fmt.Sprintf("%d", replicas),
+				f1(logging.UpdMeanUs), pct(logging.UpdMeanUs, base.UpdMeanUs))
+		}
+	}
+	return t
+}

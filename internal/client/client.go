@@ -1,0 +1,472 @@
+// Package client implements the HydraDB client library (paper §4):
+// consistent-hash routing, RDMA-Write message passing with response polling,
+// remote-pointer caching with RDMA-Read GETs, stale-read detection via the
+// guardian word, lease tracking and renewal, and optional pointer sharing
+// among collocated clients through a lock-free cache (§4.2.2–§4.2.4).
+package client
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"hydradb/internal/consistent"
+	"hydradb/internal/kv"
+	"hydradb/internal/lease"
+	"hydradb/internal/lfmap"
+	"hydradb/internal/message"
+	"hydradb/internal/shard"
+	"hydradb/internal/stats"
+	"hydradb/internal/timing"
+)
+
+// Errors surfaced to applications.
+var (
+	ErrNotFound = errors.New("hydradb: key not found")
+	ErrUnrouted = errors.New("hydradb: no shard owns this key")
+	ErrRemote   = errors.New("hydradb: server error")
+	ErrRetries  = errors.New("hydradb: routing retries exhausted")
+)
+
+// PtrEntry is a cached remote pointer plus its lease (§4.2.2).
+type PtrEntry struct {
+	Ptr      kv.RemotePtr
+	LeaseExp int64
+	Access   atomic.Uint32 // client-side popularity for renewal decisions
+}
+
+// PtrCache abstracts the pointer cache: a private per-client cache or the
+// shared lock-free cache of collocated clients (§4.2.4).
+type PtrCache interface {
+	Get(key string) (*PtrEntry, bool)
+	Put(key string, e *PtrEntry)
+	CompareAndDelete(key string, old *PtrEntry) bool
+	Range(fn func(key string, e *PtrEntry) bool)
+	Len() int
+}
+
+// NewSharedCache builds the machine-wide lock-free cache.
+func NewSharedCache(buckets int) PtrCache {
+	return sharedCache{m: lfmap.New[PtrEntry](buckets)}
+}
+
+type sharedCache struct{ m *lfmap.Map[PtrEntry] }
+
+func (s sharedCache) Get(key string) (*PtrEntry, bool) { return s.m.Get(key) }
+func (s sharedCache) Put(key string, e *PtrEntry)      { s.m.Put(key, e) }
+func (s sharedCache) CompareAndDelete(key string, old *PtrEntry) bool {
+	return s.m.CompareAndDelete(key, old)
+}
+func (s sharedCache) Range(fn func(string, *PtrEntry) bool) { s.m.Range(fn) }
+func (s sharedCache) Len() int                              { return s.m.Len() }
+
+// NewPrivateCache builds a single-client map cache (used when secure access
+// requires cache isolation, §4.2.4).
+func NewPrivateCache() PtrCache { return &privateCache{m: map[string]*PtrEntry{}} }
+
+type privateCache struct{ m map[string]*PtrEntry }
+
+func (p *privateCache) Get(key string) (*PtrEntry, bool) { e, ok := p.m[key]; return e, ok }
+func (p *privateCache) Put(key string, e *PtrEntry)      { p.m[key] = e }
+func (p *privateCache) CompareAndDelete(key string, old *PtrEntry) bool {
+	if cur, ok := p.m[key]; ok && cur == old {
+		delete(p.m, key)
+		return true
+	}
+	return false
+}
+func (p *privateCache) Range(fn func(string, *PtrEntry) bool) {
+	for k, e := range p.m {
+		if !fn(k, e) {
+			return
+		}
+	}
+}
+func (p *privateCache) Len() int { return len(p.m) }
+
+// RouteTable snapshots the cluster topology under one epoch.
+type RouteTable struct {
+	Epoch     uint32
+	Ring      *consistent.Ring
+	Endpoints map[uint32]*shard.Endpoint
+}
+
+// Options tune a client.
+type Options struct {
+	// Clock is required (shared with the cluster for lease arithmetic).
+	Clock timing.Clock
+	// Cache holds remote pointers; nil selects a private cache.
+	Cache PtrCache
+	// UseRDMARead enables the one-sided GET path (§4.2.2); disabled it
+	// degenerates to pure message passing ("RDMA Write Only", Fig. 10).
+	UseRDMARead bool
+	// ReadMarginNs is the lease safety margin for RDMA Reads.
+	ReadMarginNs int64
+	// Refresh is called on StatusWrongShard to obtain a newer RouteTable;
+	// nil disables rerouting.
+	Refresh func() *RouteTable
+	// MaxRetries bounds rerouting attempts.
+	MaxRetries int
+	// RequestTimeout bounds the real-time wait for a response; on expiry the
+	// client refreshes its routing table and retries (the shard may have
+	// failed and been promoted elsewhere). Zero selects 2 s.
+	RequestTimeout time.Duration
+	// Counters, when non-nil, receives operation accounting (shared across
+	// clients when aggregating a machine).
+	Counters *stats.OpCounters
+}
+
+// Client is a HydraDB client instance. A client issues synchronous requests
+// and is not safe for concurrent use — run one per goroutine, exactly like
+// the paper's client processes; clients may share a PtrCache and counters.
+type Client struct {
+	opts   Options
+	table  *RouteTable
+	cache  PtrCache
+	clock  timing.Clock
+	ctr    *stats.OpCounters
+	seq    uint32
+	reqBuf []byte
+	rdBuf  []byte
+}
+
+// New creates a client over the given routing snapshot.
+func New(table *RouteTable, opts Options) *Client {
+	if opts.Clock == nil {
+		panic("client: Options.Clock required")
+	}
+	if opts.ReadMarginNs == 0 {
+		opts.ReadMarginNs = 10e6 // 10 ms skew margin
+	}
+	if opts.MaxRetries == 0 {
+		opts.MaxRetries = 8
+	}
+	if opts.RequestTimeout == 0 {
+		opts.RequestTimeout = 2 * time.Second
+	}
+	cache := opts.Cache
+	if cache == nil {
+		cache = NewPrivateCache()
+	}
+	ctr := opts.Counters
+	if ctr == nil {
+		ctr = &stats.OpCounters{}
+	}
+	return &Client{
+		opts:   opts,
+		table:  table,
+		cache:  cache,
+		clock:  opts.Clock,
+		ctr:    ctr,
+		reqBuf: make([]byte, 64<<10),
+		rdBuf:  make([]byte, 64<<10),
+	}
+}
+
+// Counters exposes the client's accounting.
+func (c *Client) Counters() *stats.OpCounters { return c.ctr }
+
+// Cache exposes the pointer cache (hit analysis, Fig. 11).
+func (c *Client) Cache() PtrCache { return c.cache }
+
+// Table reports the current routing snapshot.
+func (c *Client) Table() *RouteTable { return c.table }
+
+// SetTable installs a new routing snapshot (epoch change).
+func (c *Client) SetTable(t *RouteTable) { c.table = t }
+
+func (c *Client) endpointFor(key []byte) (*shard.Endpoint, error) {
+	sid := c.table.Ring.OwnerOfKey(key)
+	ep, ok := c.table.Endpoints[sid]
+	if !ok {
+		return nil, ErrUnrouted
+	}
+	return ep, nil
+}
+
+// request performs one synchronous message exchange with the shard owning
+// key, handling epoch-stale rerouting.
+func (c *Client) request(req *message.Request) (message.Response, error) {
+	for attempt := 0; attempt <= c.opts.MaxRetries; attempt++ {
+		ep, err := c.endpointFor(req.Key)
+		if err != nil {
+			return message.Response{}, err
+		}
+		req.Epoch = c.table.Epoch
+		c.seq++
+		req.Seq = c.seq
+
+		need := req.EncodedSize()
+		if cap(c.reqBuf) < need {
+			c.reqBuf = make([]byte, need)
+		}
+		n := req.EncodeTo(c.reqBuf[:need])
+
+		var resp message.Response
+		if ep.SendRecv {
+			if err := ep.QP.Send(c.reqBuf[:n]); err != nil {
+				return message.Response{}, err
+			}
+			deadline := time.Now().Add(c.opts.RequestTimeout)
+			var body []byte
+			for {
+				var ok bool
+				body, ok = ep.QP.TryRecv()
+				if ok {
+					break
+				}
+				if ep.QP.Closed() {
+					return message.Response{}, ErrRemote
+				}
+				if time.Now().After(deadline) {
+					if c.opts.Refresh == nil {
+						return message.Response{}, ErrRemote
+					}
+					c.ctr.RoutingRetries.Inc()
+					c.table = c.opts.Refresh()
+					body = nil
+					break
+				}
+				runtime.Gosched()
+			}
+			if body == nil {
+				continue // timed out: retry against the refreshed table
+			}
+			resp, err = message.DecodeResponse(body)
+			if err != nil {
+				return message.Response{}, err
+			}
+		} else {
+			if err := ep.ReqBox.WriteVia(ep.QP, c.reqBuf[:n], req.Seq); err != nil {
+				return message.Response{}, err
+			}
+			// Sustained polling for the response (§4.2.1): the client CPU
+			// polls its response buffer. A real-time deadline covers shard
+			// failure: on expiry, refresh routing and retry.
+			var body []byte
+			deadline := time.Now().Add(c.opts.RequestTimeout)
+			timedOut := false
+			for spins := 0; ; spins++ {
+				var ok bool
+				body, _, ok = ep.RespBox.Poll()
+				if ok {
+					break
+				}
+				if spins&1023 == 1023 && time.Now().After(deadline) {
+					timedOut = true
+					break
+				}
+				runtime.Gosched()
+			}
+			if timedOut {
+				if c.opts.Refresh == nil {
+					return message.Response{}, ErrRemote
+				}
+				c.ctr.RoutingRetries.Inc()
+				c.table = c.opts.Refresh()
+				continue
+			}
+			resp, err = message.DecodeResponse(body)
+			if err != nil {
+				ep.RespBox.Consume()
+				return message.Response{}, err
+			}
+			// Copy the value out before releasing the mailbox.
+			if len(resp.Val) > 0 {
+				v := make([]byte, len(resp.Val))
+				copy(v, resp.Val)
+				resp.Val = v
+			}
+			ep.RespBox.Consume()
+		}
+
+		if resp.Status == message.StatusWrongShard {
+			c.ctr.RoutingRetries.Inc()
+			if c.opts.Refresh == nil {
+				return resp, ErrRetries
+			}
+			c.table = c.opts.Refresh()
+			continue
+		}
+		return resp, nil
+	}
+	return message.Response{}, ErrRetries
+}
+
+// cachePointer installs/overwrites the pointer for key.
+func (c *Client) cachePointer(key string, ptr kv.RemotePtr, leaseExp int64) {
+	if ptr.Zero() {
+		return
+	}
+	e := &PtrEntry{Ptr: ptr, LeaseExp: leaseExp}
+	e.Access.Store(1)
+	c.cache.Put(key, e)
+}
+
+// Get returns the value for key. Previously accessed keys with a valid
+// lease are fetched with a single one-sided RDMA Read that bypasses the
+// shard CPU entirely; the guardian word and embedded key validate the fetch,
+// falling back to a message GET on any staleness (§4.2.2, §4.2.3).
+func (c *Client) Get(key []byte) ([]byte, error) {
+	c.ctr.Gets.Inc()
+	skey := string(key)
+	if c.opts.UseRDMARead {
+		if e, ok := c.cache.Get(skey); ok {
+			val, ok, err := c.readViaPointer(key, e)
+			if err == nil && ok {
+				c.ctr.RDMAReadHits.Inc()
+				e.Access.Add(1)
+				return val, nil
+			}
+			// Invalid hit: outdated item observed — drop the pointer and
+			// issue a message GET for the latest version (§4.2.3).
+			c.ctr.RDMAReadStale.Inc()
+			c.cache.CompareAndDelete(skey, e)
+		} else {
+			c.ctr.PointerMisses.Inc()
+		}
+	} else {
+		c.ctr.PointerMisses.Inc()
+	}
+
+	resp, err := c.request(&message.Request{Op: message.OpGet, Key: key})
+	if err != nil {
+		return nil, err
+	}
+	switch resp.Status {
+	case message.StatusOK:
+		if c.opts.UseRDMARead {
+			c.cachePointer(skey, resp.Ptr, resp.LeaseExp)
+		}
+		return resp.Val, nil
+	case message.StatusNotFound:
+		return nil, ErrNotFound
+	default:
+		return nil, ErrRemote
+	}
+}
+
+// readViaPointer attempts the one-sided fetch. ok=false flags a stale or
+// lease-expired pointer.
+func (c *Client) readViaPointer(key []byte, e *PtrEntry) ([]byte, bool, error) {
+	now := c.clock.Now()
+	if !lease.ValidForRead(e.LeaseExp, now, c.opts.ReadMarginNs) {
+		return nil, false, nil
+	}
+	ep, ok := c.table.Endpoints[e.Ptr.ShardID]
+	if !ok {
+		return nil, false, nil
+	}
+	n := int(e.Ptr.DataLen)
+	if cap(c.rdBuf) < n {
+		c.rdBuf = make([]byte, n)
+	}
+	dst := c.rdBuf[:n]
+	// One RDMA Read fetches payload + guardian + lease (§4.2.3).
+	_, words, err := ep.QP.Read(ep.ArenaMR, int(e.Ptr.DataOff), dst,
+		int(e.Ptr.MetaIdx), int(e.Ptr.MetaIdx)+1)
+	if err != nil {
+		return nil, false, err
+	}
+	if words[0] != kv.GuardianLive {
+		return nil, false, nil // guardian flipped: outdated
+	}
+	gotKey, gotVal, okDec := kv.DecodeItem(dst)
+	if !okDec || string(gotKey) != string(key) {
+		// Recycled area republished for another key: treat as stale.
+		return nil, false, nil
+	}
+	// Refresh the lease view fetched with the item.
+	if exp := int64(words[1]); exp > e.LeaseExp {
+		e.LeaseExp = exp
+	}
+	out := make([]byte, len(gotVal))
+	copy(out, gotVal)
+	return out, true, nil
+}
+
+// Put inserts or updates key. The returned pointer is cached so subsequent
+// GETs can go one-sided immediately.
+func (c *Client) Put(key, val []byte) error {
+	c.ctr.Updates.Inc()
+	resp, err := c.request(&message.Request{Op: message.OpPut, Key: key, Val: val})
+	if err != nil {
+		return err
+	}
+	if resp.Status != message.StatusOK {
+		return ErrRemote
+	}
+	if c.opts.UseRDMARead {
+		c.cachePointer(string(key), resp.Ptr, resp.LeaseExp)
+	}
+	return nil
+}
+
+// Delete removes key.
+func (c *Client) Delete(key []byte) error {
+	c.ctr.Deletes.Inc()
+	resp, err := c.request(&message.Request{Op: message.OpDelete, Key: key})
+	if err != nil {
+		return err
+	}
+	if e, ok := c.cache.Get(string(key)); ok {
+		c.cache.CompareAndDelete(string(key), e)
+	}
+	switch resp.Status {
+	case message.StatusOK:
+		return nil
+	case message.StatusNotFound:
+		return ErrNotFound
+	default:
+		return ErrRemote
+	}
+}
+
+// Renew extends the lease of key on the server (periodic renewal of popular
+// keys, §4.2.3). It updates the cached entry in place.
+func (c *Client) Renew(key []byte) error {
+	resp, err := c.request(&message.Request{Op: message.OpRenewLease, Key: key})
+	if err != nil {
+		return err
+	}
+	if resp.Status != message.StatusOK {
+		// Outdated or deleted: drop the pointer.
+		if e, ok := c.cache.Get(string(key)); ok {
+			c.cache.CompareAndDelete(string(key), e)
+		}
+		return ErrNotFound
+	}
+	c.ctr.LeaseRenewals.Inc()
+	if e, ok := c.cache.Get(string(key)); ok {
+		e.LeaseExp = resp.LeaseExp
+	}
+	return nil
+}
+
+// RenewPopular renews every cached key whose client-side access count is at
+// least minAccess and whose lease expires within windowNs — the paper's
+// periodic renewal pass. Returns the number of keys renewed.
+func (c *Client) RenewPopular(minAccess uint32, windowNs int64) int {
+	now := c.clock.Now()
+	var keys []string
+	c.cache.Range(func(key string, e *PtrEntry) bool {
+		if e.Access.Load() >= minAccess && e.LeaseExp-now < windowNs {
+			keys = append(keys, key)
+		}
+		return true
+	})
+	n := 0
+	for _, k := range keys {
+		if err := c.Renew([]byte(k)); err == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// String identifies the client by its routing epoch.
+func (c *Client) String() string {
+	return fmt.Sprintf("client{epoch=%d shards=%d}", c.table.Epoch, c.table.Ring.Size())
+}

@@ -1,0 +1,421 @@
+package client
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"hydradb/internal/consistent"
+	"hydradb/internal/kv"
+	"hydradb/internal/rdma"
+	"hydradb/internal/shard"
+	"hydradb/internal/timing"
+)
+
+// liveEnv is a one-shard, live-mode mini cluster.
+type liveEnv struct {
+	fabric *rdma.Fabric
+	clk    *timing.ManualClock
+	shard  *shard.Shard
+	cliNIC *rdma.NIC
+	table  *RouteTable
+	stopFn func()
+}
+
+func newLiveEnv(t testing.TB, sendRecv bool) *liveEnv {
+	t.Helper()
+	clk := timing.NewManualClock(1e9)
+	f := rdma.NewFabric(rdma.Config{})
+	srvNIC := f.NewNIC("server")
+	cliNIC := f.NewNIC("clients")
+	sh := shard.New(shard.Config{
+		ID:  1,
+		NIC: srvNIC,
+		Store: kv.Config{
+			ArenaBytes: 4 << 20,
+			MaxItems:   8192,
+			Clock:      clk,
+		},
+	})
+	ring, err := consistent.Build([]uint32{1}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := &liveEnv{
+		fabric: f, clk: clk, shard: sh, cliNIC: cliNIC,
+		table: &RouteTable{Epoch: 0, Ring: ring, Endpoints: map[uint32]*shard.Endpoint{}},
+	}
+	env.table.Endpoints[1] = sh.Connect(cliNIC, sendRecv)
+	go sh.Run()
+	env.stopFn = sh.Stop
+	t.Cleanup(env.stopFn)
+	return env
+}
+
+func (e *liveEnv) newClient(t testing.TB, opts Options) *Client {
+	t.Helper()
+	opts.Clock = e.clk
+	tbl := *e.table
+	tbl.Endpoints = map[uint32]*shard.Endpoint{}
+	for id := range e.table.Endpoints {
+		// Each client gets its own connection, as in the paper's
+		// per-Shard-Client request buffers.
+		tbl.Endpoints[id] = e.shard.Connect(e.cliNIC, e.table.Endpoints[id].SendRecv)
+	}
+	return New(&tbl, opts)
+}
+
+func TestPutGetDeleteMessaging(t *testing.T) {
+	env := newLiveEnv(t, false)
+	c := env.newClient(t, Options{UseRDMARead: false})
+
+	if _, err := c.Get([]byte("missing")); err != ErrNotFound {
+		t.Fatalf("get missing: %v", err)
+	}
+	if err := c.Put([]byte("alpha"), []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Get([]byte("alpha"))
+	if err != nil || string(v) != "one" {
+		t.Fatalf("get: %q %v", v, err)
+	}
+	if err := c.Put([]byte("alpha"), []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = c.Get([]byte("alpha"))
+	if string(v) != "two" {
+		t.Fatalf("after update: %q", v)
+	}
+	if err := c.Delete([]byte("alpha")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete([]byte("alpha")); err != ErrNotFound {
+		t.Fatalf("double delete: %v", err)
+	}
+	if _, err := c.Get([]byte("alpha")); err != ErrNotFound {
+		t.Fatalf("get after delete: %v", err)
+	}
+}
+
+func TestRDMAReadHitPath(t *testing.T) {
+	env := newLiveEnv(t, false)
+	c := env.newClient(t, Options{UseRDMARead: true})
+
+	c.Put([]byte("k"), []byte("v"))
+	// Put cached the pointer: the first GET should already go one-sided.
+	v, err := c.Get([]byte("k"))
+	if err != nil || string(v) != "v" {
+		t.Fatalf("get: %q %v", v, err)
+	}
+	snap := c.Counters().Snapshot()
+	if snap.RDMAReadHits != 1 {
+		t.Fatalf("rdma hits = %d, want 1", snap.RDMAReadHits)
+	}
+	// Repeat: all hits, no server messages.
+	handledBefore := env.shard.Handled.Load()
+	for i := 0; i < 50; i++ {
+		if v, err := c.Get([]byte("k")); err != nil || string(v) != "v" {
+			t.Fatalf("iter %d: %q %v", i, v, err)
+		}
+	}
+	if got := env.shard.Handled.Load() - handledBefore; got != 0 {
+		t.Fatalf("server handled %d messages during one-sided GETs", got)
+	}
+	snap = c.Counters().Snapshot()
+	if snap.RDMAReadHits != 51 {
+		t.Fatalf("rdma hits = %d, want 51", snap.RDMAReadHits)
+	}
+}
+
+func TestStaleReadAfterRemoteUpdate(t *testing.T) {
+	env := newLiveEnv(t, false)
+	a := env.newClient(t, Options{UseRDMARead: true})
+	b := env.newClient(t, Options{UseRDMARead: true})
+
+	a.Put([]byte("k"), []byte("v1"))
+	if v, _ := a.Get([]byte("k")); string(v) != "v1" {
+		t.Fatal("warmup failed")
+	}
+	// B updates out-of-place; A's cached pointer now points at a dead item.
+	if err := b.Put([]byte("k"), []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := a.Get([]byte("k"))
+	if err != nil || string(v) != "v2" {
+		t.Fatalf("stale fallback: %q %v", v, err)
+	}
+	snap := a.Counters().Snapshot()
+	if snap.RDMAReadStale != 1 {
+		t.Fatalf("invalid hits = %d, want 1", snap.RDMAReadStale)
+	}
+	// A's next GET uses the refreshed pointer one-sided again.
+	hits := snap.RDMAReadHits
+	if v, _ := a.Get([]byte("k")); string(v) != "v2" {
+		t.Fatal("refreshed get failed")
+	}
+	if got := a.Counters().Snapshot().RDMAReadHits; got != hits+1 {
+		t.Fatalf("hits after refresh = %d, want %d", got, hits+1)
+	}
+}
+
+func TestGuardianAfterDelete(t *testing.T) {
+	env := newLiveEnv(t, false)
+	a := env.newClient(t, Options{UseRDMARead: true})
+	b := env.newClient(t, Options{UseRDMARead: true})
+
+	a.Put([]byte("k"), []byte("v"))
+	a.Get([]byte("k"))
+	if err := b.Delete([]byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Get([]byte("k")); err != ErrNotFound {
+		t.Fatalf("get after remote delete: %v", err)
+	}
+	if a.Counters().Snapshot().RDMAReadStale == 0 {
+		t.Fatal("deletion did not register as invalid hit")
+	}
+}
+
+func TestLeaseExpiryForcesMessagePath(t *testing.T) {
+	env := newLiveEnv(t, false)
+	c := env.newClient(t, Options{UseRDMARead: true})
+	c.Put([]byte("k"), []byte("v"))
+	c.Get([]byte("k"))
+	// Let the lease lapse.
+	env.clk.Advance(200e9)
+	v, err := c.Get([]byte("k"))
+	if err != nil || string(v) != "v" {
+		t.Fatalf("post-expiry get: %q %v", v, err)
+	}
+	snap := c.Counters().Snapshot()
+	if snap.RDMAReadStale == 0 {
+		t.Fatal("expired lease should count as invalid hit")
+	}
+}
+
+func TestSharedCacheAcrossClients(t *testing.T) {
+	env := newLiveEnv(t, false)
+	shared := NewSharedCache(256)
+	a := env.newClient(t, Options{UseRDMARead: true, Cache: shared})
+	b := env.newClient(t, Options{UseRDMARead: true, Cache: shared})
+
+	a.Put([]byte("hot"), []byte("v"))
+	// B never touched the key but hits one-sided via the shared cache
+	// (§4.2.4: sharing accelerates warm-up).
+	v, err := b.Get([]byte("hot"))
+	if err != nil || string(v) != "v" {
+		t.Fatalf("b get: %q %v", v, err)
+	}
+	if b.Counters().Snapshot().RDMAReadHits != 1 {
+		t.Fatal("shared pointer not used")
+	}
+	// B updates; the shared entry is refreshed, so A does NOT pay an
+	// invalid read (the §4.2.4 cascading-invalidation scenario).
+	b.Put([]byte("hot"), []byte("v2"))
+	if v, _ := a.Get([]byte("hot")); string(v) != "v2" {
+		t.Fatal("a missed the refresh")
+	}
+	if a.Counters().Snapshot().RDMAReadStale != 0 {
+		t.Fatal("shared cache failed to prevent the stale cascade")
+	}
+}
+
+func TestSendRecvTransport(t *testing.T) {
+	env := newLiveEnv(t, true)
+	c := env.newClient(t, Options{UseRDMARead: false})
+	for i := 0; i < 20; i++ {
+		k := []byte(fmt.Sprintf("key%02d", i))
+		if err := c.Put(k, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		if v, err := c.Get(k); err != nil || string(v) != "v" {
+			t.Fatalf("get %s: %q %v", k, v, err)
+		}
+	}
+}
+
+func TestEpochReroute(t *testing.T) {
+	env := newLiveEnv(t, false)
+	refreshed := false
+	c := env.newClient(t, Options{
+		UseRDMARead: false,
+		Refresh: func() *RouteTable {
+			refreshed = true
+			tbl := *env.table
+			tbl.Epoch = 7
+			tbl.Endpoints = map[uint32]*shard.Endpoint{1: env.shard.Connect(env.cliNIC, false)}
+			return &tbl
+		},
+	})
+	env.shard.SetEpoch(7) // cluster reconfigured; client's epoch 0 is stale
+	if err := c.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if !refreshed {
+		t.Fatal("refresh callback not invoked")
+	}
+	if c.Counters().Snapshot().RoutingRetries == 0 {
+		t.Fatal("routing retry not counted")
+	}
+	if v, err := c.Get([]byte("k")); err != nil || string(v) != "v" {
+		t.Fatalf("get after reroute: %q %v", v, err)
+	}
+}
+
+func TestEpochRerouteWithoutRefreshFails(t *testing.T) {
+	env := newLiveEnv(t, false)
+	c := env.newClient(t, Options{UseRDMARead: false})
+	env.shard.SetEpoch(3)
+	if err := c.Put([]byte("k"), []byte("v")); err != ErrRetries {
+		t.Fatalf("want ErrRetries, got %v", err)
+	}
+}
+
+func TestRenewLease(t *testing.T) {
+	env := newLiveEnv(t, false)
+	c := env.newClient(t, Options{UseRDMARead: true})
+	c.Put([]byte("k"), []byte("v"))
+	for i := 0; i < 5; i++ {
+		c.Get([]byte("k"))
+	}
+	e, ok := c.Cache().Get("k")
+	if !ok {
+		t.Fatal("no cached pointer")
+	}
+	before := e.LeaseExp
+	env.clk.Advance(1500e6) // move close to expiry
+	n := c.RenewPopular(2, 64e9)
+	if n != 1 {
+		t.Fatalf("renewed %d keys, want 1", n)
+	}
+	e2, _ := c.Cache().Get("k")
+	if e2.LeaseExp <= before {
+		t.Fatalf("lease not extended: %d <= %d", e2.LeaseExp, before)
+	}
+	// Renewal of a deleted key fails and evicts the pointer.
+	c.Delete([]byte("k"))
+	if err := c.Renew([]byte("k")); err != ErrNotFound {
+		t.Fatalf("renew deleted: %v", err)
+	}
+	if _, ok := c.Cache().Get("k"); ok {
+		t.Fatal("pointer survived failed renewal")
+	}
+}
+
+func TestLargeValuesThroughMailbox(t *testing.T) {
+	env := newLiveEnv(t, false)
+	c := env.newClient(t, Options{UseRDMARead: true})
+	val := bytes.Repeat([]byte("x"), 32<<10) // 32KB fits the 64KB mailbox
+	if err := c.Put([]byte("big"), val); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get([]byte("big"))
+	if err != nil || !bytes.Equal(got, val) {
+		t.Fatalf("big get: len=%d err=%v", len(got), err)
+	}
+}
+
+func TestManyKeysAndValues(t *testing.T) {
+	env := newLiveEnv(t, false)
+	c := env.newClient(t, Options{UseRDMARead: true})
+	const n = 500
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("user%016d", i))
+		v := []byte(fmt.Sprintf("val-%032d", i))
+		if err := c.Put(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("user%016d", i))
+		v, err := c.Get(k)
+		if err != nil || string(v) != fmt.Sprintf("val-%032d", i) {
+			t.Fatalf("key %d: %q %v", i, v, err)
+		}
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	env := newLiveEnv(t, false)
+	shared := NewSharedCache(1024)
+	const workers = 4
+	const iters = 300
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		c := env.newClient(t, Options{UseRDMARead: true, Cache: shared})
+		go func(w int, c *Client) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				k := []byte(fmt.Sprintf("key%03d", (w*37+i)%100))
+				switch i % 3 {
+				case 0:
+					if err := c.Put(k, []byte(fmt.Sprintf("v%d-%d", w, i))); err != nil {
+						t.Errorf("put: %v", err)
+						return
+					}
+				default:
+					if _, err := c.Get(k); err != nil && err != ErrNotFound {
+						t.Errorf("get: %v", err)
+						return
+					}
+				}
+			}
+		}(w, c)
+	}
+	wg.Wait()
+}
+
+func TestPipelinedShardServesRequests(t *testing.T) {
+	clk := timing.NewManualClock(1e9)
+	f := rdma.NewFabric(rdma.Config{})
+	srvNIC := f.NewNIC("server")
+	cliNIC := f.NewNIC("clients")
+	sh := shard.New(shard.Config{
+		ID:    1,
+		NIC:   srvNIC,
+		Store: kv.Config{ArenaBytes: 1 << 20, MaxItems: 2048, Clock: clk},
+	})
+	pipe := shard.NewPipelined(sh, 2, 2)
+	go pipe.Run()
+	defer pipe.Stop()
+
+	ring, _ := consistent.Build([]uint32{1}, 16)
+	table := &RouteTable{Ring: ring, Endpoints: map[uint32]*shard.Endpoint{
+		1: sh.Connect(cliNIC, false),
+	}}
+	c := New(table, Options{Clock: clk, UseRDMARead: false})
+	for i := 0; i < 50; i++ {
+		k := []byte(fmt.Sprintf("key%02d", i))
+		if err := c.Put(k, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		if v, err := c.Get(k); err != nil || string(v) != "v" {
+			t.Fatalf("get: %q %v", v, err)
+		}
+	}
+}
+
+func TestOpGetCountsAndHitAnalysis(t *testing.T) {
+	// The Fig. 11 accounting: hits + invalid hits + misses == GETs.
+	env := newLiveEnv(t, false)
+	c := env.newClient(t, Options{UseRDMARead: true})
+	for i := 0; i < 10; i++ {
+		c.Put([]byte(fmt.Sprintf("k%d", i)), []byte("v"))
+	}
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 10; i++ {
+			c.Get([]byte(fmt.Sprintf("k%d", i)))
+		}
+	}
+	c.Put([]byte("k0"), []byte("v2")) // refreshes own pointer
+	c.Get([]byte("k0"))
+	snap := c.Counters().Snapshot()
+	if snap.Gets != 31 {
+		t.Fatalf("gets = %d", snap.Gets)
+	}
+	if snap.RDMAReadHits+snap.RDMAReadStale+snap.PointerMisses != snap.Gets {
+		t.Fatalf("hit analysis does not add up: %+v", snap)
+	}
+}

@@ -1,0 +1,109 @@
+package client
+
+import (
+	"sync"
+	"time"
+)
+
+// Renewer implements the paper's periodic lease renewal: "clients
+// periodically send lease renew messages to the servers to extend the
+// leases of keys they deem popular so that remote pointers of popular keys
+// can remain valid within the local cache" (§4.2.3).
+//
+// It owns a dedicated Client (its own connections) and scans a shared
+// pointer cache on a fixed period, renewing every key whose client-side
+// access count clears MinAccess and whose lease expires within the next
+// Window. Running it beside the worker clients of a machine keeps their hot
+// pointers alive without adding renewal work to their request loops.
+type Renewer struct {
+	client    *Client
+	period    time.Duration
+	minAccess uint32
+	windowNs  int64
+
+	mu      sync.Mutex
+	stopCh  chan struct{}
+	doneCh  chan struct{}
+	running bool
+
+	// Renewed counts successful renewals (observability/tests).
+	Renewed int64
+}
+
+// NewRenewer builds a renewal agent over c (which must share the pointer
+// cache with the clients it serves). period is the scan interval; minAccess
+// and window follow RenewPopular's semantics.
+func NewRenewer(c *Client, period time.Duration, minAccess uint32, window time.Duration) *Renewer {
+	if period <= 0 {
+		period = 100 * time.Millisecond
+	}
+	if window <= 0 {
+		window = 2 * time.Second
+	}
+	return &Renewer{
+		client:    c,
+		period:    period,
+		minAccess: minAccess,
+		windowNs:  int64(window),
+	}
+}
+
+// Start launches the renewal loop. It is a no-op when already running.
+func (r *Renewer) Start() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.running {
+		return
+	}
+	r.running = true
+	r.stopCh = make(chan struct{})
+	r.doneCh = make(chan struct{})
+	go r.run(r.stopCh, r.doneCh)
+}
+
+func (r *Renewer) run(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	ticker := time.NewTicker(r.period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			n := r.client.RenewPopular(r.minAccess, r.windowNs)
+			r.mu.Lock()
+			r.Renewed += int64(n)
+			r.mu.Unlock()
+		}
+	}
+}
+
+// ScanOnce runs a single renewal pass synchronously (tests, manual control).
+func (r *Renewer) ScanOnce() int {
+	n := r.client.RenewPopular(r.minAccess, r.windowNs)
+	r.mu.Lock()
+	r.Renewed += int64(n)
+	r.mu.Unlock()
+	return n
+}
+
+// Stop terminates the loop and waits for it to exit.
+func (r *Renewer) Stop() {
+	r.mu.Lock()
+	if !r.running {
+		r.mu.Unlock()
+		return
+	}
+	r.running = false
+	stop, done := r.stopCh, r.doneCh
+	r.mu.Unlock()
+	close(stop)
+	<-done
+}
+
+// TotalRenewed reports cumulative successful renewals.
+func (r *Renewer) TotalRenewed() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.Renewed
+}

@@ -1,0 +1,135 @@
+package consistent
+
+import (
+	"fmt"
+	"testing"
+
+	"hydradb/internal/hashx"
+)
+
+func ids(n int) []uint32 {
+	s := make([]uint32, n)
+	for i := range s {
+		s[i] = uint32(i + 1)
+	}
+	return s
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, 0); err == nil {
+		t.Fatal("empty ring built")
+	}
+	if _, err := Build([]uint32{1, 2, 1}, 0); err == nil {
+		t.Fatal("duplicate shard accepted")
+	}
+}
+
+func TestOwnerDeterministic(t *testing.T) {
+	r1, _ := Build(ids(4), 64)
+	r2, _ := Build(ids(4), 64)
+	for i := 0; i < 1000; i++ {
+		key := []byte(fmt.Sprintf("user%08d", i))
+		if r1.OwnerOfKey(key) != r2.OwnerOfKey(key) {
+			t.Fatal("routing not deterministic across builds")
+		}
+	}
+}
+
+func TestOwnerCoversAllShards(t *testing.T) {
+	r, _ := Build(ids(8), 0)
+	hit := map[uint32]int{}
+	for i := 0; i < 100000; i++ {
+		key := []byte(fmt.Sprintf("user%08d", i))
+		hit[r.OwnerOfKey(key)]++
+	}
+	if len(hit) != 8 {
+		t.Fatalf("only %d shards receive keys", len(hit))
+	}
+	// Balance: max/mean must stay sane with default vnodes.
+	mean := 100000.0 / 8
+	for s, n := range hit {
+		ratio := float64(n) / mean
+		if ratio > 1.35 || ratio < 0.65 {
+			t.Fatalf("shard %d load ratio %.2f out of bounds", s, ratio)
+		}
+	}
+}
+
+func TestSingleShardOwnsEverything(t *testing.T) {
+	r, _ := Build([]uint32{7}, 16)
+	for i := 0; i < 100; i++ {
+		if r.Owner(hashx.Hash64(uint64(i))) != 7 {
+			t.Fatal("single shard must own all keys")
+		}
+	}
+}
+
+func TestMinimalDisruptionOnGrow(t *testing.T) {
+	// Adding one shard to n should move ~1/(n+1) of the space.
+	rOld, _ := Build(ids(7), 0)
+	rNew, _ := Build(ids(8), 0)
+	moved := rOld.MovedArcs(rNew, 20000)
+	want := 1.0 / 8
+	if moved < want*0.5 || moved > want*1.8 {
+		t.Fatalf("moved fraction %.3f, want ≈%.3f", moved, want)
+	}
+}
+
+func TestMinimalDisruptionOnShardLoss(t *testing.T) {
+	rOld, _ := Build(ids(8), 0)
+	// Drop shard 3.
+	var rest []uint32
+	for _, s := range ids(8) {
+		if s != 3 {
+			rest = append(rest, s)
+		}
+	}
+	rNew, _ := Build(rest, 0)
+	// All keys previously NOT owned by 3 must keep their owner.
+	for i := 0; i < 50000; i++ {
+		h := hashx.Hash64(uint64(i) * 31)
+		old := rOld.Owner(h)
+		if old == 3 {
+			continue
+		}
+		if rNew.Owner(h) != old {
+			t.Fatalf("key moved between surviving shards: %d -> %d", old, rNew.Owner(h))
+		}
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	r, _ := Build(ids(3), 8)
+	// A hash above the highest ring point must wrap to the first point.
+	maxPt := r.points[len(r.points)-1].hash
+	if maxPt != ^uint64(0) {
+		owner := r.Owner(maxPt + 1)
+		if owner != r.points[0].shard {
+			t.Fatalf("wraparound owner %d, want %d", owner, r.points[0].shard)
+		}
+	}
+}
+
+func TestShardsCopy(t *testing.T) {
+	r, _ := Build(ids(3), 8)
+	s := r.Shards()
+	s[0] = 999
+	if r.Shards()[0] == 999 {
+		t.Fatal("Shards leaked internal slice")
+	}
+	if r.Size() != 3 {
+		t.Fatalf("size = %d", r.Size())
+	}
+}
+
+func BenchmarkOwner(b *testing.B) {
+	r, _ := Build(ids(28), 0) // 7 machines x 4 shards
+	hs := make([]uint64, 1024)
+	for i := range hs {
+		hs[i] = hashx.Hash64(uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Owner(hs[i&1023])
+	}
+}

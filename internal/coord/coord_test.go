@@ -1,0 +1,326 @@
+package coord
+
+import (
+	"fmt"
+	"testing"
+
+	"hydradb/internal/timing"
+)
+
+func newTestServer() (*Server, *timing.ManualClock) {
+	clk := timing.NewManualClock(0)
+	return NewServer(clk, 2e9), clk
+}
+
+func TestCreateGetSetDelete(t *testing.T) {
+	srv, _ := newTestServer()
+	s := srv.NewSession()
+
+	if _, err := s.Create("/a", []byte("x"), FlagPersistent); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Create("/a", nil, FlagPersistent); err != ErrNodeExists {
+		t.Fatalf("duplicate create: %v", err)
+	}
+	if _, err := s.Create("/missing/child", nil, FlagPersistent); err != ErrNoNode {
+		t.Fatalf("create under missing parent: %v", err)
+	}
+	data, ver, err := s.Get("/a")
+	if err != nil || string(data) != "x" || ver != 0 {
+		t.Fatalf("get: %q v%d %v", data, ver, err)
+	}
+	if _, err := s.Set("/a", []byte("y"), 5); err != ErrBadVersion {
+		t.Fatalf("set with stale version: %v", err)
+	}
+	nv, err := s.Set("/a", []byte("y"), 0)
+	if err != nil || nv != 1 {
+		t.Fatalf("set: v%d %v", nv, err)
+	}
+	if _, err := s.Set("/a", []byte("z"), -1); err != nil {
+		t.Fatalf("set any-version: %v", err)
+	}
+	if err := s.Delete("/a", 0); err != ErrBadVersion {
+		t.Fatalf("delete stale version: %v", err)
+	}
+	if err := s.Delete("/a", -1); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := s.Exists("/a"); ok {
+		t.Fatal("node survives delete")
+	}
+}
+
+func TestPathValidation(t *testing.T) {
+	srv, _ := newTestServer()
+	s := srv.NewSession()
+	for _, bad := range []string{"", "a", "/a/", "//a", "/a//b"} {
+		if _, err := s.Create(bad, nil, FlagPersistent); err != ErrBadPath {
+			t.Errorf("path %q: %v", bad, err)
+		}
+	}
+}
+
+func TestDeleteNonEmpty(t *testing.T) {
+	srv, _ := newTestServer()
+	s := srv.NewSession()
+	s.Create("/p", nil, FlagPersistent)
+	s.Create("/p/c", nil, FlagPersistent)
+	if err := s.Delete("/p", -1); err != ErrNotEmpty {
+		t.Fatalf("delete of non-empty: %v", err)
+	}
+}
+
+func TestChildrenSorted(t *testing.T) {
+	srv, _ := newTestServer()
+	s := srv.NewSession()
+	s.Create("/p", nil, FlagPersistent)
+	for _, c := range []string{"b", "a", "c"} {
+		s.Create("/p/"+c, nil, FlagPersistent)
+	}
+	kids, err := s.Children("/p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kids) != 3 || kids[0] != "a" || kids[2] != "c" {
+		t.Fatalf("children: %v", kids)
+	}
+}
+
+func TestSequentialNodes(t *testing.T) {
+	srv, _ := newTestServer()
+	s := srv.NewSession()
+	s.Create("/q", nil, FlagPersistent)
+	p1, _ := s.Create("/q/n-", nil, FlagSequential)
+	p2, _ := s.Create("/q/n-", nil, FlagSequential)
+	if p1 != "/q/n-0000000000" || p2 != "/q/n-0000000001" {
+		t.Fatalf("sequential paths: %s %s", p1, p2)
+	}
+}
+
+func TestEphemeralLifecycle(t *testing.T) {
+	srv, clk := newTestServer()
+	s1 := srv.NewSession()
+	s2 := srv.NewSession()
+	s1.Create("/live", nil, FlagPersistent)
+	s1.Create("/live/a", nil, FlagEphemeral)
+
+	// Heartbeats keep it alive.
+	for i := 0; i < 5; i++ {
+		clk.Advance(1e9)
+		s1.Ping()
+		s2.Ping()
+		srv.Tick()
+	}
+	if ok, _ := s2.Exists("/live/a"); !ok {
+		t.Fatal("ephemeral died despite heartbeats")
+	}
+	// Stop pinging s1: after timeout the ephemeral disappears.
+	clk.Advance(3e9)
+	s2.Ping() // cannot ping: would revive... ping before tick
+	if n := srv.Tick(); n != 1 {
+		t.Fatalf("expired %d sessions, want 1", n)
+	}
+	if ok, _ := s2.Exists("/live/a"); ok {
+		t.Fatal("ephemeral survived session expiry")
+	}
+	// Expired session is unusable.
+	if err := s1.Ping(); err != ErrSessionExpired {
+		t.Fatalf("ping on expired session: %v", err)
+	}
+	if _, _, err := s1.Get("/live"); err != ErrSessionExpired {
+		t.Fatalf("get on expired session: %v", err)
+	}
+}
+
+func TestExplicitClose(t *testing.T) {
+	srv, _ := newTestServer()
+	s1 := srv.NewSession()
+	s2 := srv.NewSession()
+	s1.Create("/x", nil, FlagEphemeral)
+	s1.Close()
+	if ok, _ := s2.Exists("/x"); ok {
+		t.Fatal("ephemeral survived close")
+	}
+	if srv.SessionAlive(s1.ID()) {
+		t.Fatal("closed session alive")
+	}
+}
+
+func TestWatchEvents(t *testing.T) {
+	srv, _ := newTestServer()
+	s := srv.NewSession()
+	w := srv.NewSession()
+	s.Create("/w", nil, FlagPersistent)
+	events, cancel, err := w.Watch("/w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+
+	s.Create("/w/c", []byte("v"), FlagPersistent)
+	expectEvent(t, events, EventCreated, "/w/c")
+	expectEvent(t, events, EventChildrenChanged, "/w")
+
+	s.Set("/w/c", []byte("v2"), -1)
+	expectEvent(t, events, EventDataChanged, "/w/c")
+
+	s.Delete("/w/c", -1)
+	expectEvent(t, events, EventDeleted, "/w/c")
+	expectEvent(t, events, EventChildrenChanged, "/w")
+}
+
+func expectEvent(t *testing.T, ch <-chan Event, typ EventType, path string) {
+	t.Helper()
+	select {
+	case ev := <-ch:
+		if ev.Type != typ || ev.Path != path {
+			t.Fatalf("event %v %q, want %v %q", ev.Type, ev.Path, typ, path)
+		}
+	default:
+		t.Fatalf("no event; wanted %v %q", typ, path)
+	}
+}
+
+func TestWatchEphemeralExpiry(t *testing.T) {
+	srv, clk := newTestServer()
+	owner := srv.NewSession()
+	watcher := srv.NewSession()
+	owner.Create("/shards", nil, FlagPersistent)
+	owner.Create("/shards/s1", nil, FlagEphemeral)
+	events, cancel, _ := watcher.Watch("/shards")
+	defer cancel()
+
+	clk.Advance(5e9)
+	watcher.Ping()
+	srv.Tick()
+	// Watcher must see the ephemeral vanish — the SWAT failure signal.
+	var sawDelete bool
+	for {
+		select {
+		case ev := <-events:
+			if ev.Type == EventDeleted && ev.Path == "/shards/s1" {
+				sawDelete = true
+			}
+			continue
+		default:
+		}
+		break
+	}
+	if !sawDelete {
+		t.Fatal("watcher missed ephemeral expiry")
+	}
+}
+
+func TestEnsurePath(t *testing.T) {
+	srv, _ := newTestServer()
+	s := srv.NewSession()
+	if err := s.EnsurePath("/a/b/c"); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := s.Exists("/a/b/c"); !ok {
+		t.Fatal("ensure path did not create")
+	}
+	// Idempotent.
+	if err := s.EnsurePath("/a/b/c"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestElection(t *testing.T) {
+	srv, clk := newTestServer()
+	sessions := make([]*Session, 3)
+	elections := make([]*Election, 3)
+	for i := range sessions {
+		sessions[i] = srv.NewSession()
+		var err error
+		elections[i], err = NewElection(sessions[i], "/swat/election", fmt.Sprintf("swat-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	leaders := 0
+	leaderIdx := -1
+	for i, e := range elections {
+		if ok, _ := e.IsLeader(); ok {
+			leaders++
+			leaderIdx = i
+		}
+	}
+	if leaders != 1 || leaderIdx != 0 {
+		t.Fatalf("leaders=%d idx=%d", leaders, leaderIdx)
+	}
+	if name, _ := elections[1].Leader(); name != "swat-0" {
+		t.Fatalf("leader name %q", name)
+	}
+
+	// Leader dies: session expiry removes its candidate node; next lowest
+	// takes over.
+	clk.Advance(5e9)
+	sessions[1].Ping()
+	sessions[2].Ping()
+	srv.Tick()
+	if alive := srv.SessionAlive(sessions[0].ID()); alive {
+		t.Fatal("leader session still alive")
+	}
+	if ok, _ := elections[1].IsLeader(); !ok {
+		t.Fatal("successor did not take leadership")
+	}
+	if ok, _ := elections[2].IsLeader(); ok {
+		t.Fatal("wrong successor")
+	}
+	// The successor received membership events to re-check on.
+	select {
+	case <-elections[1].Events():
+	default:
+		t.Fatal("no election event delivered")
+	}
+
+	// Explicit resignation promotes the last candidate.
+	elections[1].Resign()
+	if ok, _ := elections[2].IsLeader(); !ok {
+		t.Fatal("resignation did not promote")
+	}
+}
+
+func TestWatchOverflowKeepsNewest(t *testing.T) {
+	srv, _ := newTestServer()
+	s := srv.NewSession()
+	s.Create("/burst", nil, FlagPersistent)
+	events, cancel, _ := s.Watch("/burst")
+	defer cancel()
+	// Generate far more events than the buffer holds.
+	for i := 0; i < 300; i++ {
+		s.Set("/burst", []byte{byte(i)}, -1)
+	}
+	// Drain: the channel must contain events and not have blocked mutations.
+	n := 0
+	for {
+		select {
+		case <-events:
+			n++
+			continue
+		default:
+		}
+		break
+	}
+	if n == 0 || n > 128 {
+		t.Fatalf("drained %d events", n)
+	}
+}
+
+func TestSessionIsolation(t *testing.T) {
+	srv, clk := newTestServer()
+	a := srv.NewSession()
+	b := srv.NewSession()
+	a.Create("/pa", nil, FlagEphemeral)
+	b.Create("/pb", nil, FlagEphemeral)
+	clk.Advance(3e9)
+	b.Ping()
+	srv.Tick()
+	if ok, _ := b.Exists("/pa"); ok {
+		t.Fatal("expired session's ephemeral survived")
+	}
+	if ok, _ := b.Exists("/pb"); !ok {
+		t.Fatal("live session's ephemeral deleted")
+	}
+}

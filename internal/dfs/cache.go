@@ -1,0 +1,161 @@
+package dfs
+
+import (
+	"fmt"
+	"sync"
+
+	"hydradb/internal/stats"
+)
+
+// KV is the slice of the HydraDB client API the cache layer needs; both
+// *client.Client and the public hydradb.Client satisfy it.
+type KV interface {
+	Put(key, val []byte) error
+	Get(key []byte) ([]byte, error)
+	Delete(key []byte) error
+}
+
+// CacheLayer is the HydraDB-backed cache atop a DFS (§2.1): it prefetches
+// input blocks into HydraDB as chunked key-value pairs ("each HDFS block is
+// partitioned into several 4MB chunks and stored as key-value pairs within
+// HydraDB"), serves application reads from the cache, populates on miss and
+// evicts in FIFO order under a block budget.
+type CacheLayer struct {
+	dfs       *Cluster
+	kv        KV
+	chunkSize int
+	maxBlocks int
+
+	mu     sync.Mutex
+	order  []string       // cached block ids, FIFO
+	cached map[string]int // block id -> chunk count
+
+	Hits   stats.Counter
+	Misses stats.Counter
+	Evicts stats.Counter
+}
+
+// NewCacheLayer wraps dfs with a HydraDB-backed cache. chunkSize defaults
+// to 4 MB; maxBlocks bounds the cache (0 = unbounded).
+func NewCacheLayer(dfs *Cluster, kv KV, chunkSize, maxBlocks int) *CacheLayer {
+	if chunkSize <= 0 {
+		chunkSize = 4 << 20
+	}
+	return &CacheLayer{
+		dfs:       dfs,
+		kv:        kv,
+		chunkSize: chunkSize,
+		maxBlocks: maxBlocks,
+		cached:    map[string]int{},
+	}
+}
+
+func blockID(name string, i int) string { return fmt.Sprintf("%s#%d", name, i) }
+
+func chunkKey(id string, c int) []byte { return []byte(fmt.Sprintf("dfs:%s:%d", id, c)) }
+
+// Prefetch loads every block of a file into the cache (the background
+// prefetcher of Fig. 1).
+func (cl *CacheLayer) Prefetch(name string) error {
+	n, err := cl.dfs.Blocks(name)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		if _, err := cl.populate(name, i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadBlock serves a block from the cache, populating it on miss.
+func (cl *CacheLayer) ReadBlock(name string, i int) ([]byte, error) {
+	id := blockID(name, i)
+	cl.mu.Lock()
+	chunks, ok := cl.cached[id]
+	cl.mu.Unlock()
+	if ok {
+		out, err := cl.readChunks(id, chunks)
+		if err == nil {
+			cl.Hits.Inc()
+			return out, nil
+		}
+		// Cache inconsistency (e.g. evicted underneath): fall through.
+	}
+	cl.Misses.Inc()
+	blk, err := cl.populate(name, i)
+	if err != nil {
+		return nil, err
+	}
+	return blk, nil
+}
+
+func (cl *CacheLayer) readChunks(id string, chunks int) ([]byte, error) {
+	var out []byte
+	for c := 0; c < chunks; c++ {
+		part, err := cl.kv.Get(chunkKey(id, c))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, part...)
+	}
+	return out, nil
+}
+
+// populate fetches a block from the DFS, stores its chunks in HydraDB and
+// registers it, evicting under pressure.
+func (cl *CacheLayer) populate(name string, i int) ([]byte, error) {
+	blk, err := cl.dfs.ReadBlock(name, i)
+	if err != nil {
+		return nil, err
+	}
+	id := blockID(name, i)
+	chunks := 0
+	for off := 0; off < len(blk) || (off == 0 && len(blk) == 0); off += cl.chunkSize {
+		end := off + cl.chunkSize
+		if end > len(blk) {
+			end = len(blk)
+		}
+		if err := cl.kv.Put(chunkKey(id, chunks), blk[off:end]); err != nil {
+			return nil, err
+		}
+		chunks++
+		if len(blk) == 0 {
+			break
+		}
+	}
+	cl.mu.Lock()
+	if _, already := cl.cached[id]; !already {
+		cl.cached[id] = chunks
+		cl.order = append(cl.order, id)
+	} else {
+		cl.cached[id] = chunks
+	}
+	var evict []string
+	for cl.maxBlocks > 0 && len(cl.order) > cl.maxBlocks {
+		victim := cl.order[0]
+		cl.order = cl.order[1:]
+		evict = append(evict, victim)
+	}
+	victims := map[string]int{}
+	for _, v := range evict {
+		victims[v] = cl.cached[v]
+		delete(cl.cached, v)
+	}
+	cl.mu.Unlock()
+	for v, n := range victims {
+		for c := 0; c < n; c++ {
+			_ = cl.kv.Delete(chunkKey(v, c))
+		}
+		cl.Evicts.Inc()
+	}
+	return blk, nil
+}
+
+// CachedBlocks reports the cache population.
+func (cl *CacheLayer) CachedBlocks() int {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return len(cl.cached)
+}

@@ -1,0 +1,267 @@
+// Package dfs implements a miniature HDFS-style block filesystem plus the
+// HydraDB cache layer of the paper's MapReduce acceleration use case (§2.1,
+// Fig. 1): files are split into blocks spread over datanodes; a cache layer
+// prefetches blocks into HydraDB as 4 MB key-value chunks and serves the
+// I/O requests of upper-layer applications, handling eviction and
+// population on miss.
+//
+// The filesystem is deliberately simple (in-memory blocks, a single
+// namenode) — it is the substrate the paper's Figure 2 experiment reads
+// through, not a contribution. A per-block access cost knob models the
+// RPC + streaming overheads of the real HDFS client path so that live
+// examples show the relative behaviour.
+package dfs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"hydradb/internal/stats"
+)
+
+// Errors.
+var (
+	ErrNotFound = errors.New("dfs: file not found")
+	ErrBadBlock = errors.New("dfs: block index out of range")
+	ErrExists   = errors.New("dfs: file already exists")
+)
+
+// ErrAllReplicasDown reports a block whose every replica holder failed.
+var ErrAllReplicasDown = errors.New("dfs: all replicas unavailable")
+
+// blockLoc names a block's replica datanodes and its key there.
+type blockLoc struct {
+	nodes []int
+	key   string
+}
+
+type fileMeta struct {
+	size   int
+	blocks []blockLoc
+}
+
+// NameNode maps files to block locations.
+type NameNode struct {
+	mu    sync.RWMutex
+	files map[string]*fileMeta
+}
+
+// DataNode stores block bytes.
+type DataNode struct {
+	mu     sync.RWMutex
+	blocks map[string][]byte
+	down   bool
+
+	Served stats.Counter
+	Bytes  stats.Counter
+}
+
+// Cluster is a mini-DFS deployment.
+type Cluster struct {
+	nn        *NameNode
+	dns       []*DataNode
+	blockSize int
+	replicas  int
+	next      int
+	mu        sync.Mutex
+}
+
+// NewCluster creates a cluster of n datanodes with the given block size
+// (HDFS default: 64–128 MB; tests use small blocks) and replication
+// factor 1. Use NewReplicatedCluster for HDFS-style block replication.
+func NewCluster(n, blockSize int) *Cluster {
+	return NewReplicatedCluster(n, blockSize, 1)
+}
+
+// NewReplicatedCluster creates a cluster storing each block on r datanodes
+// (HDFS default r=3); reads fail over across replica holders.
+func NewReplicatedCluster(n, blockSize, r int) *Cluster {
+	if n <= 0 {
+		n = 3
+	}
+	if blockSize <= 0 {
+		blockSize = 4 << 20
+	}
+	if r <= 0 {
+		r = 1
+	}
+	if r > n {
+		r = n
+	}
+	c := &Cluster{
+		nn:        &NameNode{files: map[string]*fileMeta{}},
+		blockSize: blockSize,
+		replicas:  r,
+	}
+	for i := 0; i < n; i++ {
+		c.dns = append(c.dns, &DataNode{blocks: map[string][]byte{}})
+	}
+	return c
+}
+
+// Replication reports the block replication factor.
+func (c *Cluster) Replication() int { return c.replicas }
+
+// FailDataNode marks datanode i down (chaos hook); reads fail over to the
+// other replica holders. SetDataNodeUp reverses it.
+func (c *Cluster) FailDataNode(i int) {
+	dn := c.dns[i]
+	dn.mu.Lock()
+	dn.down = true
+	dn.mu.Unlock()
+}
+
+// SetDataNodeUp restores datanode i.
+func (c *Cluster) SetDataNodeUp(i int) {
+	dn := c.dns[i]
+	dn.mu.Lock()
+	dn.down = false
+	dn.mu.Unlock()
+}
+
+// BlockSize reports the block size.
+func (c *Cluster) BlockSize() int { return c.blockSize }
+
+// DataNodes reports the datanode count.
+func (c *Cluster) DataNodes() int { return len(c.dns) }
+
+// Write stores a file, splitting it into blocks placed round-robin.
+func (c *Cluster) Write(name string, data []byte) error {
+	c.nn.mu.Lock()
+	defer c.nn.mu.Unlock()
+	if _, ok := c.nn.files[name]; ok {
+		return ErrExists
+	}
+	meta := &fileMeta{size: len(data)}
+	for off := 0; off < len(data) || (off == 0 && len(data) == 0); off += c.blockSize {
+		end := off + c.blockSize
+		if end > len(data) {
+			end = len(data)
+		}
+		key := fmt.Sprintf("%s#%d", name, len(meta.blocks))
+		blk := make([]byte, end-off)
+		copy(blk, data[off:end])
+		// Place replicas on consecutive datanodes from a rotating start.
+		c.mu.Lock()
+		start := c.next % len(c.dns)
+		c.next++
+		c.mu.Unlock()
+		var nodes []int
+		for r := 0; r < c.replicas; r++ {
+			node := (start + r) % len(c.dns)
+			nodes = append(nodes, node)
+			dn := c.dns[node]
+			dn.mu.Lock()
+			dn.blocks[key] = blk
+			dn.mu.Unlock()
+		}
+		meta.blocks = append(meta.blocks, blockLoc{nodes: nodes, key: key})
+		if len(data) == 0 {
+			break
+		}
+	}
+	c.nn.files[name] = meta
+	return nil
+}
+
+// Blocks reports the number of blocks of a file.
+func (c *Cluster) Blocks(name string) (int, error) {
+	c.nn.mu.RLock()
+	defer c.nn.mu.RUnlock()
+	meta, ok := c.nn.files[name]
+	if !ok {
+		return 0, ErrNotFound
+	}
+	return len(meta.blocks), nil
+}
+
+// Size reports a file's byte size.
+func (c *Cluster) Size(name string) (int, error) {
+	c.nn.mu.RLock()
+	defer c.nn.mu.RUnlock()
+	meta, ok := c.nn.files[name]
+	if !ok {
+		return 0, ErrNotFound
+	}
+	return meta.size, nil
+}
+
+// ReadBlock fetches one block (a copy).
+func (c *Cluster) ReadBlock(name string, i int) ([]byte, error) {
+	c.nn.mu.RLock()
+	meta, ok := c.nn.files[name]
+	c.nn.mu.RUnlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	if i < 0 || i >= len(meta.blocks) {
+		return nil, ErrBadBlock
+	}
+	loc := meta.blocks[i]
+	for _, node := range loc.nodes {
+		dn := c.dns[node]
+		dn.mu.RLock()
+		down := dn.down
+		blk := dn.blocks[loc.key]
+		dn.mu.RUnlock()
+		if down {
+			continue // fail over to the next replica holder
+		}
+		out := make([]byte, len(blk))
+		copy(out, blk)
+		dn.Served.Inc()
+		dn.Bytes.Add(int64(len(blk)))
+		return out, nil
+	}
+	return nil, ErrAllReplicasDown
+}
+
+// Read fetches a whole file.
+func (c *Cluster) Read(name string) ([]byte, error) {
+	n, err := c.Blocks(name)
+	if err != nil {
+		return nil, err
+	}
+	size, _ := c.Size(name)
+	out := make([]byte, 0, size)
+	for i := 0; i < n; i++ {
+		blk, err := c.ReadBlock(name, i)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, blk...)
+	}
+	return out, nil
+}
+
+// Delete removes a file and its blocks.
+func (c *Cluster) Delete(name string) error {
+	c.nn.mu.Lock()
+	meta, ok := c.nn.files[name]
+	if ok {
+		delete(c.nn.files, name)
+	}
+	c.nn.mu.Unlock()
+	if !ok {
+		return ErrNotFound
+	}
+	for _, loc := range meta.blocks {
+		for _, node := range loc.nodes {
+			dn := c.dns[node]
+			dn.mu.Lock()
+			delete(dn.blocks, loc.key)
+			dn.mu.Unlock()
+		}
+	}
+	return nil
+}
+
+// TotalServed sums block reads served directly by datanodes.
+func (c *Cluster) TotalServed() int64 {
+	var n int64
+	for _, dn := range c.dns {
+		n += dn.Served.Load()
+	}
+	return n
+}

@@ -1,0 +1,279 @@
+package dfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	c := NewCluster(3, 1024)
+	data := make([]byte, 10_000) // 10 blocks
+	rand.New(rand.NewSource(1)).Read(data)
+	if err := c.Write("input.dat", data); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Write("input.dat", data); err != ErrExists {
+		t.Fatalf("duplicate write: %v", err)
+	}
+	got, err := c.Read("input.dat")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("read mismatch: %d bytes, err=%v", len(got), err)
+	}
+	n, _ := c.Blocks("input.dat")
+	if n != 10 {
+		t.Fatalf("blocks = %d", n)
+	}
+	size, _ := c.Size("input.dat")
+	if size != 10_000 {
+		t.Fatalf("size = %d", size)
+	}
+}
+
+func TestPartialLastBlock(t *testing.T) {
+	c := NewCluster(2, 1000)
+	data := make([]byte, 2500)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	c.Write("f", data)
+	n, _ := c.Blocks("f")
+	if n != 3 {
+		t.Fatalf("blocks = %d", n)
+	}
+	last, err := c.ReadBlock("f", 2)
+	if err != nil || len(last) != 500 {
+		t.Fatalf("last block: %d bytes %v", len(last), err)
+	}
+	got, _ := c.Read("f")
+	if !bytes.Equal(got, data) {
+		t.Fatal("reassembly mismatch")
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	c := NewCluster(2, 1000)
+	if err := c.Write("empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Read("empty")
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty read: %d bytes %v", len(got), err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	c := NewCluster(2, 1000)
+	if _, err := c.Read("nope"); err != ErrNotFound {
+		t.Fatalf("read missing: %v", err)
+	}
+	if _, err := c.Blocks("nope"); err != ErrNotFound {
+		t.Fatalf("blocks missing: %v", err)
+	}
+	c.Write("f", []byte("x"))
+	if _, err := c.ReadBlock("f", 5); err != ErrBadBlock {
+		t.Fatalf("bad block: %v", err)
+	}
+	if err := c.Delete("nope"); err != ErrNotFound {
+		t.Fatalf("delete missing: %v", err)
+	}
+}
+
+func TestDeleteFreesBlocks(t *testing.T) {
+	c := NewCluster(2, 100)
+	c.Write("f", make([]byte, 1000))
+	if err := c.Delete("f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Read("f"); err != ErrNotFound {
+		t.Fatal("file survived delete")
+	}
+	for _, dn := range c.dns {
+		if len(dn.blocks) != 0 {
+			t.Fatal("datanode blocks leaked")
+		}
+	}
+}
+
+func TestBlockPlacementSpreads(t *testing.T) {
+	c := NewCluster(4, 100)
+	c.Write("f", make([]byte, 100*8))
+	for i, dn := range c.dns {
+		if len(dn.blocks) != 2 {
+			t.Fatalf("datanode %d holds %d blocks", i, len(dn.blocks))
+		}
+	}
+}
+
+// memKV is an in-memory KV standing in for HydraDB in unit tests (the
+// integration test below uses the real thing).
+type memKV struct {
+	mu   sync.Mutex
+	m    map[string][]byte
+	fail bool
+}
+
+func newMemKV() *memKV { return &memKV{m: map[string][]byte{}} }
+
+func (k *memKV) Put(key, val []byte) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.fail {
+		return errors.New("injected")
+	}
+	cp := make([]byte, len(val))
+	copy(cp, val)
+	k.m[string(key)] = cp
+	return nil
+}
+
+func (k *memKV) Get(key []byte) ([]byte, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	v, ok := k.m[string(key)]
+	if !ok {
+		return nil, errors.New("miss")
+	}
+	return v, nil
+}
+
+func (k *memKV) Delete(key []byte) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	delete(k.m, string(key))
+	return nil
+}
+
+func TestCacheLayerHitsAndMisses(t *testing.T) {
+	c := NewCluster(2, 1000)
+	data := make([]byte, 5000)
+	rand.New(rand.NewSource(2)).Read(data)
+	c.Write("f", data)
+
+	kv := newMemKV()
+	cache := NewCacheLayer(c, kv, 256, 0)
+
+	// First read: miss + populate.
+	blk, err := cache.ReadBlock("f", 0)
+	if err != nil || !bytes.Equal(blk, data[:1000]) {
+		t.Fatalf("first read: %v", err)
+	}
+	if cache.Misses.Load() != 1 || cache.Hits.Load() != 0 {
+		t.Fatalf("counters after miss: h=%d m=%d", cache.Hits.Load(), cache.Misses.Load())
+	}
+	served := c.TotalServed()
+	// Second read: hit, no DFS traffic.
+	blk2, err := cache.ReadBlock("f", 0)
+	if err != nil || !bytes.Equal(blk2, data[:1000]) {
+		t.Fatalf("second read: %v", err)
+	}
+	if cache.Hits.Load() != 1 {
+		t.Fatal("no cache hit")
+	}
+	if c.TotalServed() != served {
+		t.Fatal("cache hit still touched the DFS")
+	}
+}
+
+func TestCacheChunking(t *testing.T) {
+	c := NewCluster(1, 1000)
+	data := make([]byte, 1000)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	c.Write("f", data)
+	kv := newMemKV()
+	cache := NewCacheLayer(c, kv, 300, 0) // 4 chunks per block
+	if err := cache.Prefetch("f"); err != nil {
+		t.Fatal(err)
+	}
+	if len(kv.m) != 4 {
+		t.Fatalf("chunks stored = %d, want 4", len(kv.m))
+	}
+	blk, err := cache.ReadBlock("f", 0)
+	if err != nil || !bytes.Equal(blk, data) {
+		t.Fatal("chunked reassembly failed")
+	}
+	if cache.Hits.Load() != 1 {
+		t.Fatal("prefetched block not a hit")
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	c := NewCluster(2, 100)
+	data := make([]byte, 100*6)
+	c.Write("f", data)
+	kv := newMemKV()
+	cache := NewCacheLayer(c, kv, 100, 3) // room for 3 blocks
+	for i := 0; i < 6; i++ {
+		if _, err := cache.ReadBlock("f", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cache.CachedBlocks() != 3 {
+		t.Fatalf("cached = %d, want 3", cache.CachedBlocks())
+	}
+	if cache.Evicts.Load() != 3 {
+		t.Fatalf("evicts = %d", cache.Evicts.Load())
+	}
+	// Oldest blocks are gone from the KV; newest remain.
+	if _, err := kv.Get(chunkKey(blockID("f", 0), 0)); err == nil {
+		t.Fatal("evicted chunk still present")
+	}
+	if _, err := kv.Get(chunkKey(blockID("f", 5), 0)); err != nil {
+		t.Fatal("resident chunk missing")
+	}
+	// Re-reading an evicted block repopulates.
+	if _, err := cache.ReadBlock("f", 0); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Misses.Load() != 7 {
+		t.Fatalf("misses = %d", cache.Misses.Load())
+	}
+}
+
+func TestCachePutFailurePropagates(t *testing.T) {
+	c := NewCluster(1, 100)
+	c.Write("f", make([]byte, 100))
+	kv := newMemKV()
+	kv.fail = true
+	cache := NewCacheLayer(c, kv, 100, 0)
+	if _, err := cache.ReadBlock("f", 0); err == nil {
+		t.Fatal("kv failure swallowed")
+	}
+}
+
+func TestConcurrentCacheReaders(t *testing.T) {
+	c := NewCluster(4, 512)
+	data := make([]byte, 512*16)
+	rand.New(rand.NewSource(3)).Read(data)
+	c.Write("f", data)
+	kv := newMemKV()
+	cache := NewCacheLayer(c, kv, 512, 0)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 16; i++ {
+				blk, err := cache.ReadBlock("f", (w+i)%16)
+				if err != nil {
+					t.Errorf("read: %v", err)
+					return
+				}
+				idx := (w + i) % 16
+				if !bytes.Equal(blk, data[idx*512:(idx+1)*512]) {
+					t.Errorf("block %d corrupted", idx)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if fmt.Sprint(cache.Hits.Load()+cache.Misses.Load()) == "0" {
+		t.Fatal("no accounting")
+	}
+}

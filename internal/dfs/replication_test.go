@@ -1,0 +1,89 @@
+package dfs
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestReplicatedBlocksPlacedOnRNodes(t *testing.T) {
+	c := NewReplicatedCluster(4, 100, 3)
+	if c.Replication() != 3 {
+		t.Fatalf("replication = %d", c.Replication())
+	}
+	c.Write("f", make([]byte, 100*4))
+	total := 0
+	for _, dn := range c.dns {
+		total += len(dn.blocks)
+	}
+	if total != 4*3 {
+		t.Fatalf("stored %d block copies, want 12", total)
+	}
+}
+
+func TestReplicationFactorClamped(t *testing.T) {
+	c := NewReplicatedCluster(2, 100, 5)
+	if c.Replication() != 2 {
+		t.Fatalf("replication = %d, want clamp to 2", c.Replication())
+	}
+}
+
+func TestReadFailsOverAcrossReplicas(t *testing.T) {
+	c := NewReplicatedCluster(3, 1000, 2)
+	data := make([]byte, 3000)
+	rand.New(rand.NewSource(1)).Read(data)
+	c.Write("f", data)
+
+	// Kill one datanode: every block keeps a live replica.
+	c.FailDataNode(0)
+	got, err := c.Read("f")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("read with one node down: %v", err)
+	}
+	// Kill a second: some block now has no live replica.
+	c.FailDataNode(1)
+	if _, err := c.Read("f"); err != ErrAllReplicasDown {
+		t.Fatalf("want ErrAllReplicasDown, got %v", err)
+	}
+	// Recovery restores service.
+	c.SetDataNodeUp(0)
+	got, err = c.Read("f")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("read after recovery: %v", err)
+	}
+}
+
+func TestUnreplicatedClusterFailsHard(t *testing.T) {
+	c := NewCluster(3, 1000)
+	c.Write("f", make([]byte, 3000))
+	c.FailDataNode(0)
+	if _, err := c.Read("f"); err != ErrAllReplicasDown {
+		t.Fatalf("want ErrAllReplicasDown with r=1, got %v", err)
+	}
+}
+
+func TestCacheLayerMasksDataNodeFailure(t *testing.T) {
+	// The Fig. 1 story end-to-end: once blocks are cached in HydraDB, the
+	// DFS can lose nodes without the application noticing.
+	c := NewReplicatedCluster(3, 500, 1)
+	data := make([]byte, 2000)
+	rand.New(rand.NewSource(2)).Read(data)
+	c.Write("f", data)
+	kv := newMemKV()
+	cache := NewCacheLayer(c, kv, 500, 0)
+	if err := cache.Prefetch("f"); err != nil {
+		t.Fatal(err)
+	}
+	for i := range c.dns {
+		c.FailDataNode(i)
+	}
+	for i := 0; i < 4; i++ {
+		blk, err := cache.ReadBlock("f", i)
+		if err != nil {
+			t.Fatalf("cached read with DFS fully down: %v", err)
+		}
+		if !bytes.Equal(blk, data[i*500:(i+1)*500]) {
+			t.Fatalf("block %d corrupted", i)
+		}
+	}
+}

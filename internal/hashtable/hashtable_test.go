@@ -1,0 +1,328 @@
+package hashtable
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hydradb/internal/hashx"
+)
+
+// refStore is a tiny item store for tests: ref -> key.
+type refStore struct {
+	keys map[uint64]string
+	next uint64
+}
+
+func newRefStore() *refStore {
+	return &refStore{keys: make(map[uint64]string), next: 1}
+}
+
+func (r *refStore) add(key string) uint64 {
+	ref := r.next
+	r.next++
+	r.keys[ref] = key
+	return ref
+}
+
+func (r *refStore) matcher(key string) MatchFunc {
+	return func(ref uint64) bool { return r.keys[ref] == key }
+}
+
+func TestInsertLookupDelete(t *testing.T) {
+	tb := New(8)
+	rs := newRefStore()
+	key := "hello"
+	h := hashx.HashString(key)
+	ref := rs.add(key)
+
+	if _, ok := tb.Lookup(h, rs.matcher(key)); ok {
+		t.Fatal("lookup on empty table succeeded")
+	}
+	if _, replaced, err := tb.Insert(h, ref, rs.matcher(key)); err != nil || replaced {
+		t.Fatalf("insert: replaced=%v err=%v", replaced, err)
+	}
+	got, ok := tb.Lookup(h, rs.matcher(key))
+	if !ok || got != ref {
+		t.Fatalf("lookup: got %d ok=%v", got, ok)
+	}
+	old, ok := tb.Delete(h, rs.matcher(key))
+	if !ok || old != ref {
+		t.Fatalf("delete: got %d ok=%v", old, ok)
+	}
+	if tb.Len() != 0 {
+		t.Fatalf("len after delete = %d", tb.Len())
+	}
+	if _, ok := tb.Lookup(h, rs.matcher(key)); ok {
+		t.Fatal("lookup after delete succeeded")
+	}
+}
+
+func TestInsertReplaceReturnsOld(t *testing.T) {
+	tb := New(8)
+	rs := newRefStore()
+	key := "k"
+	h := hashx.HashString(key)
+	ref1 := rs.add(key)
+	ref2 := rs.next
+	rs.keys[ref2] = key // same key, new area (out-of-place update)
+	rs.next++
+
+	tb.Insert(h, ref1, rs.matcher(key))
+	old, replaced, err := tb.Insert(h, ref2, rs.matcher(key))
+	if err != nil || !replaced || old != ref1 {
+		t.Fatalf("replace: old=%d replaced=%v err=%v", old, replaced, err)
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("len = %d, want 1", tb.Len())
+	}
+	got, _ := tb.Lookup(h, rs.matcher(key))
+	if got != ref2 {
+		t.Fatalf("lookup after replace = %d, want %d", got, ref2)
+	}
+}
+
+func TestRefTooLarge(t *testing.T) {
+	tb := New(8)
+	_, _, err := tb.Insert(1, 1<<48, func(uint64) bool { return false })
+	if err != ErrRefTooLarge {
+		t.Fatalf("want ErrRefTooLarge, got %v", err)
+	}
+}
+
+func TestOverflowChainGrowth(t *testing.T) {
+	// Force every key into one bucket by using a 1-bucket table.
+	tb := New(1)
+	rs := newRefStore()
+	const n = 50
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("key%04d", i)
+		ref := rs.add(key)
+		if _, _, err := tb.Insert(hashx.HashString(key), ref, rs.matcher(key)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tb.Len() != n {
+		t.Fatalf("len = %d", tb.Len())
+	}
+	if tb.OverflowBuckets() == 0 {
+		t.Fatal("expected overflow buckets")
+	}
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("key%04d", i)
+		if _, ok := tb.Lookup(hashx.HashString(key), rs.matcher(key)); !ok {
+			t.Fatalf("key %s lost in overflow chain", key)
+		}
+	}
+	if err := tb.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverflowMergeAfterDelete(t *testing.T) {
+	tb := New(1)
+	rs := newRefStore()
+	const n = 40
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key%04d", i)
+		tb.Insert(hashx.HashString(keys[i]), rs.add(keys[i]), rs.matcher(keys[i]))
+	}
+	grown := tb.OverflowBuckets()
+	if grown < 4 {
+		t.Fatalf("setup expected >=4 overflow buckets, got %d", grown)
+	}
+	// Remove most entries; compaction must recycle overflow buckets.
+	for i := 0; i < n-5; i++ {
+		if _, ok := tb.Delete(hashx.HashString(keys[i]), rs.matcher(keys[i])); !ok {
+			t.Fatalf("delete %s failed", keys[i])
+		}
+	}
+	if err := tb.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tb.OverflowBuckets() != 0 {
+		t.Fatalf("expected full merge after deletes, still %d overflow buckets (chain len %d)",
+			tb.OverflowBuckets(), tb.ChainLength(hashx.HashString(keys[n-1])))
+	}
+	// Remaining keys still reachable.
+	for i := n - 5; i < n; i++ {
+		if _, ok := tb.Lookup(hashx.HashString(keys[i]), rs.matcher(keys[i])); !ok {
+			t.Fatalf("key %s lost after compaction", keys[i])
+		}
+	}
+}
+
+func TestSignatureCollisionDisambiguation(t *testing.T) {
+	// Two different keys forced into the same bucket with the same forged
+	// signature must be disambiguated by the match callback.
+	tb := New(1)
+	keyByRef := map[uint64]string{1: "alpha", 2: "beta"}
+	match := func(want string) MatchFunc {
+		return func(ref uint64) bool { return keyByRef[ref] == want }
+	}
+	h := uint64(0xABCD) << 48 // same signature for both inserts
+	tb.Insert(h, 1, match("alpha"))
+	tb.Insert(h, 2, match("beta"))
+	if got, ok := tb.Lookup(h, match("alpha")); !ok || got != 1 {
+		t.Fatalf("alpha: %d %v", got, ok)
+	}
+	if got, ok := tb.Lookup(h, match("beta")); !ok || got != 2 {
+		t.Fatalf("beta: %d %v", got, ok)
+	}
+	if tb.KeyCompares < 3 {
+		t.Fatalf("expected extra key comparisons on signature collision, got %d", tb.KeyCompares)
+	}
+}
+
+func TestRangeVisitsAll(t *testing.T) {
+	tb := New(4)
+	rs := newRefStore()
+	want := make(map[uint64]bool)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("key%04d", i)
+		ref := rs.add(key)
+		want[ref] = true
+		tb.Insert(hashx.HashString(key), ref, rs.matcher(key))
+	}
+	got := make(map[uint64]bool)
+	tb.Range(func(ref uint64) bool {
+		if got[ref] {
+			t.Fatalf("ref %d visited twice", ref)
+		}
+		got[ref] = true
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("range visited %d of %d", len(got), len(want))
+	}
+	// Early termination.
+	n := 0
+	tb.Range(func(uint64) bool { n++; return n < 10 })
+	if n != 10 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+// TestRandomizedAgainstModel runs a mixed workload against map-based model
+// state and checks full agreement plus invariants.
+func TestRandomizedAgainstModel(t *testing.T) {
+	tb := New(16) // small main branch to exercise overflow heavily
+	rng := rand.New(rand.NewSource(7))
+	model := make(map[string]uint64)
+	keyOf := make(map[uint64]string)
+	nextRef := uint64(1)
+	matcher := func(key string) MatchFunc {
+		return func(ref uint64) bool { return keyOf[ref] == key }
+	}
+	keyspace := func(i int) string { return fmt.Sprintf("user%05d", i) }
+
+	for step := 0; step < 20000; step++ {
+		key := keyspace(rng.Intn(400))
+		h := hashx.HashString(key)
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4: // insert/update
+			ref := nextRef
+			nextRef++
+			keyOf[ref] = key
+			old, replaced, err := tb.Insert(h, ref, matcher(key))
+			if err != nil {
+				t.Fatal(err)
+			}
+			prev, existed := model[key]
+			if existed != replaced || (existed && prev != old) {
+				t.Fatalf("step %d insert %s: model (%d,%v) table (%d,%v)",
+					step, key, prev, existed, old, replaced)
+			}
+			if existed {
+				delete(keyOf, prev)
+			}
+			model[key] = ref
+		case 5, 6, 7: // lookup
+			ref, ok := tb.Lookup(h, matcher(key))
+			mref, mok := model[key]
+			if ok != mok || (ok && ref != mref) {
+				t.Fatalf("step %d lookup %s: model (%d,%v) table (%d,%v)",
+					step, key, mref, mok, ref, ok)
+			}
+		default: // delete
+			ref, ok := tb.Delete(h, matcher(key))
+			mref, mok := model[key]
+			if ok != mok || (ok && ref != mref) {
+				t.Fatalf("step %d delete %s: model (%d,%v) table (%d,%v)",
+					step, key, mref, mok, ref, ok)
+			}
+			if mok {
+				delete(model, key)
+				delete(keyOf, mref)
+			}
+		}
+		if step%2500 == 0 {
+			if err := tb.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	if err := tb.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Len() != len(model) {
+		t.Fatalf("final len %d != model %d", tb.Len(), len(model))
+	}
+}
+
+func TestLinesTouchedStaysLow(t *testing.T) {
+	// With a properly sized table, the average lookup must touch ~1 cache
+	// line — the central claim of §4.1.3.
+	const n = 10000
+	tb := New(n / 4) // load factor ~4 entries/bucket of 7 slots
+	rs := newRefStore()
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("user%016d", i)
+		tb.Insert(hashx.HashString(key), rs.add(key), rs.matcher(key))
+	}
+	tb.Lookups, tb.LinesTouched = 0, 0
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("user%016d", i)
+		if _, ok := tb.Lookup(hashx.HashString(key), rs.matcher(key)); !ok {
+			t.Fatalf("missing %s", key)
+		}
+	}
+	avg := float64(tb.LinesTouched) / float64(tb.Lookups)
+	if avg > 1.3 {
+		t.Fatalf("average cache lines per lookup %.2f, want ~1", avg)
+	}
+}
+
+func BenchmarkLookupHit(b *testing.B) {
+	const n = 1 << 16
+	tb := New(n / 4)
+	keys := make([][]byte, n)
+	hs := make([]uint64, n)
+	keyOf := make(map[uint64]string, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("user%016d", i))
+		hs[i] = hashx.Hash(keys[i])
+		ref := uint64(i + 1)
+		keyOf[ref] = string(keys[i])
+		tb.Insert(hs[i], ref, func(r uint64) bool { return keyOf[r] == string(keys[i]) })
+	}
+	match := func(r uint64) bool { return true } // signature filter does the work
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Lookup(hs[i&(n-1)], match)
+	}
+}
+
+func BenchmarkInsertDelete(b *testing.B) {
+	tb := New(1 << 12)
+	match := func(r uint64) bool { return true }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := hashx.Hash64(uint64(i))
+		tb.Insert(h, uint64(i&refMaskInt), match)
+		tb.Delete(h, match)
+	}
+}
+
+const refMaskInt = 1<<48 - 1

@@ -1,0 +1,84 @@
+package hashtable
+
+import "hydradb/internal/hashx"
+
+// NaiveTable is the comparison baseline for §4.1.3: a textbook hash table
+// resolving collisions with per-bucket linked lists of heap-allocated
+// nodes. Every probe chases pointers across cache lines and every candidate
+// entry requires a full-key comparison (no signatures) — exactly the
+// behaviour the compact table was designed to avoid. It exists for the
+// cache-friendliness ablation benchmarks; production code paths use Table.
+type NaiveTable struct {
+	buckets []*naiveNode
+	mask    uint64
+	size    int
+
+	Lookups      int64
+	NodesTouched int64
+	KeyCompares  int64
+}
+
+type naiveNode struct {
+	hash uint64
+	ref  uint64
+	next *naiveNode
+}
+
+// NewNaive creates a naive table with at least nBuckets buckets.
+func NewNaive(nBuckets int) *NaiveTable {
+	n := 1
+	for n < nBuckets {
+		n <<= 1
+	}
+	return &NaiveTable{buckets: make([]*naiveNode, n), mask: uint64(n - 1)}
+}
+
+// Len reports stored entries.
+func (t *NaiveTable) Len() int { return t.size }
+
+// Lookup finds the reference stored under hashcode h whose item matches.
+func (t *NaiveTable) Lookup(h uint64, match MatchFunc) (uint64, bool) {
+	t.Lookups++
+	for n := t.buckets[h&t.mask]; n != nil; n = n.next {
+		t.NodesTouched++
+		if n.hash != h {
+			continue
+		}
+		t.KeyCompares++
+		if match(n.ref) {
+			return n.ref, true
+		}
+	}
+	return 0, false
+}
+
+// Insert stores ref under h, replacing a matching entry.
+func (t *NaiveTable) Insert(h uint64, ref uint64, match MatchFunc) (uint64, bool) {
+	for n := t.buckets[h&t.mask]; n != nil; n = n.next {
+		if n.hash == h && match(n.ref) {
+			old := n.ref
+			n.ref = ref
+			return old, true
+		}
+	}
+	t.buckets[h&t.mask] = &naiveNode{hash: h, ref: ref, next: t.buckets[h&t.mask]}
+	t.size++
+	return 0, false
+}
+
+// Delete removes the matching entry under h.
+func (t *NaiveTable) Delete(h uint64, match MatchFunc) (uint64, bool) {
+	p := &t.buckets[h&t.mask]
+	for n := *p; n != nil; n = *p {
+		if n.hash == h && match(n.ref) {
+			*p = n.next
+			t.size--
+			return n.ref, true
+		}
+		p = &n.next
+	}
+	return 0, false
+}
+
+// BucketOf mirrors the compact table's indexing for apples-to-apples tests.
+func (t *NaiveTable) BucketOf(h uint64) uint64 { return hashx.BucketIndex(h, t.mask+1) }

@@ -1,0 +1,137 @@
+package hashtable
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hydradb/internal/hashx"
+)
+
+func TestNaiveTableAgreesWithCompact(t *testing.T) {
+	compact := New(16)
+	naive := NewNaive(16)
+	keyOf := map[uint64]string{}
+	nextRef := uint64(1)
+	matcher := func(key string) MatchFunc {
+		return func(ref uint64) bool { return keyOf[ref] == key }
+	}
+	rng := rand.New(rand.NewSource(3))
+	for step := 0; step < 10000; step++ {
+		key := fmt.Sprintf("user%04d", rng.Intn(500))
+		h := hashx.HashString(key)
+		switch rng.Intn(3) {
+		case 0:
+			ref := nextRef
+			nextRef++
+			keyOf[ref] = key
+			o1, r1, err := compact.Insert(h, ref, matcher(key))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// naive insert uses a distinct ref for the same key to keep
+			// keyOf consistent.
+			ref2 := nextRef
+			nextRef++
+			keyOf[ref2] = key
+			o2, r2 := naive.Insert(h, ref2, matcher(key))
+			if r1 != r2 {
+				t.Fatalf("step %d: replace disagreement %v vs %v", step, r1, r2)
+			}
+			if r1 && keyOf[o1] != keyOf[o2] {
+				t.Fatalf("step %d: replaced different keys", step)
+			}
+		case 1:
+			_, ok1 := compact.Lookup(h, matcher(key))
+			_, ok2 := naive.Lookup(h, matcher(key))
+			if ok1 != ok2 {
+				t.Fatalf("step %d: lookup disagreement for %s", step, key)
+			}
+		default:
+			_, ok1 := compact.Delete(h, matcher(key))
+			_, ok2 := naive.Delete(h, matcher(key))
+			if ok1 != ok2 {
+				t.Fatalf("step %d: delete disagreement for %s", step, key)
+			}
+		}
+		if compact.Len() != naive.Len() {
+			t.Fatalf("step %d: sizes diverge %d vs %d", step, compact.Len(), naive.Len())
+		}
+	}
+}
+
+// TestCompactTouchesFewerLines quantifies §4.1.3: at equal load the compact
+// table touches far fewer memory locations per lookup than the pointer-
+// chasing naive table.
+func TestCompactTouchesFewerLines(t *testing.T) {
+	const n = 20000
+	// Size both for ~5 entries per bucket so chains actually form.
+	compact := New(n / 5)
+	naive := NewNaive(n / 5)
+	keys := make([]string, n)
+	keyOf := map[uint64]string{}
+	for i := range keys {
+		keys[i] = fmt.Sprintf("user%016d", i)
+		h := hashx.HashString(keys[i])
+		ref := uint64(i + 1)
+		keyOf[ref] = keys[i]
+		match := func(r uint64) bool { return keyOf[r] == keys[i] }
+		compact.Insert(h, ref, match)
+		naive.Insert(h, ref, match)
+	}
+	compact.Lookups, compact.LinesTouched, compact.KeyCompares = 0, 0, 0
+	naive.Lookups, naive.NodesTouched, naive.KeyCompares = 0, 0, 0
+	for i := range keys {
+		h := hashx.HashString(keys[i])
+		match := func(r uint64) bool { return keyOf[r] == keys[i] }
+		if _, ok := compact.Lookup(h, match); !ok {
+			t.Fatal("compact miss")
+		}
+		if _, ok := naive.Lookup(h, match); !ok {
+			t.Fatal("naive miss")
+		}
+	}
+	compactLines := float64(compact.LinesTouched) / float64(compact.Lookups)
+	naiveNodes := float64(naive.NodesTouched) / float64(naive.Lookups)
+	if naiveNodes < 2*compactLines {
+		t.Fatalf("expected naive to touch >=2x locations: compact=%.2f naive=%.2f",
+			compactLines, naiveNodes)
+	}
+	// Signatures must also suppress full-key comparisons.
+	if compact.KeyCompares > compact.Lookups*11/10 {
+		t.Fatalf("compact key compares %d for %d lookups", compact.KeyCompares, compact.Lookups)
+	}
+}
+
+func BenchmarkCompactLookup(b *testing.B) { benchTable(b, true) }
+func BenchmarkNaiveLookup(b *testing.B)   { benchTable(b, false) }
+
+func benchTable(b *testing.B, useCompact bool) {
+	const n = 1 << 17
+	keys := make([][]byte, n)
+	hs := make([]uint64, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("user%016d", i))
+		hs[i] = hashx.Hash(keys[i])
+	}
+	match := func(uint64) bool { return true }
+	if useCompact {
+		tb := New(n / 5)
+		for i := range keys {
+			tb.Insert(hs[i], uint64(i+1), match)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tb.Lookup(hs[i&(n-1)], match)
+		}
+	} else {
+		tb := NewNaive(n / 5)
+		for i := range keys {
+			tb.Insert(hs[i], uint64(i+1), match)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tb.Lookup(hs[i&(n-1)], match)
+		}
+	}
+}

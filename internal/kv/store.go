@@ -1,0 +1,434 @@
+package kv
+
+import (
+	"bytes"
+	"fmt"
+
+	"hydradb/internal/arena"
+	"hydradb/internal/hashtable"
+	"hydradb/internal/hashx"
+	"hydradb/internal/lease"
+	"hydradb/internal/stats"
+	"hydradb/internal/timing"
+)
+
+// Config sizes a Store.
+type Config struct {
+	// ArenaBytes is the byte capacity of the item region.
+	ArenaBytes int
+	// MaxItems bounds live + pending-reclaim items (slab and word area size).
+	MaxItems int
+	// Buckets is the main-branch size of the hash table; defaults to
+	// MaxItems/4 (≈4 entries across 7 slots).
+	Buckets int
+	// Policy is the lease policy; zero value selects lease.DefaultPolicy.
+	Policy lease.Policy
+	// Clock supplies time; required.
+	Clock timing.Clock
+	// Counters, when non-nil, receives operation accounting.
+	Counters *stats.OpCounters
+}
+
+func (c *Config) withDefaults() Config {
+	cfg := *c
+	if cfg.ArenaBytes == 0 {
+		cfg.ArenaBytes = 64 << 20
+	}
+	if cfg.MaxItems == 0 {
+		cfg.MaxItems = 1 << 20
+	}
+	if cfg.Buckets == 0 {
+		cfg.Buckets = cfg.MaxItems / 4
+		if cfg.Buckets < 8 {
+			cfg.Buckets = 8
+		}
+	}
+	if cfg.Policy == (lease.Policy{}) {
+		cfg.Policy = lease.DefaultPolicy()
+	}
+	if cfg.Clock == nil {
+		panic("kv: Config.Clock is required")
+	}
+	if cfg.Counters == nil {
+		cfg.Counters = &stats.OpCounters{}
+	}
+	return cfg
+}
+
+type itemRecord struct {
+	dataOff uint32
+	dataLen uint32
+	metaIdx uint32
+	access  uint32 // popularity counter, lazily decayed
+	epoch   uint32 // decay epoch of the last access
+	hash    uint64 // cached key hashcode
+}
+
+type reclaimEntry struct {
+	due int64
+	ref uint64
+}
+
+// Store is the single-shard key-value store.
+type Store struct {
+	cfg    Config
+	arena  *arena.Arena
+	words  *arena.WordArea
+	table  *hashtable.Table
+	items  []itemRecord
+	free   []uint64
+	nextIt uint64
+
+	reclaim reclaimHeap
+
+	probeKey []byte
+	match    hashtable.MatchFunc
+
+	clock  timing.Clock
+	policy lease.Policy
+	ctr    *stats.OpCounters
+}
+
+// NewStore creates a store from cfg.
+func NewStore(cfg Config) *Store {
+	c := cfg.withDefaults()
+	s := &Store{
+		cfg:    c,
+		arena:  arena.New(c.ArenaBytes),
+		words:  arena.NewWordArea(c.MaxItems, MetaWordsPerItem),
+		table:  hashtable.New(c.Buckets),
+		items:  make([]itemRecord, 0, minInt(c.MaxItems, 1<<16)),
+		clock:  c.Clock,
+		policy: c.Policy,
+		ctr:    c.Counters,
+		nextIt: 1,
+	}
+	s.match = func(ref uint64) bool {
+		rec := &s.items[ref-1]
+		data := s.arena.Bytes(rec.dataOff, int(rec.dataLen))
+		k, _, ok := DecodeItem(data)
+		return ok && bytes.Equal(k, s.probeKey)
+	}
+	return s
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Len reports the number of live items.
+func (s *Store) Len() int { return s.table.Len() }
+
+// PendingReclaims reports detached items waiting for lease expiry.
+func (s *Store) PendingReclaims() int { return len(s.reclaim) }
+
+// ArenaLive reports allocated arena bytes (including pending reclaims).
+func (s *Store) ArenaLive() int { return s.arena.Live() }
+
+// Table exposes the hash table for instrumentation (benchmarks only).
+func (s *Store) Table() *hashtable.Table { return s.table }
+
+// ArenaData exposes the raw region for NIC registration.
+func (s *Store) ArenaData() []byte { return s.arena.Data() }
+
+// Words exposes the metadata word area for NIC registration.
+func (s *Store) Words() *arena.WordArea { return s.words }
+
+func (s *Store) allocRecord() (uint64, error) {
+	if n := len(s.free); n > 0 {
+		ref := s.free[n-1]
+		s.free = s.free[:n-1]
+		return ref, nil
+	}
+	if int(s.nextIt) > s.cfg.MaxItems {
+		return 0, ErrStoreFull
+	}
+	s.items = append(s.items, itemRecord{})
+	ref := s.nextIt
+	s.nextIt++
+	return ref, nil
+}
+
+func (s *Store) freeRecord(ref uint64) {
+	s.items[ref-1] = itemRecord{}
+	s.free = append(s.free, ref)
+}
+
+// touch updates popularity and lease of a live item and returns the lease
+// expiry.
+func (s *Store) touch(rec *itemRecord, now int64) int64 {
+	ep := s.policy.Epoch(now)
+	rec.access = lease.Decay(rec.access, rec.epoch, ep)
+	rec.epoch = ep
+	if rec.access < ^uint32(0) {
+		rec.access++
+	}
+	leaseIdx := int(rec.metaIdx) + 1
+	cur := int64(s.words.Load(leaseIdx))
+	exp := s.policy.Extend(cur, now, rec.access)
+	if exp != cur {
+		s.words.Store(leaseIdx, uint64(exp))
+	}
+	return exp
+}
+
+func (s *Store) remotePtr(rec *itemRecord) RemotePtr {
+	return RemotePtr{DataOff: rec.dataOff, DataLen: rec.dataLen, MetaIdx: rec.metaIdx}
+}
+
+// GetResult carries everything a server-aware GET returns to the client:
+// the value plus the remote pointer + lease that enable future RDMA Reads.
+type GetResult struct {
+	Value    []byte // aliases the arena; copy before the next store mutation
+	Ptr      RemotePtr
+	LeaseExp int64
+}
+
+// Get performs a server-aware GET: looks the key up through the compact hash
+// table, bumps popularity, extends the lease, and returns value + remote
+// pointer (§4.2.2). The returned value aliases arena memory.
+func (s *Store) Get(key []byte) (GetResult, bool) {
+	s.ctr.Gets.Inc()
+	h := hashx.Hash(key)
+	s.probeKey = key
+	ref, ok := s.table.Lookup(h, s.match)
+	if !ok {
+		return GetResult{}, false
+	}
+	rec := &s.items[ref-1]
+	now := s.clock.Now()
+	exp := s.touch(rec, now)
+	data := s.arena.Bytes(rec.dataOff, int(rec.dataLen))
+	_, val, _ := DecodeItem(data)
+	return GetResult{Value: val, Ptr: s.remotePtr(rec), LeaseExp: exp}, true
+}
+
+// Put inserts or updates a key. Updates are strictly out-of-place: a new
+// area + fresh guardian/lease words are populated first, then the hash table
+// slot is flipped to the new reference, then the old item's guardian is
+// flipped and its area queued for reclamation at lease expiry (§4.2.3).
+func (s *Store) Put(key, val []byte) (GetResult, bool, error) {
+	if len(key) == 0 || len(key) > MaxKeyLen {
+		return GetResult{}, false, ErrKeyTooLarge
+	}
+	if len(val) > MaxValLen {
+		return GetResult{}, false, ErrValTooLarge
+	}
+	size := ItemSize(len(key), len(val))
+	now := s.clock.Now()
+
+	dataOff, metaIdx, ref, err := s.allocItem(size, now)
+	if err != nil {
+		return GetResult{}, false, err
+	}
+	EncodeItem(s.arena.Bytes(dataOff, size), key, val)
+	s.words.Store(metaIdx, GuardianLive)
+	s.words.Store(metaIdx+1, uint64(now+s.policy.Term(0)))
+
+	rec := &s.items[ref-1]
+	h := hashx.Hash(key)
+	*rec = itemRecord{
+		dataOff: dataOff,
+		dataLen: uint32(size),
+		metaIdx: uint32(metaIdx),
+		epoch:   s.policy.Epoch(now),
+		hash:    h,
+	}
+
+	s.probeKey = key
+	oldRef, replaced, err := s.table.Insert(h, ref, s.match)
+	if err != nil {
+		// Reference overflow cannot happen with slab-bounded refs, but roll
+		// back defensively.
+		s.arena.Free(dataOff, size)
+		s.words.FreeGroup(metaIdx)
+		s.freeRecord(ref)
+		return GetResult{}, false, err
+	}
+	if replaced {
+		s.ctr.Updates.Inc()
+		old := &s.items[oldRef-1]
+		// Popularity belongs to the key: carry it over.
+		rec.access = old.access
+		rec.epoch = old.epoch
+		s.detach(oldRef, now)
+	} else {
+		s.ctr.Inserts.Inc()
+	}
+	exp := s.touch(rec, now)
+	return GetResult{Ptr: s.remotePtr(rec), LeaseExp: exp}, replaced, nil
+}
+
+// allocItem reserves arena space, a word group and an item record, running a
+// reclamation pass and retrying once when any of them is exhausted.
+func (s *Store) allocItem(size int, now int64) (dataOff uint32, metaIdx int, ref uint64, err error) {
+	for attempt := 0; ; attempt++ {
+		dataOff, err = s.arena.Alloc(size)
+		if err == nil {
+			metaIdx, err = s.words.AllocGroup()
+			if err == nil {
+				ref, err = s.allocRecord()
+				if err == nil {
+					return dataOff, metaIdx, ref, nil
+				}
+				s.words.FreeGroup(metaIdx)
+			}
+			s.arena.Free(dataOff, size)
+		}
+		if attempt > 0 {
+			return 0, 0, 0, ErrStoreFull
+		}
+		// Force-expire nothing; only collect entries already due. If nothing
+		// was due, give up: leases guard client RDMA Reads and must not be
+		// broken to satisfy allocation.
+		if s.ReclaimDue() == 0 {
+			return 0, 0, 0, ErrStoreFull
+		}
+	}
+}
+
+// detach flips the guardian of a replaced/deleted item and schedules its
+// memory for reclamation after the lease runs out.
+func (s *Store) detach(ref uint64, now int64) {
+	rec := &s.items[ref-1]
+	s.words.Store(int(rec.metaIdx), GuardianDead)
+	exp := int64(s.words.Load(int(rec.metaIdx) + 1))
+	s.reclaim.push(reclaimEntry{due: s.policy.ReclaimAt(exp, now), ref: ref})
+}
+
+// Delete removes a key. The memory is reclaimed after lease expiry.
+func (s *Store) Delete(key []byte) bool {
+	s.ctr.Deletes.Inc()
+	h := hashx.Hash(key)
+	s.probeKey = key
+	ref, ok := s.table.Delete(h, s.match)
+	if !ok {
+		return false
+	}
+	s.detach(ref, s.clock.Now())
+	return true
+}
+
+// RenewLease extends the lease of a live key (client-driven renewal,
+// §4.2.3). It fails for absent or outdated keys, preventing outdated leases
+// from being extended.
+func (s *Store) RenewLease(key []byte) (int64, bool) {
+	h := hashx.Hash(key)
+	s.probeKey = key
+	ref, ok := s.table.Lookup(h, s.match)
+	if !ok {
+		s.ctr.LeaseRejects.Inc()
+		return 0, false
+	}
+	s.ctr.LeaseRenewals.Inc()
+	rec := &s.items[ref-1]
+	return s.touch(rec, s.clock.Now()), true
+}
+
+// ReclaimDue frees every detached item whose lease (plus grace) has expired.
+// The live shard loop calls this periodically; it is the amortised
+// equivalent of the paper's background reclamation thread.
+func (s *Store) ReclaimDue() int {
+	now := s.clock.Now()
+	n := 0
+	for len(s.reclaim) > 0 && s.reclaim[0].due <= now {
+		e := s.reclaim.pop()
+		rec := &s.items[e.ref-1]
+		s.arena.Free(rec.dataOff, int(rec.dataLen))
+		s.words.FreeGroup(int(rec.metaIdx))
+		s.freeRecord(e.ref)
+		n++
+	}
+	if n > 0 {
+		s.ctr.Reclaims.Add(int64(n))
+	}
+	return n
+}
+
+// NextReclaimDue reports when the earliest pending reclaim becomes due, or
+// false when none is queued.
+func (s *Store) NextReclaimDue() (int64, bool) {
+	if len(s.reclaim) == 0 {
+		return 0, false
+	}
+	return s.reclaim[0].due, true
+}
+
+// Range iterates over live items, passing arena-aliasing key/value views.
+func (s *Store) Range(fn func(key, val []byte) bool) {
+	s.table.Range(func(ref uint64) bool {
+		rec := &s.items[ref-1]
+		data := s.arena.Bytes(rec.dataOff, int(rec.dataLen))
+		k, v, ok := DecodeItem(data)
+		if !ok {
+			return true
+		}
+		return fn(k, v)
+	})
+}
+
+// Guardian returns the guardian word of an item by meta index — test and
+// simulation hook for validating client-visible state.
+func (s *Store) Guardian(metaIdx uint32) uint64 { return s.words.Load(int(metaIdx)) }
+
+// Lease returns the lease expiry word of an item by meta index.
+func (s *Store) Lease(metaIdx uint32) int64 { return int64(s.words.Load(int(metaIdx) + 1)) }
+
+// ReadAt simulates the data plane of a one-sided RDMA Read against this
+// store's region: it copies the item bytes and atomically loads guardian and
+// lease. The caller (fabric or DES actor) charges the latency; no shard CPU
+// is involved, mirroring §4.2.2.
+func (s *Store) ReadAt(p RemotePtr, dst []byte) (n int, guardian uint64, leaseExp int64, err error) {
+	end := int(p.DataOff) + int(p.DataLen)
+	if end > s.arena.Capacity() || int(p.MetaIdx)+1 >= s.words.Len() {
+		return 0, 0, 0, fmt.Errorf("kv: remote pointer out of range: %v", p)
+	}
+	n = copy(dst, s.arena.Bytes(p.DataOff, int(p.DataLen)))
+	guardian = s.words.Load(int(p.MetaIdx))
+	leaseExp = int64(s.words.Load(int(p.MetaIdx) + 1))
+	return n, guardian, leaseExp, nil
+}
+
+// reclaimHeap is a binary min-heap on due time.
+type reclaimHeap []reclaimEntry
+
+func (h *reclaimHeap) push(e reclaimEntry) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*h)[parent].due <= (*h)[i].due {
+			break
+		}
+		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
+		i = parent
+	}
+}
+
+func (h *reclaimHeap) pop() reclaimEntry {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && (*h)[l].due < (*h)[smallest].due {
+			smallest = l
+		}
+		if r < n && (*h)[r].due < (*h)[smallest].due {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		(*h)[i], (*h)[smallest] = (*h)[smallest], (*h)[i]
+		i = smallest
+	}
+	return top
+}

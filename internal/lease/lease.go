@@ -1,0 +1,106 @@
+// Package lease implements HydraDB's lease-based deferred memory reclamation
+// policy (paper §4.2.3, elaborated in the authors' C-Hint work [31]).
+//
+// A lease is an agreement between server and clients that an item's memory
+// area remains valid for RDMA Read until the lease expires. Every
+// server-aware GET extends the lease by a term between 1 and 64 seconds,
+// scaled by the approximate popularity the server observes for the key.
+// Clients renew leases for keys they deem popular; updates and removals flip
+// the guardian word and stop further extension, and the area is reclaimed
+// only after the (possibly already granted) lease has run out plus a grace
+// window covering clock skew.
+package lease
+
+import "math/bits"
+
+// Policy computes lease terms. The zero value is not useful; use
+// DefaultPolicy or fill every field.
+type Policy struct {
+	// BaseTermNs is the term granted to an unpopular key (paper: 1 s).
+	BaseTermNs int64
+	// MaxShift bounds the popularity scaling: term = Base << min(level,
+	// MaxShift) (paper: 64 s = 1 s << 6).
+	MaxShift uint8
+	// GraceNs is added after expiry before memory is recycled, absorbing
+	// client/server clock skew.
+	GraceNs int64
+	// DecayEpochNs is the width of the popularity half-life epoch: access
+	// counts are halved once per elapsed epoch, lazily at touch time.
+	DecayEpochNs int64
+}
+
+// DefaultPolicy mirrors the paper's parameters, with a 100 ms grace and a
+// 10 s popularity half-life.
+func DefaultPolicy() Policy {
+	return Policy{
+		BaseTermNs:   1e9,
+		MaxShift:     6,
+		GraceNs:      100e6,
+		DecayEpochNs: 10e9,
+	}
+}
+
+// Level maps an access count to a popularity level 0..MaxShift.
+func (p Policy) Level(accessCount uint32) uint8 {
+	lvl := uint8(bits.Len32(accessCount)) // 0 for 0, 1 for 1, 2 for 2-3, ...
+	if lvl > 0 {
+		lvl--
+	}
+	if lvl > p.MaxShift {
+		lvl = p.MaxShift
+	}
+	return lvl
+}
+
+// Term returns the lease duration for a key with the given access count.
+func (p Policy) Term(accessCount uint32) int64 {
+	return p.BaseTermNs << p.Level(accessCount)
+}
+
+// Extend computes the new expiry for a lease currently expiring at cur when
+// touched at now by a key with the given access count. Leases never shrink.
+func (p Policy) Extend(cur, now int64, accessCount uint32) int64 {
+	exp := now + p.Term(accessCount)
+	if exp < cur {
+		return cur
+	}
+	return exp
+}
+
+// ReclaimAt returns the earliest time the memory of an item whose lease
+// expires at exp may be recycled.
+func (p Policy) ReclaimAt(exp, now int64) int64 {
+	at := exp + p.GraceNs
+	if min := now + p.GraceNs; at < min {
+		at = min
+	}
+	return at
+}
+
+// Epoch returns the popularity decay epoch for time now.
+func (p Policy) Epoch(now int64) uint32 {
+	if p.DecayEpochNs <= 0 {
+		return 0
+	}
+	return uint32(now / p.DecayEpochNs)
+}
+
+// Decay applies the lazy halving: count recorded at epoch `then`, observed at
+// epoch `cur`.
+func Decay(count uint32, then, cur uint32) uint32 {
+	if cur <= then {
+		return count
+	}
+	shift := cur - then
+	if shift >= 32 {
+		return 0
+	}
+	return count >> shift
+}
+
+// ValidForRead reports whether a client holding a lease expiring at exp may
+// issue an RDMA Read at time now. A safety margin keeps the client from
+// racing reclamation right at the boundary.
+func ValidForRead(exp, now, marginNs int64) bool {
+	return now+marginNs < exp
+}

@@ -1,0 +1,121 @@
+package lease
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLevelBounds(t *testing.T) {
+	p := DefaultPolicy()
+	cases := []struct {
+		count uint32
+		level uint8
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2}, {7, 2}, {8, 3},
+		{63, 5}, {64, 6}, {1 << 20, 6}, {^uint32(0), 6},
+	}
+	for _, c := range cases {
+		if got := p.Level(c.count); got != c.level {
+			t.Errorf("Level(%d) = %d, want %d", c.count, got, c.level)
+		}
+	}
+}
+
+func TestTermRange(t *testing.T) {
+	p := DefaultPolicy()
+	if p.Term(0) != 1e9 {
+		t.Fatalf("cold term = %d, want 1s", p.Term(0))
+	}
+	if p.Term(1<<30) != 64e9 {
+		t.Fatalf("hot term = %d, want 64s", p.Term(1<<30))
+	}
+	// Property: term always within [1s, 64s] and monotone in count.
+	f := func(a, b uint32) bool {
+		ta, tb := p.Term(a), p.Term(b)
+		if ta < 1e9 || ta > 64e9 {
+			return false
+		}
+		if a <= b && ta > tb {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtendNeverShrinks(t *testing.T) {
+	p := DefaultPolicy()
+	now := int64(100e9)
+	cur := now + 50e9 // long lease already granted
+	if got := p.Extend(cur, now, 0); got != cur {
+		t.Fatalf("extend shrank lease: %d < %d", got, cur)
+	}
+	cur = now + 1 // nearly expired
+	if got := p.Extend(cur, now, 0); got != now+1e9 {
+		t.Fatalf("extend = %d, want %d", got, now+1e9)
+	}
+}
+
+func TestReclaimAtIncludesGrace(t *testing.T) {
+	p := DefaultPolicy()
+	now := int64(10e9)
+	exp := int64(20e9)
+	if got := p.ReclaimAt(exp, now); got != exp+p.GraceNs {
+		t.Fatalf("reclaim at %d, want %d", got, exp+p.GraceNs)
+	}
+	// An already-expired lease still waits the grace window from now.
+	if got := p.ReclaimAt(5e9, now); got != now+p.GraceNs {
+		t.Fatalf("expired reclaim at %d, want %d", got, now+p.GraceNs)
+	}
+}
+
+func TestDecay(t *testing.T) {
+	if Decay(100, 5, 5) != 100 {
+		t.Fatal("same epoch must not decay")
+	}
+	if Decay(100, 5, 6) != 50 {
+		t.Fatal("one epoch must halve")
+	}
+	if Decay(100, 5, 12) != 0 {
+		t.Fatal("seven epochs must decay 100 to 0")
+	}
+	if Decay(100, 9, 5) != 100 {
+		t.Fatal("backwards epochs must not decay")
+	}
+	if Decay(^uint32(0), 0, 40) != 0 {
+		t.Fatal("large shift must clamp to zero")
+	}
+}
+
+func TestEpoch(t *testing.T) {
+	p := DefaultPolicy()
+	if p.Epoch(0) != 0 {
+		t.Fatal("epoch at t=0")
+	}
+	if p.Epoch(25e9) != 2 {
+		t.Fatalf("epoch(25s) = %d, want 2", p.Epoch(25e9))
+	}
+	var zero Policy
+	if zero.Epoch(1e18) != 0 {
+		t.Fatal("zero DecayEpochNs must pin epoch to 0")
+	}
+}
+
+func TestValidForRead(t *testing.T) {
+	exp := int64(10e9)
+	margin := int64(1e6)
+	if !ValidForRead(exp, 5e9, margin) {
+		t.Fatal("mid-lease read must be valid")
+	}
+	if ValidForRead(exp, exp, margin) {
+		t.Fatal("read at expiry must be invalid")
+	}
+	if ValidForRead(exp, exp-margin, margin) {
+		t.Fatal("read inside the margin must be invalid")
+	}
+	if !ValidForRead(exp, exp-margin-1, margin) {
+		t.Fatal("read just outside the margin must be valid")
+	}
+}

@@ -1,0 +1,172 @@
+// Package lfmap provides the lock-free hash map backing HydraDB's shared
+// remote-pointer cache (paper §4.2.4).
+//
+// When many client processes are collocated on one machine, they share one
+// pointer cache so that a single invalidation (guardian flip observed by any
+// client) is seen by all of them, avoiding the cascade of stale RDMA Reads
+// the paper describes. The original system uses Michael's dynamic lock-free
+// hash table; portable Go has no tagged pointers, so this implementation
+// keeps the lock-free read/insert/update paths (atomic pointer CAS on bucket
+// chains, atomic value publication) and makes deletion *logical* — nodes are
+// tombstoned and revived in place rather than unlinked. For a cache keyed by
+// a bounded keyspace this retains the paper's contention behaviour; a
+// Sweep() compacts chains when the map is quiescent.
+package lfmap
+
+import (
+	"sync/atomic"
+
+	"hydradb/internal/hashx"
+)
+
+type node[V any] struct {
+	key  string
+	val  atomic.Pointer[V] // nil while tombstoned
+	next atomic.Pointer[node[V]]
+}
+
+// Map is a concurrent hash map from string keys to *V values. All methods
+// are safe for arbitrary concurrency; Get/Put/Delete never take locks and
+// never block each other.
+type Map[V any] struct {
+	buckets []atomic.Pointer[node[V]]
+	mask    uint64
+	live    atomic.Int64
+}
+
+// New creates a map with at least nBuckets buckets (rounded to a power of
+// two). Size it near the expected key population: chains are never split.
+func New[V any](nBuckets int) *Map[V] {
+	n := 1
+	for n < nBuckets {
+		n <<= 1
+	}
+	return &Map[V]{
+		buckets: make([]atomic.Pointer[node[V]], n),
+		mask:    uint64(n - 1),
+	}
+}
+
+func (m *Map[V]) bucket(key string) *atomic.Pointer[node[V]] {
+	return &m.buckets[hashx.HashString(key)&m.mask]
+}
+
+func (m *Map[V]) find(head *atomic.Pointer[node[V]], key string) *node[V] {
+	for n := head.Load(); n != nil; n = n.next.Load() {
+		if n.key == key {
+			return n
+		}
+	}
+	return nil
+}
+
+// Get returns the value for key, or nil/false when absent or tombstoned.
+func (m *Map[V]) Get(key string) (*V, bool) {
+	n := m.find(m.bucket(key), key)
+	if n == nil {
+		return nil, false
+	}
+	v := n.val.Load()
+	if v == nil {
+		return nil, false
+	}
+	return v, true
+}
+
+// Put stores v under key, inserting or overwriting (also reviving a
+// tombstoned node). v must not be nil.
+func (m *Map[V]) Put(key string, v *V) {
+	if v == nil {
+		panic("lfmap: nil value")
+	}
+	head := m.bucket(key)
+	for {
+		if n := m.find(head, key); n != nil {
+			if n.val.Swap(v) == nil {
+				m.live.Add(1)
+			}
+			return
+		}
+		nn := &node[V]{key: key}
+		nn.val.Store(v)
+		old := head.Load()
+		nn.next.Store(old)
+		if head.CompareAndSwap(old, nn) {
+			m.live.Add(1)
+			return
+		}
+		// Lost the race to another inserter; retry — the key may now exist.
+	}
+}
+
+// Delete tombstones key, reporting whether a live entry was removed.
+func (m *Map[V]) Delete(key string) bool {
+	n := m.find(m.bucket(key), key)
+	if n == nil {
+		return false
+	}
+	if n.val.Swap(nil) != nil {
+		m.live.Add(-1)
+		return true
+	}
+	return false
+}
+
+// CompareAndDelete tombstones key only while it still maps to old — the
+// invalidation primitive: a client that discovered a stale pointer removes
+// it without clobbering a fresher pointer another client just installed.
+func (m *Map[V]) CompareAndDelete(key string, old *V) bool {
+	n := m.find(m.bucket(key), key)
+	if n == nil {
+		return false
+	}
+	if n.val.CompareAndSwap(old, nil) {
+		m.live.Add(-1)
+		return true
+	}
+	return false
+}
+
+// Len reports the number of live (non-tombstoned) entries. It is exact when
+// the map is quiescent and approximate under concurrency.
+func (m *Map[V]) Len() int { return int(m.live.Load()) }
+
+// Range calls fn for each live entry until fn returns false. Entries
+// inserted concurrently may or may not be observed.
+func (m *Map[V]) Range(fn func(key string, v *V) bool) {
+	for i := range m.buckets {
+		for n := m.buckets[i].Load(); n != nil; n = n.next.Load() {
+			if v := n.val.Load(); v != nil {
+				if !fn(n.key, v) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Sweep physically unlinks tombstoned nodes. It must only be called while no
+// concurrent mutators run (e.g. between benchmark phases); readers remain
+// safe throughout.
+func (m *Map[V]) Sweep() int {
+	removed := 0
+	for i := range m.buckets {
+		head := &m.buckets[i]
+		// Rebuild the chain without tombstones.
+		var keep []*node[V]
+		for n := head.Load(); n != nil; n = n.next.Load() {
+			if n.val.Load() != nil {
+				keep = append(keep, n)
+			} else {
+				removed++
+			}
+		}
+		var prev *node[V]
+		for j := len(keep) - 1; j >= 0; j-- {
+			keep[j].next.Store(prev)
+			prev = keep[j]
+		}
+		head.Store(prev)
+	}
+	return removed
+}

@@ -1,0 +1,227 @@
+package lfmap
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestBasicOps(t *testing.T) {
+	m := New[int](16)
+	if _, ok := m.Get("a"); ok {
+		t.Fatal("get on empty map")
+	}
+	v := 42
+	m.Put("a", &v)
+	got, ok := m.Get("a")
+	if !ok || *got != 42 {
+		t.Fatalf("get: %v %v", got, ok)
+	}
+	v2 := 43
+	m.Put("a", &v2)
+	got, _ = m.Get("a")
+	if *got != 43 {
+		t.Fatal("overwrite failed")
+	}
+	if m.Len() != 1 {
+		t.Fatalf("len = %d", m.Len())
+	}
+	if !m.Delete("a") {
+		t.Fatal("delete failed")
+	}
+	if m.Delete("a") {
+		t.Fatal("double delete succeeded")
+	}
+	if _, ok := m.Get("a"); ok {
+		t.Fatal("get after delete")
+	}
+	if m.Len() != 0 {
+		t.Fatalf("len after delete = %d", m.Len())
+	}
+}
+
+func TestReviveTombstone(t *testing.T) {
+	m := New[string](4)
+	s1 := "one"
+	m.Put("k", &s1)
+	m.Delete("k")
+	s2 := "two"
+	m.Put("k", &s2)
+	got, ok := m.Get("k")
+	if !ok || *got != "two" {
+		t.Fatalf("revive failed: %v %v", got, ok)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("len = %d", m.Len())
+	}
+}
+
+func TestCompareAndDelete(t *testing.T) {
+	m := New[int](4)
+	v1, v2 := 1, 2
+	m.Put("k", &v1)
+	if m.CompareAndDelete("k", &v2) {
+		t.Fatal("CAD with wrong old succeeded")
+	}
+	if !m.CompareAndDelete("k", &v1) {
+		t.Fatal("CAD with correct old failed")
+	}
+	if _, ok := m.Get("k"); ok {
+		t.Fatal("entry survived CAD")
+	}
+	if m.CompareAndDelete("absent", &v1) {
+		t.Fatal("CAD on absent key succeeded")
+	}
+}
+
+func TestRangeAndSweep(t *testing.T) {
+	m := New[int](8)
+	vals := make([]int, 20)
+	for i := range vals {
+		vals[i] = i
+		m.Put(fmt.Sprintf("k%02d", i), &vals[i])
+	}
+	for i := 0; i < 10; i++ {
+		m.Delete(fmt.Sprintf("k%02d", i))
+	}
+	seen := 0
+	m.Range(func(k string, v *int) bool { seen++; return true })
+	if seen != 10 {
+		t.Fatalf("range saw %d live entries, want 10", seen)
+	}
+	if removed := m.Sweep(); removed != 10 {
+		t.Fatalf("sweep removed %d, want 10", removed)
+	}
+	seen = 0
+	m.Range(func(k string, v *int) bool {
+		seen++
+		if *v < 10 {
+			t.Fatalf("swept entry %s still visible", k)
+		}
+		return true
+	})
+	if seen != 10 {
+		t.Fatalf("after sweep range saw %d", seen)
+	}
+	// Early stop.
+	n := 0
+	m.Range(func(string, *int) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestChainCollisions(t *testing.T) {
+	// One bucket: every key collides; the chain must still disambiguate.
+	m := New[int](1)
+	vals := make([]int, 100)
+	for i := range vals {
+		vals[i] = i
+		m.Put(fmt.Sprintf("key%03d", i), &vals[i])
+	}
+	for i := range vals {
+		got, ok := m.Get(fmt.Sprintf("key%03d", i))
+		if !ok || *got != i {
+			t.Fatalf("key%03d: %v %v", i, got, ok)
+		}
+	}
+}
+
+// TestConcurrentMixed hammers the map from many goroutines. Run with -race
+// this validates the lock-free paths.
+func TestConcurrentMixed(t *testing.T) {
+	m := New[int64](64)
+	const (
+		workers = 8
+		keys    = 32
+		iters   = 5000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				k := fmt.Sprintf("key%02d", (w*31+i)%keys)
+				switch i % 4 {
+				case 0, 1:
+					v := int64(w*iters + i)
+					m.Put(k, &v)
+				case 2:
+					if v, ok := m.Get(k); ok && v == nil {
+						t.Error("live entry with nil value")
+						return
+					}
+				default:
+					m.Delete(k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Post-run: all remaining values must be valid pointers.
+	m.Range(func(k string, v *int64) bool {
+		if v == nil {
+			t.Errorf("nil value for %s", k)
+		}
+		return true
+	})
+	if m.Len() < 0 || m.Len() > keys {
+		t.Fatalf("implausible len %d", m.Len())
+	}
+}
+
+func TestConcurrentInsertDistinctKeys(t *testing.T) {
+	// All inserts must survive races on the same bucket chain.
+	m := New[int](1)
+	const workers = 8
+	const perWorker = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				v := w*perWorker + i
+				m.Put(fmt.Sprintf("w%d-k%d", w, i), &v)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if m.Len() != workers*perWorker {
+		t.Fatalf("lost inserts: len=%d want %d", m.Len(), workers*perWorker)
+	}
+	for w := 0; w < workers; w++ {
+		for i := 0; i < perWorker; i++ {
+			got, ok := m.Get(fmt.Sprintf("w%d-k%d", w, i))
+			if !ok || *got != w*perWorker+i {
+				t.Fatalf("w%d-k%d missing or wrong", w, i)
+			}
+		}
+	}
+}
+
+func BenchmarkGetHit(b *testing.B) {
+	m := New[int](1 << 12)
+	const n = 1 << 10
+	vals := make([]int, n)
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("user%08d", i)
+		vals[i] = i
+		m.Put(keys[i], &vals[i])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Get(keys[i&(n-1)])
+	}
+}
+
+func BenchmarkPutOverwrite(b *testing.B) {
+	m := New[int](1 << 10)
+	v := 7
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Put("hot", &v)
+	}
+}

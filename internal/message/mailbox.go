@@ -1,0 +1,107 @@
+package message
+
+import (
+	"fmt"
+
+	"hydradb/internal/rdma"
+)
+
+// Mailbox is one direction of a Shard↔Client connection: a dedicated message
+// slot in the owner's memory region that the remote side fills with a single
+// RDMA Write and the owner detects by sustained polling (§4.2.1, Fig. 7).
+//
+// The indicator encoding follows the paper's format: the head indicator both
+// announces arrival and carries the message size; the tail indicator (the
+// "last word of the message") confirms the body landed — RDMA Write's
+// in-order delivery makes head-after-tail publication sufficient. After
+// processing, the owner zeroes the indicators ("the shard zeros out the
+// request buffer") which doubles as writer-side flow control.
+//
+// Exactly one message is in flight per mailbox; request/response alternation
+// between the paired mailboxes of a connection guarantees exclusivity.
+type Mailbox struct {
+	mr      *rdma.MemoryRegion
+	dataOff int
+	dataCap int
+	headIdx int
+	tailIdx int
+}
+
+// indicator layout: bit 63 = present, bits 62..32 = seq (31 bits),
+// bits 31..0 = body size.
+const presentBit = uint64(1) << 63
+
+func makeIndicator(seq uint32, size int) uint64 {
+	return presentBit | uint64(seq&0x7fffffff)<<32 | uint64(uint32(size))
+}
+
+func splitIndicator(w uint64) (seq uint32, size int, present bool) {
+	return uint32(w>>32) & 0x7fffffff, int(uint32(w)), w&presentBit != 0
+}
+
+// NewMailbox creates a mailbox over [dataOff, dataOff+dataCap) of mr's byte
+// area, using words headIdx and tailIdx of its word area.
+func NewMailbox(mr *rdma.MemoryRegion, dataOff, dataCap, headIdx, tailIdx int) *Mailbox {
+	if mr.Words() == nil {
+		panic("message: mailbox region needs a word area")
+	}
+	return &Mailbox{mr: mr, dataOff: dataOff, dataCap: dataCap, headIdx: headIdx, tailIdx: tailIdx}
+}
+
+// Capacity reports the largest body the mailbox can carry.
+func (m *Mailbox) Capacity() int { return m.dataCap }
+
+// Poll checks for a delivered message (owner side). The returned body
+// aliases the mailbox buffer and is valid until Consume.
+func (m *Mailbox) Poll() (body []byte, seq uint32, ok bool) {
+	words := m.mr.Words()
+	head := words.Load(m.headIdx)
+	if head == 0 {
+		return nil, 0, false
+	}
+	seq, size, present := splitIndicator(head)
+	if !present || size > m.dataCap {
+		return nil, 0, false
+	}
+	// The paper polls the last word after the size-bearing first word; with
+	// in-order RDMA Write, tail==head means the body between them landed.
+	if words.Load(m.tailIdx) != head {
+		return nil, 0, false
+	}
+	return m.mr.Data()[m.dataOff : m.dataOff+size], seq, true
+}
+
+// Consume clears the indicators, releasing the slot to the writer.
+func (m *Mailbox) Consume() {
+	words := m.mr.Words()
+	words.Store(m.tailIdx, 0)
+	words.Store(m.headIdx, 0)
+}
+
+// Busy reports whether a message is pending (owner side).
+func (m *Mailbox) Busy() bool { return m.mr.Words().Load(m.headIdx) != 0 }
+
+// WriteVia delivers body into the mailbox through qp as one RDMA Write
+// (writer side). The caller must respect the alternation protocol: writing
+// into a busy mailbox corrupts it.
+func (m *Mailbox) WriteVia(qp *rdma.QP, body []byte, seq uint32) error {
+	if len(body) > m.dataCap {
+		return fmt.Errorf("message: body %d exceeds mailbox capacity %d", len(body), m.dataCap)
+	}
+	ind := makeIndicator(seq, len(body))
+	return qp.WriteIndicated(m.mr, m.dataOff, body, m.tailIdx, m.headIdx, ind)
+}
+
+// WriteLocal delivers body written by the region owner itself (used by
+// loopback connections when client and shard share a machine).
+func (m *Mailbox) WriteLocal(body []byte, seq uint32) error {
+	if len(body) > m.dataCap {
+		return fmt.Errorf("message: body %d exceeds mailbox capacity %d", len(body), m.dataCap)
+	}
+	copy(m.mr.Data()[m.dataOff:], body)
+	ind := makeIndicator(seq, len(body))
+	words := m.mr.Words()
+	words.Store(m.tailIdx, ind)
+	words.Store(m.headIdx, ind)
+	return nil
+}

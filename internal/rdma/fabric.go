@@ -1,0 +1,377 @@
+// Package rdma simulates the RDMA verbs substrate hydradb runs on in live
+// mode: NICs, registered memory regions, and reliably connected queue pairs
+// offering one-sided Write/Read and two-sided Send/Recv.
+//
+// The simulation preserves the four properties HydraDB's protocols depend on
+// (paper §4.2):
+//
+//  1. One-sided operations move data without involving the target CPU: a
+//     Write/Read is a direct memory copy performed by the initiator into or
+//     out of the target's registered region; no goroutine on the target runs.
+//  2. Writes within a QP are delivered in order, and an indicator word
+//     published *after* the payload (atomic release store) guarantees the
+//     payload is visible to a poller that observed the indicator (atomic
+//     acquire load) — the property the indicator-encapsulated message format
+//     relies on, made race-free under the Go memory model.
+//  3. Two-sided Send/Recv involves the receiver's CPU: messages traverse a
+//     channel, paying scheduler wakeup just as interrupt-driven reception
+//     pays kernel wakeup.
+//  4. NICs are a finite resource: per-NIC op accounting plus an optional
+//     ops/sec ceiling and a per-QP-count overhead reproduce the device
+//     saturation and connection-scalability effects of §6.3.
+//
+// Latency injection is optional (zero by default: unit tests run at memory
+// speed); the discrete-event simulator models time separately and does not
+// use this package's injection.
+package rdma
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hydradb/internal/arena"
+	"hydradb/internal/stats"
+)
+
+// Errors returned by fabric operations.
+var (
+	ErrClosed       = errors.New("rdma: queue pair closed")
+	ErrNotConnected = errors.New("rdma: memory region not reachable through this queue pair")
+	ErrOutOfBounds  = errors.New("rdma: access outside registered region")
+)
+
+// Config tunes the fabric. The zero value is a valid infinitely fast fabric.
+type Config struct {
+	// WriteNs / ReadNs / SendNs inject busy-wait latency per one-sided
+	// write, one-sided read round trip, and two-sided send.
+	WriteNs, ReadNs, SendNs int64
+	// NICOpNs is the minimum NIC service time per operation; with N
+	// concurrent initiators a NIC admits at most 1e9/NICOpNs ops/sec.
+	NICOpNs int64
+	// QPThreshold and QPExtraNs model driver connection-scalability: each
+	// op pays (qps-QPThreshold)*QPExtraNs extra NIC service when the NIC
+	// carries more than QPThreshold queue pairs (§6.3).
+	QPThreshold int32
+	QPExtraNs   int64
+}
+
+// Fabric is a collection of NICs that can be wired together.
+type Fabric struct {
+	cfg  Config
+	mu   sync.Mutex
+	nics []*NIC
+}
+
+// NewFabric creates a fabric.
+func NewFabric(cfg Config) *Fabric {
+	return &Fabric{cfg: cfg}
+}
+
+// NIC models one RDMA adaptor. All queue pairs and memory regions of a node
+// hang off its NIC; collocated processes share it (and its ceilings).
+type NIC struct {
+	fabric *Fabric
+	name   string
+	id     int
+
+	qps      atomic.Int32
+	nextFree atomic.Int64 // virtual NIC-busy horizon for the ops/sec ceiling
+
+	Ops   stats.Counter
+	Bytes stats.Counter
+}
+
+// NewNIC adds an adaptor to the fabric.
+func (f *Fabric) NewNIC(name string) *NIC {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := &NIC{fabric: f, name: name, id: len(f.nics)}
+	f.nics = append(f.nics, n)
+	return n
+}
+
+// Name reports the NIC name.
+func (n *NIC) Name() string { return n.name }
+
+// QPCount reports the live queue pairs on this NIC.
+func (n *NIC) QPCount() int32 { return n.qps.Load() }
+
+// serviceNs is the per-op NIC time including connection-count overhead.
+func (n *NIC) serviceNs() int64 {
+	cfg := &n.fabric.cfg
+	s := cfg.NICOpNs
+	if cfg.QPExtraNs > 0 {
+		if extra := n.qps.Load() - cfg.QPThreshold; extra > 0 {
+			s += int64(extra) * cfg.QPExtraNs
+		}
+	}
+	return s
+}
+
+// admit charges one op (plus nbytes) against the NIC, blocking (with
+// cooperative yielding) when the ops/sec ceiling is exceeded.
+func (n *NIC) admit(nbytes int) {
+	n.Ops.Inc()
+	n.Bytes.Add(int64(nbytes))
+	cost := n.serviceNs()
+	if cost <= 0 {
+		return
+	}
+	now := time.Now().UnixNano()
+	for {
+		nf := n.nextFree.Load()
+		start := nf
+		if now > start {
+			start = now
+		}
+		if n.nextFree.CompareAndSwap(nf, start+cost) {
+			spinUntil(start + cost)
+			return
+		}
+	}
+}
+
+func spinUntil(deadlineUnixNs int64) {
+	for time.Now().UnixNano() < deadlineUnixNs {
+		runtime.Gosched()
+	}
+}
+
+func spinFor(ns int64) {
+	if ns <= 0 {
+		return
+	}
+	spinUntil(time.Now().UnixNano() + ns)
+}
+
+// MemoryRegion is memory registered with a NIC: a byte area plus the aligned
+// word area carrying indicators, guardians and leases (see package arena).
+type MemoryRegion struct {
+	nic   *NIC
+	data  []byte
+	words *arena.WordArea
+}
+
+// Register registers data and words with the NIC. Either may be nil when a
+// region only needs one area.
+func (n *NIC) Register(data []byte, words *arena.WordArea) *MemoryRegion {
+	return &MemoryRegion{nic: n, data: data, words: words}
+}
+
+// Data exposes the byte area to its owner (local access only).
+func (mr *MemoryRegion) Data() []byte { return mr.data }
+
+// Words exposes the word area to its owner.
+func (mr *MemoryRegion) Words() *arena.WordArea { return mr.words }
+
+// NIC reports the owning adaptor.
+func (mr *MemoryRegion) NIC() *NIC { return mr.nic }
+
+// QP is one end of a reliably connected queue pair.
+type QP struct {
+	local, remote *NIC
+	sendCh        chan []byte // toward peer
+	recvCh        chan []byte // from peer
+	closed        atomic.Bool
+	peerClosed    *atomic.Bool
+}
+
+// Connect wires two NICs together and returns the two QP ends.
+func Connect(a, b *NIC, depth int) (*QP, *QP) {
+	if depth <= 0 {
+		depth = 16
+	}
+	ab := make(chan []byte, depth)
+	ba := make(chan []byte, depth)
+	qa := &QP{local: a, remote: b, sendCh: ab, recvCh: ba}
+	qb := &QP{local: b, remote: a, sendCh: ba, recvCh: ab}
+	qa.peerClosed = &qb.closed
+	qb.peerClosed = &qa.closed
+	a.qps.Add(1)
+	b.qps.Add(1)
+	return qa, qb
+}
+
+// Close tears down this end. Double close is safe.
+func (qp *QP) Close() {
+	if qp.closed.CompareAndSwap(false, true) {
+		qp.local.qps.Add(-1)
+		qp.remote.qps.Add(-1)
+	}
+}
+
+// Closed reports whether either end is closed.
+func (qp *QP) Closed() bool { return qp.closed.Load() || qp.peerClosed.Load() }
+
+// LocalNIC and RemoteNIC expose endpoints.
+func (qp *QP) LocalNIC() *NIC { return qp.local }
+
+// RemoteNIC reports the peer's adaptor.
+func (qp *QP) RemoteNIC() *NIC { return qp.remote }
+
+func (qp *QP) checkTarget(mr *MemoryRegion) error {
+	if qp.Closed() {
+		return ErrClosed
+	}
+	if mr.nic != qp.remote {
+		return ErrNotConnected
+	}
+	return nil
+}
+
+// WriteBytes performs a one-sided RDMA Write of src into the remote region
+// at off. The target CPU is not involved.
+func (qp *QP) WriteBytes(mr *MemoryRegion, off int, src []byte) error {
+	if err := qp.checkTarget(mr); err != nil {
+		return err
+	}
+	if off < 0 || off+len(src) > len(mr.data) {
+		return ErrOutOfBounds
+	}
+	qp.local.admit(len(src))
+	qp.remote.admit(len(src))
+	spinFor(qp.local.fabric.cfg.WriteNs)
+	copy(mr.data[off:], src)
+	return nil
+}
+
+// WriteWord performs a one-sided write of a single word (atomic publication).
+func (qp *QP) WriteWord(mr *MemoryRegion, wordIdx int, val uint64) error {
+	if err := qp.checkTarget(mr); err != nil {
+		return err
+	}
+	if mr.words == nil || wordIdx < 0 || wordIdx >= mr.words.Len() {
+		return ErrOutOfBounds
+	}
+	qp.local.admit(8)
+	qp.remote.admit(8)
+	spinFor(qp.local.fabric.cfg.WriteNs)
+	mr.words.Store(wordIdx, val)
+	return nil
+}
+
+// WriteIndicated posts one RDMA Write carrying an indicator-encapsulated
+// message: the payload bytes land first, then tail and head indicator words
+// are published in order. The in-order delivery of RC RDMA Write makes this
+// a single posted work request on real hardware; it is charged as one NIC op.
+func (qp *QP) WriteIndicated(mr *MemoryRegion, off int, body []byte, tailIdx, headIdx int, indicator uint64) error {
+	if err := qp.checkTarget(mr); err != nil {
+		return err
+	}
+	if off < 0 || off+len(body) > len(mr.data) {
+		return ErrOutOfBounds
+	}
+	if mr.words == nil || tailIdx < 0 || tailIdx >= mr.words.Len() || headIdx < 0 || headIdx >= mr.words.Len() {
+		return ErrOutOfBounds
+	}
+	qp.local.admit(len(body) + 16)
+	qp.remote.admit(len(body) + 16)
+	spinFor(qp.local.fabric.cfg.WriteNs)
+	copy(mr.data[off:], body)
+	mr.words.Store(tailIdx, indicator)
+	mr.words.Store(headIdx, indicator)
+	return nil
+}
+
+// Read performs a one-sided RDMA Read: it copies n bytes from the remote
+// region at off into dst and atomically loads the requested words, all in a
+// single round trip with one latency charge. Returns the number of bytes
+// copied and the word values.
+func (qp *QP) Read(mr *MemoryRegion, off int, dst []byte, wordIdxs ...int) (int, []uint64, error) {
+	if err := qp.checkTarget(mr); err != nil {
+		return 0, nil, err
+	}
+	if off < 0 || off+len(dst) > len(mr.data) {
+		return 0, nil, ErrOutOfBounds
+	}
+	for _, w := range wordIdxs {
+		if mr.words == nil || w < 0 || w >= mr.words.Len() {
+			return 0, nil, ErrOutOfBounds
+		}
+	}
+	qp.local.admit(len(dst))
+	qp.remote.admit(len(dst))
+	spinFor(qp.local.fabric.cfg.ReadNs)
+	n := copy(dst, mr.data[off:off+len(dst)])
+	var words []uint64
+	if len(wordIdxs) > 0 {
+		words = make([]uint64, len(wordIdxs))
+		for i, w := range wordIdxs {
+			words[i] = mr.words.Load(w)
+		}
+	}
+	return n, words, nil
+}
+
+// Send transmits msg two-sided; the receiver's CPU must call Recv. The
+// message is copied, so the caller may reuse msg.
+func (qp *QP) Send(msg []byte) error {
+	if qp.Closed() {
+		return ErrClosed
+	}
+	qp.local.admit(len(msg))
+	qp.remote.admit(len(msg))
+	spinFor(qp.local.fabric.cfg.SendNs)
+	buf := make([]byte, len(msg))
+	copy(buf, msg)
+	select {
+	case qp.sendCh <- buf:
+		return nil
+	default:
+	}
+	// Receiver queue full: block cooperatively, bailing out if closed.
+	for {
+		if qp.Closed() {
+			return ErrClosed
+		}
+		select {
+		case qp.sendCh <- buf:
+			return nil
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// Recv blocks for the next message. ok=false means the QP closed.
+func (qp *QP) Recv() ([]byte, bool) {
+	for {
+		select {
+		case m := <-qp.recvCh:
+			return m, true
+		default:
+		}
+		if qp.Closed() {
+			// Drain anything already delivered before reporting closure.
+			select {
+			case m := <-qp.recvCh:
+				return m, true
+			default:
+				return nil, false
+			}
+		}
+		select {
+		case m := <-qp.recvCh:
+			return m, true
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// TryRecv polls for a message without blocking.
+func (qp *QP) TryRecv() ([]byte, bool) {
+	select {
+	case m := <-qp.recvCh:
+		return m, true
+	default:
+		return nil, false
+	}
+}
+
+// String identifies the QP for diagnostics.
+func (qp *QP) String() string {
+	return fmt.Sprintf("qp{%s->%s}", qp.local.name, qp.remote.name)
+}

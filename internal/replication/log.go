@@ -1,0 +1,509 @@
+package replication
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"hydradb/internal/arena"
+	"hydradb/internal/rdma"
+	"hydradb/internal/stats"
+)
+
+// LogConfig sizes a replication log ring.
+type LogConfig struct {
+	// Slots is the ring capacity in records.
+	Slots int
+	// SlotSize is the byte capacity of one record (key+val+header).
+	SlotSize int
+	// AckEvery solicits an acknowledgement every N records ("several tens
+	// of requests", §5.2). Strict mode ignores it and waits on every record.
+	AckEvery int
+	// Strict selects the conventional request/acknowledge baseline: every
+	// record is flagged and the primary waits for its ack before returning
+	// (the comparison mode of Fig. 13).
+	Strict bool
+}
+
+func (c *LogConfig) withDefaults() LogConfig {
+	cfg := *c
+	if cfg.Slots == 0 {
+		cfg.Slots = 256
+	}
+	if cfg.SlotSize == 0 {
+		cfg.SlotSize = 256
+	}
+	if cfg.AckEvery == 0 {
+		cfg.AckEvery = 32
+	}
+	if cfg.AckEvery >= cfg.Slots {
+		cfg.AckEvery = cfg.Slots / 2
+	}
+	if cfg.SlotSize >= 1<<15 {
+		panic("replication: slot size exceeds ready-word size field (15 bits)")
+	}
+	if cfg.Slots >= 1<<15 {
+		panic("replication: slot count exceeds nack discard field (15 bits)")
+	}
+	return cfg
+}
+
+// Applier consumes replicated records on the secondary.
+type Applier interface {
+	Apply(seq uint64, r Record) error
+}
+
+// ApplierFunc adapts a function to Applier.
+type ApplierFunc func(seq uint64, r Record) error
+
+// Apply implements Applier.
+func (f ApplierFunc) Apply(seq uint64, r Record) error { return f(seq, r) }
+
+// Log is the secondary-side ring: the memory chunk exposed to the primary.
+// Word layout of the region: words [0, Slots) are per-slot ready words;
+// word Slots is the doorbell the primary rings to solicit an ack out of
+// band (used when its window fills and at Flush).
+type Log struct {
+	cfg LogConfig
+	mr  *rdma.MemoryRegion
+}
+
+// NewLog allocates a ring on the given NIC.
+func NewLog(nic *rdma.NIC, cfg LogConfig) *Log {
+	c := cfg.withDefaults()
+	data := make([]byte, c.Slots*c.SlotSize)
+	words := arena.NewWordArea(c.Slots+1, 1)
+	return &Log{cfg: c, mr: nic.Register(data, words)}
+}
+
+// Region exposes the ring's memory region for the primary to write into.
+func (l *Log) Region() *rdma.MemoryRegion { return l.mr }
+
+// Config reports the effective configuration.
+func (l *Log) Config() LogConfig { return l.cfg }
+
+func (l *Log) doorbellIdx() int { return l.cfg.Slots }
+
+// Secondary drains a Log and applies records. It is single-threaded: the
+// live mode runs Run in a dedicated goroutine (the paper's "dedicated thread
+// polls replication requests"); tests and the simulator call PollOnce.
+type Secondary struct {
+	log     *Log
+	applier Applier
+	ackQP   *rdma.QP
+	ackMR   *rdma.MemoryRegion
+	ackIdx  int
+
+	nextSeq        uint64
+	applied        atomic.Uint64
+	failed         bool
+	firstFailed    uint64
+	awaitingResend bool // nacked; record firstFailed not yet re-received
+	lastDoorbell   uint64
+	stop           chan struct{}
+	done           chan struct{}
+	started        atomic.Bool
+
+	// FailureHook, when non-nil, is consulted before applying each record;
+	// a non-nil error injects a processing failure (test/chaos hook).
+	FailureHook func(seq uint64, r Record) error
+
+	Applied  stats.Counter
+	Discards stats.Counter
+	Nacks    stats.Counter
+}
+
+// NewSecondary wires a drain loop to log, applying via applier and
+// acknowledging through qp into the primary's ack word (ackIdx of ackMR).
+func NewSecondary(log *Log, applier Applier, qp *rdma.QP, ackMR *rdma.MemoryRegion, ackIdx int) *Secondary {
+	return &Secondary{
+		log:     log,
+		applier: applier,
+		ackQP:   qp,
+		ackMR:   ackMR,
+		ackIdx:  ackIdx,
+		nextSeq: 1,
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+}
+
+// AppliedSeq reports the highest contiguously applied sequence number. It is
+// safe to read from other goroutines (monitoring, promotion).
+func (s *Secondary) AppliedSeq() uint64 { return s.applied.Load() }
+
+func (s *Secondary) slotOf(seq uint64) int { return int((seq - 1) % uint64(s.log.cfg.Slots)) }
+
+// PollOnce processes at most one pending record or doorbell, returning
+// whether progress was made.
+func (s *Secondary) PollOnce() bool {
+	words := s.log.mr.Words()
+
+	// Doorbell: the primary solicits an acknowledgement out of band.
+	if db := words.Load(s.log.doorbellIdx()); db != 0 && db != s.lastDoorbell {
+		s.lastDoorbell = db
+		switch {
+		case s.failed:
+			s.nack()
+		case s.awaitingResend:
+			// Our nack may still be unread or was superseded in the ack
+			// word: repeat it. The primary de-duplicates.
+			s.sendAckWord(makeNack(s.firstFailed, s.nextSeq-s.firstFailed))
+		default:
+			s.sendAckWord(makeAck(s.applied.Load()))
+		}
+		return true
+	}
+
+	slot := s.slotOf(s.nextSeq)
+	w := words.Load(slot)
+	seq, size, ackReq := splitReady(w)
+	if seq != s.nextSeq {
+		return false
+	}
+	if s.awaitingResend && seq == s.firstFailed {
+		s.awaitingResend = false
+	}
+	body := s.log.mr.Data()[slot*s.log.cfg.SlotSize : slot*s.log.cfg.SlotSize+size]
+
+	if s.failed {
+		// Discard mode: skip records, answering only ack requests with the
+		// first failed sequence number (§5.2).
+		s.Discards.Inc()
+		s.nextSeq++
+		if ackReq {
+			s.nack()
+		}
+		return true
+	}
+
+	rec, err := DecodeRecord(body)
+	if err == nil && s.FailureHook != nil {
+		err = s.FailureHook(seq, rec)
+	}
+	if err == nil {
+		err = s.applier.Apply(seq, rec)
+	}
+	if err != nil {
+		s.failed = true
+		s.firstFailed = seq
+		s.nextSeq = seq + 1
+		if ackReq {
+			// The failing record itself carried the ack request.
+			s.nack()
+		}
+		return true
+	}
+	s.applied.Store(seq)
+	s.nextSeq = seq + 1
+	s.Applied.Inc()
+	if ackReq {
+		s.sendAckWord(makeAck(seq))
+	}
+	return true
+}
+
+// nack frees the discarded buffer region and reports the first failed
+// sequence plus the discarded count ("sends back the first failed requests
+// and freed memory buffer since last acknowledgment", §5.2). Zeroing the
+// ready words of every discarded slot *before* publishing the nack makes the
+// primary's re-send unambiguous: this secondary reconsiders those slots only
+// once a fresh RDMA Write republishes their indicators. Slots beyond the
+// scan position keep their original records and are consumed as-is after the
+// resent prefix.
+func (s *Secondary) nack() {
+	words := s.log.mr.Words()
+	for seq := s.firstFailed; seq < s.nextSeq; seq++ {
+		words.Store(s.slotOf(seq), 0)
+	}
+	s.Nacks.Inc()
+	s.sendAckWord(makeNack(s.firstFailed, s.nextSeq-s.firstFailed))
+	s.nextSeq = s.firstFailed
+	s.failed = false
+	s.awaitingResend = true
+}
+
+func (s *Secondary) sendAckWord(w uint64) {
+	// One-sided write of the ack word into the primary's region. Errors are
+	// deliberately dropped: a dead primary's ack word is irrelevant and SWAT
+	// handles the failover.
+	_ = s.ackQP.WriteWord(s.ackMR, s.ackIdx, w)
+}
+
+// Run drains the log until Stop; for the live shard process.
+func (s *Secondary) Run() {
+	s.started.Store(true)
+	defer close(s.done)
+	for {
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+		if !s.PollOnce() {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Stop terminates Run and waits for it to exit, so the caller may safely
+// take over the drain (promotion calls PollOnce afterwards).
+func (s *Secondary) Stop() {
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	if s.started.Load() {
+		<-s.done
+	}
+}
+
+// secondaryState is the primary-side view of one secondary.
+type secondaryState struct {
+	qp        *rdma.QP
+	log       *Log
+	ackIdx    int // index into the primary's ack word area
+	lastAcked uint64
+	doorbell  uint64 // last doorbell value rung
+
+	// rollback de-duplication: a doorbell may re-elicit an already handled
+	// nack while the re-sent prefix is in flight.
+	lastNackFrom  uint64
+	lastNackCount uint64
+}
+
+// Primary replicates records to its secondaries. It is single-threaded,
+// owned by the primary shard.
+type Primary struct {
+	cfg     LogConfig
+	ackMR   *rdma.MemoryRegion // primary-owned: secondaries write acks here
+	secs    []*secondaryState
+	seq     uint64 // last assigned sequence number
+	pending [][]byte
+
+	Replications stats.Counter
+	Rollbacks    stats.Counter
+	AckWaits     stats.Counter
+}
+
+// NewPrimary creates a primary endpoint. nic is the primary's adaptor;
+// maxSecondaries bounds AddSecondary calls.
+func NewPrimary(nic *rdma.NIC, cfg LogConfig, maxSecondaries int) *Primary {
+	c := cfg.withDefaults()
+	if maxSecondaries <= 0 {
+		maxSecondaries = 2
+	}
+	p := &Primary{
+		cfg:     c,
+		ackMR:   nic.Register(nil, arena.NewWordArea(maxSecondaries, 1)),
+		pending: make([][]byte, c.Slots),
+	}
+	for i := range p.pending {
+		p.pending[i] = make([]byte, 0, c.SlotSize)
+	}
+	return p
+}
+
+// AckRegion exposes the primary's ack region; pass it to NewSecondary
+// together with the index returned by AddSecondary.
+func (p *Primary) AckRegion() *rdma.MemoryRegion { return p.ackMR }
+
+// AddSecondary registers a secondary reachable through qp whose log ring is
+// log. It returns the ack word index the secondary must write to.
+func (p *Primary) AddSecondary(qp *rdma.QP, log *Log) (ackIdx int, err error) {
+	if len(p.secs) >= p.ackMR.Words().Len() {
+		return 0, fmt.Errorf("replication: secondary limit %d reached", p.ackMR.Words().Len())
+	}
+	if log.cfg.Slots != p.cfg.Slots || log.cfg.SlotSize != p.cfg.SlotSize {
+		return 0, fmt.Errorf("replication: log geometry mismatch")
+	}
+	ackIdx = len(p.secs)
+	p.secs = append(p.secs, &secondaryState{qp: qp, log: log, ackIdx: ackIdx})
+	return ackIdx, nil
+}
+
+// RemoveSecondary detaches the secondary at ackIdx (failover).
+func (p *Primary) RemoveSecondary(ackIdx int) {
+	for i, s := range p.secs {
+		if s.ackIdx == ackIdx {
+			p.secs = append(p.secs[:i], p.secs[i+1:]...)
+			return
+		}
+	}
+}
+
+// Secondaries reports the number of attached secondaries.
+func (p *Primary) Secondaries() int { return len(p.secs) }
+
+// Seq reports the last assigned sequence number.
+func (p *Primary) Seq() uint64 { return p.seq }
+
+// MinAcked reports the lowest acknowledged sequence across secondaries.
+func (p *Primary) MinAcked() uint64 {
+	if len(p.secs) == 0 {
+		return p.seq
+	}
+	min := p.secs[0].lastAcked
+	for _, s := range p.secs[1:] {
+		if s.lastAcked < min {
+			min = s.lastAcked
+		}
+	}
+	return min
+}
+
+// Replicate ships one record to every secondary, honouring the configured
+// acknowledgement mode. In logging mode it typically returns after a single
+// one-sided RDMA Write per secondary; in strict mode it waits for every
+// secondary's ack.
+func (p *Primary) Replicate(r Record) error {
+	if len(p.secs) == 0 {
+		return nil
+	}
+	size := r.EncodedSize()
+	if size > p.cfg.SlotSize {
+		return ErrRecordTooLarge
+	}
+	// Window control: never overwrite a slot that any secondary has not
+	// acknowledged.
+	for p.seq-p.MinAcked() >= uint64(p.cfg.Slots) {
+		p.AckWaits.Inc()
+		p.waitForAckProgress()
+	}
+
+	p.seq++
+	seq := p.seq
+	ackReq := p.cfg.Strict || seq%uint64(p.cfg.AckEvery) == 0
+	slot := int((seq - 1) % uint64(p.cfg.Slots))
+	buf := p.pending[slot]
+	if cap(buf) < size {
+		buf = make([]byte, size)
+	} else {
+		buf = buf[:size]
+	}
+	r.EncodeTo(buf)
+	p.pending[slot] = buf
+
+	for _, s := range p.secs {
+		if err := p.writeRecord(s, seq, buf, ackReq); err != nil {
+			return err
+		}
+	}
+	p.Replications.Inc()
+
+	if p.cfg.Strict {
+		return p.waitAcked(seq)
+	}
+	return nil
+}
+
+func (p *Primary) writeRecord(s *secondaryState, seq uint64, body []byte, ackReq bool) error {
+	slot := int((seq - 1) % uint64(p.cfg.Slots))
+	ready := makeReady(seq, len(body), ackReq)
+	// One posted RDMA Write: body then ready word (in-order delivery).
+	return s.qp.WriteIndicated(s.log.Region(), slot*p.cfg.SlotSize, body, slot, slot, ready)
+}
+
+// ring writes the out-of-band doorbell soliciting an ack from s.
+func (p *Primary) ring(s *secondaryState) {
+	s.doorbell++
+	_ = s.qp.WriteWord(s.log.Region(), s.log.doorbellIdx(), s.doorbell)
+}
+
+// waitForAckProgress blocks until some secondary's ack state advances,
+// ringing doorbells periodically and handling nacks as they surface.
+func (p *Primary) waitForAckProgress() {
+	before := p.MinAcked()
+	p.ringBehind(before + 1)
+	for i := 0; ; i++ {
+		p.pollAcks()
+		if p.MinAcked() != before {
+			return
+		}
+		if i%4096 == 4095 {
+			p.ringBehind(before + 1)
+		}
+		runtime.Gosched()
+	}
+}
+
+// waitAcked blocks until every secondary acknowledged seq.
+func (p *Primary) waitAcked(seq uint64) error {
+	for i := 0; ; i++ {
+		p.pollAcks()
+		done := true
+		for _, s := range p.secs {
+			if s.lastAcked < seq {
+				done = false
+				break
+			}
+		}
+		if done {
+			return nil
+		}
+		if !p.cfg.Strict && i%4096 == 4095 {
+			p.ringBehind(seq)
+		}
+		runtime.Gosched()
+	}
+}
+
+func (p *Primary) ringBehind(seq uint64) {
+	for _, s := range p.secs {
+		if s.lastAcked < seq {
+			p.ring(s)
+		}
+	}
+}
+
+// Flush solicits acknowledgements (via doorbells) and waits until every
+// secondary caught up to the last assigned sequence — used before promoting
+// a secondary and at shutdown.
+func (p *Primary) Flush() error {
+	if len(p.secs) == 0 || p.seq == 0 {
+		return nil
+	}
+	p.ringBehind(p.seq)
+	return p.waitAcked(p.seq)
+}
+
+// pollAcks consumes every secondary's ack word with a CAS-clear (so a
+// concurrent newer write is never lost), advancing ack state and handling
+// nacks by re-sending exactly the discarded prefix (§5.2).
+func (p *Primary) pollAcks() {
+	for _, s := range p.secs {
+		w := p.ackMR.Words().Load(s.ackIdx)
+		if w == 0 {
+			continue
+		}
+		// Clear only if unchanged; on a lost race the newer value is
+		// processed on the next poll.
+		p.ackMR.Words().CompareAndSwap(s.ackIdx, w, 0)
+		seq, count, nack := splitAck(w)
+		if nack {
+			if seq == s.lastNackFrom && count == s.lastNackCount && s.lastAcked < seq {
+				continue // duplicate of an in-flight rollback
+			}
+			s.lastNackFrom, s.lastNackCount = seq, count
+			p.Rollbacks.Inc()
+			p.resendRange(s, seq, count)
+			continue
+		}
+		if seq > s.lastAcked {
+			s.lastAcked = seq
+		}
+	}
+}
+
+// resendRange re-sends records [from, from+count) to one secondary — the
+// exact range whose ready words the secondary zeroed — flagging the last so
+// recovery converges even when no periodic flag falls inside the range.
+func (p *Primary) resendRange(s *secondaryState, from, count uint64) {
+	for seq := from; seq < from+count && seq <= p.seq; seq++ {
+		slot := int((seq - 1) % uint64(p.cfg.Slots))
+		body := p.pending[slot]
+		ackReq := p.cfg.Strict || seq == from+count-1 || seq%uint64(p.cfg.AckEvery) == 0
+		_ = p.writeRecord(s, seq, body, ackReq)
+	}
+}

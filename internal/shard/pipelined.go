@@ -1,0 +1,126 @@
+package shard
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pipelined is the decoupled execution model of Fig. 5(a), implemented as
+// the §6.2.1 ablation baseline: dispatcher threads poll connection mailboxes
+// and enqueue requests; worker threads process them against the shard's
+// store under a mutex and write the responses. Compared to the
+// single-threaded shard it burns more cores, pays queue hand-off and lock
+// synchronization on every request, and is expected to LOSE — the paper
+// measures 27–95% lower throughput for it.
+type Pipelined struct {
+	shard       *Shard
+	dispatchers int
+	workers     int
+
+	mu    sync.Mutex // serializes store access across workers
+	queue chan pipelinedReq
+	stop  chan struct{}
+	wg    sync.WaitGroup
+}
+
+type pipelinedReq struct {
+	c    *conn
+	body []byte
+	seq  uint32
+}
+
+// NewPipelined wraps a shard in the pipelined execution model. The shard's
+// Run must NOT be used; call Pipelined.Run instead.
+func NewPipelined(s *Shard, dispatchers, workers int) *Pipelined {
+	if dispatchers <= 0 {
+		dispatchers = 2
+	}
+	if workers <= 0 {
+		workers = 2
+	}
+	return &Pipelined{
+		shard:       s,
+		dispatchers: dispatchers,
+		workers:     workers,
+		queue:       make(chan pipelinedReq, 1024),
+		stop:        make(chan struct{}),
+	}
+}
+
+// Run starts dispatchers and workers and blocks until Stop.
+func (p *Pipelined) Run() {
+	for d := 0; d < p.dispatchers; d++ {
+		p.wg.Add(1)
+		go p.dispatch(d)
+	}
+	for w := 0; w < p.workers; w++ {
+		p.wg.Add(1)
+		go p.work()
+	}
+	p.wg.Wait()
+}
+
+// dispatch polls a stripe of connections and copies requests into the queue
+// (the hand-off copy is part of the cost the single-threaded design avoids).
+func (p *Pipelined) dispatch(stripe int) {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.stop:
+			return
+		default:
+		}
+		conns := *p.shard.conns.Load()
+		progress := false
+		for i := stripe; i < len(conns); i += p.dispatchers {
+			c := conns[i]
+			body, seq, ok := c.reqBox.Poll()
+			if !ok {
+				continue
+			}
+			progress = true
+			cp := make([]byte, len(body))
+			copy(cp, body)
+			c.reqBox.Consume()
+			select {
+			case p.queue <- pipelinedReq{c: c, body: cp, seq: seq}:
+			case <-p.stop:
+				return
+			}
+		}
+		if !progress {
+			runtime.Gosched()
+		}
+	}
+}
+
+func (p *Pipelined) work() {
+	defer p.wg.Done()
+	respBuf := make([]byte, p.shard.cfg.MailboxBytes)
+	handled := 0
+	for {
+		select {
+		case <-p.stop:
+			return
+		case r := <-p.queue:
+			p.mu.Lock()
+			n := p.shard.handle(r.c, r.body, respBuf)
+			handled++
+			if handled%p.shard.cfg.ReclaimEvery == 0 {
+				p.shard.store.ReclaimDue()
+			}
+			p.mu.Unlock()
+			_ = r.c.respBox.WriteVia(r.c.qp, respBuf[:n], r.seq)
+			p.shard.Handled.Inc()
+		}
+	}
+}
+
+// Stop terminates the pipeline.
+func (p *Pipelined) Stop() {
+	select {
+	case <-p.stop:
+	default:
+		close(p.stop)
+	}
+}

@@ -1,0 +1,390 @@
+// Package shard implements the live-mode HydraDB shard: a single-threaded
+// process that exclusively manages one partition (paper §4.1.1).
+//
+// The shard thread continuously polls the request mailboxes of its client
+// connections in round-robin order; upon detecting a message it processes
+// the request against its kv.Store and RDMA-writes the response back before
+// polling the next mailbox. There are no locks on the data path — the
+// partition is owned exclusively — and after a quiet period the loop backs
+// off with a short sleep so light workloads impose negligible CPU cost
+// without sacrificing latency (§4.2.1).
+//
+// The package also provides the decoupled pipelined variant (dispatcher
+// threads + worker threads sharing the store under a mutex) used purely as
+// the ablation baseline of §6.2.1/Fig. 5(a).
+package shard
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hydradb/internal/arena"
+	"hydradb/internal/kv"
+	"hydradb/internal/message"
+	"hydradb/internal/rdma"
+	"hydradb/internal/replication"
+	"hydradb/internal/stats"
+	"hydradb/internal/timing"
+)
+
+// Config assembles a shard.
+type Config struct {
+	// ID is the global shard identity used in remote pointers and routing.
+	ID uint32
+	// NIC is the adaptor of the machine hosting this shard.
+	NIC *rdma.NIC
+	// Store sizes the item store (Clock required).
+	Store kv.Config
+	// MailboxBytes is the per-connection request/response buffer capacity.
+	MailboxBytes int
+	// IdleSpins is the number of empty poll rounds before the loop naps.
+	IdleSpins int
+	// NapNs is the nap length once idle (paper: ~100 ns).
+	NapNs int64
+	// ReclaimEvery runs a reclamation pass after this many handled requests.
+	ReclaimEvery int
+	// ExistingStore, when non-nil, adopts an already-populated store instead
+	// of creating one — the SWAT promotion path, where a secondary's replica
+	// store becomes the new primary's (§5.1).
+	ExistingStore *kv.Store
+}
+
+func (c *Config) withDefaults() Config {
+	cfg := *c
+	if cfg.MailboxBytes == 0 {
+		cfg.MailboxBytes = 64 << 10
+	}
+	if cfg.IdleSpins == 0 {
+		cfg.IdleSpins = 64
+	}
+	if cfg.NapNs == 0 {
+		cfg.NapNs = 100
+	}
+	if cfg.ReclaimEvery == 0 {
+		cfg.ReclaimEvery = 256
+	}
+	return cfg
+}
+
+// Endpoint is what a client holds after connecting to a shard: the writer
+// view of the request mailbox, the owner view of its response mailbox, and
+// the queue pair for one-sided operations against the shard's arena.
+type Endpoint struct {
+	ShardID uint32
+	// ReqBox delivers requests into the shard (write via QP).
+	ReqBox *message.Mailbox
+	// RespBox is polled by the client for responses.
+	RespBox *message.Mailbox
+	// QP is the client's end: request writes, and RDMA Reads of ArenaMR.
+	QP *rdma.QP
+	// ArenaMR is the shard's item region for RDMA-Read GETs.
+	ArenaMR *rdma.MemoryRegion
+	// SendRecv selects the two-sided baseline transport (§6.2 ablation):
+	// requests go via QP.Send and responses arrive via QP.Recv.
+	SendRecv bool
+}
+
+type conn struct {
+	reqBox   *message.Mailbox
+	respBox  *message.Mailbox
+	qp       *rdma.QP // shard's end: response writes
+	sendRecv bool
+}
+
+// Shard is a live single-threaded shard.
+type Shard struct {
+	cfg     Config
+	id      uint32
+	nic     *rdma.NIC
+	store   *kv.Store
+	arenaMR *rdma.MemoryRegion
+	clock   timing.Clock
+
+	epoch   atomic.Uint32
+	primary *replication.Primary // nil when replication is off
+
+	mu      sync.Mutex
+	connSet []*conn
+	conns   atomic.Pointer[[]*conn]
+
+	stop    chan struct{}
+	stopped chan struct{}
+	started atomic.Bool
+	killed  atomic.Bool
+
+	Counters stats.OpCounters
+	Handled  stats.Counter
+}
+
+// New creates a shard. The store is created from cfg.Store with the shard's
+// counters attached.
+func New(cfg Config) *Shard {
+	c := cfg.withDefaults()
+	if c.NIC == nil {
+		panic("shard: NIC required")
+	}
+	s := &Shard{
+		cfg:     c,
+		id:      c.ID,
+		nic:     c.NIC,
+		clock:   c.Store.Clock,
+		stop:    make(chan struct{}),
+		stopped: make(chan struct{}),
+	}
+	if c.ExistingStore != nil {
+		s.store = c.ExistingStore
+	} else {
+		storeCfg := c.Store
+		storeCfg.Counters = &s.Counters
+		s.store = kv.NewStore(storeCfg)
+	}
+	s.arenaMR = c.NIC.Register(s.store.ArenaData(), s.store.Words())
+	empty := []*conn{}
+	s.conns.Store(&empty)
+	return s
+}
+
+// ID reports the shard identity.
+func (s *Shard) ID() uint32 { return s.id }
+
+// NIC reports the hosting adaptor.
+func (s *Shard) NIC() *rdma.NIC { return s.nic }
+
+// Store exposes the underlying item store (tests, promotion, migration).
+func (s *Shard) Store() *kv.Store { return s.store }
+
+// Epoch reports the routing epoch the shard currently accepts.
+func (s *Shard) Epoch() uint32 { return s.epoch.Load() }
+
+// SetEpoch advances the accepted routing epoch (SWAT reconfiguration).
+func (s *Shard) SetEpoch(e uint32) { s.epoch.Store(e) }
+
+// AttachPrimary enables replication through p. Must be set before Run.
+func (s *Shard) AttachPrimary(p *replication.Primary) { s.primary = p }
+
+// Primary reports the attached replication primary, if any.
+func (s *Shard) Primary() *replication.Primary { return s.primary }
+
+// Connect establishes a connection from a client living on clientNIC and
+// returns the client's endpoint. sendRecv selects the two-sided baseline.
+func (s *Shard) Connect(clientNIC *rdma.NIC, sendRecv bool) *Endpoint {
+	qpClient, qpShard := rdma.Connect(clientNIC, s.nic, 16)
+
+	reqMR := s.nic.Register(make([]byte, s.cfg.MailboxBytes), arena.NewWordArea(1, 2))
+	respMR := clientNIC.Register(make([]byte, s.cfg.MailboxBytes), arena.NewWordArea(1, 2))
+	reqBox := message.NewMailbox(reqMR, 0, s.cfg.MailboxBytes, 0, 1)
+	respBox := message.NewMailbox(respMR, 0, s.cfg.MailboxBytes, 0, 1)
+
+	c := &conn{reqBox: reqBox, respBox: respBox, qp: qpShard, sendRecv: sendRecv}
+	s.mu.Lock()
+	s.connSet = append(s.connSet, c)
+	snapshot := append([]*conn(nil), s.connSet...)
+	s.conns.Store(&snapshot)
+	s.mu.Unlock()
+
+	return &Endpoint{
+		ShardID:  s.id,
+		ReqBox:   reqBox,
+		RespBox:  respBox,
+		QP:       qpClient,
+		ArenaMR:  s.arenaMR,
+		SendRecv: sendRecv,
+	}
+}
+
+// Run executes the single-threaded event loop until Stop. It owns the store
+// exclusively; nothing else may touch it while running.
+func (s *Shard) Run() {
+	s.started.Store(true)
+	defer close(s.stopped)
+	respBuf := make([]byte, s.cfg.MailboxBytes)
+	idle := 0
+	handledSinceReclaim := 0
+	for {
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+		progress := false
+		conns := *s.conns.Load()
+		for _, c := range conns {
+			var body []byte
+			var seq uint32
+			var ok bool
+			if c.sendRecv {
+				body, ok = c.qp.TryRecv()
+				if ok {
+					req, err := message.DecodeRequest(body)
+					if err != nil {
+						continue
+					}
+					seq = req.Seq
+				}
+			} else {
+				body, seq, ok = c.reqBox.Poll()
+			}
+			if !ok {
+				continue
+			}
+			progress = true
+			n := s.handle(c, body, respBuf)
+			if c.sendRecv {
+				_ = c.qp.Send(respBuf[:n])
+			} else {
+				// "the shard zeros out the request buffer and sends the
+				// response back" (§4.2.1).
+				c.reqBox.Consume()
+				_ = c.respBox.WriteVia(c.qp, respBuf[:n], seq)
+			}
+			handledSinceReclaim++
+			s.Handled.Inc()
+		}
+		if handledSinceReclaim >= s.cfg.ReclaimEvery {
+			s.store.ReclaimDue()
+			handledSinceReclaim = 0
+		}
+		if progress {
+			idle = 0
+			continue
+		}
+		idle++
+		if idle >= s.cfg.IdleSpins {
+			// High-resolution nap keeps CPU use negligible when quiet
+			// (§4.2.1); Gosched keeps the single-core host live.
+			if s.cfg.NapNs >= int64(time.Millisecond) {
+				time.Sleep(time.Duration(s.cfg.NapNs))
+			} else {
+				runtime.Gosched()
+			}
+			s.store.ReclaimDue()
+			idle = 0
+		} else {
+			runtime.Gosched()
+		}
+	}
+}
+
+// handle processes one request body, encodes the response into respBuf, and
+// returns its length.
+func (s *Shard) handle(c *conn, body []byte, respBuf []byte) int {
+	req, err := message.DecodeRequest(body)
+	resp := message.Response{Epoch: s.epoch.Load()}
+	if err != nil {
+		resp.Status = message.StatusError
+	} else {
+		resp.Seq = req.Seq
+		if req.Epoch != s.epoch.Load() {
+			resp.Status = message.StatusWrongShard
+		} else {
+			s.apply(req, &resp)
+		}
+	}
+	return resp.EncodeTo(respBuf)
+}
+
+// apply executes a request against the store, filling resp.
+func (s *Shard) apply(req message.Request, resp *message.Response) {
+	switch req.Op {
+	case message.OpGet:
+		res, ok := s.store.Get(req.Key)
+		if !ok {
+			resp.Status = message.StatusNotFound
+			return
+		}
+		resp.Status = message.StatusOK
+		resp.Val = res.Value
+		resp.LeaseExp = res.LeaseExp
+		resp.Ptr = res.Ptr
+		resp.Ptr.ShardID = s.id
+
+	case message.OpPut, message.OpMigrate:
+		res, existed, err := s.store.Put(req.Key, req.Val)
+		if err != nil {
+			resp.Status = message.StatusError
+			return
+		}
+		if req.Op == message.OpPut && s.primary != nil {
+			if err := s.primary.Replicate(replication.Record{
+				Op: message.OpPut, Key: req.Key, Val: req.Val,
+			}); err != nil {
+				resp.Status = message.StatusError
+				return
+			}
+			s.Counters.Replications.Inc()
+		}
+		resp.Status = message.StatusOK
+		resp.Existed = existed
+		resp.LeaseExp = res.LeaseExp
+		resp.Ptr = res.Ptr
+		resp.Ptr.ShardID = s.id
+
+	case message.OpDelete:
+		existed := s.store.Delete(req.Key)
+		if s.primary != nil {
+			if err := s.primary.Replicate(replication.Record{
+				Op: message.OpDelete, Key: req.Key,
+			}); err != nil {
+				resp.Status = message.StatusError
+				return
+			}
+			s.Counters.Replications.Inc()
+		}
+		if existed {
+			resp.Status = message.StatusOK
+		} else {
+			resp.Status = message.StatusNotFound
+		}
+
+	case message.OpRenewLease:
+		exp, ok := s.store.RenewLease(req.Key)
+		if !ok {
+			resp.Status = message.StatusNotFound
+			return
+		}
+		resp.Status = message.StatusOK
+		resp.LeaseExp = exp
+
+	default:
+		resp.Status = message.StatusError
+	}
+}
+
+// Stop terminates the loop gracefully (flushing replication).
+func (s *Shard) Stop() {
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	if s.started.Load() {
+		<-s.stopped
+	}
+	if s.primary != nil {
+		_ = s.primary.Flush()
+	}
+}
+
+// Kill terminates the loop abruptly without flushing — the §5 failure
+// injection: acknowledged data must still survive on secondaries because
+// logging-mode replication placed it there before acking the client.
+func (s *Shard) Kill() {
+	s.killed.Store(true)
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	if s.started.Load() {
+		<-s.stopped
+	}
+}
+
+// Killed reports whether the shard was failure-injected.
+func (s *Shard) Killed() bool { return s.killed.Load() }
+
+// String identifies the shard.
+func (s *Shard) String() string { return fmt.Sprintf("shard-%d@%s", s.id, s.nic.Name()) }

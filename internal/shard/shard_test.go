@@ -1,0 +1,290 @@
+package shard
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"hydradb/internal/kv"
+	"hydradb/internal/message"
+	"hydradb/internal/rdma"
+	"hydradb/internal/timing"
+)
+
+func testShard(t testing.TB) (*Shard, *rdma.Fabric, *timing.ManualClock) {
+	t.Helper()
+	clk := timing.NewManualClock(1e9)
+	f := rdma.NewFabric(rdma.Config{})
+	sh := New(Config{
+		ID:  7,
+		NIC: f.NewNIC("server"),
+		Store: kv.Config{
+			ArenaBytes: 1 << 20,
+			MaxItems:   4096,
+			Clock:      clk,
+		},
+	})
+	return sh, f, clk
+}
+
+// exchange performs one synchronous request/response over an endpoint.
+func exchange(t testing.TB, ep *Endpoint, req message.Request) message.Response {
+	t.Helper()
+	buf := make([]byte, 4096)
+	n := req.EncodeTo(buf)
+	if err := ep.ReqBox.WriteVia(ep.QP, buf[:n], req.Seq); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		body, _, ok := ep.RespBox.Poll()
+		if ok {
+			resp, err := message.DecodeResponse(body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(resp.Val) > 0 {
+				v := make([]byte, len(resp.Val))
+				copy(v, resp.Val)
+				resp.Val = v
+			}
+			ep.RespBox.Consume()
+			return resp
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no response")
+		}
+		runtime.Gosched()
+	}
+}
+
+func TestShardServesOps(t *testing.T) {
+	sh, f, _ := testShard(t)
+	go sh.Run()
+	defer sh.Stop()
+	ep := sh.Connect(f.NewNIC("client"), false)
+
+	put := exchange(t, ep, message.Request{Op: message.OpPut, Seq: 1, Key: []byte("k"), Val: []byte("v")})
+	if put.Status != message.StatusOK || put.Existed {
+		t.Fatalf("put: %+v", put)
+	}
+	if put.Ptr.ShardID != 7 || put.Ptr.Zero() {
+		t.Fatalf("put pointer: %v", put.Ptr)
+	}
+	if put.LeaseExp == 0 {
+		t.Fatal("put carried no lease")
+	}
+	get := exchange(t, ep, message.Request{Op: message.OpGet, Seq: 2, Key: []byte("k")})
+	if get.Status != message.StatusOK || string(get.Val) != "v" {
+		t.Fatalf("get: %+v", get)
+	}
+	ren := exchange(t, ep, message.Request{Op: message.OpRenewLease, Seq: 3, Key: []byte("k")})
+	if ren.Status != message.StatusOK || ren.LeaseExp < get.LeaseExp {
+		t.Fatalf("renew: %+v", ren)
+	}
+	del := exchange(t, ep, message.Request{Op: message.OpDelete, Seq: 4, Key: []byte("k")})
+	if del.Status != message.StatusOK {
+		t.Fatalf("delete: %+v", del)
+	}
+	miss := exchange(t, ep, message.Request{Op: message.OpGet, Seq: 5, Key: []byte("k")})
+	if miss.Status != message.StatusNotFound {
+		t.Fatalf("get after delete: %+v", miss)
+	}
+}
+
+func TestShardRejectsStaleEpoch(t *testing.T) {
+	sh, f, _ := testShard(t)
+	go sh.Run()
+	defer sh.Stop()
+	sh.SetEpoch(5)
+	ep := sh.Connect(f.NewNIC("client"), false)
+	resp := exchange(t, ep, message.Request{Op: message.OpGet, Seq: 1, Epoch: 4, Key: []byte("k")})
+	if resp.Status != message.StatusWrongShard {
+		t.Fatalf("stale epoch: %+v", resp)
+	}
+	if resp.Epoch != 5 {
+		t.Fatalf("response must advertise current epoch, got %d", resp.Epoch)
+	}
+	ok := exchange(t, ep, message.Request{Op: message.OpPut, Seq: 2, Epoch: 5, Key: []byte("k"), Val: []byte("v")})
+	if ok.Status != message.StatusOK {
+		t.Fatalf("current epoch rejected: %+v", ok)
+	}
+}
+
+func TestShardMalformedRequest(t *testing.T) {
+	sh, f, _ := testShard(t)
+	go sh.Run()
+	defer sh.Stop()
+	ep := sh.Connect(f.NewNIC("client"), false)
+	// Write garbage into the request mailbox.
+	if err := ep.ReqBox.WriteVia(ep.QP, []byte{0xFF, 0x00, 0x01}, 9); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		body, _, ok := ep.RespBox.Poll()
+		if ok {
+			resp, err := message.DecodeResponse(body)
+			ep.RespBox.Consume()
+			if err != nil || resp.Status != message.StatusError {
+				t.Fatalf("garbage must yield StatusError: %+v %v", resp, err)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no response to malformed request")
+		}
+		runtime.Gosched()
+	}
+}
+
+func TestShardRoundRobinAcrossConnections(t *testing.T) {
+	sh, f, _ := testShard(t)
+	go sh.Run()
+	defer sh.Stop()
+	cli := f.NewNIC("clients")
+	const conns = 5
+	eps := make([]*Endpoint, conns)
+	for i := range eps {
+		eps[i] = sh.Connect(cli, false)
+	}
+	// All connections must be served.
+	for round := 0; round < 20; round++ {
+		for i, ep := range eps {
+			key := []byte(fmt.Sprintf("conn%d-key%d", i, round))
+			resp := exchange(t, ep, message.Request{Op: message.OpPut, Seq: uint32(round), Key: key, Val: []byte("v")})
+			if resp.Status != message.StatusOK {
+				t.Fatalf("conn %d round %d: %+v", i, round, resp)
+			}
+		}
+	}
+	if sh.Handled.Load() != conns*20 {
+		t.Fatalf("handled %d, want %d", sh.Handled.Load(), conns*20)
+	}
+}
+
+func TestShardReclaimAmortization(t *testing.T) {
+	clk := timing.NewManualClock(1e9)
+	f := rdma.NewFabric(rdma.Config{})
+	sh := New(Config{
+		ID:           1,
+		NIC:          f.NewNIC("server"),
+		Store:        kv.Config{ArenaBytes: 1 << 20, MaxItems: 4096, Clock: clk},
+		ReclaimEvery: 8,
+	})
+	go sh.Run()
+	defer sh.Stop()
+	ep := sh.Connect(f.NewNIC("client"), false)
+	// Update the same key repeatedly: each update detaches the old area.
+	for i := 0; i < 16; i++ {
+		exchange(t, ep, message.Request{Op: message.OpPut, Seq: uint32(i), Key: []byte("k"), Val: []byte(fmt.Sprintf("v%d", i))})
+	}
+	if sh.Store().PendingReclaims() == 0 {
+		t.Fatal("expected pending reclaims")
+	}
+	// Let leases lapse, then drive more requests: the in-loop amortized
+	// reclamation must free them.
+	clk.Advance(300e9)
+	for i := 0; i < 16; i++ {
+		exchange(t, ep, message.Request{Op: message.OpGet, Seq: uint32(100 + i), Key: []byte("k")})
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for sh.Counters.Reclaims.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("amortized reclamation never ran")
+		}
+		runtime.Gosched()
+	}
+}
+
+func TestShardMigrateOpDoesNotReplicate(t *testing.T) {
+	// OpMigrate applies the item without re-replicating (it IS the
+	// replication/migration path).
+	sh, f, _ := testShard(t)
+	go sh.Run()
+	defer sh.Stop()
+	ep := sh.Connect(f.NewNIC("client"), false)
+	resp := exchange(t, ep, message.Request{Op: message.OpMigrate, Seq: 1, Key: []byte("moved"), Val: []byte("v")})
+	if resp.Status != message.StatusOK {
+		t.Fatalf("migrate: %+v", resp)
+	}
+	if sh.Counters.Replications.Load() != 0 {
+		t.Fatal("migrate must not count as replication")
+	}
+	get := exchange(t, ep, message.Request{Op: message.OpGet, Seq: 2, Key: []byte("moved")})
+	if get.Status != message.StatusOK || string(get.Val) != "v" {
+		t.Fatalf("get after migrate: %+v", get)
+	}
+}
+
+func TestShardKillStopsServing(t *testing.T) {
+	sh, f, _ := testShard(t)
+	go sh.Run()
+	ep := sh.Connect(f.NewNIC("client"), false)
+	exchange(t, ep, message.Request{Op: message.OpPut, Seq: 1, Key: []byte("k"), Val: []byte("v")})
+	sh.Kill()
+	if !sh.Killed() {
+		t.Fatal("killed flag")
+	}
+	// Requests written after the kill are never answered.
+	buf := make([]byte, 256)
+	req := message.Request{Op: message.OpGet, Seq: 2, Key: []byte("k")}
+	n := req.EncodeTo(buf)
+	if err := ep.ReqBox.WriteVia(ep.QP, buf[:n], 2); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if _, _, ok := ep.RespBox.Poll(); ok {
+		t.Fatal("dead shard responded")
+	}
+}
+
+func TestEndpointArenaReadableViaQP(t *testing.T) {
+	// The endpoint's QP + ArenaMR enable one-sided reads of items (the
+	// client package builds on this; verify at the shard boundary).
+	sh, f, _ := testShard(t)
+	go sh.Run()
+	defer sh.Stop()
+	ep := sh.Connect(f.NewNIC("client"), false)
+	put := exchange(t, ep, message.Request{Op: message.OpPut, Seq: 1, Key: []byte("k"), Val: []byte("val-bytes")})
+	dst := make([]byte, put.Ptr.DataLen)
+	_, words, err := ep.QP.Read(ep.ArenaMR, int(put.Ptr.DataOff), dst,
+		int(put.Ptr.MetaIdx), int(put.Ptr.MetaIdx)+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if words[0] != kv.GuardianLive {
+		t.Fatal("guardian not live")
+	}
+	k, v, ok := kv.DecodeItem(dst)
+	if !ok || string(k) != "k" || string(v) != "val-bytes" {
+		t.Fatalf("one-sided read: %q %q %v", k, v, ok)
+	}
+}
+
+func TestPipelinedMatchesSingleThreadSemantics(t *testing.T) {
+	clk := timing.NewManualClock(1e9)
+	f := rdma.NewFabric(rdma.Config{})
+	sh := New(Config{
+		ID:    1,
+		NIC:   f.NewNIC("server"),
+		Store: kv.Config{ArenaBytes: 1 << 20, MaxItems: 4096, Clock: clk},
+	})
+	pipe := NewPipelined(sh, 2, 2)
+	go pipe.Run()
+	defer pipe.Stop()
+	ep := sh.Connect(f.NewNIC("client"), false)
+	for i := 0; i < 30; i++ {
+		key := []byte(fmt.Sprintf("key%02d", i))
+		if r := exchange(t, ep, message.Request{Op: message.OpPut, Seq: uint32(i), Key: key, Val: []byte("v")}); r.Status != message.StatusOK {
+			t.Fatalf("put %d: %+v", i, r)
+		}
+	}
+	for i := 0; i < 30; i++ {
+		key := []byte(fmt.Sprintf("key%02d", i))
+		if r := exchange(t, ep, message.Request{Op: message.OpGet, Seq: uint32(100 + i), Key: key}); r.Status != message.StatusOK {
+			t.Fatalf("get %d: %+v", i, r)
+		}
+	}
+}

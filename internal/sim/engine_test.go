@@ -1,0 +1,183 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	e.At(300, func() { order = append(order, 3) })
+	e.At(100, func() { order = append(order, 1) })
+	e.At(200, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order %v", order)
+	}
+	if e.Now() != 300 {
+		t.Fatalf("final time %d", e.Now())
+	}
+	if e.Events() != 3 {
+		t.Fatalf("events %d", e.Events())
+	}
+}
+
+func TestTieBreakBySequence(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(50, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie order %v", order)
+		}
+	}
+}
+
+func TestAfterAndChaining(t *testing.T) {
+	e := NewEngine(1)
+	var times []int64
+	e.After(10, func() {
+		times = append(times, e.Now())
+		e.After(5, func() {
+			times = append(times, e.Now())
+		})
+	})
+	e.Run()
+	if len(times) != 2 || times[0] != 10 || times[1] != 15 {
+		t.Fatalf("times %v", times)
+	}
+}
+
+func TestPastEventClamped(t *testing.T) {
+	e := NewEngine(1)
+	e.At(100, func() {
+		e.At(50, func() { // in the past: clamps to now
+			if e.Now() != 100 {
+				t.Errorf("clamped event at %d", e.Now())
+			}
+		})
+	})
+	e.Run()
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine(1)
+	ran := 0
+	e.At(10, func() { ran++ })
+	e.At(20, func() { ran++ })
+	e.At(30, func() { ran++ })
+	e.RunUntil(20)
+	if ran != 2 || e.Now() != 20 {
+		t.Fatalf("ran=%d now=%d", ran, e.Now())
+	}
+	e.Run()
+	if ran != 3 {
+		t.Fatalf("final ran=%d", ran)
+	}
+}
+
+func TestSingleServerResourceSerializes(t *testing.T) {
+	e := NewEngine(1)
+	r := NewResource(e, "cpu", 1)
+	var finishes []int64
+	for i := 0; i < 3; i++ {
+		r.Acquire(100, func() { finishes = append(finishes, e.Now()) })
+	}
+	e.Run()
+	if len(finishes) != 3 || finishes[0] != 100 || finishes[1] != 200 || finishes[2] != 300 {
+		t.Fatalf("finishes %v", finishes)
+	}
+	if r.Jobs() != 3 || r.BusyNs() != 300 {
+		t.Fatalf("jobs=%d busy=%d", r.Jobs(), r.BusyNs())
+	}
+	if u := r.Utilization(); u < 0.99 || u > 1.01 {
+		t.Fatalf("utilization %f", u)
+	}
+}
+
+func TestMultiServerResourceParallelizes(t *testing.T) {
+	e := NewEngine(1)
+	r := NewResource(e, "pool", 2)
+	var finishes []int64
+	for i := 0; i < 4; i++ {
+		r.Acquire(100, func() { finishes = append(finishes, e.Now()) })
+	}
+	e.Run()
+	// Two servers: pairs finish at 100 and 200.
+	if finishes[0] != 100 || finishes[1] != 100 || finishes[2] != 200 || finishes[3] != 200 {
+		t.Fatalf("finishes %v", finishes)
+	}
+}
+
+func TestResourceQueueingAfterIdle(t *testing.T) {
+	e := NewEngine(1)
+	r := NewResource(e, "cpu", 1)
+	var finish int64
+	e.At(500, func() {
+		r.Acquire(100, func() { finish = e.Now() })
+	})
+	e.Run()
+	if finish != 600 {
+		t.Fatalf("idle-start job finished at %d", finish)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []int64 {
+		e := NewEngine(42)
+		r := NewResource(e, "cpu", 2)
+		var log []int64
+		var issue func(i int)
+		issue = func(i int) {
+			if i >= 50 {
+				return
+			}
+			cost := int64(e.Rand().Intn(100) + 1)
+			r.Acquire(cost, func() {
+				log = append(log, e.Now())
+				issue(i + 1)
+			})
+		}
+		issue(0)
+		e.Run()
+		return log
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("run lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestClockIntegration(t *testing.T) {
+	e := NewEngine(1)
+	clk := e.Clock()
+	e.At(1000, func() {
+		if clk.Now() != 1000 {
+			t.Errorf("clock = %d inside event", clk.Now())
+		}
+	})
+	e.Run()
+}
+
+func BenchmarkEngineThroughput(b *testing.B) {
+	e := NewEngine(1)
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < b.N {
+			e.After(10, tick)
+		}
+	}
+	e.After(10, tick)
+	e.Run()
+}

@@ -1,0 +1,271 @@
+package simcluster
+
+import (
+	"fmt"
+
+	"hydradb/internal/baselines"
+	"hydradb/internal/sim"
+	"hydradb/internal/stats"
+	"hydradb/internal/ycsb"
+)
+
+// BaselineKind selects a comparison system (Fig. 9).
+type BaselineKind int
+
+// Baselines.
+const (
+	KindMemcached BaselineKind = iota
+	KindRedis
+	KindRAMCloud
+)
+
+// String names the baseline with the paper's version tags.
+func (k BaselineKind) String() string {
+	switch k {
+	case KindMemcached:
+		return "Memcached(IPoIB)"
+	case KindRedis:
+		return "Redis(IPoIB)"
+	case KindRAMCloud:
+		return "RAMCloud(IB)"
+	default:
+		return fmt.Sprintf("Baseline(%d)", int(k))
+	}
+}
+
+// BaselineConfig describes one baseline run on a single server machine
+// (matching the paper's single-server comparison).
+type BaselineConfig struct {
+	Kind           BaselineKind
+	Clients        int
+	ClientMachines int
+	Workload       *ycsb.Workload
+	Cost           CostModel
+	Seed           int64
+}
+
+// BaselineSim runs a baseline store under the same testbed model.
+type BaselineSim struct {
+	cfg     BaselineConfig
+	eng     *sim.Engine
+	server  *machine
+	clients []*simClient
+
+	// architecture resources
+	workers   *sim.Resource   // memcached worker pool / ramcloud workers
+	dispatch  *sim.Resource   // ramcloud dispatch thread
+	instances []*sim.Resource // redis event loops
+
+	mc *baselines.MemcachedLike
+	rd *baselines.RedisLike
+	rc *baselines.RAMCloudLike
+
+	nextOp    int
+	completed int64
+	getHist   *stats.Histogram
+	updHist   *stats.Histogram
+}
+
+// NewBaselineSim builds and preloads a baseline deployment.
+func NewBaselineSim(cfg BaselineConfig) (*BaselineSim, error) {
+	if cfg.Workload == nil {
+		return nil, fmt.Errorf("simcluster: workload required")
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 50
+	}
+	if cfg.ClientMachines <= 0 {
+		cfg.ClientMachines = 5
+	}
+	if cfg.Cost == (CostModel{}) {
+		cfg.Cost = DefaultCostModel()
+	}
+	b := &BaselineSim{
+		cfg:     cfg,
+		eng:     sim.NewEngine(cfg.Seed),
+		getHist: stats.NewHistogram(),
+		updHist: stats.NewHistogram(),
+	}
+	b.server = &machine{id: 0, nic: sim.NewResource(b.eng, "server-nic", 1)}
+	clientMachines := make([]*machine, cfg.ClientMachines)
+	for i := range clientMachines {
+		clientMachines[i] = &machine{id: i + 1, nic: sim.NewResource(b.eng, fmt.Sprintf("cli-nic-%d", i), 1)}
+	}
+	for i := 0; i < cfg.Clients; i++ {
+		b.clients = append(b.clients, &simClient{id: i, m: clientMachines[i%len(clientMachines)]})
+	}
+
+	c := &cfg.Cost
+	switch cfg.Kind {
+	case KindMemcached:
+		b.workers = sim.NewResource(b.eng, "mc-workers", c.MCWorkers)
+		b.mc = baselines.NewMemcachedLike(1024)
+	case KindRedis:
+		b.rd = baselines.NewRedisLike(c.RedisShards)
+		for i := 0; i < c.RedisShards; i++ {
+			b.instances = append(b.instances, sim.NewResource(b.eng, fmt.Sprintf("redis-%d", i), 1))
+		}
+	case KindRAMCloud:
+		b.dispatch = sim.NewResource(b.eng, "rc-dispatch", 1)
+		b.workers = sim.NewResource(b.eng, "rc-workers", c.RCWorkers)
+		b.rc = baselines.NewRAMCloudLike(8 << 20)
+	}
+
+	// Preload.
+	wl := cfg.Workload
+	val := wl.Value()
+	for i := int64(0); i < wl.Spec.Records; i++ {
+		key := wl.Key(i)
+		switch cfg.Kind {
+		case KindMemcached:
+			b.mc.Set(key, val)
+		case KindRedis:
+			b.rd.Set(b.rd.InstanceOf(key), key, val)
+		case KindRAMCloud:
+			b.rc.Set(key, val)
+		}
+	}
+	return b, nil
+}
+
+// tcpNicCost is the per-message NIC+stack service under IPoIB.
+func (b *BaselineSim) tcpNicCost(bytes int) int64 {
+	c := &b.cfg.Cost
+	return c.NICOpNs + int64(float64(bytes)*c.TCPByteNs)
+}
+
+// tcpHop models an IPoIB message: NIC service both ends, wire, plus the
+// kernel/protocol latency that dominates the TCP baselines.
+func (b *BaselineSim) tcpHop(a, to *machine, bytes int, cont func()) {
+	c := &b.cfg.Cost
+	a.nic.Acquire(b.tcpNicCost(bytes), func() {
+		b.eng.After(c.WireNs+c.TCPExtraNs, func() {
+			to.nic.Acquire(b.tcpNicCost(bytes), cont)
+		})
+	})
+}
+
+// verbsHop is the native InfiniBand Send/Recv transport (RAMCloud).
+func (b *BaselineSim) verbsHop(a, to *machine, bytes int, cont func()) {
+	c := &b.cfg.Cost
+	cost := c.NICOpNs + int64(float64(bytes)*c.NICByteNs)
+	a.nic.Acquire(cost, func() {
+		b.eng.After(c.WireNs, func() {
+			to.nic.Acquire(cost, cont)
+		})
+	})
+}
+
+// Run executes the workload and reports the result.
+func (b *BaselineSim) Run(label string) Result {
+	for _, cl := range b.clients {
+		cl := cl
+		b.eng.After(int64(cl.id), func() { b.step(cl) })
+	}
+	b.eng.Run()
+	r := finalize(label, b.completed, b.eng.Now(), b.getHist, b.updHist)
+	r.NICUtil = b.server.nic.Utilization()
+	switch b.cfg.Kind {
+	case KindMemcached, KindRAMCloud:
+		r.MaxShardUtil = b.workers.Utilization()
+	case KindRedis:
+		for _, inst := range b.instances {
+			if u := inst.Utilization(); u > r.MaxShardUtil {
+				r.MaxShardUtil = u
+			}
+		}
+	}
+	return r
+}
+
+func (b *BaselineSim) step(cl *simClient) {
+	if b.nextOp >= len(b.cfg.Workload.Requests) {
+		return
+	}
+	req := b.cfg.Workload.Requests[b.nextOp]
+	b.nextOp++
+	key := string(b.cfg.Workload.KeyInto(cl.keyBuf[:], req.KeyIdx))
+	start := b.eng.Now()
+	isGet := req.Op == ycsb.OpRead
+	b.dispatchOp(cl, key, isGet, start)
+}
+
+func (b *BaselineSim) dispatchOp(cl *simClient, key string, isGet bool, start int64) {
+	c := &b.cfg.Cost
+	wl := b.cfg.Workload
+	reqBytes := 40 + len(key)
+	if !isGet {
+		reqBytes += wl.Spec.ValueLen
+	}
+	respBytes := 40
+	if isGet {
+		respBytes += wl.Spec.ValueLen
+	}
+	finish := func() {
+		if isGet {
+			b.getHist.Record(b.eng.Now() - start)
+		} else {
+			b.updHist.Record(b.eng.Now() - start)
+		}
+		b.completed++
+		b.eng.After(c.ClientThinkNs, func() { b.step(cl) })
+	}
+	apply := func() {
+		if isGet {
+			b.applyGet(key)
+		} else {
+			b.applySet(key)
+		}
+	}
+	switch b.cfg.Kind {
+	case KindMemcached:
+		b.tcpHop(cl.m, b.server, reqBytes, func() {
+			b.workers.Acquire(c.KernelNs+c.MCWorkerNs, func() {
+				apply()
+				b.tcpHop(b.server, cl.m, respBytes, finish)
+			})
+		})
+	case KindRedis:
+		inst := b.rd.InstanceOf([]byte(key))
+		b.tcpHop(cl.m, b.server, reqBytes, func() {
+			b.instances[inst].Acquire(c.KernelNs+c.RedisProcNs, func() {
+				apply()
+				b.tcpHop(b.server, cl.m, respBytes, finish)
+			})
+		})
+	case KindRAMCloud:
+		b.verbsHop(cl.m, b.server, reqBytes, func() {
+			b.dispatch.Acquire(c.RCDispatchNs, func() {
+				b.workers.Acquire(c.RCWorkerNs, func() {
+					apply()
+					b.verbsHop(b.server, cl.m, respBytes, func() {
+						b.eng.After(c.SendRecvClientNs, finish)
+					})
+				})
+			})
+		})
+	}
+}
+
+func (b *BaselineSim) applyGet(key string) {
+	switch b.cfg.Kind {
+	case KindMemcached:
+		b.mc.Get([]byte(key))
+	case KindRedis:
+		b.rd.Get(b.rd.InstanceOf([]byte(key)), []byte(key))
+	case KindRAMCloud:
+		b.rc.Get([]byte(key))
+	}
+}
+
+func (b *BaselineSim) applySet(key string) {
+	val := b.cfg.Workload.Value()
+	switch b.cfg.Kind {
+	case KindMemcached:
+		b.mc.Set([]byte(key), val)
+	case KindRedis:
+		b.rd.Set(b.rd.InstanceOf([]byte(key)), []byte(key), val)
+	case KindRAMCloud:
+		b.rc.Set([]byte(key), val)
+	}
+}

@@ -1,0 +1,244 @@
+// Package stats provides the measurement plumbing for hydradb benchmarks:
+// log-bucketed latency histograms, operation counters, and formatted
+// summaries. Histograms are single-writer; concurrent actors each own one and
+// merge at the end of a run, mirroring how YCSB clients report.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram records int64 samples (nanoseconds by convention) into
+// logarithmically spaced buckets with bounded relative error (~1/32).
+//
+// Layout: 64 major buckets (one per bit position) × 32 minor buckets, i.e.
+// values are grouped by their top 5 bits below the leading bit. This is the
+// standard HDR-style trick and keeps Record at a handful of instructions.
+type Histogram struct {
+	counts [64 * 32]int64
+	n      int64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{min: math.MaxInt64}
+}
+
+func bucketOf(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < 32 {
+		return int(v)
+	}
+	// Position of the leading bit.
+	lb := 63 - leadingZeros64(uint64(v))
+	// Top 5 bits after the leading bit select the minor bucket.
+	minor := int((v >> (uint(lb) - 5)) & 31)
+	return (lb-4)*32 + minor
+}
+
+func leadingZeros64(x uint64) int {
+	n := 0
+	if x == 0 {
+		return 64
+	}
+	for x&(1<<63) == 0 {
+		x <<= 1
+		n++
+	}
+	return n
+}
+
+// bucketLow returns the lowest value mapped to bucket index i.
+func bucketLow(i int) int64 {
+	if i < 32 {
+		return int64(i)
+	}
+	major := i/32 + 4
+	minor := int64(i % 32)
+	return (1 << uint(major)) | (minor << uint(major-5))
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketOf(v)]++
+	h.n++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Merge folds other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil {
+		return
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.n += other.n
+	h.sum += other.sum
+	if other.n > 0 {
+		if other.min < h.min {
+			h.min = other.min
+		}
+		if other.max > h.max {
+			h.max = other.max
+		}
+	}
+}
+
+// Count reports the number of samples.
+func (h *Histogram) Count() int64 { return h.n }
+
+// Mean reports the exact arithmetic mean of recorded samples.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Min reports the smallest recorded sample (0 when empty).
+func (h *Histogram) Min() int64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max reports the largest recorded sample.
+func (h *Histogram) Max() int64 { return h.max }
+
+// Percentile reports an approximation of the p-th percentile (0 < p <= 100)
+// with the histogram's relative bucket error.
+func (h *Histogram) Percentile(p float64) int64 {
+	if h.n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return h.min
+	}
+	if p >= 100 {
+		return h.max
+	}
+	rank := int64(math.Ceil(float64(h.n) * p / 100))
+	var seen int64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			lo := bucketLow(i)
+			if lo < h.min {
+				lo = h.min
+			}
+			if lo > h.max {
+				lo = h.max
+			}
+			return lo
+		}
+	}
+	return h.max
+}
+
+// Summary is a compact snapshot of a histogram used in reports.
+type Summary struct {
+	Count          int64
+	Mean, P50, P95 float64
+	P99, Max       float64
+}
+
+// Summarize produces a Summary with values converted to microseconds.
+func (h *Histogram) Summarize() Summary {
+	return Summary{
+		Count: h.n,
+		Mean:  h.Mean() / 1e3,
+		P50:   float64(h.Percentile(50)) / 1e3,
+		P95:   float64(h.Percentile(95)) / 1e3,
+		P99:   float64(h.Percentile(99)) / 1e3,
+		Max:   float64(h.max) / 1e3,
+	}
+}
+
+// String renders the summary for logs.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.1fus p50=%.1fus p95=%.1fus p99=%.1fus max=%.1fus",
+		s.Count, s.Mean, s.P50, s.P95, s.P99, s.Max)
+}
+
+// Table renders aligned rows for benchmark reports.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, hdr := range t.Headers {
+		widths[i] = len(hdr)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i, w := range widths {
+		sep[i] = strings.Repeat("-", w)
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// SortRowsBy sorts rows by the given column, parsing numeric prefixes when
+// possible so "10" sorts after "9".
+func (t *Table) SortRowsBy(col int) {
+	sort.SliceStable(t.Rows, func(i, j int) bool {
+		var a, b float64
+		fmt.Sscanf(t.Rows[i][col], "%g", &a)
+		fmt.Sscanf(t.Rows[j][col], "%g", &b)
+		if a != b {
+			return a < b
+		}
+		return t.Rows[i][col] < t.Rows[j][col]
+	})
+}

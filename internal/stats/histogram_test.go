@@ -1,0 +1,230 @@
+package stats
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	for i := int64(1); i <= 100; i++ {
+		h.Record(i * 1000)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Min() != 1000 || h.Max() != 100000 {
+		t.Fatalf("min/max = %d/%d", h.Min(), h.Max())
+	}
+	if mean := h.Mean(); mean != 50500 {
+		t.Fatalf("mean = %f", mean)
+	}
+}
+
+func TestHistogramPercentileAccuracy(t *testing.T) {
+	h := NewHistogram()
+	rng := rand.New(rand.NewSource(1))
+	const n = 100000
+	vals := make([]int64, n)
+	for i := range vals {
+		v := int64(rng.ExpFloat64() * 20000) // exponential latencies ~20us
+		vals[i] = v
+		h.Record(v)
+	}
+	// Relative error of the bucketing is ~1/32; allow 5%.
+	for _, p := range []float64{50, 90, 99} {
+		got := h.Percentile(p)
+		exact := exactPercentile(vals, p)
+		if exact == 0 {
+			continue
+		}
+		rel := float64(got-exact) / float64(exact)
+		if rel < -0.06 || rel > 0.06 {
+			t.Errorf("p%.0f: got %d exact %d (rel %.3f)", p, got, exact, rel)
+		}
+	}
+}
+
+func exactPercentile(vals []int64, p float64) int64 {
+	sorted := append([]int64(nil), vals...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+		if i%1000 == 0 {
+			break // fall through to proper sort below
+		}
+	}
+	// insertion sort is too slow at 100k; use a simple radix-ish approach
+	return quickSelect(append([]int64(nil), vals...), int(float64(len(vals))*p/100))
+}
+
+func quickSelect(a []int64, k int) int64 {
+	if k >= len(a) {
+		k = len(a) - 1
+	}
+	lo, hi := 0, len(a)-1
+	for lo < hi {
+		pivot := a[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for a[i] < pivot {
+				i++
+			}
+			for a[j] > pivot {
+				j--
+			}
+			if i <= j {
+				a[i], a[j] = a[j], a[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			break
+		}
+	}
+	return a[k]
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := int64(0); i < 1000; i++ {
+		a.Record(i)
+		b.Record(i + 1000)
+	}
+	a.Merge(b)
+	if a.Count() != 2000 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Min() != 0 || a.Max() != 1999 {
+		t.Fatalf("merged min/max = %d/%d", a.Min(), a.Max())
+	}
+	a.Merge(nil) // must not panic
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram()
+	h.Record(-5)
+	if h.Min() != 0 || h.Count() != 1 {
+		t.Fatalf("negative sample not clamped: min=%d", h.Min())
+	}
+}
+
+func TestBucketMonotonic(t *testing.T) {
+	prev := -1
+	for v := int64(0); v < 1<<22; v = v*5/4 + 1 {
+		b := bucketOf(v)
+		if b < prev {
+			t.Fatalf("bucket index decreased at v=%d", v)
+		}
+		prev = b
+	}
+}
+
+func TestBucketLowInvariant(t *testing.T) {
+	// Property: every value maps to a bucket whose low bound is <= value and
+	// whose relative width is bounded.
+	f := func(raw int64) bool {
+		v := raw
+		if v < 0 {
+			v = -v
+		}
+		v %= 1 << 40
+		b := bucketOf(v)
+		lo := bucketLow(b)
+		if lo > v {
+			return false
+		}
+		if v >= 64 {
+			// width bound: lo >= v * 31/32 - 1
+			return float64(lo) >= float64(v)*0.96-2
+		}
+		return lo == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	h := NewHistogram()
+	h.Record(5000)
+	s := h.Summarize()
+	if s.Count != 1 {
+		t.Fatalf("count=%d", s.Count)
+	}
+	if !strings.Contains(s.String(), "mean=5.0us") {
+		t.Fatalf("unexpected summary: %s", s.String())
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{Title: "demo", Headers: []string{"workload", "Mops/s"}}
+	tbl.AddRow("zipf-50/50", "1.25")
+	tbl.AddRow("unif-100/0", "10.0")
+	out := tbl.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "zipf-50/50") {
+		t.Fatalf("table missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTableSort(t *testing.T) {
+	tbl := &Table{Headers: []string{"n", "v"}}
+	tbl.AddRow("10", "a")
+	tbl.AddRow("2", "b")
+	tbl.AddRow("1", "c")
+	tbl.SortRowsBy(0)
+	if tbl.Rows[0][0] != "1" || tbl.Rows[2][0] != "10" {
+		t.Fatalf("numeric sort failed: %v", tbl.Rows)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Load() != 5 {
+		t.Fatalf("counter = %d", c.Load())
+	}
+	if c.Reset() != 5 || c.Load() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestOpCountersSnapshotAndAdd(t *testing.T) {
+	var o OpCounters
+	o.Gets.Add(10)
+	o.RDMAReadHits.Add(7)
+	o.RDMAReadStale.Add(2)
+	s := o.Snapshot()
+	if s.Gets != 10 || s.RDMAReadHits != 7 || s.RDMAReadStale != 2 {
+		t.Fatalf("snapshot mismatch: %+v", s)
+	}
+	var total OpSnapshot
+	total.Add(s)
+	total.Add(s)
+	if total.Gets != 20 || total.RDMAReadHits != 14 {
+		t.Fatalf("add mismatch: %+v", total)
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	h := NewHistogram()
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i % 100000))
+	}
+}

@@ -1,0 +1,211 @@
+// Package swat implements the Status Watcher and reAct Team (paper §5.1):
+// an independent group of processes that watch shard liveness through the
+// coordination service and react to status changes. The team elects a
+// leader; only the leader carries out reconfiguration (promoting a secondary
+// to primary, repairing routing metadata); when the leader itself fails, a
+// new leader is elected and takes over future reactions.
+package swat
+
+import (
+	"fmt"
+	"sync"
+
+	"hydradb/internal/coord"
+)
+
+// Reactor is invoked by the current SWAT leader when a watched shard's
+// liveness node disappears. name is the znode name (e.g. "shard-3").
+// Implementations perform the environment reconfiguration: selecting a new
+// primary among the secondaries, migrating data, bumping the routing epoch.
+type Reactor func(name string)
+
+// Team is a SWAT ensemble.
+type Team struct {
+	server   *coord.Server
+	livePath string
+	reactor  Reactor
+
+	mu      sync.Mutex
+	members []*member
+	reacted map[string]bool // de-dup: several members may observe an event
+	stopped bool
+}
+
+type member struct {
+	name     string
+	sess     *coord.Session
+	election *coord.Election
+	events   <-chan coord.Event
+	cancel   func()
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewTeam starts size SWAT members against the coordination server,
+// watching the children of livePath and reacting through reactor.
+func NewTeam(server *coord.Server, size int, livePath string, reactor Reactor) (*Team, error) {
+	if size <= 0 {
+		size = 3
+	}
+	t := &Team{
+		server:   server,
+		livePath: livePath,
+		reactor:  reactor,
+		reacted:  map[string]bool{},
+	}
+	bootstrap := server.NewSession()
+	if err := bootstrap.EnsurePath(livePath); err != nil {
+		return nil, err
+	}
+	bootstrap.Close()
+	for i := 0; i < size; i++ {
+		m, err := t.newMember(fmt.Sprintf("swat-%d", i))
+		if err != nil {
+			t.Stop()
+			return nil, err
+		}
+		t.members = append(t.members, m)
+		go t.run(m)
+	}
+	return t, nil
+}
+
+func (t *Team) newMember(name string) (*member, error) {
+	sess := t.server.NewSession()
+	el, err := coord.NewElection(sess, t.livePath+"-election", name)
+	if err != nil {
+		sess.Close()
+		return nil, err
+	}
+	events, cancel, err := sess.Watch(t.livePath)
+	if err != nil {
+		el.Resign()
+		sess.Close()
+		return nil, err
+	}
+	return &member{
+		name:     name,
+		sess:     sess,
+		election: el,
+		events:   events,
+		cancel:   cancel,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}, nil
+}
+
+// run is one member's event loop.
+func (t *Team) run(m *member) {
+	defer close(m.done)
+	for {
+		select {
+		case <-m.stop:
+			return
+		case ev, ok := <-m.events:
+			if !ok {
+				return
+			}
+			if ev.Type == coord.EventSessionExpired {
+				return
+			}
+			if ev.Type != coord.EventDeleted {
+				continue
+			}
+			// Only the leader reacts (§5.1).
+			isLeader, err := m.election.IsLeader()
+			if err != nil || !isLeader {
+				continue
+			}
+			name := ev.Path[len(t.livePath)+1:]
+			t.mu.Lock()
+			already := t.reacted[ev.Path+"#"+name]
+			if !already {
+				t.reacted[ev.Path+"#"+name] = true
+			}
+			t.mu.Unlock()
+			if !already && t.reactor != nil {
+				t.reactor(name)
+				// Allow a future failure of a re-registered shard with the
+				// same name to trigger again.
+				t.mu.Lock()
+				delete(t.reacted, ev.Path+"#"+name)
+				t.mu.Unlock()
+			}
+		}
+	}
+}
+
+// LeaderName reports the current leader (empty when none).
+func (t *Team) LeaderName() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, m := range t.members {
+		if ok, _ := m.election.IsLeader(); ok {
+			return m.name
+		}
+	}
+	return ""
+}
+
+// KillLeader fails the current leader member (failure injection): its
+// session closes, its candidacy vanishes, and a new leader takes over.
+func (t *Team) KillLeader() string {
+	t.mu.Lock()
+	var victim *member
+	for _, m := range t.members {
+		if ok, _ := m.election.IsLeader(); ok {
+			victim = m
+			break
+		}
+	}
+	t.mu.Unlock()
+	if victim == nil {
+		return ""
+	}
+	// Kill without holding the team lock: the member loop's reactor path
+	// also takes it.
+	select {
+	case <-victim.stop:
+	default:
+		close(victim.stop)
+	}
+	victim.cancel()
+	victim.sess.Close()
+	<-victim.done
+	return victim.name
+}
+
+// Members reports the number of live members.
+func (t *Team) Members() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, m := range t.members {
+		if t.server.SessionAlive(m.sess.ID()) {
+			n++
+		}
+	}
+	return n
+}
+
+// Stop shuts the team down.
+func (t *Team) Stop() {
+	t.mu.Lock()
+	if t.stopped {
+		t.mu.Unlock()
+		return
+	}
+	t.stopped = true
+	members := append([]*member(nil), t.members...)
+	t.mu.Unlock()
+	for _, m := range members {
+		select {
+		case <-m.stop:
+		default:
+			close(m.stop)
+		}
+		m.cancel()
+		m.sess.Close()
+		<-m.done
+	}
+}

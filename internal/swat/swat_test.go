@@ -1,0 +1,130 @@
+package swat
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"hydradb/internal/coord"
+	"hydradb/internal/timing"
+)
+
+func TestTeamElectsOneLeader(t *testing.T) {
+	srv := coord.NewServer(timing.NewManualClock(0), 2e9)
+	team, err := NewTeam(srv, 3, "/hydra/live", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer team.Stop()
+	if team.LeaderName() == "" {
+		t.Fatal("no leader elected")
+	}
+	if team.Members() != 3 {
+		t.Fatalf("members = %d", team.Members())
+	}
+}
+
+func TestLeaderReactsToShardFailure(t *testing.T) {
+	srv := coord.NewServer(timing.NewManualClock(0), 2e9)
+	var mu sync.Mutex
+	var reacted []string
+	team, err := NewTeam(srv, 3, "/hydra/live", func(name string) {
+		mu.Lock()
+		reacted = append(reacted, name)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer team.Stop()
+
+	// A shard registers and dies.
+	shardSess := srv.NewSession()
+	if _, err := shardSess.Create("/hydra/live/shard-7", nil, coord.FlagEphemeral); err != nil {
+		t.Fatal(err)
+	}
+	shardSess.Close()
+
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(reacted) == 1 && reacted[0] == "shard-7"
+	}, "reactor did not fire exactly once")
+}
+
+func TestFailoverOfSWATLeader(t *testing.T) {
+	srv := coord.NewServer(timing.NewManualClock(0), 2e9)
+	var mu sync.Mutex
+	reacted := map[string]int{}
+	team, err := NewTeam(srv, 3, "/hydra/live", func(name string) {
+		mu.Lock()
+		reacted[name]++
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer team.Stop()
+
+	first := team.KillLeader()
+	if first == "" {
+		t.Fatal("no leader to kill")
+	}
+	waitFor(t, func() bool {
+		name := team.LeaderName()
+		return name != "" && name != first
+	}, "no successor leader")
+	if team.Members() != 2 {
+		t.Fatalf("members after leader death = %d", team.Members())
+	}
+
+	// The new leader still reacts to shard failures.
+	shardSess := srv.NewSession()
+	shardSess.Create("/hydra/live/shard-1", nil, coord.FlagEphemeral)
+	shardSess.Close()
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return reacted["shard-1"] == 1
+	}, "successor leader did not react")
+}
+
+func TestReactorFiresOncePerFailure(t *testing.T) {
+	srv := coord.NewServer(timing.NewManualClock(0), 2e9)
+	var mu sync.Mutex
+	count := 0
+	team, _ := NewTeam(srv, 5, "/hydra/live", func(name string) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+		time.Sleep(10 * time.Millisecond) // widen the dedup race window
+	})
+	defer team.Stop()
+
+	s := srv.NewSession()
+	s.Create("/hydra/live/shard-2", nil, coord.FlagEphemeral)
+	s.Close()
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return count >= 1
+	}, "no reaction")
+	time.Sleep(50 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	if count != 1 {
+		t.Fatalf("reactor fired %d times", count)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal(msg)
+}

@@ -1,0 +1,72 @@
+// Package timing provides the clock abstraction shared by the live
+// middleware and the discrete-event simulator.
+//
+// All lease arithmetic, expiry checks and latency accounting in hydradb go
+// through a Clock so that the same data-plane code can run against the real
+// monotonic clock (live mode) or a virtual clock advanced by the simulation
+// engine.
+package timing
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Clock reports the current time in nanoseconds on an arbitrary but
+// monotonically non-decreasing scale.
+type Clock interface {
+	Now() int64
+}
+
+// RealClock reads the process monotonic clock.
+type RealClock struct {
+	base time.Time
+}
+
+// NewRealClock returns a Clock backed by time.Since on a fixed base, which
+// uses Go's monotonic reading and is immune to wall-clock adjustments.
+func NewRealClock() *RealClock {
+	return &RealClock{base: time.Now()}
+}
+
+// Now reports nanoseconds elapsed since the clock was created.
+func (c *RealClock) Now() int64 { return int64(time.Since(c.base)) }
+
+// ManualClock is a virtual clock advanced explicitly. It is safe for
+// concurrent use; the simulation engine advances it from a single goroutine
+// while live-mode tests may read it from many.
+type ManualClock struct {
+	now atomic.Int64
+}
+
+// NewManualClock returns a ManualClock starting at start nanoseconds.
+func NewManualClock(start int64) *ManualClock {
+	c := &ManualClock{}
+	c.now.Store(start)
+	return c
+}
+
+// Now reports the current virtual time.
+func (c *ManualClock) Now() int64 { return c.now.Load() }
+
+// Set moves the clock to t. Moving backwards is rejected silently so that a
+// caller merging timelines cannot violate monotonicity.
+func (c *ManualClock) Set(t int64) {
+	for {
+		cur := c.now.Load()
+		if t <= cur {
+			return
+		}
+		if c.now.CompareAndSwap(cur, t) {
+			return
+		}
+	}
+}
+
+// Advance moves the clock forward by d nanoseconds and returns the new time.
+func (c *ManualClock) Advance(d int64) int64 {
+	if d < 0 {
+		d = 0
+	}
+	return c.now.Add(d)
+}

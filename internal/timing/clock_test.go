@@ -1,0 +1,60 @@
+package timing
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRealClockMonotonic(t *testing.T) {
+	c := NewRealClock()
+	a := c.Now()
+	time.Sleep(time.Millisecond)
+	b := c.Now()
+	if b <= a {
+		t.Fatalf("real clock not advancing: %d -> %d", a, b)
+	}
+}
+
+func TestManualClock(t *testing.T) {
+	c := NewManualClock(100)
+	if c.Now() != 100 {
+		t.Fatalf("start = %d", c.Now())
+	}
+	c.Advance(50)
+	if c.Now() != 150 {
+		t.Fatalf("after advance = %d", c.Now())
+	}
+	c.Set(120) // backwards: ignored
+	if c.Now() != 150 {
+		t.Fatalf("backwards set must be ignored, got %d", c.Now())
+	}
+	c.Set(500)
+	if c.Now() != 500 {
+		t.Fatalf("forward set = %d", c.Now())
+	}
+	c.Advance(-10) // negative advance clamps to 0
+	if c.Now() != 500 {
+		t.Fatalf("negative advance must be a no-op, got %d", c.Now())
+	}
+}
+
+func TestManualClockConcurrentReads(t *testing.T) {
+	c := NewManualClock(0)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		last := int64(0)
+		for i := 0; i < 1000; i++ {
+			now := c.Now()
+			if now < last {
+				t.Errorf("clock went backwards: %d -> %d", last, now)
+				return
+			}
+			last = now
+		}
+	}()
+	for i := 0; i < 1000; i++ {
+		c.Advance(3)
+	}
+	<-done
+}

@@ -1,0 +1,103 @@
+package ycsb
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Workload file format: the paper pre-generates workloads because "YCSB
+// workload generation can be highly CPU-intensive and time-consuming" (§6);
+// this codec lets tools generate once and replay many times.
+//
+//	magic "HYWL1\n"
+//	one JSON line: the Spec
+//	len(Requests) as little-endian uint64
+//	requests: [op u8][keyIdx i64 LE] each
+const fileMagic = "HYWL1\n"
+
+// Save writes the workload to w.
+func (w *Workload) Save(out io.Writer) error {
+	bw := bufio.NewWriterSize(out, 1<<20)
+	if _, err := bw.WriteString(fileMagic); err != nil {
+		return err
+	}
+	spec, err := json.Marshal(w.Spec)
+	if err != nil {
+		return err
+	}
+	if _, err := bw.Write(append(spec, '\n')); err != nil {
+		return err
+	}
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(len(w.Requests)))
+	if _, err := bw.Write(n[:]); err != nil {
+		return err
+	}
+	var rec [9]byte
+	for _, r := range w.Requests {
+		rec[0] = byte(r.Op)
+		binary.LittleEndian.PutUint64(rec[1:], uint64(r.KeyIdx))
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a workload written by Save. The value payload is regenerated
+// deterministically from the spec's seed, so Load(Save(w)) ≡ w.
+func Load(in io.Reader) (*Workload, error) {
+	br := bufio.NewReaderSize(in, 1<<20)
+	magic := make([]byte, len(fileMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("ycsb: reading magic: %w", err)
+	}
+	if string(magic) != fileMagic {
+		return nil, fmt.Errorf("ycsb: not a workload file")
+	}
+	specLine, err := br.ReadBytes('\n')
+	if err != nil {
+		return nil, fmt.Errorf("ycsb: reading spec: %w", err)
+	}
+	var spec Spec
+	if err := json.Unmarshal(specLine, &spec); err != nil {
+		return nil, fmt.Errorf("ycsb: decoding spec: %w", err)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	var nbuf [8]byte
+	if _, err := io.ReadFull(br, nbuf[:]); err != nil {
+		return nil, fmt.Errorf("ycsb: reading count: %w", err)
+	}
+	n := binary.LittleEndian.Uint64(nbuf[:])
+	if n > 1<<32 {
+		return nil, fmt.Errorf("ycsb: implausible request count %d", n)
+	}
+	// Rebuild the value payload exactly as Generate does (first RNG draws).
+	base, err := Generate(Spec{
+		Records: spec.Records, Operations: 0,
+		ReadProportion: spec.ReadProportion, UpdateProportion: spec.UpdateProportion,
+		InsertProportion: spec.InsertProportion,
+		Dist:             spec.Dist, KeyLen: spec.KeyLen, ValueLen: spec.ValueLen, Seed: spec.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	w := &Workload{Spec: spec, Requests: make([]Request, n), value: base.value}
+	rec := make([]byte, 9)
+	for i := range w.Requests {
+		if _, err := io.ReadFull(br, rec); err != nil {
+			return nil, fmt.Errorf("ycsb: reading request %d: %w", i, err)
+		}
+		op := OpType(rec[0])
+		if op < OpRead || op > OpInsert {
+			return nil, fmt.Errorf("ycsb: bad op %d at request %d", rec[0], i)
+		}
+		w.Requests[i] = Request{Op: op, KeyIdx: int64(binary.LittleEndian.Uint64(rec[1:]))}
+	}
+	return w, nil
+}

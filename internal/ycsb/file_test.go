@@ -1,0 +1,67 @@
+package ycsb
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	w, err := Generate(StandardSpec(1000, 5000, 90, Zipfian, 77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := w.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Spec != w.Spec {
+		t.Fatalf("spec mismatch: %+v vs %+v", got.Spec, w.Spec)
+	}
+	if len(got.Requests) != len(w.Requests) {
+		t.Fatalf("request count %d vs %d", len(got.Requests), len(w.Requests))
+	}
+	for i := range w.Requests {
+		if got.Requests[i] != w.Requests[i] {
+			t.Fatalf("request %d differs", i)
+		}
+	}
+	if !bytes.Equal(got.Value(), w.Value()) {
+		t.Fatal("value payload not reconstructed")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("")); err == nil {
+		t.Fatal("empty input loaded")
+	}
+	if _, err := Load(strings.NewReader("NOTAWORKLOAD FILE AT ALL\n")); err == nil {
+		t.Fatal("bad magic loaded")
+	}
+	if _, err := Load(strings.NewReader(fileMagic + "{not json\n")); err == nil {
+		t.Fatal("bad spec loaded")
+	}
+	if _, err := Load(strings.NewReader(fileMagic + `{"Records":10,"Operations":1,"ReadProportion":1,"KeyLen":16,"ValueLen":32}` + "\n")); err == nil {
+		t.Fatal("truncated body loaded")
+	}
+}
+
+func TestLoadRejectsTruncatedRequests(t *testing.T) {
+	w, _ := Generate(StandardSpec(100, 100, 100, Uniform, 1))
+	var buf bytes.Buffer
+	w.Save(&buf)
+	b := buf.Bytes()
+	if _, err := Load(bytes.NewReader(b[:len(b)-5])); err == nil {
+		t.Fatal("truncated requests loaded")
+	}
+	// Corrupt an op byte.
+	b2 := append([]byte(nil), b...)
+	b2[len(b2)-9] = 0xEE
+	if _, err := Load(bytes.NewReader(b2)); err == nil {
+		t.Fatal("corrupt op loaded")
+	}
+}

@@ -1,0 +1,267 @@
+// Package ycsb generates YCSB-style workloads (Cooper et al., SoCC '10) —
+// the benchmark the paper evaluates with (§6): request streams with
+// configurable GET/UPDATE mixes over Zipfian or Uniform key popularity,
+// 16-byte keys and 32-byte values, pre-generated in memory before
+// measurement starts ("all the workloads are pre-generated", §6).
+package ycsb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+)
+
+// Distribution selects key popularity.
+type Distribution int
+
+// Distributions. Zipfian uses the YCSB constant theta=0.99; Scrambled
+// spreads the hot items across the keyspace (YCSB's default request
+// distribution); Latest skews towards recently inserted records.
+const (
+	Uniform Distribution = iota
+	Zipfian
+	ScrambledZipfian
+	Latest
+)
+
+// String names the distribution.
+func (d Distribution) String() string {
+	switch d {
+	case Uniform:
+		return "uniform"
+	case Zipfian:
+		return "zipfian"
+	case ScrambledZipfian:
+		return "scrambled-zipfian"
+	case Latest:
+		return "latest"
+	default:
+		return fmt.Sprintf("dist(%d)", int(d))
+	}
+}
+
+// OpType is a workload operation.
+type OpType byte
+
+// Operations. The paper's mixes use READ ("GET") and UPDATE; INSERT drives
+// the replication experiment (Fig. 13).
+const (
+	OpRead OpType = iota + 1
+	OpUpdate
+	OpInsert
+)
+
+// Request is one pre-generated operation.
+type Request struct {
+	Op     OpType
+	KeyIdx int64
+}
+
+// Spec describes a workload.
+type Spec struct {
+	// Records is the number of pre-loaded records.
+	Records int64
+	// Operations is the number of requests to generate.
+	Operations int
+	// ReadProportion + UpdateProportion + InsertProportion must sum to ~1.
+	ReadProportion   float64
+	UpdateProportion float64
+	InsertProportion float64
+	// Dist selects key popularity.
+	Dist Distribution
+	// KeyLen and ValueLen size items (paper: 16 and 32).
+	KeyLen, ValueLen int
+	// Seed makes generation reproducible.
+	Seed int64
+}
+
+// Validate checks the spec.
+func (s *Spec) Validate() error {
+	if s.Records <= 0 || s.Operations < 0 {
+		return fmt.Errorf("ycsb: records/operations must be positive")
+	}
+	sum := s.ReadProportion + s.UpdateProportion + s.InsertProportion
+	if math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("ycsb: proportions sum to %f, want 1", sum)
+	}
+	if s.KeyLen < 8 || s.KeyLen > 64 {
+		return fmt.Errorf("ycsb: key length %d unsupported", s.KeyLen)
+	}
+	return nil
+}
+
+// StandardSpec builds one of the paper's six workloads: readPct percent
+// GETs, the rest UPDATEs, over dist.
+func StandardSpec(records int64, operations int, readPct int, dist Distribution, seed int64) Spec {
+	return Spec{
+		Records:          records,
+		Operations:       operations,
+		ReadProportion:   float64(readPct) / 100,
+		UpdateProportion: float64(100-readPct) / 100,
+		Dist:             dist,
+		KeyLen:           16,
+		ValueLen:         32,
+		Seed:             seed,
+	}
+}
+
+// Name renders the paper's workload label, e.g. "90% GET zipfian".
+func (s *Spec) Name() string {
+	return fmt.Sprintf("%d%%GET/%d%%UPD %s",
+		int(s.ReadProportion*100), int(s.UpdateProportion*100+s.InsertProportion*100), s.Dist)
+}
+
+// Workload is a pre-generated request stream.
+type Workload struct {
+	Spec     Spec
+	Requests []Request
+	value    []byte
+}
+
+// Generate materializes the workload.
+func Generate(spec Spec) (*Workload, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	gen := newKeyGen(spec.Dist, spec.Records, rng)
+	w := &Workload{
+		Spec:     spec,
+		Requests: make([]Request, spec.Operations),
+		value:    make([]byte, spec.ValueLen),
+	}
+	for i := range w.value {
+		w.value[i] = byte('a' + rng.Intn(26))
+	}
+	inserted := spec.Records
+	for i := range w.Requests {
+		p := rng.Float64()
+		switch {
+		case p < spec.ReadProportion:
+			w.Requests[i] = Request{Op: OpRead, KeyIdx: gen.next(rng, inserted)}
+		case p < spec.ReadProportion+spec.UpdateProportion:
+			w.Requests[i] = Request{Op: OpUpdate, KeyIdx: gen.next(rng, inserted)}
+		default:
+			w.Requests[i] = Request{Op: OpInsert, KeyIdx: inserted}
+			inserted++
+		}
+	}
+	return w, nil
+}
+
+// Key renders record idx as a 16-byte (or KeyLen-byte) key.
+func (w *Workload) Key(idx int64) []byte {
+	return []byte(fmt.Sprintf("user%0*d", w.Spec.KeyLen-4, idx))
+}
+
+// KeyInto renders the key into dst (len >= KeyLen) without allocating.
+func (w *Workload) KeyInto(dst []byte, idx int64) []byte {
+	b := dst[:0]
+	b = append(b, 'u', 's', 'e', 'r')
+	digits := w.Spec.KeyLen - 4
+	for i := digits - 1; i >= 0; i-- {
+		b = append(b, 0)
+	}
+	for i := len(b) - 1; i >= 4; i-- {
+		b[i] = byte('0' + idx%10)
+		idx /= 10
+	}
+	return b
+}
+
+// Value returns the constant-size value payload.
+func (w *Workload) Value() []byte { return w.value }
+
+// keyGen produces key indices under a popularity distribution.
+type keyGen struct {
+	dist Distribution
+	zipf *zipfGen
+	n    int64
+}
+
+func newKeyGen(dist Distribution, n int64, rng *rand.Rand) *keyGen {
+	g := &keyGen{dist: dist, n: n}
+	if dist != Uniform {
+		g.zipf = newZipf(n)
+	}
+	return g
+}
+
+func (g *keyGen) next(rng *rand.Rand, inserted int64) int64 {
+	switch g.dist {
+	case Uniform:
+		return rng.Int63n(g.n)
+	case Zipfian:
+		return g.zipf.next(rng)
+	case ScrambledZipfian:
+		v := g.zipf.next(rng)
+		return int64(fnv64(uint64(v)) % uint64(g.n))
+	case Latest:
+		// Skew towards the most recently inserted records.
+		v := g.zipf.next(rng)
+		idx := inserted - 1 - v
+		if idx < 0 {
+			idx = 0
+		}
+		return idx
+	default:
+		return rng.Int63n(g.n)
+	}
+}
+
+func fnv64(v uint64) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= 0x100000001b3
+		v >>= 8
+	}
+	return h
+}
+
+// zipfGen is YCSB's ZipfianGenerator (Gray et al., "Quickly generating
+// billion-record synthetic databases") with theta = 0.99.
+type zipfGen struct {
+	n            int64
+	theta, alpha float64
+	zetan, zeta2 float64
+	eta          float64
+}
+
+const zipfTheta = 0.99
+
+var zetaCache sync.Map // n -> zeta(n)
+
+func zetaOf(n int64, theta float64) float64 {
+	if v, ok := zetaCache.Load(n); ok {
+		return v.(float64)
+	}
+	sum := 0.0
+	for i := int64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	zetaCache.Store(n, sum)
+	return sum
+}
+
+func newZipf(n int64) *zipfGen {
+	z := &zipfGen{n: n, theta: zipfTheta}
+	z.zetan = zetaOf(n, zipfTheta)
+	z.zeta2 = zetaOf(2, zipfTheta)
+	z.alpha = 1 / (1 - zipfTheta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-zipfTheta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+func (z *zipfGen) next(rng *rand.Rand) int64 {
+	u := rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return int64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}

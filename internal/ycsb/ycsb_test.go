@@ -1,0 +1,245 @@
+package ycsb
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestSpecValidation(t *testing.T) {
+	s := StandardSpec(1000, 100, 90, Zipfian, 1)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := s
+	bad.ReadProportion = 0.5 // sums to 0.6
+	if err := bad.Validate(); err == nil {
+		t.Fatal("bad proportions accepted")
+	}
+	bad = s
+	bad.Records = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero records accepted")
+	}
+	bad = s
+	bad.KeyLen = 4
+	if err := bad.Validate(); err == nil {
+		t.Fatal("tiny key accepted")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := StandardSpec(1000, 5000, 50, Zipfian, 42)
+	w1, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, _ := Generate(spec)
+	for i := range w1.Requests {
+		if w1.Requests[i] != w2.Requests[i] {
+			t.Fatalf("request %d differs across runs", i)
+		}
+	}
+}
+
+func TestMixProportions(t *testing.T) {
+	spec := StandardSpec(10000, 100000, 90, Uniform, 7)
+	w, _ := Generate(spec)
+	reads := 0
+	for _, r := range w.Requests {
+		if r.Op == OpRead {
+			reads++
+		}
+	}
+	frac := float64(reads) / float64(len(w.Requests))
+	if math.Abs(frac-0.9) > 0.01 {
+		t.Fatalf("read fraction %.3f, want 0.90", frac)
+	}
+}
+
+func TestInsertWorkloadGrowsKeyspace(t *testing.T) {
+	spec := Spec{
+		Records: 100, Operations: 1000,
+		InsertProportion: 1.0,
+		Dist:             Uniform, KeyLen: 16, ValueLen: 32, Seed: 3,
+	}
+	w, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int64]bool{}
+	for i, r := range w.Requests {
+		if r.Op != OpInsert {
+			t.Fatalf("request %d not an insert", i)
+		}
+		if r.KeyIdx < 100 || seen[r.KeyIdx] {
+			t.Fatalf("insert %d reuses key %d", i, r.KeyIdx)
+		}
+		seen[r.KeyIdx] = true
+	}
+}
+
+func TestKeyFormat(t *testing.T) {
+	spec := StandardSpec(100, 10, 100, Uniform, 1)
+	w, _ := Generate(spec)
+	k := w.Key(42)
+	if len(k) != 16 || string(k[:4]) != "user" {
+		t.Fatalf("key %q", k)
+	}
+	if string(k) != "user000000000042" {
+		t.Fatalf("key %q", k)
+	}
+	// KeyInto matches Key without allocating.
+	dst := make([]byte, 16)
+	if got := w.KeyInto(dst, 42); !bytes.Equal(got, k) {
+		t.Fatalf("KeyInto %q != Key %q", got, k)
+	}
+	if got := w.KeyInto(dst, 999999); string(got) != "user000000999999" {
+		t.Fatalf("KeyInto big: %q", got)
+	}
+	if n := testing.AllocsPerRun(100, func() { w.KeyInto(dst, 123456) }); n > 0 {
+		t.Fatalf("KeyInto allocates %.1f/op", n)
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	const n = 10000
+	z := newZipf(n)
+	rng := rand.New(rand.NewSource(1))
+	counts := map[int64]int{}
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		v := z.next(rng)
+		if v < 0 || v >= n {
+			t.Fatalf("zipf out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// Rank-0 item should absorb ~1/zeta(n) of draws (~7% for n=10k).
+	if frac := float64(counts[0]) / draws; frac < 0.04 || frac > 0.15 {
+		t.Fatalf("hottest item fraction %.3f implausible for zipf(0.99)", frac)
+	}
+	// Top-1% of items should cover the majority of draws.
+	var all []int
+	for _, c := range counts {
+		all = append(all, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(all)))
+	top := 0
+	for i := 0; i < len(all) && i < n/100; i++ {
+		top += all[i]
+	}
+	if frac := float64(top) / draws; frac < 0.5 {
+		t.Fatalf("top-1%% covers only %.2f of draws", frac)
+	}
+}
+
+func TestUniformSpread(t *testing.T) {
+	spec := StandardSpec(1000, 100000, 100, Uniform, 5)
+	w, _ := Generate(spec)
+	counts := make([]int, 1000)
+	for _, r := range w.Requests {
+		counts[r.KeyIdx]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	// Uniform: expected 100 per key; a max above 200 is wildly off.
+	if max > 200 {
+		t.Fatalf("uniform max count %d", max)
+	}
+}
+
+func TestScrambledZipfianSpreadsHotKeys(t *testing.T) {
+	const n = 10000
+	specZ := StandardSpec(n, 50000, 100, Zipfian, 9)
+	specS := StandardSpec(n, 50000, 100, ScrambledZipfian, 9)
+	wz, _ := Generate(specZ)
+	ws, _ := Generate(specS)
+	hotZ, hotS := int64(-1), int64(-1)
+	cz, cs := map[int64]int{}, map[int64]int{}
+	for i := range wz.Requests {
+		cz[wz.Requests[i].KeyIdx]++
+		cs[ws.Requests[i].KeyIdx]++
+	}
+	bz, bs := 0, 0
+	for k, c := range cz {
+		if c > bz {
+			bz, hotZ = c, k
+		}
+	}
+	for k, c := range cs {
+		if c > bs {
+			bs, hotS = c, k
+		}
+	}
+	// Plain zipfian's hottest key is rank 0; scrambled moves it elsewhere
+	// while preserving skew.
+	if hotZ != 0 {
+		t.Fatalf("plain zipfian hottest = %d", hotZ)
+	}
+	if hotS == 0 {
+		t.Fatal("scrambled zipfian did not move the hot key")
+	}
+	if bs < bz/2 {
+		t.Fatalf("scrambling destroyed skew: %d vs %d", bs, bz)
+	}
+}
+
+func TestLatestFavorsRecent(t *testing.T) {
+	spec := Spec{
+		Records: 1000, Operations: 50000,
+		ReadProportion: 0.95, InsertProportion: 0.05,
+		Dist: Latest, KeyLen: 16, ValueLen: 32, Seed: 11,
+	}
+	w, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recent, old := 0, 0
+	for _, r := range w.Requests {
+		if r.Op != OpRead {
+			continue
+		}
+		if r.KeyIdx > 900 {
+			recent++
+		} else if r.KeyIdx < 500 {
+			old++
+		}
+	}
+	if recent < old {
+		t.Fatalf("latest distribution not recency-skewed: recent=%d old=%d", recent, old)
+	}
+}
+
+func TestDistributionNames(t *testing.T) {
+	if Uniform.String() != "uniform" || Zipfian.String() != "zipfian" {
+		t.Fatal("names wrong")
+	}
+	s := StandardSpec(10, 10, 90, Zipfian, 1)
+	if s.Name() != "90%GET/10%UPD zipfian" {
+		t.Fatalf("spec name %q", s.Name())
+	}
+}
+
+func BenchmarkZipfNext(b *testing.B) {
+	z := newZipf(1 << 20)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < b.N; i++ {
+		z.next(rng)
+	}
+}
+
+func BenchmarkGenerate1M(b *testing.B) {
+	spec := StandardSpec(1<<20, 1<<20, 90, ScrambledZipfian, 1)
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
