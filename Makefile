@@ -1,0 +1,46 @@
+# HydraDB development entry points. CI (.github/workflows/ci.yml) runs the
+# same targets; keeping them here means a laptop run and a CI run cannot
+# drift apart.
+
+GO        ?= go
+FUZZTIME  ?= 20s
+
+.PHONY: all build vet test race lint fuzz-smoke debug-test ci
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) build -tags hydradebug ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The race detector complements hydralint's static shard-exclusivity check:
+# the linter proves no locks/goroutines exist on the hot path, the race
+# detector proves the remaining sharing (mailbox words, guardian words,
+# conns snapshots) is correctly synchronized.
+race:
+	$(GO) test -race ./...
+
+# Static invariants (clock discipline, shard exclusivity, atomic-word
+# hygiene, hot-path allocations, error discipline). Non-zero exit on any
+# unsuppressed finding.
+lint:
+	$(GO) run ./cmd/hydralint ./...
+
+# Short fuzz pass over the wire codecs; go test -fuzz accepts only one
+# package per invocation.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzBucketEncodeDecode -fuzztime=$(FUZZTIME) ./internal/hashtable
+	$(GO) test -run='^$$' -fuzz=FuzzMessageRoundTrip -fuzztime=$(FUZZTIME) ./internal/message
+
+# Runtime sanitizers: goroutine-ownership assertions, arena double-free /
+# use-after-free canaries, guardian-word validation at the fabric boundary.
+debug-test:
+	$(GO) test -tags hydradebug ./...
+
+ci: build vet lint test race debug-test fuzz-smoke

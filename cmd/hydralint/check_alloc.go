@@ -1,0 +1,169 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// runHotpathAlloc enforces the zero-allocation contract on functions whose
+// doc comment carries a `hydralint:hotpath` marker. The paper's latency
+// numbers (sub-10µs round trips, §6.1) assume the per-request path touches
+// only pre-allocated arenas and mailbox buffers; one escaping literal or
+// fmt call puts the Go allocator — and eventually the GC — between a client
+// and its lease.
+//
+// Inside a marked function the check flags:
+//   - address-taken composite literals (&T{...}), and slice/map literals
+//     (value struct literals are stack-friendly and allowed)
+//   - make and new
+//   - append, unless it is the self-append idiom `x = append(x, ...)` onto
+//     a caller-provided buffer
+//   - any call into fmt
+//   - string<->[]byte conversions
+//
+// The marker is opt-in per function; it does not propagate into callees
+// (callees on the hot path carry their own marker).
+func runHotpathAlloc(p *Package, r *Reporter) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !isHotpathMarked(fn) {
+				continue
+			}
+			checkHotBody(p, r, fn)
+		}
+	}
+}
+
+func isHotpathMarked(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.Contains(c.Text, "hydralint:hotpath") {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHotBody(p *Package, r *Reporter, fn *ast.FuncDecl) {
+	name := fn.Name.Name
+	// Collect appends that are part of a self-append `x = append(x, ...)`.
+	selfAppend := map[*ast.CallExpr]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || !isBuiltin(p, call, "append") || len(call.Args) == 0 {
+			return true
+		}
+		if types.ExprString(as.Lhs[0]) == types.ExprString(call.Args[0]) {
+			selfAppend[call] = true
+		}
+		return true
+	})
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					r.report("hotpath-alloc", n.Pos(),
+						"%s is marked hydralint:hotpath but heap-allocates a composite literal", name)
+				}
+			}
+		case *ast.CompositeLit:
+			t := p.Info.TypeOf(n)
+			if t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					r.report("hotpath-alloc", n.Pos(),
+						"%s is marked hydralint:hotpath but allocates a %s literal", name, kindName(t))
+				}
+			}
+		case *ast.CallExpr:
+			switch {
+			case isBuiltin(p, n, "make"), isBuiltin(p, n, "new"):
+				r.report("hotpath-alloc", n.Pos(),
+					"%s is marked hydralint:hotpath but calls %s", name, n.Fun.(*ast.Ident).Name)
+			case isBuiltin(p, n, "append"):
+				if !selfAppend[n] {
+					r.report("hotpath-alloc", n.Pos(),
+						"%s is marked hydralint:hotpath but grows a slice with append (only `x = append(x, ...)` onto a caller buffer is allowed)", name)
+				}
+			case isPkgCall(p, n, "fmt"):
+				r.report("hotpath-alloc", n.Pos(),
+					"%s is marked hydralint:hotpath but calls into fmt, which allocates", name)
+			case isStringBytesConv(p, n):
+				r.report("hotpath-alloc", n.Pos(),
+					"%s is marked hydralint:hotpath but performs a string<->[]byte conversion, which copies", name)
+			}
+		}
+		return true
+	})
+}
+
+func isBuiltin(p *Package, call *ast.CallExpr, name string) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = p.Info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+func isPkgCall(p *Package, call *ast.CallExpr, pkgPath string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := p.Info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == pkgPath
+}
+
+// isStringBytesConv reports string([]byte) and []byte(string) conversions.
+func isStringBytesConv(p *Package, call *ast.CallExpr) bool {
+	tv, ok := p.Info.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return false
+	}
+	dst := tv.Type.Underlying()
+	argT := p.Info.TypeOf(call.Args[0])
+	if argT == nil {
+		return false
+	}
+	src := argT.Underlying()
+	return (isString(dst) && isByteSlice(src)) || (isByteSlice(dst) && isString(src))
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+func kindName(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	}
+	return "composite"
+}

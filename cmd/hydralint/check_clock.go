@@ -1,0 +1,46 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// runClockDiscipline flags direct wall-clock reads and sleeps in internal/
+// packages. Lease arithmetic (§4.1.3) and failure detection (§5.2) are only
+// testable when every time source is an injected timing.Clock; the audited
+// escape hatches live in internal/timing (timing.Wall for liveness
+// deadlines, timing.Sleep for the shard nap), which is the one package
+// exempt from this check. time.After is deliberately not banned: it backs
+// the blocking two-sided baseline and has no injected equivalent.
+func runClockDiscipline(p *Package, r *Reporter) {
+	if !p.isInternal() || p.RelPath == "internal/timing" {
+		return
+	}
+	banned := map[string]bool{"Now": true, "Since": true, "Sleep": true}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := p.Info.Uses[id].(*types.PkgName)
+			if !ok || pn.Imported().Path() != "time" {
+				return true
+			}
+			if banned[sel.Sel.Name] {
+				r.report("clock-discipline", call.Pos(),
+					"direct time.%s on the data plane; inject a timing.Clock (timing.Wall/timing.Sleep for liveness code)",
+					sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// runErrorDiscipline flags discarded errors in internal/ packages: both the
+// explicit `_ = f()` form and a bare expression-statement call whose result
+// set includes an error. In a store that promises durability-before-ack
+// (§5.2, logging-mode replication), a swallowed replication or flush error
+// is a correctness bug, not a style issue — every discard must either be
+// handled or carry an explicit `//hydralint:ignore error-discipline <why>`.
+//
+// `defer f()` and `go f()` are exempt: Go provides no direct way to consume
+// their results, and the repo's deferred calls are cleanup paths. Also
+// exempt are writes that cannot fail by documented contract: methods on
+// strings.Builder and bytes.Buffer, and fmt.Fprint* into either of them.
+func runErrorDiscipline(p *Package, r *Reporter) {
+	if !p.isInternal() {
+		return
+	}
+	errType := types.Universe.Lookup("error").Type()
+	implementsError := func(t types.Type) bool {
+		return t != nil && types.AssignableTo(t, errType)
+	}
+	resultHasError := func(call *ast.CallExpr) (bool, string) {
+		t := p.Info.TypeOf(call)
+		switch t := t.(type) {
+		case *types.Tuple:
+			for i := 0; i < t.Len(); i++ {
+				if implementsError(t.At(i).Type()) {
+					return true, t.At(i).Type().String()
+				}
+			}
+		default:
+			if implementsError(t) {
+				return true, t.String()
+			}
+		}
+		return false, ""
+	}
+
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() {
+						return true // conversion, not a call
+					}
+					if isInfallibleWrite(p, call) {
+						return true
+					}
+					if has, _ := resultHasError(call); has {
+						r.report("error-discipline", n.Pos(),
+							"call discards its error result; handle it or annotate why it is safe to drop")
+					}
+				}
+			case *ast.AssignStmt:
+				// Single call with multiple results: match tuple components
+				// against blank LHS positions.
+				if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+					call, ok := n.Rhs[0].(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					tuple, ok := p.Info.TypeOf(call).(*types.Tuple)
+					if !ok || tuple.Len() != len(n.Lhs) {
+						return true
+					}
+					for i, lhs := range n.Lhs {
+						if isBlank(lhs) && implementsError(tuple.At(i).Type()) {
+							r.report("error-discipline", lhs.Pos(),
+								"error result assigned to _; handle it or annotate why it is safe to drop")
+						}
+					}
+					return true
+				}
+				for i, lhs := range n.Lhs {
+					if i >= len(n.Rhs) {
+						break
+					}
+					if isBlank(lhs) && implementsError(p.Info.TypeOf(n.Rhs[i])) {
+						r.report("error-discipline", lhs.Pos(),
+							"error value assigned to _; handle it or annotate why it is safe to drop")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// isInfallibleWrite exempts writes whose error is nil by documented
+// contract: any method on strings.Builder / bytes.Buffer, and
+// fmt.Fprint/Fprintf/Fprintln whose io.Writer is one of those.
+func isInfallibleWrite(p *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if s, ok := p.Info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+		return isBuilderLike(s.Recv())
+	}
+	// fmt.Fprint* with an infallible writer argument.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := p.Info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+			switch sel.Sel.Name {
+			case "Fprint", "Fprintf", "Fprintln":
+				if len(call.Args) > 0 {
+					return isBuilderLike(p.Info.TypeOf(call.Args[0]))
+				}
+			}
+		}
+	}
+	return false
+}
+
+func isBuilderLike(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	path, name := obj.Pkg().Path(), obj.Name()
+	return (path == "strings" && name == "Builder") || (path == "bytes" && name == "Buffer")
+}

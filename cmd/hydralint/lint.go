@@ -1,0 +1,184 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Check is one named rule. Run inspects a single package and reports
+// findings through the Reporter, which applies suppression directives.
+type Check struct {
+	Name string
+	Desc string
+	Run  func(p *Package, r *Reporter)
+}
+
+// allChecks is the registry, in the order findings group in the output.
+var allChecks = []Check{
+	{
+		Name: "clock-discipline",
+		Desc: "no direct time.Now/Since/Sleep in internal/ data-plane code; use timing.Clock",
+		Run:  runClockDiscipline,
+	},
+	{
+		Name: "shard-exclusivity",
+		Desc: "no go statements, mutexes, or channel sends on the shard hot path (§4.1.1)",
+		Run:  runShardExclusivity,
+	},
+	{
+		Name: "atomic-word",
+		Desc: "values containing sync/atomic types must not be copied, ranged over, or aliased",
+		Run:  runAtomicWord,
+	},
+	{
+		Name: "hotpath-alloc",
+		Desc: "functions marked hydralint:hotpath must not allocate",
+		Run:  runHotpathAlloc,
+	},
+	{
+		Name: "error-discipline",
+		Desc: "no discarded errors in internal/ packages",
+		Run:  runErrorDiscipline,
+	},
+}
+
+func knownCheck(name string) bool {
+	for _, c := range allChecks {
+		if c.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	File  string
+	Line  int
+	Col   int
+	Check string
+	Msg   string
+}
+
+// Reporter collects diagnostics, filtering ones a `//hydralint:ignore`
+// directive suppresses. A directive suppresses the named check(s) on its own
+// line (trailing comment) and on the line directly below (comment above the
+// offending statement). Multiple checks may be listed comma-separated.
+type Reporter struct {
+	fset *token.FileSet
+	base string // paths are reported relative to this directory
+	// suppressed maps file -> line -> set of check names ("" = current check
+	// list key; names stored verbatim).
+	suppressed map[string]map[int]map[string]bool
+	diags      []Diagnostic
+}
+
+func newReporter(fset *token.FileSet, base string) *Reporter {
+	return &Reporter{fset: fset, base: base, suppressed: map[string]map[int]map[string]bool{}}
+}
+
+// indexSuppressions scans a file's comments for hydralint:ignore directives.
+func (r *Reporter) indexSuppressions(f *ast.File) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*"))
+			if !strings.HasPrefix(text, "hydralint:ignore") {
+				continue
+			}
+			rest := strings.TrimPrefix(text, "hydralint:ignore")
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				continue // malformed: no check named, suppresses nothing
+			}
+			pos := r.fset.Position(c.Pos())
+			byLine := r.suppressed[pos.Filename]
+			if byLine == nil {
+				byLine = map[int]map[string]bool{}
+				r.suppressed[pos.Filename] = byLine
+			}
+			for _, name := range strings.Split(fields[0], ",") {
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					set := byLine[line]
+					if set == nil {
+						set = map[string]bool{}
+						byLine[line] = set
+					}
+					set[name] = true
+				}
+			}
+		}
+	}
+}
+
+func (r *Reporter) report(check string, pos token.Pos, format string, args ...any) {
+	p := r.fset.Position(pos)
+	if byLine, ok := r.suppressed[p.Filename]; ok {
+		if set, ok := byLine[p.Line]; ok && set[check] {
+			return
+		}
+	}
+	file := p.Filename
+	if rel, err := filepath.Rel(r.base, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = rel
+	}
+	r.diags = append(r.diags, Diagnostic{
+		File:  file,
+		Line:  p.Line,
+		Col:   p.Column,
+		Check: check,
+		Msg:   fmt.Sprintf(format, args...),
+	})
+}
+
+// RunLint loads the packages matched by patterns (relative to dir), runs the
+// selected checks (nil/empty = all), and returns findings sorted by position.
+func RunLint(dir string, patterns []string, only []string) ([]Diagnostic, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := load(abs, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	selected := allChecks
+	if len(only) > 0 {
+		want := map[string]bool{}
+		for _, n := range only {
+			want[n] = true
+		}
+		selected = nil
+		for _, c := range allChecks {
+			if want[c.Name] {
+				selected = append(selected, c)
+			}
+		}
+	}
+
+	var diags []Diagnostic
+	for _, p := range pkgs {
+		r := newReporter(p.Fset, abs)
+		for _, f := range p.Files {
+			r.indexSuppressions(f)
+		}
+		for _, c := range selected {
+			c.Run(p, r)
+		}
+		diags = append(diags, r.diags...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].File != diags[j].File {
+			return diags[i].File < diags[j].File
+		}
+		if diags[i].Line != diags[j].Line {
+			return diags[i].Line < diags[j].Line
+		}
+		return diags[i].Col < diags[j].Col
+	})
+	return diags, nil
+}

@@ -1,0 +1,452 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixtureCase is one self-contained package dropped into a throwaway module
+// named hydradb (so the path-scoped checks see the same module-relative
+// layout as the real repo). want is the number of findings of the named
+// check the package must produce; cases with want > 0 are then re-linted
+// with a //hydralint:ignore directive inserted above each finding and must
+// go quiet.
+type fixtureCase struct {
+	name  string
+	path  string // file path within the module
+	src   string
+	check string
+	want  int
+}
+
+var fixtures = []fixtureCase{
+	{
+		name:  "clock-now",
+		path:  "internal/c1/c1.go",
+		check: "clock-discipline",
+		want:  1,
+		src: `package c1
+
+import "time"
+
+func Deadline() int64 { return time.Now().UnixNano() }
+`,
+	},
+	{
+		name:  "clock-sleep",
+		path:  "internal/c2/c2.go",
+		check: "clock-discipline",
+		want:  1,
+		src: `package c2
+
+import "time"
+
+func Nap() { time.Sleep(time.Millisecond) }
+`,
+	},
+	{
+		name:  "clock-outside-internal-ok",
+		path:  "cmd/tool/main.go",
+		check: "clock-discipline",
+		want:  0,
+		src: `package main
+
+import "time"
+
+func main() { println(time.Now().UnixNano()) }
+`,
+	},
+	{
+		name:  "shard-go-stmt",
+		path:  "internal/shard/go_stmt.go",
+		check: "shard-exclusivity",
+		want:  1,
+		src: `package shard
+
+func SpawnWorker(f func()) { go f() }
+`,
+	},
+	{
+		name:  "shard-pipelined-allowlisted",
+		path:  "internal/shard/pipelined.go",
+		check: "shard-exclusivity",
+		want:  0,
+		src: `package shard
+
+import "sync"
+
+type pipelinedQueue struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (p *pipelinedQueue) Push(v int) {
+	p.mu.Lock()
+	p.ch <- v
+	p.mu.Unlock()
+}
+`,
+	},
+	{
+		name:  "kv-mutex",
+		path:  "internal/kv/store.go",
+		check: "shard-exclusivity",
+		want:  1,
+		src: `package kv
+
+import "sync"
+
+type Store struct {
+	mu sync.Mutex
+}
+`,
+	},
+	{
+		name:  "hashtable-send",
+		path:  "internal/hashtable/send.go",
+		check: "shard-exclusivity",
+		want:  1,
+		src: `package hashtable
+
+func Notify(ch chan int) { ch <- 1 }
+`,
+	},
+	{
+		name:  "atomic-copy",
+		path:  "internal/c3/c3.go",
+		check: "atomic-word",
+		want:  1,
+		src: `package c3
+
+import "sync/atomic"
+
+type Counter struct{ n atomic.Int64 }
+
+var sink Counter
+
+func Copy(c *Counter) { sink = *c }
+`,
+	},
+	{
+		name:  "atomic-range",
+		path:  "internal/c4/c4.go",
+		check: "atomic-word",
+		want:  1,
+		src: `package c4
+
+import "sync/atomic"
+
+type Slot struct{ v atomic.Uint64 }
+
+func Sum(slots []Slot) (n uint64) {
+	for _, s := range slots {
+		n += s.v.Load()
+	}
+	return
+}
+`,
+	},
+	{
+		name:  "atomic-by-value-param",
+		path:  "internal/c5/c5.go",
+		check: "atomic-word",
+		want:  1,
+		src: `package c5
+
+import "sync/atomic"
+
+type Gauge struct{ v atomic.Int64 }
+
+func Observe(g Gauge) int64 { return g.v.Load() }
+`,
+	},
+	{
+		name:  "atomic-unsafe-alias",
+		path:  "internal/c6/c6.go",
+		check: "atomic-word",
+		want:  1,
+		src: `package c6
+
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
+type W struct{ v atomic.Uint64 }
+
+var P unsafe.Pointer
+
+func Alias(w *W) { P = unsafe.Pointer(&w.v) }
+`,
+	},
+	{
+		name:  "hotpath-make",
+		path:  "internal/c7/c7.go",
+		check: "hotpath-alloc",
+		want:  1,
+		src: `package c7
+
+// Grow allocates.
+//
+// hydralint:hotpath
+func Grow(n int) []byte { return make([]byte, n) }
+`,
+	},
+	{
+		name:  "hotpath-fmt",
+		path:  "internal/c8/c8.go",
+		check: "hotpath-alloc",
+		want:  1,
+		src: `package c8
+
+import "fmt"
+
+// Describe formats.
+//
+// hydralint:hotpath
+func Describe(x int) string { return fmt.Sprintf("%d", x) }
+`,
+	},
+	{
+		name:  "hotpath-composite-addr",
+		path:  "internal/c9/c9.go",
+		check: "hotpath-alloc",
+		want:  1,
+		src: `package c9
+
+type hdr struct{ a, b int }
+
+// NewHdr escapes.
+//
+// hydralint:hotpath
+func NewHdr() *hdr { return &hdr{a: 1} }
+`,
+	},
+	{
+		name:  "hotpath-self-append-ok",
+		path:  "internal/c10/c10.go",
+		check: "hotpath-alloc",
+		want:  0,
+		src: `package c10
+
+// Push uses the caller's buffer.
+//
+// hydralint:hotpath
+func Push(dst []byte, b byte) []byte {
+	dst = append(dst, b)
+	return dst
+}
+`,
+	},
+	{
+		name:  "hotpath-growing-append",
+		path:  "internal/c11/c11.go",
+		check: "hotpath-alloc",
+		want:  1,
+		src: `package c11
+
+// Join grows.
+//
+// hydralint:hotpath
+func Join(a, b []byte) []byte {
+	out := append(a, b...)
+	return out
+}
+`,
+	},
+	{
+		name:  "error-blank-discard",
+		path:  "internal/c12/c12.go",
+		check: "error-discipline",
+		want:  1,
+		src: `package c12
+
+import "errors"
+
+func fail() error { return errors.New("x") }
+
+func Ignore() { _ = fail() }
+`,
+	},
+	{
+		name:  "error-bare-call",
+		path:  "internal/c13/c13.go",
+		check: "error-discipline",
+		want:  1,
+		src: `package c13
+
+import "errors"
+
+func fail2() (int, error) { return 0, errors.New("x") }
+
+func Bare() { fail2() }
+`,
+	},
+	{
+		name:  "error-builder-ok",
+		path:  "internal/c14/c14.go",
+		check: "error-discipline",
+		want:  0,
+		src: `package c14
+
+import "strings"
+
+func Render() string {
+	var b strings.Builder
+	b.WriteString("hi")
+	return b.String()
+}
+`,
+	},
+	{
+		name:  "unmarked-function-may-alloc",
+		path:  "internal/c15/c15.go",
+		check: "hotpath-alloc",
+		want:  0,
+		src: `package c15
+
+import "fmt"
+
+func Cold(n int) string { return fmt.Sprint(make([]byte, n)) }
+`,
+	},
+}
+
+// writeModule materializes the fixture module and returns its root.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module hydradb\n\ngo 1.22\n"
+	for path, src := range files {
+		full := filepath.Join(dir, path)
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestChecksFireOnFixtures(t *testing.T) {
+	files := map[string]string{}
+	for _, c := range fixtures {
+		files[c.path] = c.src
+	}
+	dir := writeModule(t, files)
+
+	diags, err := RunLint(dir, []string{"./..."}, nil)
+	if err != nil {
+		t.Fatalf("RunLint: %v", err)
+	}
+
+	byFile := map[string][]Diagnostic{}
+	for _, d := range diags {
+		byFile[filepath.ToSlash(d.File)] = append(byFile[filepath.ToSlash(d.File)], d)
+		if d.Line <= 0 || d.File == "" {
+			t.Errorf("diagnostic without position: %+v", d)
+		}
+	}
+
+	for _, c := range fixtures {
+		got := 0
+		for _, d := range byFile[c.path] {
+			if d.Check == c.check {
+				got++
+			}
+		}
+		if got != c.want {
+			t.Errorf("%s: %d %s finding(s) in %s, want %d\nall: %v",
+				c.name, got, c.check, c.path, c.want, byFile[c.path])
+		}
+		// No collateral findings from other checks in any fixture.
+		for _, d := range byFile[c.path] {
+			if d.Check != c.check {
+				t.Errorf("%s: unexpected %s finding: %+v", c.name, d.Check, d)
+			}
+		}
+	}
+}
+
+func TestIgnoreDirectiveSuppresses(t *testing.T) {
+	files := map[string]string{}
+	for _, c := range fixtures {
+		files[c.path] = c.src
+	}
+	dir := writeModule(t, files)
+
+	diags, err := RunLint(dir, []string{"./..."}, nil)
+	if err != nil {
+		t.Fatalf("RunLint: %v", err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("fixture set produced no findings to suppress")
+	}
+
+	// Rebuild the module with an ignore directive above every reported
+	// line; the tree must then lint clean. Insert bottom-up per file so
+	// earlier insertions don't shift later line numbers.
+	perFile := map[string][]Diagnostic{}
+	for _, d := range diags {
+		perFile[filepath.ToSlash(d.File)] = append(perFile[filepath.ToSlash(d.File)], d)
+	}
+	suppressed := map[string]string{}
+	for _, c := range fixtures {
+		suppressed[c.path] = c.src
+	}
+	for path, ds := range perFile {
+		lines := strings.Split(suppressed[path], "\n")
+		for i := len(ds) - 1; i >= 0; i-- {
+			d := ds[i]
+			directive := fmt.Sprintf("//hydralint:ignore %s suppressed by self-test", d.Check)
+			lines = append(lines[:d.Line-1], append([]string{directive}, lines[d.Line-1:]...)...)
+		}
+		suppressed[path] = strings.Join(lines, "\n")
+	}
+	dir2 := writeModule(t, suppressed)
+
+	diags2, err := RunLint(dir2, []string{"./..."}, nil)
+	if err != nil {
+		t.Fatalf("RunLint (suppressed): %v", err)
+	}
+	if len(diags2) != 0 {
+		t.Errorf("ignore directives did not silence findings: %v", diags2)
+	}
+}
+
+func TestChecksFlagRestrictsRun(t *testing.T) {
+	files := map[string]string{}
+	for _, c := range fixtures {
+		files[c.path] = c.src
+	}
+	dir := writeModule(t, files)
+
+	diags, err := RunLint(dir, []string{"./..."}, []string{"clock-discipline"})
+	if err != nil {
+		t.Fatalf("RunLint: %v", err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("clock-discipline-only run: %d findings, want 2 (c1, c2): %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if d.Check != "clock-discipline" {
+			t.Errorf("unexpected check in restricted run: %+v", d)
+		}
+	}
+}
+
+// TestRepoIsClean is the dogfooding gate: the repository this linter ships
+// in must satisfy its own checks.
+func TestRepoIsClean(t *testing.T) {
+	diags, err := RunLint("../..", []string{"./..."}, nil)
+	if err != nil {
+		t.Fatalf("RunLint on repo: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("repo finding: %s:%d:%d: %s (%s)", d.File, d.Line, d.Col, d.Msg, d.Check)
+	}
+}

@@ -1,0 +1,153 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one type-checked module package under analysis.
+type Package struct {
+	ImportPath string
+	// RelPath is the module-relative import path ("" for the module root,
+	// "internal/kv" for hydradb/internal/kv). Path-scoped checks key off it
+	// so linter fixtures living in other module roots behave identically.
+	RelPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Info    *types.Info
+	Pkg     *types.Package
+}
+
+// isInternal reports whether the package sits under the module's internal/
+// tree — the scope of the data-plane checks.
+func (p *Package) isInternal() bool {
+	return p.RelPath == "internal" || strings.HasPrefix(p.RelPath, "internal/")
+}
+
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	Standard   bool
+	GoFiles    []string
+	Module     *struct{ Path, Dir string }
+	Error      *struct{ Err string }
+}
+
+func goList(dir string, args ...string) ([]listPkg, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// load resolves patterns with the go tool, parses every matched module
+// package, and type-checks it against the export data of its dependencies.
+// Only non-test GoFiles of the default build configuration are analyzed:
+// the checks govern production data-plane code, and build-tag-gated
+// hydradebug variants cannot coexist in one type-check pass anyway.
+func load(dir string, patterns []string) ([]*Package, error) {
+	const fields = "-json=ImportPath,Dir,Export,Standard,GoFiles,Module,Error"
+
+	// One walk with -deps -export compiles (or reuses the build cache for)
+	// every dependency so the stdlib gc importer can read export data —
+	// the stdlib-only substitute for golang.org/x/tools/go/packages.
+	deps, err := goList(dir, append([]string{"-deps", "-export", fields}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	for _, p := range deps {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+
+	targets, err := goList(dir, append([]string{fields}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var out []*Package
+	for _, t := range targets {
+		if t.Standard || t.Error != nil && len(t.GoFiles) == 0 {
+			continue
+		}
+		rel := ""
+		if t.Module != nil && t.ImportPath != t.Module.Path {
+			rel = strings.TrimPrefix(t.ImportPath, t.Module.Path+"/")
+		}
+		var files []*ast.File
+		for _, gf := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, gf), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		}
+		var typeErrs []string
+		conf := types.Config{
+			Importer: imp,
+			Error: func(err error) {
+				typeErrs = append(typeErrs, err.Error())
+			},
+		}
+		pkg, _ := conf.Check(t.ImportPath, fset, files, info)
+		if len(typeErrs) > 0 {
+			return nil, fmt.Errorf("type-checking %s:\n\t%s", t.ImportPath, strings.Join(typeErrs, "\n\t"))
+		}
+		out = append(out, &Package{
+			ImportPath: t.ImportPath,
+			RelPath:    rel,
+			Dir:        t.Dir,
+			Fset:       fset,
+			Files:      files,
+			Info:       info,
+			Pkg:        pkg,
+		})
+	}
+	return out, nil
+}

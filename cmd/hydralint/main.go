@@ -1,0 +1,92 @@
+// Command hydralint is HydraDB's project linter: a stdlib-only static
+// analyzer (go/parser + go/types) that enforces the paper's structural
+// invariants at review time, before the hydradebug runtime sanitizers ever
+// get a chance to fire.
+//
+// Checks (each individually suppressible with a `//hydralint:ignore <check>`
+// comment on the offending line or the line above):
+//
+//	clock-discipline   no direct time.Now/Since/Sleep in internal/ data-plane
+//	                   code; time flows through an injected timing.Clock
+//	                   (§4.1.3 leases are meaningless under an unmockable
+//	                   clock), with timing.Wall/timing.Sleep as the audited
+//	                   liveness escape hatches.
+//	shard-exclusivity  no `go` statements, sync.Mutex/RWMutex, or channel
+//	                   sends on the shard hot path (internal/shard,
+//	                   internal/kv, internal/hashtable) — the §4.1.1
+//	                   single-threaded ownership model. The §6.2.1 pipelined
+//	                   ablation baseline (internal/shard/pipelined.go) is
+//	                   allowlisted.
+//	atomic-word        values containing sync/atomic types are never copied,
+//	                   ranged over by value, or aliased via unsafe — a copied
+//	                   guardian/lease word silently stops being the word the
+//	                   fabric CASes (§4.2.3).
+//	hotpath-alloc      functions marked `// hydralint:hotpath` must not
+//	                   allocate: no &composite / slice / map literals, no
+//	                   make/new, no growing appends, no fmt, no
+//	                   string<->[]byte conversions.
+//	error-discipline   no discarded errors (`_ = f()` or a bare call) in
+//	                   internal/ packages.
+//
+// Usage:
+//
+//	hydralint [-checks clock-discipline,...] [-list] [packages]
+//
+// Packages default to ./... and use `go list` syntax. Exit status is 0 when
+// clean, 1 when findings were reported, 2 on usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func main() {
+	var (
+		listFlag   = flag.Bool("list", false, "list registered checks and exit")
+		checksFlag = flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: hydralint [flags] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *listFlag {
+		for _, c := range allChecks {
+			fmt.Printf("%-18s %s\n", c.Name, c.Desc)
+		}
+		return
+	}
+
+	var only []string
+	if *checksFlag != "" {
+		only = strings.Split(*checksFlag, ",")
+		for _, name := range only {
+			if !knownCheck(name) {
+				fmt.Fprintf(os.Stderr, "hydralint: unknown check %q (use -list)\n", name)
+				os.Exit(2)
+			}
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	diags, err := RunLint(".", patterns, only)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hydralint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Printf("%s:%d:%d: %s (%s)\n", d.File, d.Line, d.Col, d.Msg, d.Check)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "hydralint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -16,6 +16,8 @@ package arena
 import (
 	"errors"
 	"fmt"
+
+	"hydradb/internal/invariant"
 )
 
 // ErrOutOfMemory is returned when neither the free lists nor the bump region
@@ -63,6 +65,7 @@ type Arena struct {
 	live   int     // bytes handed out (class-rounded)
 	allocs int64
 	frees  int64
+	dbg    invariant.AllocTracker // armed only under -tags hydradebug
 }
 
 // New creates an arena of the given capacity in bytes.
@@ -104,6 +107,9 @@ func (a *Arena) Alloc(n int) (uint32, error) {
 		a.free[ci] = fl[:len(fl)-1]
 		a.live += size
 		a.allocs++
+		if invariant.Enabled {
+			a.dbg.OnAlloc(uint32(off), size)
+		}
 		return uint32(off), nil
 	}
 	if a.bump+size > len(a.data) {
@@ -113,6 +119,9 @@ func (a *Arena) Alloc(n int) (uint32, error) {
 	a.bump += size
 	a.live += size
 	a.allocs++
+	if invariant.Enabled {
+		a.dbg.OnAlloc(uint32(off), size)
+	}
 	return uint32(off), nil
 }
 
@@ -128,6 +137,9 @@ func (a *Arena) Free(off uint32, n int) {
 	if int(off)+size > len(a.data) {
 		panic(fmt.Sprintf("arena: free out of range off=%d size=%d", off, size))
 	}
+	if invariant.Enabled {
+		a.dbg.OnFree(off, size)
+	}
 	clear(a.data[off : int(off)+size])
 	a.free[ci] = append(a.free[ci], int(off))
 	a.live -= size
@@ -135,8 +147,15 @@ func (a *Arena) Free(off uint32, n int) {
 }
 
 // Bytes returns the n-byte window at off. The window aliases the region; the
-// caller must respect the single-writer discipline.
+// caller must respect the single-writer discipline. Under -tags hydradebug
+// the window must lie within a live allocation — one-sided remote reads,
+// which may legitimately observe recycled memory, go through Data instead.
+//
+// hydralint:hotpath
 func (a *Arena) Bytes(off uint32, n int) []byte {
+	if invariant.Enabled {
+		a.dbg.CheckLive(off, n)
+	}
 	return a.data[off : int(off)+n : int(off)+n]
 }
 

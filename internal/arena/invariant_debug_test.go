@@ -1,0 +1,56 @@
+//go:build hydradebug
+
+package arena
+
+import "testing"
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic under hydradebug", what)
+		}
+	}()
+	fn()
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	a := New(1 << 16)
+	off, err := a.Alloc(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Free(off, 40)
+	mustPanic(t, "double free", func() { a.Free(off, 40) })
+}
+
+func TestForeignFreePanics(t *testing.T) {
+	a := New(1 << 16)
+	if _, err := a.Alloc(40); err != nil {
+		t.Fatal(err)
+	}
+	// Offset 8 is inside the first allocation but is not an allocation start.
+	mustPanic(t, "foreign free", func() { a.Free(8, 40) })
+}
+
+func TestFreeSizeMismatchPanics(t *testing.T) {
+	a := New(1 << 16)
+	off, err := a.Alloc(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 40 rounds to the 48-byte class; freeing as 200 would return the area
+	// to a different class free list.
+	mustPanic(t, "size-class mismatch free", func() { a.Free(off, 200) })
+}
+
+func TestUseAfterFreePanics(t *testing.T) {
+	a := New(1 << 16)
+	off, err := a.Alloc(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = a.Bytes(off, 40) // live access passes
+	a.Free(off, 40)
+	mustPanic(t, "use-after-free Bytes", func() { _ = a.Bytes(off, 40) })
+}

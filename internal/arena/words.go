@@ -19,6 +19,10 @@ type WordArea struct {
 	free  []int // free group start indices
 	bump  int
 	group int
+
+	// validate, when set (hydradebug sanitizers), vets word values crossing
+	// the simulated fabric; see SetValidator.
+	validate func(idx int, v uint64)
 }
 
 // NewWordArea creates an area of capacity word groups, each groupSize words.
@@ -65,6 +69,21 @@ func (w *WordArea) Store(idx int, v uint64) { w.words[idx].Store(v) }
 // CompareAndSwap performs an atomic CAS on word idx.
 func (w *WordArea) CompareAndSwap(idx int, old, new uint64) bool {
 	return w.words[idx].CompareAndSwap(old, new)
+}
+
+// SetValidator installs fn as the area's word validator. The simulated
+// fabric calls Validate with every word value a one-sided operation loads
+// from or stores into this area, letting the area's owner panic on values
+// that violate its encoding (e.g. a guardian word that is neither live nor
+// dead — a torn or misdirected write). Only the hydradebug sanitizers
+// install validators; the fabric skips the call entirely otherwise.
+func (w *WordArea) SetValidator(fn func(idx int, v uint64)) { w.validate = fn }
+
+// Validate runs the installed validator, if any, against word idx holding v.
+func (w *WordArea) Validate(idx int, v uint64) {
+	if w.validate != nil {
+		w.validate(idx, v)
+	}
 }
 
 // Len reports the total number of words.

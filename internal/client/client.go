@@ -109,10 +109,17 @@ type Options struct {
 	Refresh func() *RouteTable
 	// MaxRetries bounds rerouting attempts.
 	MaxRetries int
-	// RequestTimeout bounds the real-time wait for a response; on expiry the
+	// RequestTimeout bounds the wall-clock wait for a response; on expiry the
 	// client refreshes its routing table and retries (the shard may have
 	// failed and been promoted elsewhere). Zero selects 2 s.
 	RequestTimeout time.Duration
+	// WallClock supplies the liveness time base for RequestTimeout. It is
+	// distinct from Clock: lease arithmetic must follow the (possibly
+	// virtual) data-plane clock, while failure detection must keep moving
+	// even when that clock is a stalled ManualClock. Nil selects the shared
+	// real clock, timing.Wall(); deterministic harnesses may inject a
+	// ManualClock and drive timeouts explicitly.
+	WallClock timing.Clock
 	// Counters, when non-nil, receives operation accounting (shared across
 	// clients when aggregating a machine).
 	Counters *stats.OpCounters
@@ -126,6 +133,7 @@ type Client struct {
 	table  *RouteTable
 	cache  PtrCache
 	clock  timing.Clock
+	wall   timing.Clock
 	ctr    *stats.OpCounters
 	seq    uint32
 	reqBuf []byte
@@ -146,6 +154,9 @@ func New(table *RouteTable, opts Options) *Client {
 	if opts.RequestTimeout == 0 {
 		opts.RequestTimeout = 2 * time.Second
 	}
+	if opts.WallClock == nil {
+		opts.WallClock = timing.Wall()
+	}
 	cache := opts.Cache
 	if cache == nil {
 		cache = NewPrivateCache()
@@ -159,6 +170,7 @@ func New(table *RouteTable, opts Options) *Client {
 		table:  table,
 		cache:  cache,
 		clock:  opts.Clock,
+		wall:   opts.WallClock,
 		ctr:    ctr,
 		reqBuf: make([]byte, 64<<10),
 		rdBuf:  make([]byte, 64<<10),
@@ -209,7 +221,7 @@ func (c *Client) request(req *message.Request) (message.Response, error) {
 			if err := ep.QP.Send(c.reqBuf[:n]); err != nil {
 				return message.Response{}, err
 			}
-			deadline := time.Now().Add(c.opts.RequestTimeout)
+			deadline := c.wall.Now() + int64(c.opts.RequestTimeout)
 			var body []byte
 			for {
 				var ok bool
@@ -220,7 +232,7 @@ func (c *Client) request(req *message.Request) (message.Response, error) {
 				if ep.QP.Closed() {
 					return message.Response{}, ErrRemote
 				}
-				if time.Now().After(deadline) {
+				if c.wall.Now() > deadline {
 					if c.opts.Refresh == nil {
 						return message.Response{}, ErrRemote
 					}
@@ -246,7 +258,7 @@ func (c *Client) request(req *message.Request) (message.Response, error) {
 			// polls its response buffer. A real-time deadline covers shard
 			// failure: on expiry, refresh routing and retry.
 			var body []byte
-			deadline := time.Now().Add(c.opts.RequestTimeout)
+			deadline := c.wall.Now() + int64(c.opts.RequestTimeout)
 			timedOut := false
 			for spins := 0; ; spins++ {
 				var ok bool
@@ -254,7 +266,7 @@ func (c *Client) request(req *message.Request) (message.Response, error) {
 				if ok {
 					break
 				}
-				if spins&1023 == 1023 && time.Now().After(deadline) {
+				if spins&1023 == 1023 && c.wall.Now() > deadline {
 					timedOut = true
 					break
 				}

@@ -337,7 +337,7 @@ func (s *Server) deleteLocked(path string, version int64, st *sessionState) erro
 	if err != nil {
 		return err
 	}
-	parts, _ := split(path)
+	parts, _ := split(path) //hydralint:ignore error-discipline path already validated by the lookup above
 	delete(parent.children, parts[len(parts)-1])
 	if n.owner != 0 {
 		if owner, ok := s.sessions[n.owner]; ok {
@@ -445,6 +445,7 @@ func (s *Server) expireLocked(st *sessionState) {
 	// Delete deepest-first so parents empty out.
 	sort.Slice(paths, func(i, j int) bool { return len(paths[i]) > len(paths[j]) })
 	for _, p := range paths {
+		//hydralint:ignore error-discipline best-effort ephemeral cleanup on session expiry; a non-empty dir is simply kept
 		_ = s.deleteLocked(p, -1, st)
 	}
 	for id, w := range s.watchers {

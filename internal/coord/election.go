@@ -72,6 +72,7 @@ func (e *Election) Events() <-chan Event { return e.events }
 // Resign withdraws the candidacy.
 func (e *Election) Resign() {
 	e.cancel()
+	//hydralint:ignore error-discipline best-effort resign; session expiry removes the ephemeral node regardless
 	_ = e.sess.Delete(e.myNode, -1)
 }
 

@@ -223,7 +223,7 @@ func (c *Cluster) Read(name string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	size, _ := c.Size(name)
+	size, _ := c.Size(name) //hydralint:ignore error-discipline size is a capacity hint; Blocks above already proved the file exists
 	out := make([]byte, 0, size)
 	for i := 0; i < n; i++ {
 		blk, err := c.ReadBlock(name, i)

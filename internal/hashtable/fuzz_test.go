@@ -1,0 +1,85 @@
+package hashtable
+
+import (
+	"testing"
+
+	"hydradb/internal/hashx"
+)
+
+// FuzzBucketEncodeDecode fuzzes the bucket word codec — the 16-bit
+// signature / 48-bit reference slot packing and the filter/link split of the
+// header word — and then drives a whole table through an op sequence
+// derived from the input, holding CheckInvariants as the oracle. The codec
+// is what a one-sided RDMA Read of a bucket decodes on the client side
+// (§4.1.2), so "every bit pattern decodes to what was encoded" is a wire
+// compatibility property, not just an implementation detail.
+func FuzzBucketEncodeDecode(f *testing.F) {
+	f.Add(uint16(1), uint64(42), uint64(0x7f), uint64(3), []byte("put-get-del"))
+	f.Add(uint16(0xffff), refMask, ^uint64(0), uint64(0), []byte{})
+	f.Add(uint16(0), uint64(0), uint64(0), uint64(1)<<55, []byte{0xff, 0x00, 0x7a})
+
+	f.Fuzz(func(t *testing.T, sig uint16, ref, hdr, link uint64, ops []byte) {
+		// Slot word: signature and reference survive packing independently.
+		w := makeSlot(sig, ref)
+		if got := slotSig(w); got != sig {
+			t.Fatalf("slotSig(makeSlot(%#x, %#x)) = %#x", sig, ref, got)
+		}
+		if got := slotRef(w); got != ref&refMask {
+			t.Fatalf("slotRef(makeSlot(%#x, %#x)) = %#x, want %#x", sig, ref, got, ref&refMask)
+		}
+
+		// Header word: setting the overflow link must preserve the Bloom
+		// filter bits and round-trip the link (56 usable bits).
+		link &= (uint64(1) << 56) - 1
+		h2 := setHeaderLink(hdr, link)
+		if got := headerLink(h2); got != link {
+			t.Fatalf("headerLink(setHeaderLink(%#x, %#x)) = %#x", hdr, link, got)
+		}
+		if h2&filterMask != hdr&filterMask {
+			t.Fatalf("setHeaderLink clobbered filter bits: %#x -> %#x", hdr&filterMask, h2&filterMask)
+		}
+
+		// Table-level: replay ops against a tiny table (2 main buckets so
+		// overflow chains, compaction, and filter rebuilds all trigger) and
+		// a shadow map; every state must pass the structural invariants.
+		tbl := New(2)
+		shadow := map[uint64]uint64{} // hash -> ref
+		matchRef := func(want uint64) MatchFunc {
+			return func(r uint64) bool { return r == want }
+		}
+		for i, b := range ops {
+			h := hashx.Hash64(uint64(b % 16)) // few distinct keys: force collisions
+			ref := uint64(i + 1)
+			switch b % 3 {
+			case 0:
+				old, replaced, err := tbl.Insert(h, ref, matchRef(shadow[h]))
+				if err != nil {
+					t.Fatalf("op %d: Insert: %v", i, err)
+				}
+				if prev, ok := shadow[h]; ok != replaced || (ok && old != prev) {
+					t.Fatalf("op %d: Insert replaced=%v old=%d, shadow %v %d", i, replaced, old, ok, prev)
+				}
+				shadow[h] = ref
+			case 1:
+				got, ok := tbl.Lookup(h, matchRef(shadow[h]))
+				want, wok := shadow[h]
+				if ok != wok || (ok && got != want) {
+					t.Fatalf("op %d: Lookup = %d,%v want %d,%v", i, got, ok, want, wok)
+				}
+			case 2:
+				got, ok := tbl.Delete(h, matchRef(shadow[h]))
+				want, wok := shadow[h]
+				if ok != wok || (ok && got != want) {
+					t.Fatalf("op %d: Delete = %d,%v want %d,%v", i, got, ok, want, wok)
+				}
+				delete(shadow, h)
+			}
+			if err := tbl.CheckInvariants(); err != nil {
+				t.Fatalf("op %d (%d): invariants: %v", i, b, err)
+			}
+			if tbl.Len() != len(shadow) {
+				t.Fatalf("op %d: Len = %d, shadow %d", i, tbl.Len(), len(shadow))
+			}
+		}
+	})
+}

@@ -126,6 +126,8 @@ func (t *Table) freeOverflow(link uint64) {
 }
 
 // Lookup finds the reference stored under hashcode h whose item matches.
+//
+// hydralint:hotpath
 func (t *Table) Lookup(h uint64, match MatchFunc) (uint64, bool) {
 	t.Lookups++
 	id := hashx.BucketIndex(h, t.nBuckets)

@@ -1,0 +1,25 @@
+// Package invariant provides build-tag-gated runtime sanitizers for the
+// correctness invariants the Go compiler cannot see (DESIGN.md, "Machine-
+// checked invariants").
+//
+// Build with -tags hydradebug to arm the sanitizers:
+//
+//	go test -tags hydradebug ./...
+//
+// Without the tag every type here is zero-sized and every method is an empty
+// function the compiler inlines away, so production and benchmark builds pay
+// nothing. The hydralint static checks are the compile-time half of the same
+// contract; these sanitizers are the runtime half:
+//
+//   - Owner asserts the single-threaded shard discipline of paper §4.1.1: the
+//     goroutine that enters the shard event loop records itself as the owner,
+//     and every request handled is asserted to run on that goroutine.
+//   - AllocTracker canaries the arena's out-of-place update discipline
+//     (§4.2.3): double frees, frees of foreign offsets, size-class mismatches
+//     and local access to non-live regions all panic at the faulty call site
+//     instead of corrupting a neighbour item.
+//   - The guardian-word validator (installed by kv, enforced by the simulated
+//     fabric) panics when a one-sided operation observes or publishes a
+//     guardian word that is neither live nor dead — the signature of a torn
+//     or misdirected write into the metadata word area (§4.2.3).
+package invariant

@@ -59,6 +59,8 @@ func ItemSize(keyLen, valLen int) int { return ItemHeaderSize + keyLen + valLen 
 
 // EncodeItem writes the item layout into buf, which must be at least
 // ItemSize(len(key), len(val)) bytes.
+//
+// hydralint:hotpath
 func EncodeItem(buf, key, val []byte) {
 	binary.LittleEndian.PutUint16(buf[0:2], uint16(len(key)))
 	binary.LittleEndian.PutUint32(buf[2:6], uint32(len(val)))
@@ -69,6 +71,8 @@ func EncodeItem(buf, key, val []byte) {
 // DecodeItem parses an item buffer, returning views of the key and value.
 // ok is false when the buffer is malformed (e.g. a stale RDMA Read of a
 // recycled, zeroed area).
+//
+// hydralint:hotpath
 func DecodeItem(buf []byte) (key, val []byte, ok bool) {
 	if len(buf) < ItemHeaderSize {
 		return nil, nil, false

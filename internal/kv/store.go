@@ -7,6 +7,7 @@ import (
 	"hydradb/internal/arena"
 	"hydradb/internal/hashtable"
 	"hydradb/internal/hashx"
+	"hydradb/internal/invariant"
 	"hydradb/internal/lease"
 	"hydradb/internal/stats"
 	"hydradb/internal/timing"
@@ -109,6 +110,16 @@ func NewStore(cfg Config) *Store {
 		k, _, ok := DecodeItem(data)
 		return ok && bytes.Equal(k, s.probeKey)
 	}
+	if invariant.Enabled {
+		// Guardian words occupy the even slot of every item word group and
+		// only ever hold GuardianLive, GuardianDead, or zero (fresh group).
+		// Any other value crossing the fabric is a torn or misdirected write.
+		s.words.SetValidator(func(idx int, v uint64) {
+			if idx%MetaWordsPerItem == 0 && v != GuardianLive && v != GuardianDead {
+				panic(fmt.Sprintf("kv: guardian word %d holds invalid value %#x", idx, v))
+			}
+		})
+	}
 	return s
 }
 
@@ -190,6 +201,8 @@ type GetResult struct {
 // Get performs a server-aware GET: looks the key up through the compact hash
 // table, bumps popularity, extends the lease, and returns value + remote
 // pointer (§4.2.2). The returned value aliases arena memory.
+//
+// hydralint:hotpath
 func (s *Store) Get(key []byte) (GetResult, bool) {
 	s.ctr.Gets.Inc()
 	h := hashx.Hash(key)
@@ -386,7 +399,10 @@ func (s *Store) ReadAt(p RemotePtr, dst []byte) (n int, guardian uint64, leaseEx
 	if end > s.arena.Capacity() || int(p.MetaIdx)+1 >= s.words.Len() {
 		return 0, 0, 0, fmt.Errorf("kv: remote pointer out of range: %v", p)
 	}
-	n = copy(dst, s.arena.Bytes(p.DataOff, int(p.DataLen)))
+	// Slice the raw region rather than arena.Bytes: a stale remote pointer
+	// may legitimately land on recycled memory (the guardian word catches
+	// it), so the hydradebug use-after-free canary must not fire here.
+	n = copy(dst, s.arena.Data()[p.DataOff:end])
 	guardian = s.words.Load(int(p.MetaIdx))
 	leaseExp = int64(s.words.Load(int(p.MetaIdx) + 1))
 	return n, guardian, leaseExp, nil

@@ -53,6 +53,8 @@ func (m *Mailbox) Capacity() int { return m.dataCap }
 
 // Poll checks for a delivered message (owner side). The returned body
 // aliases the mailbox buffer and is valid until Consume.
+//
+// hydralint:hotpath
 func (m *Mailbox) Poll() (body []byte, seq uint32, ok bool) {
 	words := m.mr.Words()
 	head := words.Load(m.headIdx)

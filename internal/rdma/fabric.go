@@ -34,7 +34,9 @@ import (
 	"time"
 
 	"hydradb/internal/arena"
+	"hydradb/internal/invariant"
 	"hydradb/internal/stats"
+	"hydradb/internal/timing"
 )
 
 // Errors returned by fabric operations.
@@ -57,18 +59,28 @@ type Config struct {
 	// carries more than QPThreshold queue pairs (§6.3).
 	QPThreshold int32
 	QPExtraNs   int64
+	// Clock is the time base for latency injection and NIC admission; nil
+	// selects the shared real clock, timing.Wall(). With the zero latency
+	// Config the clock is never consulted, so unit-test fabrics stay fully
+	// deterministic regardless of this field.
+	Clock timing.Clock
 }
 
 // Fabric is a collection of NICs that can be wired together.
 type Fabric struct {
-	cfg  Config
-	mu   sync.Mutex
-	nics []*NIC
+	cfg   Config
+	clock timing.Clock
+	mu    sync.Mutex
+	nics  []*NIC
 }
 
 // NewFabric creates a fabric.
 func NewFabric(cfg Config) *Fabric {
-	return &Fabric{cfg: cfg}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = timing.Wall()
+	}
+	return &Fabric{cfg: cfg, clock: clock}
 }
 
 // NIC models one RDMA adaptor. All queue pairs and memory regions of a node
@@ -121,7 +133,7 @@ func (n *NIC) admit(nbytes int) {
 	if cost <= 0 {
 		return
 	}
-	now := time.Now().UnixNano()
+	now := n.fabric.clock.Now()
 	for {
 		nf := n.nextFree.Load()
 		start := nf
@@ -129,23 +141,26 @@ func (n *NIC) admit(nbytes int) {
 			start = now
 		}
 		if n.nextFree.CompareAndSwap(nf, start+cost) {
-			spinUntil(start + cost)
+			n.fabric.spinUntil(start + cost)
 			return
 		}
 	}
 }
 
-func spinUntil(deadlineUnixNs int64) {
-	for time.Now().UnixNano() < deadlineUnixNs {
+// spinUntil busy-waits (cooperatively) until the fabric clock reaches the
+// deadline. With a real clock this injects latency; a stalled ManualClock
+// must therefore never be combined with nonzero latency configuration.
+func (f *Fabric) spinUntil(deadline int64) {
+	for f.clock.Now() < deadline {
 		runtime.Gosched()
 	}
 }
 
-func spinFor(ns int64) {
+func (f *Fabric) spinFor(ns int64) {
 	if ns <= 0 {
 		return
 	}
-	spinUntil(time.Now().UnixNano() + ns)
+	f.spinUntil(f.clock.Now() + ns)
 }
 
 // MemoryRegion is memory registered with a NIC: a byte area plus the aligned
@@ -234,7 +249,7 @@ func (qp *QP) WriteBytes(mr *MemoryRegion, off int, src []byte) error {
 	}
 	qp.local.admit(len(src))
 	qp.remote.admit(len(src))
-	spinFor(qp.local.fabric.cfg.WriteNs)
+	qp.local.fabric.spinFor(qp.local.fabric.cfg.WriteNs)
 	copy(mr.data[off:], src)
 	return nil
 }
@@ -249,7 +264,10 @@ func (qp *QP) WriteWord(mr *MemoryRegion, wordIdx int, val uint64) error {
 	}
 	qp.local.admit(8)
 	qp.remote.admit(8)
-	spinFor(qp.local.fabric.cfg.WriteNs)
+	qp.local.fabric.spinFor(qp.local.fabric.cfg.WriteNs)
+	if invariant.Enabled {
+		mr.words.Validate(wordIdx, val)
+	}
 	mr.words.Store(wordIdx, val)
 	return nil
 }
@@ -270,7 +288,7 @@ func (qp *QP) WriteIndicated(mr *MemoryRegion, off int, body []byte, tailIdx, he
 	}
 	qp.local.admit(len(body) + 16)
 	qp.remote.admit(len(body) + 16)
-	spinFor(qp.local.fabric.cfg.WriteNs)
+	qp.local.fabric.spinFor(qp.local.fabric.cfg.WriteNs)
 	copy(mr.data[off:], body)
 	mr.words.Store(tailIdx, indicator)
 	mr.words.Store(headIdx, indicator)
@@ -295,13 +313,16 @@ func (qp *QP) Read(mr *MemoryRegion, off int, dst []byte, wordIdxs ...int) (int,
 	}
 	qp.local.admit(len(dst))
 	qp.remote.admit(len(dst))
-	spinFor(qp.local.fabric.cfg.ReadNs)
+	qp.local.fabric.spinFor(qp.local.fabric.cfg.ReadNs)
 	n := copy(dst, mr.data[off:off+len(dst)])
 	var words []uint64
 	if len(wordIdxs) > 0 {
 		words = make([]uint64, len(wordIdxs))
 		for i, w := range wordIdxs {
 			words[i] = mr.words.Load(w)
+			if invariant.Enabled {
+				mr.words.Validate(w, words[i])
+			}
 		}
 	}
 	return n, words, nil
@@ -315,7 +336,7 @@ func (qp *QP) Send(msg []byte) error {
 	}
 	qp.local.admit(len(msg))
 	qp.remote.admit(len(msg))
-	spinFor(qp.local.fabric.cfg.SendNs)
+	qp.local.fabric.spinFor(qp.local.fabric.cfg.SendNs)
 	buf := make([]byte, len(msg))
 	copy(buf, msg)
 	select {

@@ -1,0 +1,47 @@
+//go:build hydradebug
+
+package rdma_test
+
+import (
+	"testing"
+
+	"hydradb/internal/kv"
+	"hydradb/internal/rdma"
+	"hydradb/internal/timing"
+)
+
+// TestGuardianCorruptionDetected registers a kv store's region with the
+// fabric and pushes a value that is neither GuardianLive nor GuardianDead
+// into a guardian word with a one-sided write — the torn/misdirected-write
+// scenario of §4.2.3. The hydradebug validator installed by kv must trap it
+// at the fabric boundary.
+func TestGuardianCorruptionDetected(t *testing.T) {
+	clk := timing.NewManualClock(1e9)
+	store := kv.NewStore(kv.Config{Clock: clk, ArenaBytes: 1 << 20, MaxItems: 1 << 10})
+	res, _, err := store.Put([]byte("key"), []byte("val"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fabric := rdma.NewFabric(rdma.Config{})
+	server := fabric.NewNIC("server")
+	clientN := fabric.NewNIC("client")
+	mr := server.Register(store.ArenaData(), store.Words())
+	qp, _ := rdma.Connect(clientN, server, 16)
+
+	// A well-formed one-sided read of guardian + lease passes validation.
+	dst := make([]byte, res.Ptr.DataLen)
+	if _, words, err := qp.Read(mr, int(res.Ptr.DataOff), dst,
+		int(res.Ptr.MetaIdx), int(res.Ptr.MetaIdx)+1); err != nil {
+		t.Fatal(err)
+	} else if words[0] != kv.GuardianLive {
+		t.Fatalf("guardian = %#x, want live", words[0])
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("corrupting a guardian word via WriteWord did not panic under hydradebug")
+		}
+	}()
+	_ = qp.WriteWord(mr, int(res.Ptr.MetaIdx), 0xdeadbeef)
+}

@@ -110,6 +110,7 @@ func (p *Pipelined) work() {
 				p.shard.store.ReclaimDue()
 			}
 			p.mu.Unlock()
+			//hydralint:ignore error-discipline response to a vanished client, as in the live shard loop
 			_ = r.c.respBox.WriteVia(r.c.qp, respBuf[:n], r.seq)
 			p.shard.Handled.Inc()
 		}

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"hydradb/internal/arena"
+	"hydradb/internal/invariant"
 	"hydradb/internal/kv"
 	"hydradb/internal/message"
 	"hydradb/internal/rdma"
@@ -106,7 +107,9 @@ type Shard struct {
 	epoch   atomic.Uint32
 	primary *replication.Primary // nil when replication is off
 
-	mu      sync.Mutex
+	// Control-plane only: guards connSet mutation in Connect. The hot path
+	// reads the immutable snapshot through the conns atomic pointer.
+	mu      sync.Mutex //hydralint:ignore shard-exclusivity control-plane connect path, never taken by the shard loop
 	connSet []*conn
 	conns   atomic.Pointer[[]*conn]
 
@@ -114,6 +117,7 @@ type Shard struct {
 	stopped chan struct{}
 	started atomic.Bool
 	killed  atomic.Bool
+	own     invariant.Owner // hydradebug: goroutine-ownership sanitizer
 
 	Counters stats.OpCounters
 	Handled  stats.Counter
@@ -179,11 +183,11 @@ func (s *Shard) Connect(clientNIC *rdma.NIC, sendRecv bool) *Endpoint {
 	respBox := message.NewMailbox(respMR, 0, s.cfg.MailboxBytes, 0, 1)
 
 	c := &conn{reqBox: reqBox, respBox: respBox, qp: qpShard, sendRecv: sendRecv}
-	s.mu.Lock()
+	s.mu.Lock() //hydralint:ignore shard-exclusivity control-plane connect path, never taken by the shard loop
 	s.connSet = append(s.connSet, c)
 	snapshot := append([]*conn(nil), s.connSet...)
 	s.conns.Store(&snapshot)
-	s.mu.Unlock()
+	s.mu.Unlock() //hydralint:ignore shard-exclusivity control-plane connect path, never taken by the shard loop
 
 	return &Endpoint{
 		ShardID:  s.id,
@@ -198,6 +202,10 @@ func (s *Shard) Connect(clientNIC *rdma.NIC, sendRecv bool) *Endpoint {
 // Run executes the single-threaded event loop until Stop. It owns the store
 // exclusively; nothing else may touch it while running.
 func (s *Shard) Run() {
+	// Ownership is acquired before started flips so that anything observing
+	// started==true may rely on the owner being recorded (§4.1.1 sanitizer).
+	s.own.Acquire("shard.Run")
+	defer s.own.Release()
 	s.started.Store(true)
 	defer close(s.stopped)
 	respBuf := make([]byte, s.cfg.MailboxBytes)
@@ -233,11 +241,13 @@ func (s *Shard) Run() {
 			progress = true
 			n := s.handle(c, body, respBuf)
 			if c.sendRecv {
+				//hydralint:ignore error-discipline response to a vanished client; nothing to do but serve the next mailbox
 				_ = c.qp.Send(respBuf[:n])
 			} else {
 				// "the shard zeros out the request buffer and sends the
 				// response back" (§4.2.1).
 				c.reqBox.Consume()
+				//hydralint:ignore error-discipline response to a vanished client; nothing to do but serve the next mailbox
 				_ = c.respBox.WriteVia(c.qp, respBuf[:n], seq)
 			}
 			handledSinceReclaim++
@@ -256,7 +266,7 @@ func (s *Shard) Run() {
 			// High-resolution nap keeps CPU use negligible when quiet
 			// (§4.2.1); Gosched keeps the single-core host live.
 			if s.cfg.NapNs >= int64(time.Millisecond) {
-				time.Sleep(time.Duration(s.cfg.NapNs))
+				timing.Sleep(s.cfg.NapNs)
 			} else {
 				runtime.Gosched()
 			}
@@ -270,7 +280,10 @@ func (s *Shard) Run() {
 
 // handle processes one request body, encodes the response into respBuf, and
 // returns its length.
+//
+// hydralint:hotpath
 func (s *Shard) handle(c *conn, body []byte, respBuf []byte) int {
+	s.own.Assert("shard.handle")
 	req, err := message.DecodeRequest(body)
 	resp := message.Response{Epoch: s.epoch.Load()}
 	if err != nil {
@@ -364,6 +377,7 @@ func (s *Shard) Stop() {
 		<-s.stopped
 	}
 	if s.primary != nil {
+		//hydralint:ignore error-discipline graceful-stop flush; secondaries that miss it recover via the §5.2 resend protocol
 		_ = s.primary.Flush()
 	}
 }

@@ -234,8 +234,8 @@ func (t *Table) String() string {
 func (t *Table) SortRowsBy(col int) {
 	sort.SliceStable(t.Rows, func(i, j int) bool {
 		var a, b float64
-		fmt.Sscanf(t.Rows[i][col], "%g", &a)
-		fmt.Sscanf(t.Rows[j][col], "%g", &b)
+		fmt.Sscanf(t.Rows[i][col], "%g", &a) //hydralint:ignore error-discipline non-numeric cells fall back to the string comparison below
+		fmt.Sscanf(t.Rows[j][col], "%g", &b) //hydralint:ignore error-discipline non-numeric cells fall back to the string comparison below
 		if a != b {
 			return a < b
 		}

@@ -140,6 +140,7 @@ func (t *Team) LeaderName() string {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	for _, m := range t.members {
+		//hydralint:ignore error-discipline an expired session simply reads as not-leader here
 		if ok, _ := m.election.IsLeader(); ok {
 			return m.name
 		}
@@ -153,6 +154,7 @@ func (t *Team) KillLeader() string {
 	t.mu.Lock()
 	var victim *member
 	for _, m := range t.members {
+		//hydralint:ignore error-discipline an expired session simply reads as not-leader here
 		if ok, _ := m.election.IsLeader(); ok {
 			victim = m
 			break

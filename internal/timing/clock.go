@@ -32,6 +32,29 @@ func NewRealClock() *RealClock {
 // Now reports nanoseconds elapsed since the clock was created.
 func (c *RealClock) Now() int64 { return int64(time.Since(c.base)) }
 
+// wall is the process-wide real clock handed out by Wall.
+var wall = NewRealClock()
+
+// Wall returns the shared real-time Clock used for liveness deadlines:
+// request timeouts, failure detection and idle backoff. Unlike the injected
+// data-plane Clock — which may be a stalled ManualClock in deterministic
+// tests — wall time always advances, so a dead shard can never suppress a
+// client's escape path. Components accept an injectable wall clock and
+// default to this one; deterministic harnesses may inject a ManualClock for
+// it too and drive timeouts explicitly.
+func Wall() Clock { return wall }
+
+// Sleep blocks the calling goroutine for ns nanoseconds of real time. It is
+// the single audited real-sleep primitive: data-plane code must not call
+// time.Sleep directly (the hydralint clock-discipline check enforces this),
+// so every real-time nap in the middleware is visible here.
+func Sleep(ns int64) {
+	if ns <= 0 {
+		return
+	}
+	time.Sleep(time.Duration(ns))
+}
+
 // ManualClock is a virtual clock advanced explicitly. It is safe for
 // concurrent use; the simulation engine advances it from a single goroutine
 // while live-mode tests may read it from many.
