@@ -5,7 +5,7 @@
 GO        ?= go
 FUZZTIME  ?= 20s
 
-.PHONY: all build vet test race lint fuzz-smoke debug-test ci
+.PHONY: all build vet test race lint fuzz-smoke debug-test bench-smoke ci
 
 all: build test
 
@@ -37,10 +37,17 @@ lint:
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzBucketEncodeDecode -fuzztime=$(FUZZTIME) ./internal/hashtable
 	$(GO) test -run='^$$' -fuzz=FuzzMessageRoundTrip -fuzztime=$(FUZZTIME) ./internal/message
+	$(GO) test -run='^$$' -fuzz=FuzzMailboxRing -fuzztime=$(FUZZTIME) ./internal/message
+
+# Live-mode microbenchmarks at a token iteration count with allocation
+# reporting: catches hot-path regressions (a new alloc, a broken pipeline)
+# without paying for a statistically meaningful perf run in CI.
+bench-smoke:
+	$(GO) test -run='^$$' -bench='BenchmarkLive' -benchtime=100x .
 
 # Runtime sanitizers: goroutine-ownership assertions, arena double-free /
 # use-after-free canaries, guardian-word validation at the fabric boundary.
 debug-test:
 	$(GO) test -tags hydradebug ./...
 
-ci: build vet lint test race debug-test fuzz-smoke
+ci: build vet lint test race debug-test bench-smoke fuzz-smoke

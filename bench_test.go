@@ -215,3 +215,71 @@ func BenchmarkLiveGet_SendRecv(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkLivePipelinedGet drives the same message-only configuration as
+// BenchmarkLiveGet_MessagePath through MultiGet with a full pipeline window,
+// so ns/op compares a pipelined GET directly against a sequential one. The
+// acceptance bar for the slot-ring work is ≥2× the sequential ops/s.
+func BenchmarkLivePipelinedGet(b *testing.B) {
+	opts := hydradb.DefaultOptions()
+	opts.ShardsPerMachine = 1
+	opts.DisableRDMARead = true // "RDMA Write Only" mode
+	opts.ArenaBytesPerShard = 16 << 20
+	opts.MaxItemsPerShard = 1 << 16
+	opts.PipelineWindow = 16
+	db, err := hydradb.Start(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(db.Close)
+	c := db.NewClient()
+	const batch = 16
+	keys := make([][]byte, batch)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("benchkey%02dbytes!", i))
+		if err := c.Put(keys[i], make([]byte, 32)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; done += batch {
+		vals, err := c.MultiGet(keys)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(vals) != batch || vals[0] == nil {
+			b.Fatal("bad batch result")
+		}
+	}
+}
+
+// BenchmarkLiveMultiPut measures batched updates through the pipeline.
+func BenchmarkLiveMultiPut(b *testing.B) {
+	opts := hydradb.DefaultOptions()
+	opts.ShardsPerMachine = 1
+	opts.DisableRDMARead = true
+	opts.MaxItemsPerShard = b.N + 1<<17
+	opts.ArenaBytesPerShard = (b.N + 1<<17) * 128
+	db, err := hydradb.Start(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(db.Close)
+	c := db.NewClient()
+	const batch = 16
+	pairs := make([]hydradb.KV, batch)
+	for i := range pairs {
+		pairs[i] = hydradb.KV{
+			Key: []byte(fmt.Sprintf("putkey%02dbytes!!", i)),
+			Val: make([]byte, 32),
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; done += batch {
+		if err := c.MultiPut(pairs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	figs := flag.String("fig", "all", "comma-separated figures: 2,3,9,10,11,12,13,claims,ablations or 'all'")
+	figs := flag.String("fig", "all", "comma-separated figures: 2,3,9,10,11,12,13,claims,ablations,pipeline or 'all'")
 	scaleName := flag.String("scale", "quick", "experiment scale: quick or full")
 	flag.Parse()
 
@@ -67,6 +67,7 @@ func main() {
 		fmt.Println(bench.Fig12ScaleUp(scale, ycsb.Zipfian))
 	})
 	run("13", func() { fmt.Println(bench.Fig13(scale)) })
+	run("pipeline", func() { fmt.Println(bench.PipelineMicro(scale)) })
 	run("ablations", func() {
 		fmt.Println(bench.AblationSubsharding(scale))
 		fmt.Println(bench.AblationPointerSharing(scale))

@@ -81,10 +81,18 @@ type Options struct {
 	// ArenaBytesPerShard and MaxItemsPerShard size each shard's store.
 	ArenaBytesPerShard int
 	MaxItemsPerShard   int
-	// MailboxBytes is the per-connection message buffer capacity and bounds
-	// the largest key+value a single request can carry (default 64 KB; the
+	// MailboxBytes is the per-slot message buffer capacity and bounds the
+	// largest key+value a single request can carry (default 64 KB; the
 	// MapReduce cache use case stores multi-MB chunks and raises it).
 	MailboxBytes int
+	// RingDepth is the number of mailbox slots per connection direction —
+	// the ceiling on pipelined requests in flight per connection (default
+	// 16). Depth 1 reproduces the paper's single-slot alternation protocol.
+	RingDepth int
+	// PipelineWindow caps in-flight requests per connection for the batched
+	// client calls (Pipeline/MultiGet/MultiPut); zero uses the full ring
+	// depth.
+	PipelineWindow int
 	// Fabric tunes the simulated verbs layer (latency injection, NIC
 	// ceilings, QP overheads). Zero is an infinitely fast fabric.
 	Fabric rdma.Config
@@ -148,6 +156,7 @@ func Start(opts Options) (*DB, error) {
 		SendRecv:          opts.SendRecv,
 		Pipelined:         opts.Pipelined,
 		MailboxBytes:      opts.MailboxBytes,
+		RingDepth:         opts.RingDepth,
 		Fabric:            opts.Fabric,
 		Log:               replication.LogConfig{},
 		Store: kv.Config{
@@ -173,6 +182,17 @@ func Start(opts Options) (*DB, error) {
 // SharedPointerCache is on.
 type Client = client.Client
 
+// Batched-operation types for Client.Pipeline, MultiGet, and MultiPut.
+type (
+	// Op is one operation of a pipelined batch.
+	Op = client.Op
+	// KV pairs a key with a value for MultiPut.
+	KV = client.KV
+	// Result is the outcome of one pipelined Op; its value aliases client
+	// scratch valid until the next batch.
+	Result = client.Result
+)
+
 // NewClient opens a client on the next client machine (round-robin).
 func (db *DB) NewClient() *Client {
 	m := db.nextCli % db.opts.ClientMachines
@@ -183,8 +203,9 @@ func (db *DB) NewClient() *Client {
 // NewClientOn opens a client homed on client machine m.
 func (db *DB) NewClientOn(m int) *Client {
 	opts := client.Options{
-		Clock:       db.clock,
-		UseRDMARead: !db.opts.DisableRDMARead,
+		Clock:          db.clock,
+		UseRDMARead:    !db.opts.DisableRDMARead,
+		PipelineWindow: db.opts.PipelineWindow,
 	}
 	if db.opts.SharedPointerCache {
 		opts.Cache = db.caches[m%len(db.caches)]

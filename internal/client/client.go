@@ -6,6 +6,7 @@
 package client
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"runtime"
@@ -123,6 +124,10 @@ type Options struct {
 	// Counters, when non-nil, receives operation accounting (shared across
 	// clients when aggregating a machine).
 	Counters *stats.OpCounters
+	// PipelineWindow bounds the in-flight requests per connection for
+	// Pipeline/MultiGet/MultiPut. It is clamped to the mailbox ring depth at
+	// issue time; zero selects the full ring depth.
+	PipelineWindow int
 }
 
 // Client is a HydraDB client instance. A client issues synchronous requests
@@ -138,6 +143,15 @@ type Client struct {
 	seq    uint32
 	reqBuf []byte
 	rdBuf  []byte
+
+	// Scratch state reused across calls so steady-state paths stay
+	// allocation-free: the word buffer for one-sided reads, a request header
+	// scratch for GETs, renewal pass slices, and the pipeline machinery.
+	wordBuf     [2]uint64
+	getReq      message.Request
+	renewKeys   []string
+	renewKeyBuf []byte
+	pipe        pipeScratch
 }
 
 // New creates a client over the given routing snapshot.
@@ -201,10 +215,25 @@ func (c *Client) endpointFor(key []byte) (*shard.Endpoint, error) {
 // request performs one synchronous message exchange with the shard owning
 // key, handling epoch-stale rerouting.
 func (c *Client) request(req *message.Request) (message.Response, error) {
+	resp, _, err := c.requestAppend(req, nil)
+	return resp, err
+}
+
+// requestAppend is request with caller-controlled value memory: a response
+// value is appended to dst before the mailbox slot is released, resp.Val is
+// re-pointed at the appended region, and the (possibly grown) dst is returned
+// so callers can reuse one buffer across calls. dst == nil reproduces the
+// old copy-out behavior.
+//
+// Responses whose seq does not match the outstanding request are dropped:
+// after a timeout-triggered retry, the late response of the abandoned
+// attempt may still land, and without the check it would be misattributed to
+// the current request.
+func (c *Client) requestAppend(req *message.Request, dst []byte) (message.Response, []byte, error) {
 	for attempt := 0; attempt <= c.opts.MaxRetries; attempt++ {
 		ep, err := c.endpointFor(req.Key)
 		if err != nil {
-			return message.Response{}, err
+			return message.Response{}, dst, err
 		}
 		req.Epoch = c.table.Epoch
 		c.seq++
@@ -219,7 +248,7 @@ func (c *Client) request(req *message.Request) (message.Response, error) {
 		var resp message.Response
 		if ep.SendRecv {
 			if err := ep.QP.Send(c.reqBuf[:n]); err != nil {
-				return message.Response{}, err
+				return message.Response{}, dst, err
 			}
 			deadline := c.wall.Now() + int64(c.opts.RequestTimeout)
 			var body []byte
@@ -227,14 +256,22 @@ func (c *Client) request(req *message.Request) (message.Response, error) {
 				var ok bool
 				body, ok = ep.QP.TryRecv()
 				if ok {
+					r, derr := message.DecodeResponse(body)
+					if derr != nil {
+						return message.Response{}, dst, derr
+					}
+					if r.Seq != req.Seq {
+						continue // stale response of an abandoned attempt
+					}
+					resp = r
 					break
 				}
 				if ep.QP.Closed() {
-					return message.Response{}, ErrRemote
+					return message.Response{}, dst, ErrRemote
 				}
 				if c.wall.Now() > deadline {
 					if c.opts.Refresh == nil {
-						return message.Response{}, ErrRemote
+						return message.Response{}, dst, ErrRemote
 					}
 					c.ctr.RoutingRetries.Inc()
 					c.table = c.opts.Refresh()
@@ -246,13 +283,14 @@ func (c *Client) request(req *message.Request) (message.Response, error) {
 			if body == nil {
 				continue // timed out: retry against the refreshed table
 			}
-			resp, err = message.DecodeResponse(body)
-			if err != nil {
-				return message.Response{}, err
+			if len(resp.Val) > 0 {
+				base := len(dst)
+				dst = append(dst, resp.Val...)
+				resp.Val = dst[base:]
 			}
 		} else {
 			if err := ep.ReqBox.WriteVia(ep.QP, c.reqBuf[:n], req.Seq); err != nil {
-				return message.Response{}, err
+				return message.Response{}, dst, err
 			}
 			// Sustained polling for the response (§4.2.1): the client CPU
 			// polls its response buffer. A real-time deadline covers shard
@@ -261,9 +299,16 @@ func (c *Client) request(req *message.Request) (message.Response, error) {
 			deadline := c.wall.Now() + int64(c.opts.RequestTimeout)
 			timedOut := false
 			for spins := 0; ; spins++ {
+				var seq uint32
 				var ok bool
-				body, _, ok = ep.RespBox.Poll()
+				body, seq, ok = ep.RespBox.Poll()
 				if ok {
+					if seq != req.Seq {
+						// Stale response of an abandoned attempt: release the
+						// slot and keep polling for ours.
+						ep.RespBox.Consume()
+						continue
+					}
 					break
 				}
 				if spins&1023 == 1023 && c.wall.Now() > deadline {
@@ -274,7 +319,7 @@ func (c *Client) request(req *message.Request) (message.Response, error) {
 			}
 			if timedOut {
 				if c.opts.Refresh == nil {
-					return message.Response{}, ErrRemote
+					return message.Response{}, dst, ErrRemote
 				}
 				c.ctr.RoutingRetries.Inc()
 				c.table = c.opts.Refresh()
@@ -283,13 +328,19 @@ func (c *Client) request(req *message.Request) (message.Response, error) {
 			resp, err = message.DecodeResponse(body)
 			if err != nil {
 				ep.RespBox.Consume()
-				return message.Response{}, err
+				return message.Response{}, dst, err
+			}
+			if resp.Seq != req.Seq {
+				// Indicator seq matched but the framed header disagrees —
+				// treat like any mismatch and drop the message.
+				ep.RespBox.Consume()
+				continue
 			}
 			// Copy the value out before releasing the mailbox.
 			if len(resp.Val) > 0 {
-				v := make([]byte, len(resp.Val))
-				copy(v, resp.Val)
-				resp.Val = v
+				base := len(dst)
+				dst = append(dst, resp.Val...)
+				resp.Val = dst[base:]
 			}
 			ep.RespBox.Consume()
 		}
@@ -297,14 +348,14 @@ func (c *Client) request(req *message.Request) (message.Response, error) {
 		if resp.Status == message.StatusWrongShard {
 			c.ctr.RoutingRetries.Inc()
 			if c.opts.Refresh == nil {
-				return resp, ErrRetries
+				return resp, dst, ErrRetries
 			}
 			c.table = c.opts.Refresh()
 			continue
 		}
-		return resp, nil
+		return resp, dst, nil
 	}
-	return message.Response{}, ErrRetries
+	return message.Response{}, dst, ErrRetries
 }
 
 // cachePointer installs/overwrites the pointer for key.
@@ -317,86 +368,136 @@ func (c *Client) cachePointer(key string, ptr kv.RemotePtr, leaseExp int64) {
 	c.cache.Put(key, e)
 }
 
+// cacheGet looks up key's pointer without materializing a string: on the
+// private cache the map index expression string-interns the byte key for
+// free, so the steady-state GET path stays allocation-free. The shared
+// lock-free cache needs a real string.
+func (c *Client) cacheGet(key []byte) (*PtrEntry, bool) {
+	if p, ok := c.cache.(*privateCache); ok {
+		e, ok := p.m[string(key)]
+		return e, ok
+	}
+	return c.cache.Get(string(key))
+}
+
+// cacheDrop removes key's pointer if it still maps to old (byte-key twin of
+// CompareAndDelete, same interning trick as cacheGet).
+func (c *Client) cacheDrop(key []byte, old *PtrEntry) {
+	if p, ok := c.cache.(*privateCache); ok {
+		if cur, ok := p.m[string(key)]; ok && cur == old {
+			delete(p.m, string(key))
+		}
+		return
+	}
+	c.cache.CompareAndDelete(string(key), old)
+}
+
 // Get returns the value for key. Previously accessed keys with a valid
 // lease are fetched with a single one-sided RDMA Read that bypasses the
 // shard CPU entirely; the guardian word and embedded key validate the fetch,
 // falling back to a message GET on any staleness (§4.2.2, §4.2.3).
 func (c *Client) Get(key []byte) ([]byte, error) {
+	return c.GetInto(key, nil)
+}
+
+// GetInto is Get with caller-controlled value memory: the value is appended
+// to dst and the grown slice returned, so steady-state readers can reuse one
+// buffer and pay zero allocations per one-sided GET. A nil dst allocates a
+// fresh value exactly like Get. Not-found returns (dst, ErrNotFound).
+//
+// hydralint:hotpath
+func (c *Client) GetInto(key, dst []byte) ([]byte, error) {
 	c.ctr.Gets.Inc()
-	skey := string(key)
 	if c.opts.UseRDMARead {
-		if e, ok := c.cache.Get(skey); ok {
-			val, ok, err := c.readViaPointer(key, e)
+		if e, ok := c.cacheGet(key); ok {
+			out, ok, err := c.readViaPointerInto(key, e, dst)
 			if err == nil && ok {
 				c.ctr.RDMAReadHits.Inc()
 				e.Access.Add(1)
-				return val, nil
+				return out, nil
 			}
 			// Invalid hit: outdated item observed — drop the pointer and
 			// issue a message GET for the latest version (§4.2.3).
 			c.ctr.RDMAReadStale.Inc()
-			c.cache.CompareAndDelete(skey, e)
+			c.cacheDrop(key, e)
 		} else {
 			c.ctr.PointerMisses.Inc()
 		}
 	} else {
 		c.ctr.PointerMisses.Inc()
 	}
+	return c.getViaMessage(key, dst)
+}
 
-	resp, err := c.request(&message.Request{Op: message.OpGet, Key: key})
+// getViaMessage issues the two-sided GET and caches the returned pointer.
+func (c *Client) getViaMessage(key, dst []byte) ([]byte, error) {
+	c.getReq = message.Request{Op: message.OpGet, Key: key}
+	resp, out, err := c.requestAppend(&c.getReq, dst)
+	c.getReq.Key = nil
 	if err != nil {
-		return nil, err
+		return dst, err
 	}
 	switch resp.Status {
 	case message.StatusOK:
 		if c.opts.UseRDMARead {
-			c.cachePointer(skey, resp.Ptr, resp.LeaseExp)
+			c.cachePointer(string(key), resp.Ptr, resp.LeaseExp)
 		}
-		return resp.Val, nil
+		return out, nil
 	case message.StatusNotFound:
-		return nil, ErrNotFound
+		return dst, ErrNotFound
 	default:
-		return nil, ErrRemote
+		return dst, ErrRemote
 	}
 }
 
 // readViaPointer attempts the one-sided fetch. ok=false flags a stale or
 // lease-expired pointer.
 func (c *Client) readViaPointer(key []byte, e *PtrEntry) ([]byte, bool, error) {
+	return c.readViaPointerInto(key, e, nil)
+}
+
+// readViaPointerInto is readViaPointer appending into dst. It reuses the
+// client's read scratch and word buffer so a hit performs no allocations.
+//
+// hydralint:hotpath
+func (c *Client) readViaPointerInto(key []byte, e *PtrEntry, dst []byte) ([]byte, bool, error) {
 	now := c.clock.Now()
 	if !lease.ValidForRead(e.LeaseExp, now, c.opts.ReadMarginNs) {
-		return nil, false, nil
+		return dst, false, nil
 	}
 	ep, ok := c.table.Endpoints[e.Ptr.ShardID]
 	if !ok {
-		return nil, false, nil
+		return dst, false, nil
 	}
-	n := int(e.Ptr.DataLen)
+	buf := c.readBuf(int(e.Ptr.DataLen))
+	// One RDMA Read fetches payload + guardian + lease (§4.2.3).
+	_, err := ep.QP.ReadInto(ep.ArenaMR, int(e.Ptr.DataOff), buf, c.wordBuf[:],
+		int(e.Ptr.MetaIdx), int(e.Ptr.MetaIdx)+1)
+	if err != nil {
+		return dst, false, err
+	}
+	if c.wordBuf[0] != kv.GuardianLive {
+		return dst, false, nil // guardian flipped: outdated
+	}
+	gotKey, gotVal, okDec := kv.DecodeItem(buf)
+	if !okDec || !bytes.Equal(gotKey, key) {
+		// Recycled area republished for another key: treat as stale.
+		return dst, false, nil
+	}
+	// Refresh the lease view fetched with the item.
+	if exp := int64(c.wordBuf[1]); exp > e.LeaseExp {
+		e.LeaseExp = exp
+	}
+	dst = append(dst, gotVal...)
+	return dst, true, nil
+}
+
+// readBuf returns the read scratch sized for n bytes, growing it as needed.
+func (c *Client) readBuf(n int) []byte {
 	if cap(c.rdBuf) < n {
 		c.rdBuf = make([]byte, n)
 	}
-	dst := c.rdBuf[:n]
-	// One RDMA Read fetches payload + guardian + lease (§4.2.3).
-	_, words, err := ep.QP.Read(ep.ArenaMR, int(e.Ptr.DataOff), dst,
-		int(e.Ptr.MetaIdx), int(e.Ptr.MetaIdx)+1)
-	if err != nil {
-		return nil, false, err
-	}
-	if words[0] != kv.GuardianLive {
-		return nil, false, nil // guardian flipped: outdated
-	}
-	gotKey, gotVal, okDec := kv.DecodeItem(dst)
-	if !okDec || string(gotKey) != string(key) {
-		// Recycled area republished for another key: treat as stale.
-		return nil, false, nil
-	}
-	// Refresh the lease view fetched with the item.
-	if exp := int64(words[1]); exp > e.LeaseExp {
-		e.LeaseExp = exp
-	}
-	out := make([]byte, len(gotVal))
-	copy(out, gotVal)
-	return out, true, nil
+	return c.rdBuf[:n]
 }
 
 // Put inserts or updates key. The returned pointer is cached so subsequent
@@ -423,8 +524,8 @@ func (c *Client) Delete(key []byte) error {
 	if err != nil {
 		return err
 	}
-	if e, ok := c.cache.Get(string(key)); ok {
-		c.cache.CompareAndDelete(string(key), e)
+	if e, ok := c.cacheGet(key); ok {
+		c.cacheDrop(key, e)
 	}
 	switch resp.Status {
 	case message.StatusOK:
@@ -445,13 +546,13 @@ func (c *Client) Renew(key []byte) error {
 	}
 	if resp.Status != message.StatusOK {
 		// Outdated or deleted: drop the pointer.
-		if e, ok := c.cache.Get(string(key)); ok {
-			c.cache.CompareAndDelete(string(key), e)
+		if e, ok := c.cacheGet(key); ok {
+			c.cacheDrop(key, e)
 		}
 		return ErrNotFound
 	}
 	c.ctr.LeaseRenewals.Inc()
-	if e, ok := c.cache.Get(string(key)); ok {
+	if e, ok := c.cacheGet(key); ok {
 		e.LeaseExp = resp.LeaseExp
 	}
 	return nil
@@ -462,7 +563,7 @@ func (c *Client) Renew(key []byte) error {
 // periodic renewal pass. Returns the number of keys renewed.
 func (c *Client) RenewPopular(minAccess uint32, windowNs int64) int {
 	now := c.clock.Now()
-	var keys []string
+	keys := c.renewKeys[:0]
 	c.cache.Range(func(key string, e *PtrEntry) bool {
 		if e.Access.Load() >= minAccess && e.LeaseExp-now < windowNs {
 			keys = append(keys, key)
@@ -471,10 +572,17 @@ func (c *Client) RenewPopular(minAccess uint32, windowNs int64) int {
 	})
 	n := 0
 	for _, k := range keys {
-		if err := c.Renew([]byte(k)); err == nil {
+		// One scratch byte slice serves every renewal of the pass.
+		c.renewKeyBuf = append(c.renewKeyBuf[:0], k...)
+		if err := c.Renew(c.renewKeyBuf); err == nil {
 			n++
 		}
 	}
+	// Keep the grown backing for the next pass, but release the key strings.
+	for i := range keys {
+		keys[i] = ""
+	}
+	c.renewKeys = keys[:0]
 	return n
 }
 

@@ -1,0 +1,298 @@
+package client
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"hydradb/internal/consistent"
+	"hydradb/internal/kv"
+	"hydradb/internal/message"
+	"hydradb/internal/rdma"
+	"hydradb/internal/shard"
+	"hydradb/internal/timing"
+)
+
+func TestMultiPutMultiGet(t *testing.T) {
+	env := newLiveEnv(t, false)
+	c := env.newClient(t, Options{UseRDMARead: false})
+
+	const n = 30
+	var pairs []KV
+	for i := 0; i < n; i++ {
+		pairs = append(pairs, KV{
+			Key: []byte(fmt.Sprintf("pk%03d", i)),
+			Val: []byte(fmt.Sprintf("pv%03d", i)),
+		})
+	}
+	if err := c.MultiPut(pairs); err != nil {
+		t.Fatal(err)
+	}
+
+	var keys [][]byte
+	for i := 0; i < n; i++ {
+		keys = append(keys, []byte(fmt.Sprintf("pk%03d", i)))
+	}
+	keys = append(keys, []byte("absent"))
+	vals, err := c.MultiGet(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != n+1 {
+		t.Fatalf("got %d results, want %d", len(vals), n+1)
+	}
+	for i := 0; i < n; i++ {
+		want := fmt.Sprintf("pv%03d", i)
+		if string(vals[i]) != want {
+			t.Fatalf("key %d: %q, want %q", i, vals[i], want)
+		}
+	}
+	if vals[n] != nil {
+		t.Fatalf("missing key returned %q", vals[n])
+	}
+
+	// Batched gets are message ops here, so parity must hold:
+	// every GET is a pointer miss on the message-only configuration.
+	snap := c.Counters().Snapshot()
+	if snap.Gets != n+1 || snap.PointerMisses != n+1 {
+		t.Fatalf("counters: gets=%d misses=%d, want %d each", snap.Gets, snap.PointerMisses, n+1)
+	}
+	if snap.Updates != n {
+		t.Fatalf("updates=%d, want %d", snap.Updates, n)
+	}
+}
+
+// TestPipelineSameKeyOrdering drives several ops against one key through a
+// single batch; FIFO rings plus in-order issue must serialize them.
+func TestPipelineSameKeyOrdering(t *testing.T) {
+	env := newLiveEnv(t, false)
+	c := env.newClient(t, Options{UseRDMARead: false})
+	k := []byte("ordered")
+	res := c.Pipeline([]Op{
+		{Code: message.OpPut, Key: k, Val: []byte("one")},
+		{Code: message.OpGet, Key: k},
+		{Code: message.OpPut, Key: k, Val: []byte("two")},
+		{Code: message.OpGet, Key: k},
+		{Code: message.OpDelete, Key: k},
+		{Code: message.OpGet, Key: k},
+	})
+	if res[0].Err != nil || res[2].Err != nil || res[4].Err != nil {
+		t.Fatalf("write errs: %v %v %v", res[0].Err, res[2].Err, res[4].Err)
+	}
+	if string(res[1].Val) != "one" {
+		t.Fatalf("first get: %q", res[1].Val)
+	}
+	if string(res[3].Val) != "two" {
+		t.Fatalf("second get: %q", res[3].Val)
+	}
+	if !res[4].Existed {
+		t.Fatal("delete of live key reported !Existed")
+	}
+	if res[5].Err != ErrNotFound {
+		t.Fatalf("get after delete: %v", res[5].Err)
+	}
+}
+
+func TestPipelineWindowOption(t *testing.T) {
+	env := newLiveEnv(t, false)
+	c := env.newClient(t, Options{UseRDMARead: false, PipelineWindow: 4})
+	var pairs []KV
+	for i := 0; i < 40; i++ {
+		pairs = append(pairs, KV{Key: []byte(fmt.Sprintf("w%03d", i)), Val: []byte("v")})
+	}
+	if err := c.MultiPut(pairs); err != nil {
+		t.Fatal(err)
+	}
+	var keys [][]byte
+	for i := 0; i < 40; i++ {
+		keys = append(keys, []byte(fmt.Sprintf("w%03d", i)))
+	}
+	vals, err := c.MultiGet(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if string(v) != "v" {
+			t.Fatalf("key %d: %q", i, v)
+		}
+	}
+}
+
+// TestPipelineOneSidedHits: with warm pointers, a batched MultiGet completes
+// one-sided at route time — no shard messages at all.
+func TestPipelineOneSidedHits(t *testing.T) {
+	env := newLiveEnv(t, false)
+	c := env.newClient(t, Options{UseRDMARead: true})
+	var keys [][]byte
+	for i := 0; i < 10; i++ {
+		k := []byte(fmt.Sprintf("hot%02d", i))
+		if err := c.Put(k, []byte("v")); err != nil { // Put caches the pointer
+			t.Fatal(err)
+		}
+		keys = append(keys, k)
+	}
+	handledBefore := env.shard.Handled.Load()
+	vals, err := c.MultiGet(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if string(v) != "v" {
+			t.Fatalf("key %d: %q", i, v)
+		}
+	}
+	if got := env.shard.Handled.Load() - handledBefore; got != 0 {
+		t.Fatalf("shard handled %d messages during one-sided batch", got)
+	}
+	if hits := c.Counters().Snapshot().RDMAReadHits; hits != 10 {
+		t.Fatalf("rdma hits = %d, want 10", hits)
+	}
+}
+
+// TestPipelineWrongShardFallsBack: an epoch-stale batch reroutes through the
+// synchronous path's refresh machinery and still completes.
+func TestPipelineWrongShardFallsBack(t *testing.T) {
+	env := newLiveEnv(t, false)
+	c := env.newClient(t, Options{
+		UseRDMARead: false,
+		Refresh: func() *RouteTable {
+			tbl := *env.table
+			tbl.Epoch = 7
+			tbl.Endpoints = map[uint32]*shard.Endpoint{1: env.shard.Connect(env.cliNIC, false)}
+			return &tbl
+		},
+	})
+	env.shard.SetEpoch(7)
+	var pairs []KV
+	for i := 0; i < 8; i++ {
+		pairs = append(pairs, KV{Key: []byte(fmt.Sprintf("e%d", i)), Val: []byte("v")})
+	}
+	if err := c.MultiPut(pairs); err != nil {
+		t.Fatal(err)
+	}
+	if c.Counters().Snapshot().RoutingRetries == 0 {
+		t.Fatal("routing retry not counted")
+	}
+	for i := 0; i < 8; i++ {
+		if v, err := c.Get([]byte(fmt.Sprintf("e%d", i))); err != nil || string(v) != "v" {
+			t.Fatalf("get e%d: %q %v", i, v, err)
+		}
+	}
+}
+
+// TestPipelineSendRecvFallsBack: the two-sided baseline transport has no
+// mailbox ring, so batches run through the synchronous path transparently.
+func TestPipelineSendRecvFallsBack(t *testing.T) {
+	env := newLiveEnv(t, true)
+	c := env.newClient(t, Options{UseRDMARead: false})
+	pairs := []KV{
+		{Key: []byte("a"), Val: []byte("1")},
+		{Key: []byte("b"), Val: []byte("2")},
+	}
+	if err := c.MultiPut(pairs); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := c.MultiGet([][]byte{[]byte("a"), []byte("b"), []byte("c")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(vals[0]) != "1" || string(vals[1]) != "2" || vals[2] != nil {
+		t.Fatalf("vals: %q %q %q", vals[0], vals[1], vals[2])
+	}
+}
+
+// TestPipelineLargeValues round-trips values near the slot capacity through
+// a batched put+get.
+func TestPipelineLargeValues(t *testing.T) {
+	env := newLiveEnv(t, false)
+	c := env.newClient(t, Options{UseRDMARead: false})
+	val := bytes.Repeat([]byte("y"), 32<<10)
+	if err := c.MultiPut([]KV{{Key: []byte("big1"), Val: val}, {Key: []byte("big2"), Val: val}}); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := c.MultiGet([][]byte{[]byte("big1"), []byte("big2")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(vals[0], val) || !bytes.Equal(vals[1], val) {
+		t.Fatalf("large batched values corrupted: %d %d", len(vals[0]), len(vals[1]))
+	}
+}
+
+// TestStaleSeqResponseDropped preloads the response ring with a response
+// whose seq matches no outstanding request — the late reply of an abandoned
+// attempt. The client must drop it instead of misattributing it to the next
+// request (the request() seq-check regression).
+func TestStaleSeqResponseDropped(t *testing.T) {
+	env := newLiveEnv(t, false)
+	c := env.newClient(t, Options{UseRDMARead: false})
+	ep := c.Table().Endpoints[1]
+
+	stale := message.Response{Status: message.StatusNotFound, Seq: 999}
+	buf := make([]byte, stale.EncodedSize())
+	n := stale.EncodeTo(buf)
+	if err := ep.RespBox.WriteLocal(buf[:n], stale.Seq); err != nil {
+		t.Fatal(err)
+	}
+
+	// Without the seq check this Put would consume the NotFound response and
+	// fail with ErrRemote.
+	if err := c.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatalf("put across stale response: %v", err)
+	}
+	if v, err := c.Get([]byte("k")); err != nil || string(v) != "v" {
+		t.Fatalf("get: %q %v", v, err)
+	}
+}
+
+// TestTimeoutRetrySeqMisattribution reproduces the full bug scenario: a
+// stalled shard (its ManualClock store clock never ticks and its loop is not
+// running) forces timeout-triggered retries; when the shard finally starts,
+// the late responses of the abandoned attempts arrive ahead of the current
+// request's and must all be dropped by seq.
+func TestTimeoutRetrySeqMisattribution(t *testing.T) {
+	clk := timing.NewManualClock(1e9)
+	f := rdma.NewFabric(rdma.Config{})
+	srvNIC := f.NewNIC("server")
+	cliNIC := f.NewNIC("clients")
+	sh := shard.New(shard.Config{
+		ID:    1,
+		NIC:   srvNIC,
+		Store: kv.Config{ArenaBytes: 1 << 20, MaxItems: 2048, Clock: clk},
+	})
+	ring, _ := consistent.Build([]uint32{1}, 16)
+	table := &RouteTable{Ring: ring, Endpoints: map[uint32]*shard.Endpoint{
+		1: sh.Connect(cliNIC, false),
+	}}
+	c := New(table, Options{
+		Clock:          clk,
+		UseRDMARead:    false,
+		MaxRetries:     1,
+		RequestTimeout: 5 * time.Millisecond,
+		Refresh:        func() *RouteTable { return table },
+	})
+
+	// Shard is down: both attempts of this Get time out, leaving two
+	// requests in the ring whose responses will arrive late.
+	if _, err := c.Get([]byte("ghost")); err != ErrRetries {
+		t.Fatalf("get against stalled shard: %v", err)
+	}
+
+	// Shard recovers and answers the abandoned requests (NotFound for
+	// "ghost") before it sees anything new.
+	go sh.Run()
+	defer sh.Stop()
+
+	// Without the seq check, the Put would match ghost's NotFound response
+	// and report ErrRemote.
+	if err := c.Put([]byte("real"), []byte("value")); err != nil {
+		t.Fatalf("put after recovery: %v", err)
+	}
+	if v, err := c.Get([]byte("real")); err != nil || string(v) != "value" {
+		t.Fatalf("get after recovery: %q %v", v, err)
+	}
+	if rr := c.Counters().Snapshot().RoutingRetries; rr < 2 {
+		t.Fatalf("routing retries = %d, want >= 2", rr)
+	}
+}

@@ -39,8 +39,11 @@ type Config struct {
 	Fabric rdma.Config
 	// Log tunes replication rings.
 	Log replication.LogConfig
-	// MailboxBytes per connection.
+	// MailboxBytes per mailbox slot.
 	MailboxBytes int
+	// RingDepth is the mailbox slot count per connection direction (pipeline
+	// window ceiling). Zero selects the shard default.
+	RingDepth int
 	// VNodes for the consistent-hash ring.
 	VNodes int
 	// SWATSize is the watcher-team size (paper: an independent group; the
@@ -176,6 +179,7 @@ func (cl *Cluster) startGroup(id uint32, machine int) error {
 		NIC:          cl.serverNICs[machine],
 		Store:        cl.cfg.Store,
 		MailboxBytes: cl.cfg.MailboxBytes,
+		RingDepth:    cl.cfg.RingDepth,
 	})
 	sh.SetEpoch(cl.epoch.Load())
 	g.shard = sh
@@ -303,6 +307,7 @@ func (cl *Cluster) Promote(id uint32) error {
 		NIC:           cl.serverNICs[chosen.machine],
 		Store:         cl.cfg.Store,
 		MailboxBytes:  cl.cfg.MailboxBytes,
+		RingDepth:     cl.cfg.RingDepth,
 		ExistingStore: chosen.store,
 	})
 
@@ -436,6 +441,7 @@ func (cl *Cluster) MoveShard(id uint32, targetMachine int) error {
 		NIC:           cl.serverNICs[targetMachine],
 		Store:         cl.cfg.Store,
 		MailboxBytes:  cl.cfg.MailboxBytes,
+		RingDepth:     cl.cfg.RingDepth,
 		ExistingStore: g.shard.Store(),
 	})
 	newGroup.shard = newShard

@@ -98,3 +98,82 @@ func FuzzMessageRoundTrip(f *testing.F) {
 		}
 	})
 }
+
+// FuzzMailboxRing drives a ring mailbox with a fuzzer-chosen schedule of
+// writes and consumes and checks it against a simple FIFO queue model:
+// every delivered message must come out in write order with its seq and
+// body intact, the ring must report full exactly when the model says depth
+// messages are outstanding, and no schedule may panic or corrupt a slot.
+func FuzzMailboxRing(f *testing.F) {
+	f.Add(uint8(1), []byte{0, 1, 0, 1})
+	f.Add(uint8(4), []byte{0, 0, 0, 0, 1, 1, 1, 1, 0, 1})
+	f.Add(uint8(16), bytes.Repeat([]byte{0, 0, 1}, 20))
+
+	f.Fuzz(func(t *testing.T, depthByte uint8, schedule []byte) {
+		depth := int(depthByte)%16 + 1
+		ring, qp := ringPair(t, 64, depth)
+
+		type msg struct {
+			seq  uint32
+			body string
+		}
+		var model []msg // FIFO of in-flight messages, oldest first
+		next := uint32(0)
+
+		for _, step := range schedule {
+			if step%2 == 0 { // write
+				if len(model) == depth {
+					// Window closed: a remote writer must not write (it would
+					// corrupt the slot), but the loopback writer must detect it.
+					if err := ring.WriteLocal([]byte("x"), next); err != ErrRingFull {
+						t.Fatalf("full ring (depth %d) accepted local write: %v", depth, err)
+					}
+					continue
+				}
+				body := []byte{byte(next), byte(next >> 8), 'p'}
+				var err error
+				if next%2 == 0 {
+					err = ring.WriteVia(qp, body, next)
+				} else {
+					err = ring.WriteLocal(body, next)
+				}
+				if err != nil {
+					t.Fatalf("write seq %d with %d in flight: %v", next, len(model), err)
+				}
+				model = append(model, msg{next, string(body)})
+				next++
+			} else { // consume
+				body, seq, ok := ring.Poll()
+				if len(model) == 0 {
+					if ok {
+						t.Fatalf("empty ring delivered seq %d", seq)
+					}
+					continue
+				}
+				if !ok {
+					t.Fatalf("ring with %d in flight polled empty", len(model))
+				}
+				want := model[0]
+				if seq != want.seq || string(body) != want.body {
+					t.Fatalf("FIFO order broken: got seq=%d %q, want seq=%d %q",
+						seq, body, want.seq, want.body)
+				}
+				ring.Consume()
+				model = model[1:]
+			}
+		}
+
+		// Drain what the schedule left behind.
+		for _, want := range model {
+			body, seq, ok := ring.Poll()
+			if !ok || seq != want.seq || string(body) != want.body {
+				t.Fatalf("drain mismatch: got seq=%d %q ok=%v, want seq=%d %q",
+					seq, body, ok, want.seq, want.body)
+			}
+			ring.Consume()
+		}
+		if _, _, ok := ring.Poll(); ok {
+			t.Fatal("drained ring still delivers")
+		}
+	})
+}

@@ -1,30 +1,52 @@
 package message
 
 import (
-	"fmt"
+	"errors"
 
 	"hydradb/internal/rdma"
 )
 
-// Mailbox is one direction of a Shard↔Client connection: a dedicated message
-// slot in the owner's memory region that the remote side fills with a single
-// RDMA Write and the owner detects by sustained polling (§4.2.1, Fig. 7).
+// Errors returned by mailbox operations.
+var (
+	// ErrTooLarge reports a body exceeding the slot capacity.
+	ErrTooLarge = errors.New("message: body exceeds mailbox slot capacity")
+	// ErrRingFull reports a loopback write into a slot the owner has not
+	// consumed yet (remote writers cannot observe this; they must respect
+	// the window protocol instead).
+	ErrRingFull = errors.New("message: mailbox ring full")
+)
+
+// Mailbox is one direction of a Shard↔Client connection: a ring of
+// indicator-encapsulated message slots in the owner's memory region that the
+// remote side fills with single RDMA Writes and the owner detects by
+// sustained polling (§4.2.1, Fig. 7).
 //
-// The indicator encoding follows the paper's format: the head indicator both
+// Each slot follows the paper's format exactly: the head indicator both
 // announces arrival and carries the message size; the tail indicator (the
 // "last word of the message") confirms the body landed — RDMA Write's
 // in-order delivery makes head-after-tail publication sufficient. After
 // processing, the owner zeroes the indicators ("the shard zeros out the
 // request buffer") which doubles as writer-side flow control.
 //
-// Exactly one message is in flight per mailbox; request/response alternation
-// between the paired mailboxes of a connection guarantees exclusivity.
+// A depth-1 ring reproduces the paper's single-slot protocol bit for bit:
+// exactly one message in flight, exclusivity guaranteed by request/response
+// alternation. Deeper rings generalize it into a pipeline: the writer fills
+// slots in order and may keep up to depth messages outstanding, the owner
+// polls and consumes slots strictly in order, and the credit rule "one new
+// request per consumed response" guarantees neither side ever overwrites an
+// unconsumed slot (see DESIGN.md, "Slot rings and the pipeline window").
+//
+// The same Mailbox value is shared by both ends of a connection in-process:
+// the owner advances the read cursor, the writer the write cursor, and the
+// indicator words carry all cross-goroutine synchronization.
 type Mailbox struct {
-	mr      *rdma.MemoryRegion
-	dataOff int
-	dataCap int
-	headIdx int
-	tailIdx int
+	mr       *rdma.MemoryRegion
+	dataOff  int
+	slotCap  int
+	depth    int
+	wordBase int
+	rd       int // owner-side read cursor (slot index)
+	wr       int // writer-side write cursor (slot index)
 }
 
 // indicator layout: bit 63 = present, bits 62..32 = seq (31 bits),
@@ -39,71 +61,136 @@ func splitIndicator(w uint64) (seq uint32, size int, present bool) {
 	return uint32(w>>32) & 0x7fffffff, int(uint32(w)), w&presentBit != 0
 }
 
-// NewMailbox creates a mailbox over [dataOff, dataOff+dataCap) of mr's byte
-// area, using words headIdx and tailIdx of its word area.
+// NewMailbox creates a single-slot mailbox over [dataOff, dataOff+dataCap)
+// of mr's byte area, using words headIdx and tailIdx of its word area. It is
+// the depth-1 ring; the indicator words must be adjacent, as slots store
+// (head, tail) pairs.
 func NewMailbox(mr *rdma.MemoryRegion, dataOff, dataCap, headIdx, tailIdx int) *Mailbox {
+	if tailIdx != headIdx+1 {
+		panic("message: mailbox indicator words must be adjacent (head, tail)")
+	}
+	return NewRing(mr, dataOff, dataCap, 1, headIdx)
+}
+
+// NewRing creates a mailbox ring of depth slots of slotCap bytes each over
+// [dataOff, dataOff+depth*slotCap) of mr's byte area. Slot i uses words
+// wordBase+2i (head) and wordBase+2i+1 (tail) of the word area.
+func NewRing(mr *rdma.MemoryRegion, dataOff, slotCap, depth, wordBase int) *Mailbox {
 	if mr.Words() == nil {
 		panic("message: mailbox region needs a word area")
 	}
-	return &Mailbox{mr: mr, dataOff: dataOff, dataCap: dataCap, headIdx: headIdx, tailIdx: tailIdx}
+	if depth < 1 || slotCap <= 0 {
+		panic("message: mailbox ring needs depth >= 1 and positive slot capacity")
+	}
+	if wordBase < 0 || wordBase+2*depth > mr.Words().Len() {
+		panic("message: mailbox ring exceeds word area")
+	}
+	if dataOff < 0 || dataOff+depth*slotCap > len(mr.Data()) {
+		panic("message: mailbox ring exceeds byte area")
+	}
+	return &Mailbox{mr: mr, dataOff: dataOff, slotCap: slotCap, depth: depth, wordBase: wordBase}
 }
 
-// Capacity reports the largest body the mailbox can carry.
-func (m *Mailbox) Capacity() int { return m.dataCap }
+// Capacity reports the largest body one slot can carry.
+func (m *Mailbox) Capacity() int { return m.slotCap }
 
-// Poll checks for a delivered message (owner side). The returned body
-// aliases the mailbox buffer and is valid until Consume.
+// Depth reports the number of slots — the maximum messages in flight.
+func (m *Mailbox) Depth() int { return m.depth }
+
+// Poll checks for a delivered message in the slot at the read cursor (owner
+// side). Slots are consumed strictly in ring order, so a message in a later
+// slot stays invisible until every earlier slot is consumed. The returned
+// body aliases the mailbox buffer and is valid until Consume.
 //
 // hydralint:hotpath
 func (m *Mailbox) Poll() (body []byte, seq uint32, ok bool) {
 	words := m.mr.Words()
-	head := words.Load(m.headIdx)
+	headIdx := m.wordBase + 2*m.rd
+	head := words.Load(headIdx)
 	if head == 0 {
 		return nil, 0, false
 	}
 	seq, size, present := splitIndicator(head)
-	if !present || size > m.dataCap {
+	if !present || size > m.slotCap {
 		return nil, 0, false
 	}
 	// The paper polls the last word after the size-bearing first word; with
 	// in-order RDMA Write, tail==head means the body between them landed.
-	if words.Load(m.tailIdx) != head {
+	if words.Load(headIdx+1) != head {
 		return nil, 0, false
 	}
-	return m.mr.Data()[m.dataOff : m.dataOff+size], seq, true
+	off := m.dataOff + m.rd*m.slotCap
+	return m.mr.Data()[off : off+size], seq, true
 }
 
-// Consume clears the indicators, releasing the slot to the writer.
+// Consume clears the indicators of the slot at the read cursor, releasing it
+// to the writer, and advances the cursor to the next slot.
+//
+// hydralint:hotpath
 func (m *Mailbox) Consume() {
 	words := m.mr.Words()
-	words.Store(m.tailIdx, 0)
-	words.Store(m.headIdx, 0)
+	headIdx := m.wordBase + 2*m.rd
+	words.Store(headIdx+1, 0)
+	words.Store(headIdx, 0)
+	m.rd++
+	if m.rd == m.depth {
+		m.rd = 0
+	}
 }
 
-// Busy reports whether a message is pending (owner side).
-func (m *Mailbox) Busy() bool { return m.mr.Words().Load(m.headIdx) != 0 }
+// Busy reports whether a message is pending in the slot at the read cursor
+// (owner side).
+//
+// hydralint:hotpath
+func (m *Mailbox) Busy() bool { return m.mr.Words().Load(m.wordBase+2*m.rd) != 0 }
 
-// WriteVia delivers body into the mailbox through qp as one RDMA Write
-// (writer side). The caller must respect the alternation protocol: writing
-// into a busy mailbox corrupts it.
+// WriteVia delivers body into the slot at the write cursor through qp as one
+// RDMA Write (writer side) and advances the cursor. The caller must respect
+// the window protocol — at most depth messages outstanding, one new write
+// per consumed slot; writing into a busy slot corrupts it, exactly as on
+// real hardware where the writer cannot see the remote indicators.
+//
+// hydralint:hotpath
 func (m *Mailbox) WriteVia(qp *rdma.QP, body []byte, seq uint32) error {
-	if len(body) > m.dataCap {
-		return fmt.Errorf("message: body %d exceeds mailbox capacity %d", len(body), m.dataCap)
+	if len(body) > m.slotCap {
+		return ErrTooLarge
 	}
+	headIdx := m.wordBase + 2*m.wr
+	off := m.dataOff + m.wr*m.slotCap
 	ind := makeIndicator(seq, len(body))
-	return qp.WriteIndicated(m.mr, m.dataOff, body, m.tailIdx, m.headIdx, ind)
+	if err := qp.WriteIndicated(m.mr, off, body, headIdx+1, headIdx, ind); err != nil {
+		return err
+	}
+	m.wr++
+	if m.wr == m.depth {
+		m.wr = 0
+	}
+	return nil
 }
 
 // WriteLocal delivers body written by the region owner itself (used by
-// loopback connections when client and shard share a machine).
+// loopback connections when client and shard share a machine). Unlike a
+// remote writer, the owner can see the indicators, so a write into an
+// unconsumed slot is rejected with ErrRingFull instead of corrupting it.
+//
+// hydralint:hotpath
 func (m *Mailbox) WriteLocal(body []byte, seq uint32) error {
-	if len(body) > m.dataCap {
-		return fmt.Errorf("message: body %d exceeds mailbox capacity %d", len(body), m.dataCap)
+	if len(body) > m.slotCap {
+		return ErrTooLarge
 	}
-	copy(m.mr.Data()[m.dataOff:], body)
-	ind := makeIndicator(seq, len(body))
 	words := m.mr.Words()
-	words.Store(m.tailIdx, ind)
-	words.Store(m.headIdx, ind)
+	headIdx := m.wordBase + 2*m.wr
+	if words.Load(headIdx) != 0 {
+		return ErrRingFull
+	}
+	off := m.dataOff + m.wr*m.slotCap
+	copy(m.mr.Data()[off:], body)
+	ind := makeIndicator(seq, len(body))
+	words.Store(headIdx+1, ind)
+	words.Store(headIdx, ind)
+	m.wr++
+	if m.wr == m.depth {
+		m.wr = 0
+	}
 	return nil
 }

@@ -228,6 +228,10 @@ func (qp *QP) LocalNIC() *NIC { return qp.local }
 // RemoteNIC reports the peer's adaptor.
 func (qp *QP) RemoteNIC() *NIC { return qp.remote }
 
+// Depth reports the queue depth the pair was connected with — the number of
+// sends that may be outstanding before Send blocks.
+func (qp *QP) Depth() int { return cap(qp.sendCh) }
+
 func (qp *QP) checkTarget(mr *MemoryRegion) error {
 	if qp.Closed() {
 		return ErrClosed
@@ -300,32 +304,49 @@ func (qp *QP) WriteIndicated(mr *MemoryRegion, off int, body []byte, tailIdx, he
 // single round trip with one latency charge. Returns the number of bytes
 // copied and the word values.
 func (qp *QP) Read(mr *MemoryRegion, off int, dst []byte, wordIdxs ...int) (int, []uint64, error) {
-	if err := qp.checkTarget(mr); err != nil {
+	var words []uint64
+	if len(wordIdxs) > 0 {
+		words = make([]uint64, len(wordIdxs))
+	}
+	n, err := qp.ReadInto(mr, off, dst, words, wordIdxs...)
+	if err != nil {
 		return 0, nil, err
 	}
+	return n, words, nil
+}
+
+// ReadInto is Read with a caller-provided word buffer: words[i] receives the
+// value of wordIdxs[i], so steady-state pollers can reuse one scratch slice
+// and keep the one-sided GET path allocation-free. len(words) must be at
+// least len(wordIdxs).
+//
+// hydralint:hotpath
+func (qp *QP) ReadInto(mr *MemoryRegion, off int, dst []byte, words []uint64, wordIdxs ...int) (int, error) {
+	if err := qp.checkTarget(mr); err != nil {
+		return 0, err
+	}
 	if off < 0 || off+len(dst) > len(mr.data) {
-		return 0, nil, ErrOutOfBounds
+		return 0, ErrOutOfBounds
+	}
+	if len(words) < len(wordIdxs) {
+		return 0, ErrOutOfBounds
 	}
 	for _, w := range wordIdxs {
 		if mr.words == nil || w < 0 || w >= mr.words.Len() {
-			return 0, nil, ErrOutOfBounds
+			return 0, ErrOutOfBounds
 		}
 	}
 	qp.local.admit(len(dst))
 	qp.remote.admit(len(dst))
 	qp.local.fabric.spinFor(qp.local.fabric.cfg.ReadNs)
 	n := copy(dst, mr.data[off:off+len(dst)])
-	var words []uint64
-	if len(wordIdxs) > 0 {
-		words = make([]uint64, len(wordIdxs))
-		for i, w := range wordIdxs {
-			words[i] = mr.words.Load(w)
-			if invariant.Enabled {
-				mr.words.Validate(w, words[i])
-			}
+	for i, w := range wordIdxs {
+		words[i] = mr.words.Load(w)
+		if invariant.Enabled {
+			mr.words.Validate(w, words[i])
 		}
 	}
-	return n, words, nil
+	return n, nil
 }
 
 // Send transmits msg two-sided; the receiver's CPU must call Recv. The

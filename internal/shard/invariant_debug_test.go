@@ -40,5 +40,5 @@ func TestShardExclusivityViolationPanics(t *testing.T) {
 			t.Fatal("foreign-goroutine shard.handle did not panic under hydradebug")
 		}
 	}()
-	s.handle(nil, body, respBuf)
+	s.handle(body, respBuf, s.epoch.Load())
 }

@@ -104,14 +104,18 @@ func (p *Pipelined) work() {
 			return
 		case r := <-p.queue:
 			p.mu.Lock()
-			n := p.shard.handle(r.c, r.body, respBuf)
+			n := p.shard.handle(r.body, respBuf, p.shard.epoch.Load())
 			handled++
 			if handled%p.shard.cfg.ReclaimEvery == 0 {
 				p.shard.store.ReclaimDue()
 			}
-			p.mu.Unlock()
+			// The response write stays inside the critical section: the ring
+			// mailbox keeps a writer cursor, so concurrent WriteVia calls on
+			// one connection would race. More lock hold time is part of this
+			// baseline's documented cost.
 			//hydralint:ignore error-discipline response to a vanished client, as in the live shard loop
 			_ = r.c.respBox.WriteVia(r.c.qp, respBuf[:n], r.seq)
+			p.mu.Unlock()
 			p.shard.Handled.Inc()
 		}
 	}

@@ -39,8 +39,12 @@ type Config struct {
 	NIC *rdma.NIC
 	// Store sizes the item store (Clock required).
 	Store kv.Config
-	// MailboxBytes is the per-connection request/response buffer capacity.
+	// MailboxBytes is the per-slot request/response buffer capacity.
 	MailboxBytes int
+	// RingDepth is the number of mailbox slots per connection direction — the
+	// maximum requests a client may keep in flight on one connection. Depth 1
+	// reproduces the paper's single-slot alternation protocol exactly.
+	RingDepth int
 	// IdleSpins is the number of empty poll rounds before the loop naps.
 	IdleSpins int
 	// NapNs is the nap length once idle (paper: ~100 ns).
@@ -57,6 +61,9 @@ func (c *Config) withDefaults() Config {
 	cfg := *c
 	if cfg.MailboxBytes == 0 {
 		cfg.MailboxBytes = 64 << 10
+	}
+	if cfg.RingDepth == 0 {
+		cfg.RingDepth = 16
 	}
 	if cfg.IdleSpins == 0 {
 		cfg.IdleSpins = 64
@@ -175,12 +182,17 @@ func (s *Shard) Primary() *replication.Primary { return s.primary }
 // Connect establishes a connection from a client living on clientNIC and
 // returns the client's endpoint. sendRecv selects the two-sided baseline.
 func (s *Shard) Connect(clientNIC *rdma.NIC, sendRecv bool) *Endpoint {
-	qpClient, qpShard := rdma.Connect(clientNIC, s.nic, 16)
+	depth := s.cfg.RingDepth
+	qpDepth := 16
+	if depth > qpDepth {
+		qpDepth = depth
+	}
+	qpClient, qpShard := rdma.Connect(clientNIC, s.nic, qpDepth)
 
-	reqMR := s.nic.Register(make([]byte, s.cfg.MailboxBytes), arena.NewWordArea(1, 2))
-	respMR := clientNIC.Register(make([]byte, s.cfg.MailboxBytes), arena.NewWordArea(1, 2))
-	reqBox := message.NewMailbox(reqMR, 0, s.cfg.MailboxBytes, 0, 1)
-	respBox := message.NewMailbox(respMR, 0, s.cfg.MailboxBytes, 0, 1)
+	reqMR := s.nic.Register(make([]byte, depth*s.cfg.MailboxBytes), arena.NewWordArea(depth, 2))
+	respMR := clientNIC.Register(make([]byte, depth*s.cfg.MailboxBytes), arena.NewWordArea(depth, 2))
+	reqBox := message.NewRing(reqMR, 0, s.cfg.MailboxBytes, depth, 0)
+	respBox := message.NewRing(respMR, 0, s.cfg.MailboxBytes, depth, 0)
 
 	c := &conn{reqBox: reqBox, respBox: respBox, qp: qpShard, sendRecv: sendRecv}
 	s.mu.Lock() //hydralint:ignore shard-exclusivity control-plane connect path, never taken by the shard loop
@@ -218,40 +230,18 @@ func (s *Shard) Run() {
 		default:
 		}
 		progress := false
+		// One epoch load covers the whole poll round: SetEpoch is
+		// control-plane, so every request drained this round may be judged
+		// against the same value.
+		epoch := s.epoch.Load()
 		conns := *s.conns.Load()
 		for _, c := range conns {
-			var body []byte
-			var seq uint32
-			var ok bool
-			if c.sendRecv {
-				body, ok = c.qp.TryRecv()
-				if ok {
-					req, err := message.DecodeRequest(body)
-					if err != nil {
-						continue
-					}
-					seq = req.Seq
-				}
-			} else {
-				body, seq, ok = c.reqBox.Poll()
+			n := s.drainConn(c, respBuf, epoch)
+			if n > 0 {
+				progress = true
+				handledSinceReclaim += n
+				s.Handled.Add(int64(n))
 			}
-			if !ok {
-				continue
-			}
-			progress = true
-			n := s.handle(c, body, respBuf)
-			if c.sendRecv {
-				//hydralint:ignore error-discipline response to a vanished client; nothing to do but serve the next mailbox
-				_ = c.qp.Send(respBuf[:n])
-			} else {
-				// "the shard zeros out the request buffer and sends the
-				// response back" (§4.2.1).
-				c.reqBox.Consume()
-				//hydralint:ignore error-discipline response to a vanished client; nothing to do but serve the next mailbox
-				_ = c.respBox.WriteVia(c.qp, respBuf[:n], seq)
-			}
-			handledSinceReclaim++
-			s.Handled.Inc()
 		}
 		if handledSinceReclaim >= s.cfg.ReclaimEvery {
 			s.store.ReclaimDue()
@@ -278,19 +268,58 @@ func (s *Shard) Run() {
 	}
 }
 
-// handle processes one request body, encodes the response into respBuf, and
-// returns its length.
+// drainConn consumes every ready request of one connection — up to a full
+// ring (or its equivalent in two-sided receives) per poll round — and reports
+// how many it handled. Batching here is what turns the ring depth into
+// throughput: one poll round retires a whole pipeline window, and the epoch
+// check and reclamation accounting are amortized across the batch.
 //
 // hydralint:hotpath
-func (s *Shard) handle(c *conn, body []byte, respBuf []byte) int {
+func (s *Shard) drainConn(c *conn, respBuf []byte, epoch uint32) int {
+	handled := 0
+	if c.sendRecv {
+		for handled < c.respBox.Depth() {
+			body, ok := c.qp.TryRecv()
+			if !ok {
+				break
+			}
+			n := s.handle(body, respBuf, epoch)
+			//hydralint:ignore error-discipline response to a vanished client; nothing to do but serve the next mailbox
+			_ = c.qp.Send(respBuf[:n])
+			handled++
+		}
+		return handled
+	}
+	for handled < c.reqBox.Depth() {
+		body, seq, ok := c.reqBox.Poll()
+		if !ok {
+			break
+		}
+		n := s.handle(body, respBuf, epoch)
+		// "the shard zeros out the request buffer and sends the response
+		// back" (§4.2.1). Consuming before the response write frees the slot
+		// for the client's next pipelined request.
+		c.reqBox.Consume()
+		//hydralint:ignore error-discipline response to a vanished client; nothing to do but serve the next mailbox
+		_ = c.respBox.WriteVia(c.qp, respBuf[:n], seq)
+		handled++
+	}
+	return handled
+}
+
+// handle processes one request body against the given routing epoch, encodes
+// the response into respBuf, and returns its length.
+//
+// hydralint:hotpath
+func (s *Shard) handle(body []byte, respBuf []byte, epoch uint32) int {
 	s.own.Assert("shard.handle")
 	req, err := message.DecodeRequest(body)
-	resp := message.Response{Epoch: s.epoch.Load()}
+	resp := message.Response{Epoch: epoch}
 	if err != nil {
 		resp.Status = message.StatusError
 	} else {
 		resp.Seq = req.Seq
-		if req.Epoch != s.epoch.Load() {
+		if req.Epoch != epoch {
 			resp.Status = message.StatusWrongShard
 		} else {
 			s.apply(req, &resp)
