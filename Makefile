@@ -5,7 +5,7 @@
 GO        ?= go
 FUZZTIME  ?= 20s
 
-.PHONY: all build vet test race lint fuzz-smoke debug-test bench-smoke ci
+.PHONY: all build vet test race lint fuzz-smoke debug-test bench-smoke hydramc-smoke ci
 
 all: build test
 
@@ -50,4 +50,19 @@ bench-smoke:
 debug-test:
 	$(GO) test -tags hydradebug ./...
 
-ci: build vet lint test race debug-test bench-smoke fuzz-smoke
+# Bounded exhaustive-interleaving pass (DESIGN.md §9): explore every
+# protocol model and self-test that each seeded bug is caught, with the
+# schedule count capped so the pass stays seconds, not minutes. `timeout`
+# backstops a scheduler regression turning the bound into a hang. The fine
+# (word-granularity) leg covers only the mailbox model — the one whose
+# seeded bug is a torn-indicator race — because fine mode multiplies the
+# state space far past a smoke budget on the other models; the healthy run
+# must stay silent and the armed seeded bug must exit non-zero.
+MCSCHEDULES ?= 20000
+MCTIMEOUT   ?= 300
+hydramc-smoke:
+	timeout $(MCTIMEOUT) $(GO) run ./cmd/hydramc -all -maxschedules $(MCSCHEDULES)
+	timeout $(MCTIMEOUT) $(GO) run -tags hydradebug ./cmd/hydramc -model mailbox -fine -maxsteps 400 -maxschedules $(MCSCHEDULES)
+	! timeout $(MCTIMEOUT) $(GO) run -tags hydradebug ./cmd/hydramc -model mailbox -fine -bug -maxsteps 400 -maxschedules $(MCSCHEDULES)
+
+ci: build vet lint test race debug-test bench-smoke fuzz-smoke hydramc-smoke

@@ -18,6 +18,11 @@ func runClockDiscipline(p *Package, r *Reporter) {
 	}
 	banned := map[string]bool{"Now": true, "Since": true, "Sleep": true}
 	for _, f := range p.Files {
+		if p.isTestFile(f) {
+			// Tests legitimately use real time for deadlines and backoff;
+			// the discipline governs the production data plane only.
+			continue
+		}
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {

@@ -1,0 +1,421 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// runPublishedEscape is an intra-procedural taint pass over consumers of the
+// RDMA data plane. A handful of APIs return *views* into registered memory —
+// arena bytes, memory-region slabs, decoded item key/value slices, mailbox
+// slot bodies, kv.GetResult.Value — that are only safe to dereference while
+// the protecting lease/guardian protocol holds (§4.2.2, §4.2.3). Stashing
+// such a view in a field, a package-level variable, or a channel, or
+// returning it from a function, publishes a pointer whose referent the owner
+// may reclaim or rewrite at any moment.
+//
+// The pass marks those view expressions as taint sources, propagates taint
+// through assignments, slicing, and composite literals to a fixpoint, and
+// reports taint reaching an escape sink. Copies launder: string(b) and
+// []byte(s) conversions, append onto an untainted base, and scalar indexing
+// (a byte loaded from a view is a value, not a pointer).
+//
+// Scope: internal/ consumer packages. The owner packages that implement the
+// protocols (arena, rdma, kv, message, hashtable, shard, replication,
+// invariant, modelcheck) hold registered memory by design and are exempt, as
+// are _test.go files. Functions whose documented contract is to return a
+// view carry a `hydralint:aliases` marker in their doc comment. The analysis
+// does not follow taint through calls to other functions — a view passed as
+// an argument is the callee's problem under the callee's own analysis.
+var escapeOwnerPackages = map[string]bool{
+	"internal/arena":       true,
+	"internal/rdma":        true,
+	"internal/kv":          true,
+	"internal/message":     true,
+	"internal/hashtable":   true,
+	"internal/shard":       true,
+	"internal/replication": true,
+	"internal/invariant":   true,
+	"internal/modelcheck":  true,
+}
+
+func runPublishedEscape(p *Package, r *Reporter) {
+	if !p.isInternal() || escapeOwnerPackages[p.RelPath] {
+		return
+	}
+	for _, f := range p.Files {
+		if p.isTestFile(f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			e := &escapeFlow{p: p, tainted: map[*types.Var]bool{}}
+			e.propagate(fd.Body)
+			e.reportSinks(r, fd)
+		}
+	}
+}
+
+// escapeFlow is the per-function taint state. Closures are analyzed as part
+// of their enclosing function: captured variables share the same objects.
+type escapeFlow struct {
+	p       *Package
+	tainted map[*types.Var]bool
+}
+
+// propagate runs assignment-driven taint propagation to a fixpoint.
+func (e *escapeFlow) propagate(body *ast.BlockStmt) {
+	for round := 0; round < 16; round++ {
+		changed := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+					// Tuple form: x, y := f(buf) — every reference-typed
+					// binding of a tainted producer is tainted.
+					if e.taintedExpr(n.Rhs[0]) {
+						for _, l := range n.Lhs {
+							changed = e.taintLHS(l) || changed
+						}
+					}
+					return true
+				}
+				for i, l := range n.Lhs {
+					if i < len(n.Rhs) && e.taintedExpr(n.Rhs[i]) {
+						changed = e.taintLHS(l) || changed
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range n.Names {
+					switch {
+					case len(n.Values) == 1 && len(n.Names) > 1:
+						if e.taintedExpr(n.Values[0]) {
+							changed = e.taintIdent(name) || changed
+						}
+					case i < len(n.Values):
+						if e.taintedExpr(n.Values[i]) {
+							changed = e.taintIdent(name) || changed
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				// Ranging a tainted container taints reference-typed
+				// element bindings ([]byte elements are scalars and stay
+				// clean).
+				if n.Value != nil && e.taintedExpr(n.X) {
+					changed = e.taintLHS(n.Value) || changed
+				}
+			}
+			return true
+		})
+		if !changed {
+			return
+		}
+	}
+}
+
+// taintLHS marks an assignment target tainted when it is a local variable;
+// non-local targets are sinks, handled separately.
+func (e *escapeFlow) taintLHS(l ast.Expr) bool {
+	if id, ok := l.(*ast.Ident); ok {
+		return e.taintIdent(id)
+	}
+	return false
+}
+
+func (e *escapeFlow) taintIdent(id *ast.Ident) bool {
+	if id.Name == "_" {
+		return false
+	}
+	v := e.localVar(id)
+	if v == nil || e.tainted[v] || !refType(v.Type()) {
+		return false
+	}
+	e.tainted[v] = true
+	return true
+}
+
+// localVar resolves an identifier to a function-local variable (params and
+// receivers included), or nil for fields, package-level vars, and non-vars.
+func (e *escapeFlow) localVar(id *ast.Ident) *types.Var {
+	obj := e.p.Info.Defs[id]
+	if obj == nil {
+		obj = e.p.Info.Uses[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() || v.Pkg() == nil {
+		return nil
+	}
+	if v.Parent() == e.p.Pkg.Scope() {
+		return nil // package-level
+	}
+	return v
+}
+
+// taintedExpr reports whether evaluating x may yield a reference into
+// RDMA-registered memory.
+func (e *escapeFlow) taintedExpr(x ast.Expr) bool {
+	switch x := x.(type) {
+	case *ast.Ident:
+		v := e.localVar(x)
+		return v != nil && e.tainted[v]
+	case *ast.ParenExpr:
+		return e.taintedExpr(x.X)
+	case *ast.SelectorExpr:
+		if e.isGetResultValue(x) {
+			return true
+		}
+		return e.taintedExpr(x.X)
+	case *ast.IndexExpr:
+		if tv, ok := e.p.Info.Types[x]; ok && !refType(tv.Type) {
+			return false // scalar load from a view is a copy
+		}
+		return e.taintedExpr(x.X)
+	case *ast.SliceExpr:
+		return e.taintedExpr(x.X)
+	case *ast.StarExpr:
+		return e.taintedExpr(x.X)
+	case *ast.UnaryExpr:
+		return e.taintedExpr(x.X)
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if e.taintedExpr(el) {
+				return true
+			}
+		}
+		return false
+	case *ast.CallExpr:
+		return e.taintedCall(x)
+	}
+	return false
+}
+
+func (e *escapeFlow) taintedCall(call *ast.CallExpr) bool {
+	// Conversions copy (string <-> []byte) or reinterpret a value we can
+	// resolve directly.
+	if tv, ok := e.p.Info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) != 1 {
+			return false
+		}
+		t := types.Unalias(tv.Type)
+		if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+			return false // string(view) copies
+		}
+		if isByteSlice(t.Underlying()) {
+			if at, ok := e.p.Info.Types[call.Args[0]]; ok {
+				if b, ok := at.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+					return false // []byte(string) copies
+				}
+			}
+		}
+		return e.taintedExpr(call.Args[0])
+	}
+
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		// append's result aliases its base; appending view bytes onto an
+		// untainted base copies them out.
+		if fun.Name == "append" {
+			if _, ok := e.p.Info.Uses[fun].(*types.Builtin); ok && len(call.Args) > 0 {
+				return e.taintedExpr(call.Args[0])
+			}
+		}
+		return false
+	case *ast.SelectorExpr:
+		// kv.DecodeItem(buf) returns key/val slices aliasing buf.
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if pn, ok := e.p.Info.Uses[id].(*types.PkgName); ok {
+				path := pn.Imported().Path()
+				if strings.HasSuffix(path, "internal/kv") && fun.Sel.Name == "DecodeItem" {
+					return len(call.Args) == 1 && e.taintedExpr(call.Args[0])
+				}
+				if path == "bytes" && fun.Sel.Name == "Clone" {
+					return false
+				}
+				return false
+			}
+		}
+		// View-returning methods of the owner packages.
+		if recv, name, ok := e.methodRecv(fun); ok {
+			switch {
+			case recv == "internal/arena.Arena" && (name == "Bytes" || name == "Data"),
+				recv == "internal/rdma.MemoryRegion" && name == "Data",
+				recv == "internal/kv.Store" && name == "ArenaData",
+				recv == "internal/message.Mailbox" && name == "Poll":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// methodRecv resolves a method call's declared receiver to a
+// "module-relative package path.TypeName" string.
+func (e *escapeFlow) methodRecv(sel *ast.SelectorExpr) (recv, name string, ok bool) {
+	s, found := e.p.Info.Selections[sel]
+	if !found || s.Kind() != types.MethodVal {
+		return "", "", false
+	}
+	fn, isFn := s.Obj().(*types.Func)
+	if !isFn {
+		return "", "", false
+	}
+	rv := fn.Type().(*types.Signature).Recv()
+	if rv == nil {
+		return "", "", false
+	}
+	t := rv.Type()
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := types.Unalias(t).(*types.Named)
+	if !isNamed || named.Obj().Pkg() == nil {
+		return "", "", false
+	}
+	path := named.Obj().Pkg().Path()
+	if i := strings.Index(path, "internal/"); i >= 0 {
+		path = path[i:]
+	}
+	return path + "." + named.Obj().Name(), fn.Name(), true
+}
+
+// isGetResultValue matches `res.Value` on a kv.GetResult — documented as
+// aliasing the arena.
+func (e *escapeFlow) isGetResultValue(sel *ast.SelectorExpr) bool {
+	if sel.Sel.Name != "Value" {
+		return false
+	}
+	tv, ok := e.p.Info.Types[sel.X]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if ptr, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := types.Unalias(t).(*types.Named)
+	if !isNamed || named.Obj().Pkg() == nil {
+		return false
+	}
+	return strings.HasSuffix(named.Obj().Pkg().Path(), "internal/kv") &&
+		named.Obj().Name() == "GetResult"
+}
+
+// reportSinks walks the body flagging tainted values reaching an escape.
+func (e *escapeFlow) reportSinks(r *Reporter, fd *ast.FuncDecl) {
+	aliases := docHasMarker(fd.Doc, "hydralint:aliases")
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			tuple := len(n.Rhs) == 1 && len(n.Lhs) > 1
+			for i, l := range n.Lhs {
+				var rhs ast.Expr
+				if tuple {
+					rhs = n.Rhs[0]
+				} else if i < len(n.Rhs) {
+					rhs = n.Rhs[i]
+				}
+				if rhs == nil || !e.taintedExpr(rhs) {
+					continue
+				}
+				if sink := e.sinkDesc(l); sink != "" {
+					r.report("published-escape", n.Pos(),
+						"a view into an RDMA-registered region escapes to %s; copy it out (append to a fresh buffer) before publishing", sink)
+				}
+			}
+		case *ast.SendStmt:
+			if e.taintedExpr(n.Value) {
+				r.report("published-escape", n.Pos(),
+					"a view into an RDMA-registered region escapes into a channel send; copy it out before handing it to another goroutine")
+			}
+		case *ast.ReturnStmt:
+			if aliases {
+				return true
+			}
+			for _, res := range n.Results {
+				if e.taintedExpr(res) {
+					r.report("published-escape", n.Pos(),
+						"returning a view into an RDMA-registered region; copy it out, or mark the function hydralint:aliases if returning a view is its contract")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// sinkDesc classifies an assignment target that outlives the protocol
+// window; "" means the target is a plain local and not a sink.
+func (e *escapeFlow) sinkDesc(l ast.Expr) string {
+	switch l := l.(type) {
+	case *ast.Ident:
+		if l.Name == "_" || e.localVar(l) != nil {
+			return ""
+		}
+		if obj := e.p.Info.Uses[l]; obj != nil {
+			if v, ok := obj.(*types.Var); ok && v.Parent() == e.p.Pkg.Scope() {
+				return "package-level variable " + l.Name
+			}
+		}
+		return ""
+	case *ast.SelectorExpr:
+		// A field store: the struct (and thus the view) outlives this call.
+		if s, ok := e.p.Info.Selections[l]; ok && s.Kind() == types.FieldVal {
+			return "field " + l.Sel.Name
+		}
+		// Qualified package-level var (pkg.Var = view).
+		if id, ok := l.X.(*ast.Ident); ok {
+			if _, isPkg := e.p.Info.Uses[id].(*types.PkgName); isPkg {
+				return "package-level variable " + l.Sel.Name
+			}
+		}
+		return ""
+	case *ast.StarExpr:
+		return "memory behind a pointer"
+	case *ast.IndexExpr:
+		// Element store into a non-local container.
+		if inner := e.sinkDesc(l.X); inner != "" {
+			return "an element of " + inner
+		}
+		return ""
+	}
+	return ""
+}
+
+// refType reports whether values of t can carry a pointer into registered
+// memory: slices, pointers, maps, channels, interfaces, unsafe pointers, and
+// aggregates containing any of those. Scalars and strings cannot (string
+// conversions copy).
+func refType(t types.Type) bool {
+	return refTypeSeen(t, map[*types.Named]bool{})
+}
+
+func refTypeSeen(t types.Type, seen map[*types.Named]bool) bool {
+	if named, ok := types.Unalias(t).(*types.Named); ok {
+		if seen[named] {
+			return false
+		}
+		seen[named] = true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Pointer, *types.Map, *types.Chan, *types.Interface:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	case *types.Array:
+		return refTypeSeen(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if refTypeSeen(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	}
+	return false
+}

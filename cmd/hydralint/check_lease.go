@@ -1,0 +1,631 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// runLeaseDiscipline is a dataflow pass on the function CFG: every lock or
+// lease acquire — sync.Mutex/sync.RWMutex Lock/RLock (including promoted
+// methods of an embedded mutex) and invariant.Owner Acquire — must be matched
+// by the paired release on every path to a function exit, either directly or
+// through a defer anywhere in the function.
+//
+// The analysis abstractly executes the statement tree, tracking the set of
+// possibly-held locks per path (keyed by the printed receiver expression, so
+// `s.mu` pairs with `s.mu` regardless of position). Branches fork the state,
+// joins union it, loops run to a fixpoint over state fingerprints. A return
+// while a lock may still be held is reported at the acquire site. Exits that
+// cannot resume the caller — panic, os.Exit, runtime.Goexit, log.Fatal*, and
+// the testing.T/B/F abort family — are exempt: deferred cleanup runs on
+// panic, and crash paths don't leak locks into live code.
+//
+// Escape hatches: a function whose contract is to return while holding a
+// lock (handoff APIs) carries a `hydralint:holds` marker in its doc comment.
+// Functions using goto, TryLock/TryRLock, or a lock receiver the analysis
+// cannot name (e.g. computed via a call) are skipped as unanalyzable rather
+// than guessed at.
+func runLeaseDiscipline(p *Package, r *Reporter) {
+	if !p.isInternal() {
+		return
+	}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if docHasMarker(fd.Doc, "hydralint:holds") {
+				continue
+			}
+			checkLockFlow(p, r, fd.Body)
+			// Function literals get their own independent analysis (their
+			// statements are invisible to the enclosing walk): a goroutine
+			// body that locks without unlocking is just as much a leak.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					checkLockFlow(p, r, fl.Body)
+				}
+				return true
+			})
+		}
+	}
+}
+
+func docHasMarker(doc *ast.CommentGroup, marker string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.Contains(c.Text, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// acq records one acquire: where it happened and how to describe it.
+type acq struct {
+	pos  token.Pos
+	what string
+}
+
+// held is the may-hold state along one path: lock key -> its acquire.
+type held map[string]acq
+
+func (h held) clone() held {
+	c := make(held, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+func (h held) fingerprint() string {
+	if len(h) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(h))
+	for k := range h {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "\x00")
+}
+
+// pathSet is a set of held states, deduplicated by key fingerprint. The
+// acquire positions of the first state seen win — good enough for reporting.
+type pathSet []held
+
+func (s pathSet) union(more ...held) pathSet {
+	seen := map[string]bool{}
+	for _, h := range s {
+		seen[h.fingerprint()] = true
+	}
+	for _, h := range more {
+		if fp := h.fingerprint(); !seen[fp] {
+			seen[fp] = true
+			s = append(s, h)
+		}
+	}
+	return s
+}
+
+// flowOut is the abstract result of executing a statement: the held-state
+// sets leaving on each kind of control edge.
+type flowOut struct {
+	normal pathSet            // fall-through
+	brk    map[string]pathSet // break targets; "" = innermost enclosing
+	cont   map[string]pathSet // continue targets
+	rets   []retState         // return statements, checked at report time
+}
+
+type retState struct {
+	pos token.Pos
+	h   held
+}
+
+func addEdge(m map[string]pathSet, label string, states pathSet) map[string]pathSet {
+	if len(states) == 0 {
+		return m
+	}
+	if m == nil {
+		m = map[string]pathSet{}
+	}
+	m[label] = m[label].union(states...)
+	return m
+}
+
+// lockFlow carries the per-function analysis state.
+type lockFlow struct {
+	p        *Package
+	deferred map[string]bool // keys released by a defer somewhere in the body
+	bad      bool            // unanalyzable: suppress all findings
+}
+
+// stateCap bounds the per-edge state-set size; past it the function is too
+// branchy to analyze faithfully and the pass bails silently.
+const stateCap = 64
+
+func checkLockFlow(p *Package, r *Reporter, body *ast.BlockStmt) {
+	a := &lockFlow{p: p, deferred: map[string]bool{}}
+
+	// Pre-scan: collect deferred releases (directly deferred or inside a
+	// deferred func literal) and bail on constructs the flow walk cannot
+	// model soundly.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BranchStmt:
+			if n.Tok == token.GOTO {
+				a.bad = true
+			}
+		case *ast.SelectorExpr:
+			if n.Sel.Name == "TryLock" || n.Sel.Name == "TryRLock" {
+				a.bad = true
+			}
+		case *ast.CallExpr:
+			// A lock method on an un-nameable receiver poisons pairing.
+			if sel, isSel := n.Fun.(*ast.SelectorExpr); isSel &&
+				lockMethodName(sel.Sel.Name) && a.isLockRecv(sel) {
+				if _, renderable := exprKey(sel.X); !renderable {
+					a.bad = true
+				}
+			}
+		case *ast.DeferStmt:
+			if key, acquire, _, ok := a.lockOp(n.Call); ok && !acquire {
+				a.deferred[key] = true
+			}
+			if fl, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(fl.Body, func(m ast.Node) bool {
+					if call, ok := m.(*ast.CallExpr); ok {
+						if key, acquire, _, ok := a.lockOp(call); ok && !acquire {
+							a.deferred[key] = true
+						}
+					}
+					return true
+				})
+			}
+		}
+		return true
+	})
+	if a.bad {
+		return
+	}
+
+	out := a.stmt(body, pathSet{held{}}, "")
+	if a.bad {
+		return
+	}
+
+	// Every function exit — explicit returns plus falling off the end — must
+	// hold nothing that a defer doesn't discharge.
+	exits := out.rets
+	for _, h := range out.normal {
+		exits = append(exits, retState{pos: body.Rbrace, h: h})
+	}
+	reported := map[token.Pos]bool{}
+	for _, e := range exits {
+		for key, ac := range e.h {
+			if a.deferred[key] || reported[ac.pos] {
+				continue
+			}
+			reported[ac.pos] = true
+			line := p.Fset.Position(e.pos).Line
+			r.report("lease-discipline", ac.pos,
+				"%s acquired here may still be held at the function exit on line %d; release it on every path, defer the release, or mark the function hydralint:holds",
+				ac.what, line)
+		}
+	}
+}
+
+// stmt abstractly executes s from every state in `in`. label is the label
+// attached to s when it is the direct child of a LabeledStmt (so labeled
+// break/continue resolve).
+func (a *lockFlow) stmt(s ast.Stmt, in pathSet, label string) flowOut {
+	if a.bad || len(in) == 0 {
+		return flowOut{normal: in}
+	}
+	if len(in) > stateCap {
+		a.bad = true
+		return flowOut{}
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return a.block(s.List, in)
+
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return flowOut{normal: in}
+		}
+		if key, acquire, what, ok := a.lockOp(call); ok {
+			var next pathSet
+			for _, h := range in {
+				h2 := h.clone()
+				if acquire {
+					h2[key] = acq{pos: call.Pos(), what: what}
+				} else {
+					delete(h2, key)
+				}
+				next = next.union(h2)
+			}
+			return flowOut{normal: next}
+		}
+		if a.isNoReturnCall(call) {
+			return flowOut{} // exempt exit: panic/Fatal paths don't leak
+		}
+		return flowOut{normal: in}
+
+	case *ast.ReturnStmt:
+		out := flowOut{}
+		for _, h := range in {
+			out.rets = append(out.rets, retState{pos: s.Pos(), h: h})
+		}
+		return out
+
+	case *ast.BranchStmt:
+		lbl := ""
+		if s.Label != nil {
+			lbl = s.Label.Name
+		}
+		switch s.Tok {
+		case token.BREAK:
+			return flowOut{brk: addEdge(nil, lbl, in)}
+		case token.CONTINUE:
+			return flowOut{cont: addEdge(nil, lbl, in)}
+		}
+		// FALLTHROUGH is consumed by the switch handler; GOTO was bailed on.
+		return flowOut{normal: in}
+
+	case *ast.IfStmt:
+		out := a.stmt(s.Body, in, "")
+		if s.Else != nil {
+			out = joinOut(out, a.stmt(s.Else, in, ""))
+		} else {
+			out.normal = out.normal.union(in...)
+		}
+		return out
+
+	case *ast.ForStmt:
+		// A conditional loop may run zero times; `for {}` exits only via
+		// break or return.
+		return a.loop(s.Body, in, label, s.Cond != nil)
+
+	case *ast.RangeStmt:
+		return a.loop(s.Body, in, label, true)
+
+	case *ast.LabeledStmt:
+		return a.stmt(s.Stmt, in, s.Label.Name)
+
+	case *ast.SwitchStmt:
+		return a.switchFlow(s.Body, in, label, true)
+
+	case *ast.TypeSwitchStmt:
+		return a.switchFlow(s.Body, in, label, false)
+
+	case *ast.SelectStmt:
+		out := flowOut{}
+		for _, cc := range s.Body.List {
+			clause := cc.(*ast.CommClause)
+			out = joinOut(out, a.block(clause.Body, in))
+		}
+		if len(s.Body.List) == 0 {
+			return flowOut{} // empty select never proceeds
+		}
+		// break (bare or labeled with this select's label) exits the select.
+		out.normal = out.normal.union(consumeEdge(out.brk, "")...)
+		out.normal = out.normal.union(consumeEdge(out.brk, label)...)
+		return out
+
+	default:
+		// Assignments, declarations, sends, go/defer, inc/dec: no effect on
+		// the lock state (lock calls are statements, handled above).
+		return flowOut{normal: in}
+	}
+}
+
+// loop runs a for/range body to a fixpoint over held-state fingerprints.
+// canSkip marks loops that may execute zero times (range, conditional for);
+// a bare `for {}` only exits through break or return.
+func (a *lockFlow) loop(body *ast.BlockStmt, in pathSet, label string, canSkip bool) flowOut {
+	out := flowOut{}
+	if canSkip {
+		out.normal = out.normal.union(in...)
+	}
+	cur := in
+	seen := map[string]bool{}
+	for _, h := range cur {
+		seen[h.fingerprint()] = true
+	}
+	for round := 0; ; round++ {
+		if round > 8 {
+			a.bad = true
+			return flowOut{}
+		}
+		bodyOut := a.stmt(body, cur, "")
+		if a.bad {
+			return flowOut{}
+		}
+		// continue (bare or this loop's label) and normal fall-through both
+		// reach the next iteration; break exits; other labels propagate.
+		iterEnd := bodyOut.normal.
+			union(consumeEdge(bodyOut.cont, "")...).
+			union(consumeEdge(bodyOut.cont, label)...)
+		out.rets = append(out.rets, bodyOut.rets...)
+		for l, st := range bodyOut.brk {
+			if l == "" || l == label {
+				out.normal = out.normal.union(st...)
+			} else {
+				out.brk = addEdge(out.brk, l, st)
+			}
+		}
+		for l, st := range bodyOut.cont {
+			out.cont = addEdge(out.cont, l, st)
+		}
+		if canSkip {
+			out.normal = out.normal.union(iterEnd...)
+		}
+		var fresh pathSet
+		for _, h := range iterEnd {
+			if fp := h.fingerprint(); !seen[fp] {
+				seen[fp] = true
+				fresh = append(fresh, h)
+			}
+		}
+		if len(fresh) == 0 {
+			return out
+		}
+		cur = fresh
+	}
+}
+
+// switchFlow handles switch and type-switch clause bodies; only plain
+// switches permit fallthrough.
+func (a *lockFlow) switchFlow(body *ast.BlockStmt, in pathSet, label string, allowFall bool) flowOut {
+	out := flowOut{}
+	hasDefault := false
+	var fall pathSet // states flowing into the next clause via fallthrough
+	for _, cc := range body.List {
+		clause := cc.(*ast.CaseClause)
+		if clause.List == nil {
+			hasDefault = true
+		}
+		clauseIn := in.union(fall...)
+		fall = nil
+		stmts := clause.Body
+		fellThrough := false
+		if allowFall && len(stmts) > 0 {
+			if b, ok := stmts[len(stmts)-1].(*ast.BranchStmt); ok && b.Tok == token.FALLTHROUGH {
+				stmts = stmts[:len(stmts)-1]
+				fellThrough = true
+			}
+		}
+		co := a.block(stmts, clauseIn)
+		out.rets = append(out.rets, co.rets...)
+		for l, st := range co.brk {
+			if l == "" || l == label {
+				out.normal = out.normal.union(st...)
+			} else {
+				out.brk = addEdge(out.brk, l, st)
+			}
+		}
+		for l, st := range co.cont {
+			out.cont = addEdge(out.cont, l, st)
+		}
+		if fellThrough {
+			fall = co.normal
+		} else {
+			out.normal = out.normal.union(co.normal...)
+		}
+	}
+	if !hasDefault {
+		out.normal = out.normal.union(in...)
+	}
+	return out
+}
+
+func (a *lockFlow) block(list []ast.Stmt, in pathSet) flowOut {
+	out := flowOut{normal: in}
+	for _, s := range list {
+		if a.bad {
+			return flowOut{}
+		}
+		if len(out.normal) == 0 {
+			break // unreachable tail
+		}
+		so := a.stmt(s, out.normal, "")
+		out.normal = so.normal
+		out.rets = append(out.rets, so.rets...)
+		for l, st := range so.brk {
+			out.brk = addEdge(out.brk, l, st)
+		}
+		for l, st := range so.cont {
+			out.cont = addEdge(out.cont, l, st)
+		}
+	}
+	return out
+}
+
+func joinOut(a, b flowOut) flowOut {
+	a.normal = a.normal.union(b.normal...)
+	a.rets = append(a.rets, b.rets...)
+	for l, st := range b.brk {
+		a.brk = addEdge(a.brk, l, st)
+	}
+	for l, st := range b.cont {
+		a.cont = addEdge(a.cont, l, st)
+	}
+	return a
+}
+
+// consumeEdge removes and returns the states parked on one break/continue
+// label.
+func consumeEdge(m map[string]pathSet, label string) pathSet {
+	st := m[label]
+	delete(m, label)
+	return st
+}
+
+func lockMethodName(name string) bool {
+	switch name {
+	case "Lock", "Unlock", "RLock", "RUnlock", "Acquire", "Release":
+		return true
+	}
+	return false
+}
+
+// lockOp classifies a call as an acquire or release of a trackable lock.
+// Returns the pairing key (receiver rendering plus a /w or /r mode so RLock
+// pairs with RUnlock, not Unlock), the direction, and a human description.
+func (a *lockFlow) lockOp(call *ast.CallExpr) (key string, acquire bool, what string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel || !lockMethodName(sel.Sel.Name) {
+		return "", false, "", false
+	}
+	kind := a.lockRecvKind(sel)
+	if kind == lockNone {
+		return "", false, "", false
+	}
+	recv, renderable := exprKey(sel.X)
+	if !renderable {
+		return "", false, "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock":
+		return recv + "/w", true, "lock " + recv, true
+	case "Unlock":
+		return recv + "/w", false, "", true
+	case "RLock":
+		return recv + "/r", true, "read lock " + recv, true
+	case "RUnlock":
+		return recv + "/r", false, "", true
+	case "Acquire":
+		if kind != lockOwner {
+			return "", false, "", false
+		}
+		return recv, true, "ownership of " + recv, true
+	case "Release":
+		if kind != lockOwner {
+			return "", false, "", false
+		}
+		return recv, false, "", true
+	}
+	return "", false, "", false
+}
+
+type lockKind int
+
+const (
+	lockNone lockKind = iota
+	lockSync
+	lockOwner
+)
+
+func (a *lockFlow) isLockRecv(sel *ast.SelectorExpr) bool {
+	return a.lockRecvKind(sel) != lockNone
+}
+
+// lockRecvKind resolves the method's declared receiver (so promoted methods
+// of an embedded mutex are still attributed to the mutex) and classifies it.
+func (a *lockFlow) lockRecvKind(sel *ast.SelectorExpr) lockKind {
+	s, ok := a.p.Info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return lockNone
+	}
+	fn, ok := s.Obj().(*types.Func)
+	if !ok {
+		return lockNone
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return lockNone
+	}
+	t := recv.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return lockNone
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return lockNone
+	}
+	switch {
+	case obj.Pkg().Path() == "sync" && (obj.Name() == "Mutex" || obj.Name() == "RWMutex"):
+		return lockSync
+	case strings.HasSuffix(obj.Pkg().Path(), "internal/invariant") && obj.Name() == "Owner":
+		return lockOwner
+	}
+	return lockNone
+}
+
+// exprKey renders a lock receiver as a stable pairing key. Only shapes whose
+// identity is syntactically evident qualify; anything computed (a call, a
+// complex index) is unrenderable and makes the function unanalyzable.
+func exprKey(e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name, true
+	case *ast.SelectorExpr:
+		x, ok := exprKey(e.X)
+		return x + "." + e.Sel.Name, ok
+	case *ast.ParenExpr:
+		return exprKey(e.X)
+	case *ast.StarExpr:
+		x, ok := exprKey(e.X)
+		return "*" + x, ok
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			x, ok := exprKey(e.X)
+			return "&" + x, ok
+		}
+	case *ast.IndexExpr:
+		switch idx := e.Index.(type) {
+		case *ast.BasicLit:
+			x, ok := exprKey(e.X)
+			return x + "[" + idx.Value + "]", ok
+		case *ast.Ident:
+			x, ok := exprKey(e.X)
+			return x + "[" + idx.Name + "]", ok
+		}
+	}
+	return "", false
+}
+
+// isNoReturnCall recognizes calls that never resume the caller, which makes
+// the current path exempt from release obligations.
+func (a *lockFlow) isNoReturnCall(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fun.Name == "panic" {
+			_, builtin := a.p.Info.Uses[fun].(*types.Builtin)
+			return builtin
+		}
+	case *ast.SelectorExpr:
+		name := fun.Sel.Name
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if pn, ok := a.p.Info.Uses[id].(*types.PkgName); ok {
+				switch path := pn.Imported().Path(); {
+				case path == "os" && name == "Exit",
+					path == "runtime" && name == "Goexit",
+					path == "log" && (strings.HasPrefix(name, "Fatal") || strings.HasPrefix(name, "Panic")):
+					return true
+				}
+			}
+		}
+		if s, ok := a.p.Info.Selections[fun]; ok && s.Kind() == types.MethodVal {
+			switch name {
+			case "Fatal", "Fatalf", "FailNow", "Skip", "Skipf", "SkipNow":
+				if fn, ok := s.Obj().(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "testing" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

@@ -32,6 +32,11 @@ func runShardExclusivity(p *Package, r *Reporter) {
 		return
 	}
 	for _, f := range p.Files {
+		if p.isTestFile(f) {
+			// Test harnesses drive shards from helper goroutines and
+			// channels by design; exclusivity binds the production path.
+			continue
+		}
 		rel := filepath.ToSlash(filepath.Join(p.RelPath, filepath.Base(p.Fset.Position(f.Pos()).Filename)))
 		if shardExclusivityAllowlist[rel] {
 			continue

@@ -44,6 +44,16 @@ var allChecks = []Check{
 		Desc: "no discarded errors in internal/ packages",
 		Run:  runErrorDiscipline,
 	},
+	{
+		Name: "lease-discipline",
+		Desc: "every lock/lease acquire must be released on all paths (function-CFG dataflow)",
+		Run:  runLeaseDiscipline,
+	},
+	{
+		Name: "published-escape",
+		Desc: "no pointer into an RDMA-registered region may escape to an un-leased reference",
+		Run:  runPublishedEscape,
+	},
 }
 
 func knownCheck(name string) bool {
@@ -136,12 +146,14 @@ func (r *Reporter) report(check string, pos token.Pos, format string, args ...an
 
 // RunLint loads the packages matched by patterns (relative to dir), runs the
 // selected checks (nil/empty = all), and returns findings sorted by position.
-func RunLint(dir string, patterns []string, only []string) ([]Diagnostic, error) {
+// With tests set, _test.go files are linted too (checks that only govern
+// production code skip them individually via Package.isTestFile).
+func RunLint(dir string, patterns []string, only []string, tests bool) ([]Diagnostic, error) {
 	abs, err := filepath.Abs(dir)
 	if err != nil {
 		return nil, err
 	}
-	pkgs, err := load(abs, patterns)
+	pkgs, err := load(abs, patterns, tests)
 	if err != nil {
 		return nil, err
 	}

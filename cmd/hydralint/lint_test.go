@@ -313,6 +313,229 @@ import "fmt"
 func Cold(n int) string { return fmt.Sprint(make([]byte, n)) }
 `,
 	},
+	{
+		// Stub of the real invariant.Owner so the lease-discipline fixtures
+		// can exercise the Acquire/Release pairing; clean by construction.
+		name:  "lease-owner-stub",
+		path:  "internal/invariant/invariant.go",
+		check: "lease-discipline",
+		want:  0,
+		src: `package invariant
+
+type Owner struct{ who string }
+
+func (o *Owner) Acquire(who string) { o.who = who }
+
+func (o *Owner) Release() { o.who = "" }
+`,
+	},
+	{
+		name:  "lease-unreleased-branch",
+		path:  "internal/l1/l1.go",
+		check: "lease-discipline",
+		want:  1,
+		src: `package l1
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *S) Bad(x int) int {
+	s.mu.Lock()
+	if x < 0 {
+		return -1
+	}
+	s.mu.Unlock()
+	return s.n
+}
+`,
+	},
+	{
+		name:  "lease-defer-and-loop-ok",
+		path:  "internal/l2/l2.go",
+		check: "lease-discipline",
+		want:  0,
+		src: `package l2
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *S) Get() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+func Sum(ss []*S) int {
+	t := 0
+	for _, s := range ss {
+		s.mu.Lock()
+		t += s.n
+		s.mu.Unlock()
+	}
+	return t
+}
+`,
+	},
+	{
+		name:  "lease-rwmutex-mismatched-pair",
+		path:  "internal/l3/l3.go",
+		check: "lease-discipline",
+		want:  1,
+		src: `package l3
+
+import "sync"
+
+type S struct {
+	mu sync.RWMutex
+	n  int
+}
+
+func (s *S) Bad() int {
+	s.mu.RLock()
+	n := s.n
+	s.mu.Unlock()
+	return n
+}
+`,
+	},
+	{
+		name:  "lease-holds-marker-ok",
+		path:  "internal/l4/l4.go",
+		check: "lease-discipline",
+		want:  0,
+		src: `package l4
+
+import "sync"
+
+type S struct{ mu sync.Mutex }
+
+// LockForUpdate hands the lock to the caller.
+//
+// hydralint:holds
+func (s *S) LockForUpdate() { s.mu.Lock() }
+`,
+	},
+	{
+		name:  "lease-owner-unbalanced",
+		path:  "internal/l5/l5.go",
+		check: "lease-discipline",
+		want:  1,
+		src: `package l5
+
+import "hydradb/internal/invariant"
+
+type Shard struct{ owner invariant.Owner }
+
+func (s *Shard) Enter(ok bool) {
+	s.owner.Acquire("enter")
+	if !ok {
+		return
+	}
+	s.owner.Release()
+}
+`,
+	},
+	{
+		// Stub of rdma.MemoryRegion so the published-escape fixtures have a
+		// source; rdma itself is an owner package and exempt.
+		name:  "escape-rdma-stub",
+		path:  "internal/rdma/rdma.go",
+		check: "published-escape",
+		want:  0,
+		src: `package rdma
+
+type MemoryRegion struct{ data []byte }
+
+func NewRegion(b []byte) *MemoryRegion { return &MemoryRegion{data: b} }
+
+func (m *MemoryRegion) Data() []byte { return m.data }
+`,
+	},
+	{
+		name:  "escape-field-store",
+		path:  "internal/e1/e1.go",
+		check: "published-escape",
+		want:  1,
+		src: `package e1
+
+import "hydradb/internal/rdma"
+
+type Cache struct{ view []byte }
+
+func (c *Cache) Stash(mr *rdma.MemoryRegion) {
+	c.view = mr.Data()
+}
+`,
+	},
+	{
+		name:  "escape-return-view",
+		path:  "internal/e2/e2.go",
+		check: "published-escape",
+		want:  1,
+		src: `package e2
+
+import "hydradb/internal/rdma"
+
+func Header(mr *rdma.MemoryRegion) []byte {
+	hdr := mr.Data()[:8]
+	return hdr
+}
+`,
+	},
+	{
+		name:  "escape-copy-launders-ok",
+		path:  "internal/e3/e3.go",
+		check: "published-escape",
+		want:  0,
+		src: `package e3
+
+import "hydradb/internal/rdma"
+
+func Snapshot(mr *rdma.MemoryRegion) ([]byte, byte) {
+	view := mr.Data()
+	cp := append([]byte(nil), view...)
+	return cp, view[0]
+}
+`,
+	},
+	{
+		name:  "escape-aliases-marker-ok",
+		path:  "internal/e4/e4.go",
+		check: "published-escape",
+		want:  0,
+		src: `package e4
+
+import "hydradb/internal/rdma"
+
+// View returns a window into the region; callers hold the lease.
+//
+// hydralint:aliases
+func View(mr *rdma.MemoryRegion) []byte { return mr.Data() }
+`,
+	},
+	{
+		name:  "escape-channel-send",
+		path:  "internal/e5/e5.go",
+		check: "published-escape",
+		want:  1,
+		src: `package e5
+
+import "hydradb/internal/rdma"
+
+func Publish(mr *rdma.MemoryRegion, ch chan []byte) {
+	v := mr.Data()
+	ch <- v
+}
+`,
+	},
 }
 
 // writeModule materializes the fixture module and returns its root.
@@ -339,7 +562,7 @@ func TestChecksFireOnFixtures(t *testing.T) {
 	}
 	dir := writeModule(t, files)
 
-	diags, err := RunLint(dir, []string{"./..."}, nil)
+	diags, err := RunLint(dir, []string{"./..."}, nil, true)
 	if err != nil {
 		t.Fatalf("RunLint: %v", err)
 	}
@@ -379,7 +602,7 @@ func TestIgnoreDirectiveSuppresses(t *testing.T) {
 	}
 	dir := writeModule(t, files)
 
-	diags, err := RunLint(dir, []string{"./..."}, nil)
+	diags, err := RunLint(dir, []string{"./..."}, nil, true)
 	if err != nil {
 		t.Fatalf("RunLint: %v", err)
 	}
@@ -409,7 +632,7 @@ func TestIgnoreDirectiveSuppresses(t *testing.T) {
 	}
 	dir2 := writeModule(t, suppressed)
 
-	diags2, err := RunLint(dir2, []string{"./..."}, nil)
+	diags2, err := RunLint(dir2, []string{"./..."}, nil, true)
 	if err != nil {
 		t.Fatalf("RunLint (suppressed): %v", err)
 	}
@@ -425,7 +648,7 @@ func TestChecksFlagRestrictsRun(t *testing.T) {
 	}
 	dir := writeModule(t, files)
 
-	diags, err := RunLint(dir, []string{"./..."}, []string{"clock-discipline"})
+	diags, err := RunLint(dir, []string{"./..."}, []string{"clock-discipline"}, true)
 	if err != nil {
 		t.Fatalf("RunLint: %v", err)
 	}
@@ -442,7 +665,7 @@ func TestChecksFlagRestrictsRun(t *testing.T) {
 // TestRepoIsClean is the dogfooding gate: the repository this linter ships
 // in must satisfy its own checks.
 func TestRepoIsClean(t *testing.T) {
-	diags, err := RunLint("../..", []string{"./..."}, nil)
+	diags, err := RunLint("../..", []string{"./..."}, nil, true)
 	if err != nil {
 		t.Fatalf("RunLint on repo: %v", err)
 	}

@@ -36,14 +36,24 @@ func (p *Package) isInternal() bool {
 	return p.RelPath == "internal" || strings.HasPrefix(p.RelPath, "internal/")
 }
 
+// isTestFile reports whether f was parsed from a _test.go file. Checks whose
+// rules only govern production code (clock-discipline, shard-exclusivity,
+// published-escape) use it to skip test sources when -tests is on.
+func (p *Package) isTestFile(f *ast.File) bool {
+	return strings.HasSuffix(p.Fset.Position(f.Package).Filename, "_test.go")
+}
+
 type listPkg struct {
-	ImportPath string
-	Dir        string
-	Export     string
-	Standard   bool
-	GoFiles    []string
-	Module     *struct{ Path, Dir string }
-	Error      *struct{ Err string }
+	ImportPath   string
+	Dir          string
+	Export       string
+	Standard     bool
+	ForTest      string // for test variants: the import path under test
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Module       *struct{ Path, Dir string }
+	Error        *struct{ Err string }
 }
 
 func goList(dir string, args ...string) ([]listPkg, error) {
@@ -71,22 +81,46 @@ func goList(dir string, args ...string) ([]listPkg, error) {
 
 // load resolves patterns with the go tool, parses every matched module
 // package, and type-checks it against the export data of its dependencies.
-// Only non-test GoFiles of the default build configuration are analyzed:
-// the checks govern production data-plane code, and build-tag-gated
-// hydradebug variants cannot coexist in one type-check pass anyway.
-func load(dir string, patterns []string) ([]*Package, error) {
-	const fields = "-json=ImportPath,Dir,Export,Standard,GoFiles,Module,Error"
+// Only files of the default build configuration are analyzed (build-tag-gated
+// hydradebug variants cannot coexist in one type-check pass anyway). When
+// tests is set, in-package _test.go files are checked together with the
+// production sources, and external (package foo_test) test files become a
+// separate *Package whose importer prefers the test variant of the package
+// under test, so export_test.go shims resolve.
+func load(dir string, patterns []string, tests bool) ([]*Package, error) {
+	const fields = "-json=ImportPath,Dir,Export,Standard,ForTest,GoFiles,TestGoFiles,XTestGoFiles,Module,Error"
 
 	// One walk with -deps -export compiles (or reuses the build cache for)
 	// every dependency so the stdlib gc importer can read export data —
-	// the stdlib-only substitute for golang.org/x/tools/go/packages.
-	deps, err := goList(dir, append([]string{"-deps", "-export", fields}, patterns...)...)
+	// the stdlib-only substitute for golang.org/x/tools/go/packages. With
+	// tests, -test adds the test variants (and their extra dependencies):
+	// a variant entry carries ForTest, the import path it recompiles.
+	depArgs := []string{"-deps", "-export"}
+	if tests {
+		depArgs = append(depArgs, "-test")
+	}
+	deps, err := goList(dir, append(append(depArgs, fields), patterns...)...)
 	if err != nil {
 		return nil, err
 	}
 	exports := map[string]string{}
+	testExports := map[string]string{}
 	for _, p := range deps {
-		if p.Export != "" {
+		if p.Export == "" {
+			continue
+		}
+		if p.ForTest != "" {
+			// Both the in-package variant ("pkg [pkg.test]") and the
+			// external test package ("pkg_test [pkg.test]") carry ForTest;
+			// only the former is importable under the package's own path.
+			base := p.ImportPath
+			if i := strings.Index(base, " ["); i >= 0 {
+				base = base[:i]
+			}
+			if base == p.ForTest {
+				testExports[p.ForTest] = p.Export
+			}
+		} else {
 			exports[p.ImportPath] = p.Export
 		}
 	}
@@ -97,26 +131,23 @@ func load(dir string, patterns []string) ([]*Package, error) {
 	}
 
 	fset := token.NewFileSet()
-	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
-		f, ok := exports[path]
-		if !ok {
-			return nil, fmt.Errorf("no export data for %q", path)
+	lookupIn := func(m map[string]string, path string) (io.ReadCloser, error) {
+		if f, ok := m[path]; ok {
+			return os.Open(f)
 		}
-		return os.Open(f)
+		if f, ok := exports[path]; ok {
+			return os.Open(f)
+		}
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		return lookupIn(exports, path)
 	})
 
-	var out []*Package
-	for _, t := range targets {
-		if t.Standard || t.Error != nil && len(t.GoFiles) == 0 {
-			continue
-		}
-		rel := ""
-		if t.Module != nil && t.ImportPath != t.Module.Path {
-			rel = strings.TrimPrefix(t.ImportPath, t.Module.Path+"/")
-		}
+	check := func(importPath, rel, dir string, names []string, imp types.Importer) (*Package, error) {
 		var files []*ast.File
-		for _, gf := range t.GoFiles {
-			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, gf), nil, parser.ParseComments)
+		for _, gf := range names {
+			f, err := parser.ParseFile(fset, filepath.Join(dir, gf), nil, parser.ParseComments)
 			if err != nil {
 				return nil, err
 			}
@@ -135,19 +166,56 @@ func load(dir string, patterns []string) ([]*Package, error) {
 				typeErrs = append(typeErrs, err.Error())
 			},
 		}
-		pkg, _ := conf.Check(t.ImportPath, fset, files, info)
+		pkg, _ := conf.Check(importPath, fset, files, info)
 		if len(typeErrs) > 0 {
-			return nil, fmt.Errorf("type-checking %s:\n\t%s", t.ImportPath, strings.Join(typeErrs, "\n\t"))
+			return nil, fmt.Errorf("type-checking %s:\n\t%s", importPath, strings.Join(typeErrs, "\n\t"))
 		}
-		out = append(out, &Package{
-			ImportPath: t.ImportPath,
+		return &Package{
+			ImportPath: importPath,
 			RelPath:    rel,
-			Dir:        t.Dir,
+			Dir:        dir,
 			Fset:       fset,
 			Files:      files,
 			Info:       info,
 			Pkg:        pkg,
-		})
+		}, nil
+	}
+
+	var out []*Package
+	for _, t := range targets {
+		if t.Standard || t.Error != nil && len(t.GoFiles) == 0 {
+			continue
+		}
+		rel := ""
+		if t.Module != nil && t.ImportPath != t.Module.Path {
+			rel = strings.TrimPrefix(t.ImportPath, t.Module.Path+"/")
+		}
+		names := t.GoFiles
+		if tests {
+			names = append(append([]string{}, t.GoFiles...), t.TestGoFiles...)
+		}
+		p, err := check(t.ImportPath, rel, t.Dir, names, imp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+
+		if tests && len(t.XTestGoFiles) > 0 {
+			// External test package: imports the package under test by its
+			// normal path, but must see the test variant's export data.
+			underTest := t.ImportPath
+			ximp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+				if path == underTest {
+					return lookupIn(testExports, path)
+				}
+				return lookupIn(exports, path)
+			})
+			xp, err := check(t.ImportPath+"_test", rel, t.Dir, t.XTestGoFiles, ximp)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, xp)
+		}
 	}
 	return out, nil
 }

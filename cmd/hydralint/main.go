@@ -27,13 +27,30 @@
 //	                   string<->[]byte conversions.
 //	error-discipline   no discarded errors (`_ = f()` or a bare call) in
 //	                   internal/ packages.
+//	lease-discipline   dataflow pass on the function CFG: every acquire
+//	                   (sync.Mutex/RWMutex Lock/RLock, invariant.Owner
+//	                   Acquire) must be matched by the paired release on
+//	                   every path to a function exit, directly or via defer.
+//	                   Functions that intentionally return while holding a
+//	                   lock carry a `hydralint:holds` marker in their doc
+//	                   comment.
+//	published-escape   intra-procedural taint pass: a pointer into an
+//	                   RDMA-registered region (arena bytes, MemoryRegion
+//	                   data, decoded item views) must not escape to a
+//	                   longer-lived un-leased reference — no stores to
+//	                   fields/globals, channel sends, or returns. Functions
+//	                   whose contract is to return a view carry a
+//	                   `hydralint:aliases` marker in their doc comment.
 //
 // Usage:
 //
-//	hydralint [-checks clock-discipline,...] [-list] [packages]
+//	hydralint [-checks clock-discipline,...] [-tests=false] [-list] [packages]
 //
-// Packages default to ./... and use `go list` syntax. Exit status is 0 when
-// clean, 1 when findings were reported, 2 on usage or load errors.
+// Packages default to ./... and use `go list` syntax. _test.go files are
+// linted too unless -tests=false; checks whose rules only govern production
+// code (clock-discipline, shard-exclusivity, published-escape) always skip
+// them. Exit status is 0 when clean, 1 when findings were reported, 2 on
+// usage or load errors.
 package main
 
 import (
@@ -47,6 +64,7 @@ func main() {
 	var (
 		listFlag   = flag.Bool("list", false, "list registered checks and exit")
 		checksFlag = flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+		testsFlag  = flag.Bool("tests", true, "also lint _test.go files")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: hydralint [flags] [packages]\n")
@@ -77,7 +95,7 @@ func main() {
 		patterns = []string{"./..."}
 	}
 
-	diags, err := RunLint(".", patterns, only)
+	diags, err := RunLint(".", patterns, only, *testsFlag)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hydralint: %v\n", err)
 		os.Exit(2)

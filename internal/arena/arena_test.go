@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"hydradb/internal/testutil"
 )
 
 func TestClassesMonotonic(t *testing.T) {
@@ -72,7 +74,7 @@ func TestAllocFreeReuse(t *testing.T) {
 
 func TestFreeZeroesMemory(t *testing.T) {
 	a := New(1 << 12)
-	off, _ := a.Alloc(64)
+	off := testutil.Must1(a.Alloc(64))
 	b := a.Bytes(off, 64)
 	for i := range b {
 		b[i] = 0xAB
@@ -116,7 +118,7 @@ func TestAllocInvalidSizes(t *testing.T) {
 
 func TestLiveAccounting(t *testing.T) {
 	a := New(1 << 14)
-	off, _ := a.Alloc(100) // class 128
+	off := testutil.Must1(a.Alloc(100)) // class 128
 	if a.Live() != ClassSize(100) {
 		t.Fatalf("live = %d, want %d", a.Live(), ClassSize(100))
 	}

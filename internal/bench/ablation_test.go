@@ -3,6 +3,8 @@ package bench
 import (
 	"fmt"
 	"testing"
+
+	"hydradb/internal/testutil"
 )
 
 func TestAblationSubsharding(t *testing.T) {
@@ -11,8 +13,8 @@ func TestAblationSubsharding(t *testing.T) {
 		t.Fatalf("rows = %d", len(tbl.Rows))
 	}
 	parse := func(i int) (qps int, mops float64) {
-		fmt.Sscanf(tbl.Rows[i][1], "%d", &qps)
-		fmt.Sscanf(tbl.Rows[i][2], "%f", &mops)
+		testutil.Must1(fmt.Sscanf(tbl.Rows[i][1], "%d", &qps))
+		testutil.Must1(fmt.Sscanf(tbl.Rows[i][2], "%f", &mops))
 		return
 	}
 	qps8x1, _ := parse(0)
@@ -36,10 +38,10 @@ func TestAblationSubshardingRelievesQPBottleneck(t *testing.T) {
 	var m8x1, m2x4 float64
 	for _, row := range tbl.Rows {
 		if row[0] == "8x1" {
-			fmt.Sscanf(row[2], "%f", &m8x1)
+			testutil.Must1(fmt.Sscanf(row[2], "%f", &m8x1))
 		}
 		if row[0] == "2x4" {
-			fmt.Sscanf(row[2], "%f", &m2x4)
+			testutil.Must1(fmt.Sscanf(row[2], "%f", &m2x4))
 		}
 	}
 	if m2x4 <= m8x1 {
@@ -57,7 +59,7 @@ func TestAblationPointerSharing(t *testing.T) {
 			if row[0] == workload && row[1] == cache {
 				var v float64
 				idx := map[string]int{"mops": 2, "hits": 3, "invalid": 4, "misses": 5}[col]
-				fmt.Sscanf(row[idx], "%f", &v)
+				testutil.Must1(fmt.Sscanf(row[idx], "%f", &v))
 				return v
 			}
 		}
@@ -80,8 +82,8 @@ func TestAblationLeasePolicy(t *testing.T) {
 		t.Fatalf("rows = %d", len(tbl.Rows))
 	}
 	var shortInvalid, longInvalid float64
-	fmt.Sscanf(tbl.Rows[0][3], "%f", &shortInvalid)
-	fmt.Sscanf(tbl.Rows[1][3], "%f", &longInvalid)
+	testutil.Must1(fmt.Sscanf(tbl.Rows[0][3], "%f", &shortInvalid))
+	testutil.Must1(fmt.Sscanf(tbl.Rows[1][3], "%f", &longInvalid))
 	if shortInvalid <= longInvalid {
 		t.Fatalf("short leases must force more invalid hits: %f vs %f", shortInvalid, longInvalid)
 	}
@@ -94,8 +96,8 @@ func TestAblationNUMA(t *testing.T) {
 	}
 	for i := 0; i < len(tbl.Rows); i += 2 {
 		var aware, interleaved float64
-		fmt.Sscanf(tbl.Rows[i][2], "%f", &aware)
-		fmt.Sscanf(tbl.Rows[i+1][2], "%f", &interleaved)
+		testutil.Must1(fmt.Sscanf(tbl.Rows[i][2], "%f", &aware))
+		testutil.Must1(fmt.Sscanf(tbl.Rows[i+1][2], "%f", &interleaved))
 		if aware <= interleaved {
 			t.Fatalf("%s: NUMA-aware %.3f !> interleaved %.3f", tbl.Rows[i][0], aware, interleaved)
 		}

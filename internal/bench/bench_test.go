@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"hydradb/internal/testutil"
 	"hydradb/internal/ycsb"
 )
 
@@ -28,7 +29,7 @@ func TestFig09ProducesAllRows(t *testing.T) {
 			continue
 		}
 		var ratio float64
-		fmt.Sscanf(row[5], "%fx", &ratio)
+		testutil.Must1(fmt.Sscanf(row[5], "%fx", &ratio))
 		if ratio >= 1 {
 			t.Fatalf("%s %s beats HydraDB: %s", row[0], row[1], row[5])
 		}
@@ -60,10 +61,10 @@ func TestFig11Accounting(t *testing.T) {
 	var zipfRate, unifRate float64
 	for _, row := range tbl.Rows {
 		if row[0] == "(c) zipf 100%GET" {
-			fmt.Sscanf(row[4], "%f%%", &zipfRate)
+			testutil.Must1(fmt.Sscanf(row[4], "%f%%", &zipfRate))
 		}
 		if row[0] == "(f) unif 100%GET" {
-			fmt.Sscanf(row[4], "%f%%", &unifRate)
+			testutil.Must1(fmt.Sscanf(row[4], "%f%%", &unifRate))
 		}
 	}
 	if zipfRate <= unifRate {
@@ -93,7 +94,7 @@ func TestFig12Tables(t *testing.T) {
 	}
 	// Uniform 50/50 must scale: 7 servers >= 3x one server.
 	var norm7 float64
-	fmt.Sscanf(so.Rows[6][1], "%f", &norm7)
+	testutil.Must1(fmt.Sscanf(so.Rows[6][1], "%f", &norm7))
 	if norm7 < 3 {
 		t.Fatalf("uniform 50/50 scale-out at 7 servers only %.2fx", norm7)
 	}
@@ -113,7 +114,7 @@ func TestFig13Shape(t *testing.T) {
 	byKey := map[string]float64{}
 	for _, row := range tbl.Rows {
 		var lat float64
-		fmt.Sscanf(row[3], "%f", &lat)
+		testutil.Must1(fmt.Sscanf(row[3], "%f", &lat))
 		byKey[row[0]+"/"+row[1]+"/"+row[2]] = lat
 	}
 	for _, clients := range []string{"1", "4", "16"} {
@@ -136,11 +137,11 @@ func TestFig02Speedups(t *testing.T) {
 	var dfsioTCP float64
 	for _, row := range tbl.Rows {
 		if row[0] == "Hadoop TestDFSIO-read" {
-			fmt.Sscanf(row[2], "%fx", &dfsio)
-			fmt.Sscanf(row[3], "%fx", &dfsioTCP)
+			testutil.Must1(fmt.Sscanf(row[2], "%fx", &dfsio))
+			testutil.Must1(fmt.Sscanf(row[3], "%fx", &dfsioTCP))
 		}
 		if row[0] == "Spark PageRank" {
-			fmt.Sscanf(row[2], "%fx", &spark)
+			testutil.Must1(fmt.Sscanf(row[2], "%fx", &spark))
 		}
 	}
 	// Paper shape: I/O-bound Hadoop apps near ~18x with RDMA, Spark apps a
@@ -163,7 +164,7 @@ func TestFig03Shape(t *testing.T) {
 	}
 	parse := func(i, col int) float64 {
 		var v float64
-		fmt.Sscanf(tbl.Rows[i][col], "%f", &v)
+		testutil.Must1(fmt.Sscanf(tbl.Rows[i][col], "%f", &v))
 		return v
 	}
 	// HydraDB keeps scaling to 32 engines; the DB plateaus long before.

@@ -10,6 +10,7 @@ import (
 	"hydradb/internal/kv"
 	"hydradb/internal/rdma"
 	"hydradb/internal/shard"
+	"hydradb/internal/testutil"
 	"hydradb/internal/timing"
 )
 
@@ -83,7 +84,7 @@ func TestPutGetDeleteMessaging(t *testing.T) {
 	if err := c.Put([]byte("alpha"), []byte("two")); err != nil {
 		t.Fatal(err)
 	}
-	v, _ = c.Get([]byte("alpha"))
+	v = testutil.Must1(c.Get([]byte("alpha")))
 	if string(v) != "two" {
 		t.Fatalf("after update: %q", v)
 	}
@@ -102,7 +103,7 @@ func TestRDMAReadHitPath(t *testing.T) {
 	env := newLiveEnv(t, false)
 	c := env.newClient(t, Options{UseRDMARead: true})
 
-	c.Put([]byte("k"), []byte("v"))
+	testutil.Must(c.Put([]byte("k"), []byte("v")))
 	// Put cached the pointer: the first GET should already go one-sided.
 	v, err := c.Get([]byte("k"))
 	if err != nil || string(v) != "v" {
@@ -133,8 +134,8 @@ func TestStaleReadAfterRemoteUpdate(t *testing.T) {
 	a := env.newClient(t, Options{UseRDMARead: true})
 	b := env.newClient(t, Options{UseRDMARead: true})
 
-	a.Put([]byte("k"), []byte("v1"))
-	if v, _ := a.Get([]byte("k")); string(v) != "v1" {
+	testutil.Must(a.Put([]byte("k"), []byte("v1")))
+	if v := testutil.Must1(a.Get([]byte("k"))); string(v) != "v1" {
 		t.Fatal("warmup failed")
 	}
 	// B updates out-of-place; A's cached pointer now points at a dead item.
@@ -151,7 +152,7 @@ func TestStaleReadAfterRemoteUpdate(t *testing.T) {
 	}
 	// A's next GET uses the refreshed pointer one-sided again.
 	hits := snap.RDMAReadHits
-	if v, _ := a.Get([]byte("k")); string(v) != "v2" {
+	if v := testutil.Must1(a.Get([]byte("k"))); string(v) != "v2" {
 		t.Fatal("refreshed get failed")
 	}
 	if got := a.Counters().Snapshot().RDMAReadHits; got != hits+1 {
@@ -164,8 +165,8 @@ func TestGuardianAfterDelete(t *testing.T) {
 	a := env.newClient(t, Options{UseRDMARead: true})
 	b := env.newClient(t, Options{UseRDMARead: true})
 
-	a.Put([]byte("k"), []byte("v"))
-	a.Get([]byte("k"))
+	testutil.Must(a.Put([]byte("k"), []byte("v")))
+	testutil.Must1(a.Get([]byte("k")))
 	if err := b.Delete([]byte("k")); err != nil {
 		t.Fatal(err)
 	}
@@ -180,8 +181,8 @@ func TestGuardianAfterDelete(t *testing.T) {
 func TestLeaseExpiryForcesMessagePath(t *testing.T) {
 	env := newLiveEnv(t, false)
 	c := env.newClient(t, Options{UseRDMARead: true})
-	c.Put([]byte("k"), []byte("v"))
-	c.Get([]byte("k"))
+	testutil.Must(c.Put([]byte("k"), []byte("v")))
+	testutil.Must1(c.Get([]byte("k")))
 	// Let the lease lapse.
 	env.clk.Advance(200e9)
 	v, err := c.Get([]byte("k"))
@@ -200,7 +201,7 @@ func TestSharedCacheAcrossClients(t *testing.T) {
 	a := env.newClient(t, Options{UseRDMARead: true, Cache: shared})
 	b := env.newClient(t, Options{UseRDMARead: true, Cache: shared})
 
-	a.Put([]byte("hot"), []byte("v"))
+	testutil.Must(a.Put([]byte("hot"), []byte("v")))
 	// B never touched the key but hits one-sided via the shared cache
 	// (§4.2.4: sharing accelerates warm-up).
 	v, err := b.Get([]byte("hot"))
@@ -212,8 +213,8 @@ func TestSharedCacheAcrossClients(t *testing.T) {
 	}
 	// B updates; the shared entry is refreshed, so A does NOT pay an
 	// invalid read (the §4.2.4 cascading-invalidation scenario).
-	b.Put([]byte("hot"), []byte("v2"))
-	if v, _ := a.Get([]byte("hot")); string(v) != "v2" {
+	testutil.Must(b.Put([]byte("hot"), []byte("v2")))
+	if v := testutil.Must1(a.Get([]byte("hot"))); string(v) != "v2" {
 		t.Fatal("a missed the refresh")
 	}
 	if a.Counters().Snapshot().RDMAReadStale != 0 {
@@ -275,9 +276,9 @@ func TestEpochRerouteWithoutRefreshFails(t *testing.T) {
 func TestRenewLease(t *testing.T) {
 	env := newLiveEnv(t, false)
 	c := env.newClient(t, Options{UseRDMARead: true})
-	c.Put([]byte("k"), []byte("v"))
+	testutil.Must(c.Put([]byte("k"), []byte("v")))
 	for i := 0; i < 5; i++ {
-		c.Get([]byte("k"))
+		testutil.Must1(c.Get([]byte("k")))
 	}
 	e, ok := c.Cache().Get("k")
 	if !ok {
@@ -294,7 +295,7 @@ func TestRenewLease(t *testing.T) {
 		t.Fatalf("lease not extended: %d <= %d", e2.LeaseExp, before)
 	}
 	// Renewal of a deleted key fails and evicts the pointer.
-	c.Delete([]byte("k"))
+	testutil.Must(c.Delete([]byte("k")))
 	if err := c.Renew([]byte("k")); err != ErrNotFound {
 		t.Fatalf("renew deleted: %v", err)
 	}
@@ -381,7 +382,7 @@ func TestPipelinedShardServesRequests(t *testing.T) {
 	go pipe.Run()
 	defer pipe.Stop()
 
-	ring, _ := consistent.Build([]uint32{1}, 16)
+	ring := testutil.Must1(consistent.Build([]uint32{1}, 16))
 	table := &RouteTable{Ring: ring, Endpoints: map[uint32]*shard.Endpoint{
 		1: sh.Connect(cliNIC, false),
 	}}
@@ -402,15 +403,15 @@ func TestOpGetCountsAndHitAnalysis(t *testing.T) {
 	env := newLiveEnv(t, false)
 	c := env.newClient(t, Options{UseRDMARead: true})
 	for i := 0; i < 10; i++ {
-		c.Put([]byte(fmt.Sprintf("k%d", i)), []byte("v"))
+		testutil.Must(c.Put([]byte(fmt.Sprintf("k%d", i)), []byte("v")))
 	}
 	for round := 0; round < 3; round++ {
 		for i := 0; i < 10; i++ {
-			c.Get([]byte(fmt.Sprintf("k%d", i)))
+			testutil.Must1(c.Get([]byte(fmt.Sprintf("k%d", i))))
 		}
 	}
-	c.Put([]byte("k0"), []byte("v2")) // refreshes own pointer
-	c.Get([]byte("k0"))
+	testutil.Must(c.Put([]byte("k0"), []byte("v2"))) // refreshes own pointer
+	testutil.Must1(c.Get([]byte("k0")))
 	snap := c.Counters().Snapshot()
 	if snap.Gets != 31 {
 		t.Fatalf("gets = %d", snap.Gets)

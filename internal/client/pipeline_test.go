@@ -11,6 +11,7 @@ import (
 	"hydradb/internal/message"
 	"hydradb/internal/rdma"
 	"hydradb/internal/shard"
+	"hydradb/internal/testutil"
 	"hydradb/internal/timing"
 )
 
@@ -261,7 +262,7 @@ func TestTimeoutRetrySeqMisattribution(t *testing.T) {
 		NIC:   srvNIC,
 		Store: kv.Config{ArenaBytes: 1 << 20, MaxItems: 2048, Clock: clk},
 	})
-	ring, _ := consistent.Build([]uint32{1}, 16)
+	ring := testutil.Must1(consistent.Build([]uint32{1}, 16))
 	table := &RouteTable{Ring: ring, Endpoints: map[uint32]*shard.Endpoint{
 		1: sh.Connect(cliNIC, false),
 	}}

@@ -3,6 +3,8 @@ package client
 import (
 	"testing"
 	"time"
+
+	"hydradb/internal/testutil"
 )
 
 func TestRenewerScanOnce(t *testing.T) {
@@ -11,9 +13,9 @@ func TestRenewerScanOnce(t *testing.T) {
 	worker := env.newClient(t, Options{UseRDMARead: true, Cache: shared})
 	renewClient := env.newClient(t, Options{UseRDMARead: true, Cache: shared})
 
-	worker.Put([]byte("hot"), []byte("v"))
+	testutil.Must(worker.Put([]byte("hot"), []byte("v")))
 	for i := 0; i < 10; i++ {
-		worker.Get([]byte("hot"))
+		testutil.Must1(worker.Get([]byte("hot")))
 	}
 	e, ok := shared.Get("hot")
 	if !ok {
@@ -35,7 +37,7 @@ func TestRenewerScanOnce(t *testing.T) {
 		t.Fatalf("total = %d", r.TotalRenewed())
 	}
 	// Cold keys (below MinAccess) are skipped.
-	worker.Put([]byte("cold"), []byte("v"))
+	testutil.Must(worker.Put([]byte("cold"), []byte("v")))
 	env.clk.Advance(1500e6)
 	r.ScanOnce()
 	if r.TotalRenewed() > 2 { // "hot" may renew again; "cold" must not count extra
@@ -49,9 +51,9 @@ func TestRenewerBackgroundLoop(t *testing.T) {
 	worker := env.newClient(t, Options{UseRDMARead: true, Cache: shared})
 	agentClient := env.newClient(t, Options{UseRDMARead: true, Cache: shared})
 
-	worker.Put([]byte("hot"), []byte("v"))
+	testutil.Must(worker.Put([]byte("hot"), []byte("v")))
 	for i := 0; i < 10; i++ {
-		worker.Get([]byte("hot"))
+		testutil.Must1(worker.Get([]byte("hot")))
 	}
 	env.clk.Advance(1900e6) // lease nearly out
 

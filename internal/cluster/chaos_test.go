@@ -8,6 +8,7 @@ import (
 
 	"hydradb/internal/client"
 	"hydradb/internal/kv"
+	"hydradb/internal/testutil"
 	"hydradb/internal/timing"
 )
 
@@ -34,7 +35,7 @@ func TestMoveShardKeepsDataReachable(t *testing.T) {
 	}
 	// Warm the pointer cache.
 	for i := 0; i < n; i++ {
-		c.Get([]byte(fmt.Sprintf("user%08d", i)))
+		testutil.Must1(c.Get([]byte(fmt.Sprintf("user%08d", i))))
 	}
 
 	victim := cl.ShardIDs()[0]
@@ -235,8 +236,8 @@ func TestTrafficDuringFailover(t *testing.T) {
 			// Allow a newer value from the same writer's final unacked op.
 			var wWriter, wIter int
 			var gWriter, gIter int
-			fmt.Sscanf(want, "v%d-%d", &wWriter, &wIter)
-			fmt.Sscanf(v, "v%d-%d", &gWriter, &gIter)
+			testutil.Must1(fmt.Sscanf(want, "v%d-%d", &wWriter, &wIter))
+			testutil.Must1(fmt.Sscanf(v, "v%d-%d", &gWriter, &gIter))
 			if gWriter != wWriter || gIter < wIter {
 				t.Fatalf("key %s: got %q, acked %q", k, v, want)
 			}

@@ -3,6 +3,8 @@ package cluster
 import (
 	"fmt"
 	"testing"
+
+	"hydradb/internal/testutil"
 	"time"
 
 	"hydradb/internal/client"
@@ -146,7 +148,7 @@ func TestFailoverPreservesAckedWrites(t *testing.T) {
 	if err := c.Put([]byte("post-failover"), []byte("yes")); err != nil {
 		t.Fatal(err)
 	}
-	if v, _ := c.Get([]byte("post-failover")); string(v) != "yes" {
+	if v := testutil.Must1(c.Get([]byte("post-failover"))); string(v) != "yes" {
 		t.Fatal("post-failover write lost")
 	}
 }

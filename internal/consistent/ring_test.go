@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"hydradb/internal/hashx"
+	"hydradb/internal/testutil"
 )
 
 func ids(n int) []uint32 {
@@ -25,8 +26,8 @@ func TestBuildValidation(t *testing.T) {
 }
 
 func TestOwnerDeterministic(t *testing.T) {
-	r1, _ := Build(ids(4), 64)
-	r2, _ := Build(ids(4), 64)
+	r1 := testutil.Must1(Build(ids(4), 64))
+	r2 := testutil.Must1(Build(ids(4), 64))
 	for i := 0; i < 1000; i++ {
 		key := []byte(fmt.Sprintf("user%08d", i))
 		if r1.OwnerOfKey(key) != r2.OwnerOfKey(key) {
@@ -36,7 +37,7 @@ func TestOwnerDeterministic(t *testing.T) {
 }
 
 func TestOwnerCoversAllShards(t *testing.T) {
-	r, _ := Build(ids(8), 0)
+	r := testutil.Must1(Build(ids(8), 0))
 	hit := map[uint32]int{}
 	for i := 0; i < 100000; i++ {
 		key := []byte(fmt.Sprintf("user%08d", i))
@@ -56,7 +57,7 @@ func TestOwnerCoversAllShards(t *testing.T) {
 }
 
 func TestSingleShardOwnsEverything(t *testing.T) {
-	r, _ := Build([]uint32{7}, 16)
+	r := testutil.Must1(Build([]uint32{7}, 16))
 	for i := 0; i < 100; i++ {
 		if r.Owner(hashx.Hash64(uint64(i))) != 7 {
 			t.Fatal("single shard must own all keys")
@@ -66,8 +67,8 @@ func TestSingleShardOwnsEverything(t *testing.T) {
 
 func TestMinimalDisruptionOnGrow(t *testing.T) {
 	// Adding one shard to n should move ~1/(n+1) of the space.
-	rOld, _ := Build(ids(7), 0)
-	rNew, _ := Build(ids(8), 0)
+	rOld := testutil.Must1(Build(ids(7), 0))
+	rNew := testutil.Must1(Build(ids(8), 0))
 	moved := rOld.MovedArcs(rNew, 20000)
 	want := 1.0 / 8
 	if moved < want*0.5 || moved > want*1.8 {
@@ -76,7 +77,7 @@ func TestMinimalDisruptionOnGrow(t *testing.T) {
 }
 
 func TestMinimalDisruptionOnShardLoss(t *testing.T) {
-	rOld, _ := Build(ids(8), 0)
+	rOld := testutil.Must1(Build(ids(8), 0))
 	// Drop shard 3.
 	var rest []uint32
 	for _, s := range ids(8) {
@@ -84,7 +85,7 @@ func TestMinimalDisruptionOnShardLoss(t *testing.T) {
 			rest = append(rest, s)
 		}
 	}
-	rNew, _ := Build(rest, 0)
+	rNew := testutil.Must1(Build(rest, 0))
 	// All keys previously NOT owned by 3 must keep their owner.
 	for i := 0; i < 50000; i++ {
 		h := hashx.Hash64(uint64(i) * 31)
@@ -99,7 +100,7 @@ func TestMinimalDisruptionOnShardLoss(t *testing.T) {
 }
 
 func TestWrapAround(t *testing.T) {
-	r, _ := Build(ids(3), 8)
+	r := testutil.Must1(Build(ids(3), 8))
 	// A hash above the highest ring point must wrap to the first point.
 	maxPt := r.points[len(r.points)-1].hash
 	if maxPt != ^uint64(0) {
@@ -111,7 +112,7 @@ func TestWrapAround(t *testing.T) {
 }
 
 func TestShardsCopy(t *testing.T) {
-	r, _ := Build(ids(3), 8)
+	r := testutil.Must1(Build(ids(3), 8))
 	s := r.Shards()
 	s[0] = 999
 	if r.Shards()[0] == 999 {
@@ -123,7 +124,7 @@ func TestShardsCopy(t *testing.T) {
 }
 
 func BenchmarkOwner(b *testing.B) {
-	r, _ := Build(ids(28), 0) // 7 machines x 4 shards
+	r := testutil.Must1(Build(ids(28), 0)) // 7 machines x 4 shards
 	hs := make([]uint64, 1024)
 	for i := range hs {
 		hs[i] = hashx.Hash64(uint64(i))

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"hydradb/internal/testutil"
 	"hydradb/internal/timing"
 )
 
@@ -45,7 +46,7 @@ func TestCreateGetSetDelete(t *testing.T) {
 	if err := s.Delete("/a", -1); err != nil {
 		t.Fatal(err)
 	}
-	if ok, _ := s.Exists("/a"); ok {
+	if ok := testutil.Must1(s.Exists("/a")); ok {
 		t.Fatal("node survives delete")
 	}
 }
@@ -63,8 +64,8 @@ func TestPathValidation(t *testing.T) {
 func TestDeleteNonEmpty(t *testing.T) {
 	srv, _ := newTestServer()
 	s := srv.NewSession()
-	s.Create("/p", nil, FlagPersistent)
-	s.Create("/p/c", nil, FlagPersistent)
+	testutil.Must1(s.Create("/p", nil, FlagPersistent))
+	testutil.Must1(s.Create("/p/c", nil, FlagPersistent))
 	if err := s.Delete("/p", -1); err != ErrNotEmpty {
 		t.Fatalf("delete of non-empty: %v", err)
 	}
@@ -73,9 +74,9 @@ func TestDeleteNonEmpty(t *testing.T) {
 func TestChildrenSorted(t *testing.T) {
 	srv, _ := newTestServer()
 	s := srv.NewSession()
-	s.Create("/p", nil, FlagPersistent)
+	testutil.Must1(s.Create("/p", nil, FlagPersistent))
 	for _, c := range []string{"b", "a", "c"} {
-		s.Create("/p/"+c, nil, FlagPersistent)
+		testutil.Must1(s.Create("/p/"+c, nil, FlagPersistent))
 	}
 	kids, err := s.Children("/p")
 	if err != nil {
@@ -89,9 +90,9 @@ func TestChildrenSorted(t *testing.T) {
 func TestSequentialNodes(t *testing.T) {
 	srv, _ := newTestServer()
 	s := srv.NewSession()
-	s.Create("/q", nil, FlagPersistent)
-	p1, _ := s.Create("/q/n-", nil, FlagSequential)
-	p2, _ := s.Create("/q/n-", nil, FlagSequential)
+	testutil.Must1(s.Create("/q", nil, FlagPersistent))
+	p1 := testutil.Must1(s.Create("/q/n-", nil, FlagSequential))
+	p2 := testutil.Must1(s.Create("/q/n-", nil, FlagSequential))
 	if p1 != "/q/n-0000000000" || p2 != "/q/n-0000000001" {
 		t.Fatalf("sequential paths: %s %s", p1, p2)
 	}
@@ -101,26 +102,26 @@ func TestEphemeralLifecycle(t *testing.T) {
 	srv, clk := newTestServer()
 	s1 := srv.NewSession()
 	s2 := srv.NewSession()
-	s1.Create("/live", nil, FlagPersistent)
-	s1.Create("/live/a", nil, FlagEphemeral)
+	testutil.Must1(s1.Create("/live", nil, FlagPersistent))
+	testutil.Must1(s1.Create("/live/a", nil, FlagEphemeral))
 
 	// Heartbeats keep it alive.
 	for i := 0; i < 5; i++ {
 		clk.Advance(1e9)
-		s1.Ping()
-		s2.Ping()
+		testutil.Must(s1.Ping())
+		testutil.Must(s2.Ping())
 		srv.Tick()
 	}
-	if ok, _ := s2.Exists("/live/a"); !ok {
+	if ok := testutil.Must1(s2.Exists("/live/a")); !ok {
 		t.Fatal("ephemeral died despite heartbeats")
 	}
 	// Stop pinging s1: after timeout the ephemeral disappears.
 	clk.Advance(3e9)
-	s2.Ping() // cannot ping: would revive... ping before tick
+	testutil.Must(s2.Ping()) // cannot ping s1: would revive it; ping before tick
 	if n := srv.Tick(); n != 1 {
 		t.Fatalf("expired %d sessions, want 1", n)
 	}
-	if ok, _ := s2.Exists("/live/a"); ok {
+	if ok := testutil.Must1(s2.Exists("/live/a")); ok {
 		t.Fatal("ephemeral survived session expiry")
 	}
 	// Expired session is unusable.
@@ -136,9 +137,9 @@ func TestExplicitClose(t *testing.T) {
 	srv, _ := newTestServer()
 	s1 := srv.NewSession()
 	s2 := srv.NewSession()
-	s1.Create("/x", nil, FlagEphemeral)
+	testutil.Must1(s1.Create("/x", nil, FlagEphemeral))
 	s1.Close()
-	if ok, _ := s2.Exists("/x"); ok {
+	if ok := testutil.Must1(s2.Exists("/x")); ok {
 		t.Fatal("ephemeral survived close")
 	}
 	if srv.SessionAlive(s1.ID()) {
@@ -150,21 +151,21 @@ func TestWatchEvents(t *testing.T) {
 	srv, _ := newTestServer()
 	s := srv.NewSession()
 	w := srv.NewSession()
-	s.Create("/w", nil, FlagPersistent)
+	testutil.Must1(s.Create("/w", nil, FlagPersistent))
 	events, cancel, err := w.Watch("/w")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer cancel()
 
-	s.Create("/w/c", []byte("v"), FlagPersistent)
+	testutil.Must1(s.Create("/w/c", []byte("v"), FlagPersistent))
 	expectEvent(t, events, EventCreated, "/w/c")
 	expectEvent(t, events, EventChildrenChanged, "/w")
 
-	s.Set("/w/c", []byte("v2"), -1)
+	testutil.Must1(s.Set("/w/c", []byte("v2"), -1))
 	expectEvent(t, events, EventDataChanged, "/w/c")
 
-	s.Delete("/w/c", -1)
+	testutil.Must(s.Delete("/w/c", -1))
 	expectEvent(t, events, EventDeleted, "/w/c")
 	expectEvent(t, events, EventChildrenChanged, "/w")
 }
@@ -185,13 +186,13 @@ func TestWatchEphemeralExpiry(t *testing.T) {
 	srv, clk := newTestServer()
 	owner := srv.NewSession()
 	watcher := srv.NewSession()
-	owner.Create("/shards", nil, FlagPersistent)
-	owner.Create("/shards/s1", nil, FlagEphemeral)
-	events, cancel, _ := watcher.Watch("/shards")
+	testutil.Must1(owner.Create("/shards", nil, FlagPersistent))
+	testutil.Must1(owner.Create("/shards/s1", nil, FlagEphemeral))
+	events, cancel := testutil.Must2(watcher.Watch("/shards"))
 	defer cancel()
 
 	clk.Advance(5e9)
-	watcher.Ping()
+	testutil.Must(watcher.Ping())
 	srv.Tick()
 	// Watcher must see the ephemeral vanish — the SWAT failure signal.
 	var sawDelete bool
@@ -217,7 +218,7 @@ func TestEnsurePath(t *testing.T) {
 	if err := s.EnsurePath("/a/b/c"); err != nil {
 		t.Fatal(err)
 	}
-	if ok, _ := s.Exists("/a/b/c"); !ok {
+	if ok := testutil.Must1(s.Exists("/a/b/c")); !ok {
 		t.Fatal("ensure path did not create")
 	}
 	// Idempotent.
@@ -241,7 +242,7 @@ func TestElection(t *testing.T) {
 	leaders := 0
 	leaderIdx := -1
 	for i, e := range elections {
-		if ok, _ := e.IsLeader(); ok {
+		if ok := testutil.Must1(e.IsLeader()); ok {
 			leaders++
 			leaderIdx = i
 		}
@@ -249,23 +250,23 @@ func TestElection(t *testing.T) {
 	if leaders != 1 || leaderIdx != 0 {
 		t.Fatalf("leaders=%d idx=%d", leaders, leaderIdx)
 	}
-	if name, _ := elections[1].Leader(); name != "swat-0" {
+	if name := testutil.Must1(elections[1].Leader()); name != "swat-0" {
 		t.Fatalf("leader name %q", name)
 	}
 
 	// Leader dies: session expiry removes its candidate node; next lowest
 	// takes over.
 	clk.Advance(5e9)
-	sessions[1].Ping()
-	sessions[2].Ping()
+	testutil.Must(sessions[1].Ping())
+	testutil.Must(sessions[2].Ping())
 	srv.Tick()
 	if alive := srv.SessionAlive(sessions[0].ID()); alive {
 		t.Fatal("leader session still alive")
 	}
-	if ok, _ := elections[1].IsLeader(); !ok {
+	if ok := testutil.Must1(elections[1].IsLeader()); !ok {
 		t.Fatal("successor did not take leadership")
 	}
-	if ok, _ := elections[2].IsLeader(); ok {
+	if ok := testutil.Must1(elections[2].IsLeader()); ok {
 		t.Fatal("wrong successor")
 	}
 	// The successor received membership events to re-check on.
@@ -277,7 +278,7 @@ func TestElection(t *testing.T) {
 
 	// Explicit resignation promotes the last candidate.
 	elections[1].Resign()
-	if ok, _ := elections[2].IsLeader(); !ok {
+	if ok := testutil.Must1(elections[2].IsLeader()); !ok {
 		t.Fatal("resignation did not promote")
 	}
 }
@@ -285,12 +286,12 @@ func TestElection(t *testing.T) {
 func TestWatchOverflowKeepsNewest(t *testing.T) {
 	srv, _ := newTestServer()
 	s := srv.NewSession()
-	s.Create("/burst", nil, FlagPersistent)
-	events, cancel, _ := s.Watch("/burst")
+	testutil.Must1(s.Create("/burst", nil, FlagPersistent))
+	events, cancel := testutil.Must2(s.Watch("/burst"))
 	defer cancel()
 	// Generate far more events than the buffer holds.
 	for i := 0; i < 300; i++ {
-		s.Set("/burst", []byte{byte(i)}, -1)
+		testutil.Must1(s.Set("/burst", []byte{byte(i)}, -1))
 	}
 	// Drain: the channel must contain events and not have blocked mutations.
 	n := 0
@@ -312,15 +313,15 @@ func TestSessionIsolation(t *testing.T) {
 	srv, clk := newTestServer()
 	a := srv.NewSession()
 	b := srv.NewSession()
-	a.Create("/pa", nil, FlagEphemeral)
-	b.Create("/pb", nil, FlagEphemeral)
+	testutil.Must1(a.Create("/pa", nil, FlagEphemeral))
+	testutil.Must1(b.Create("/pb", nil, FlagEphemeral))
 	clk.Advance(3e9)
-	b.Ping()
+	testutil.Must(b.Ping())
 	srv.Tick()
-	if ok, _ := b.Exists("/pa"); ok {
+	if ok := testutil.Must1(b.Exists("/pa")); ok {
 		t.Fatal("expired session's ephemeral survived")
 	}
-	if ok, _ := b.Exists("/pb"); !ok {
+	if ok := testutil.Must1(b.Exists("/pb")); !ok {
 		t.Fatal("live session's ephemeral deleted")
 	}
 }

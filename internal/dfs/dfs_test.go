@@ -7,12 +7,14 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+
+	"hydradb/internal/testutil"
 )
 
 func TestWriteReadRoundTrip(t *testing.T) {
 	c := NewCluster(3, 1024)
 	data := make([]byte, 10_000) // 10 blocks
-	rand.New(rand.NewSource(1)).Read(data)
+	testutil.Must1(rand.New(rand.NewSource(1)).Read(data))
 	if err := c.Write("input.dat", data); err != nil {
 		t.Fatal(err)
 	}
@@ -23,11 +25,11 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	if err != nil || !bytes.Equal(got, data) {
 		t.Fatalf("read mismatch: %d bytes, err=%v", len(got), err)
 	}
-	n, _ := c.Blocks("input.dat")
+	n := testutil.Must1(c.Blocks("input.dat"))
 	if n != 10 {
 		t.Fatalf("blocks = %d", n)
 	}
-	size, _ := c.Size("input.dat")
+	size := testutil.Must1(c.Size("input.dat"))
 	if size != 10_000 {
 		t.Fatalf("size = %d", size)
 	}
@@ -39,8 +41,8 @@ func TestPartialLastBlock(t *testing.T) {
 	for i := range data {
 		data[i] = byte(i)
 	}
-	c.Write("f", data)
-	n, _ := c.Blocks("f")
+	testutil.Must(c.Write("f", data))
+	n := testutil.Must1(c.Blocks("f"))
 	if n != 3 {
 		t.Fatalf("blocks = %d", n)
 	}
@@ -48,7 +50,7 @@ func TestPartialLastBlock(t *testing.T) {
 	if err != nil || len(last) != 500 {
 		t.Fatalf("last block: %d bytes %v", len(last), err)
 	}
-	got, _ := c.Read("f")
+	got := testutil.Must1(c.Read("f"))
 	if !bytes.Equal(got, data) {
 		t.Fatal("reassembly mismatch")
 	}
@@ -73,7 +75,7 @@ func TestErrors(t *testing.T) {
 	if _, err := c.Blocks("nope"); err != ErrNotFound {
 		t.Fatalf("blocks missing: %v", err)
 	}
-	c.Write("f", []byte("x"))
+	testutil.Must(c.Write("f", []byte("x")))
 	if _, err := c.ReadBlock("f", 5); err != ErrBadBlock {
 		t.Fatalf("bad block: %v", err)
 	}
@@ -84,7 +86,7 @@ func TestErrors(t *testing.T) {
 
 func TestDeleteFreesBlocks(t *testing.T) {
 	c := NewCluster(2, 100)
-	c.Write("f", make([]byte, 1000))
+	testutil.Must(c.Write("f", make([]byte, 1000)))
 	if err := c.Delete("f"); err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +102,7 @@ func TestDeleteFreesBlocks(t *testing.T) {
 
 func TestBlockPlacementSpreads(t *testing.T) {
 	c := NewCluster(4, 100)
-	c.Write("f", make([]byte, 100*8))
+	testutil.Must(c.Write("f", make([]byte, 100*8)))
 	for i, dn := range c.dns {
 		if len(dn.blocks) != 2 {
 			t.Fatalf("datanode %d holds %d blocks", i, len(dn.blocks))
@@ -150,8 +152,8 @@ func (k *memKV) Delete(key []byte) error {
 func TestCacheLayerHitsAndMisses(t *testing.T) {
 	c := NewCluster(2, 1000)
 	data := make([]byte, 5000)
-	rand.New(rand.NewSource(2)).Read(data)
-	c.Write("f", data)
+	testutil.Must1(rand.New(rand.NewSource(2)).Read(data))
+	testutil.Must(c.Write("f", data))
 
 	kv := newMemKV()
 	cache := NewCacheLayer(c, kv, 256, 0)
@@ -184,7 +186,7 @@ func TestCacheChunking(t *testing.T) {
 	for i := range data {
 		data[i] = byte(i * 7)
 	}
-	c.Write("f", data)
+	testutil.Must(c.Write("f", data))
 	kv := newMemKV()
 	cache := NewCacheLayer(c, kv, 300, 0) // 4 chunks per block
 	if err := cache.Prefetch("f"); err != nil {
@@ -205,7 +207,7 @@ func TestCacheChunking(t *testing.T) {
 func TestCacheEviction(t *testing.T) {
 	c := NewCluster(2, 100)
 	data := make([]byte, 100*6)
-	c.Write("f", data)
+	testutil.Must(c.Write("f", data))
 	kv := newMemKV()
 	cache := NewCacheLayer(c, kv, 100, 3) // room for 3 blocks
 	for i := 0; i < 6; i++ {
@@ -237,7 +239,7 @@ func TestCacheEviction(t *testing.T) {
 
 func TestCachePutFailurePropagates(t *testing.T) {
 	c := NewCluster(1, 100)
-	c.Write("f", make([]byte, 100))
+	testutil.Must(c.Write("f", make([]byte, 100)))
 	kv := newMemKV()
 	kv.fail = true
 	cache := NewCacheLayer(c, kv, 100, 0)
@@ -249,8 +251,8 @@ func TestCachePutFailurePropagates(t *testing.T) {
 func TestConcurrentCacheReaders(t *testing.T) {
 	c := NewCluster(4, 512)
 	data := make([]byte, 512*16)
-	rand.New(rand.NewSource(3)).Read(data)
-	c.Write("f", data)
+	testutil.Must1(rand.New(rand.NewSource(3)).Read(data))
+	testutil.Must(c.Write("f", data))
 	kv := newMemKV()
 	cache := NewCacheLayer(c, kv, 512, 0)
 	var wg sync.WaitGroup

@@ -7,6 +7,7 @@ import (
 
 	"hydradb"
 	"hydradb/internal/dfs"
+	"hydradb/internal/testutil"
 )
 
 // TestCacheLayerOverRealHydraDB wires the DFS cache layer to an actual
@@ -25,7 +26,7 @@ func TestCacheLayerOverRealHydraDB(t *testing.T) {
 
 	fs := dfs.NewCluster(3, 64<<10)
 	data := make([]byte, 8*64<<10)
-	rand.New(rand.NewSource(7)).Read(data)
+	testutil.Must1(rand.New(rand.NewSource(7)).Read(data))
 	if err := fs.Write("part-00000", data); err != nil {
 		t.Fatal(err)
 	}

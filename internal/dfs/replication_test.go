@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"math/rand"
 	"testing"
+
+	"hydradb/internal/testutil"
 )
 
 func TestReplicatedBlocksPlacedOnRNodes(t *testing.T) {
@@ -11,7 +13,7 @@ func TestReplicatedBlocksPlacedOnRNodes(t *testing.T) {
 	if c.Replication() != 3 {
 		t.Fatalf("replication = %d", c.Replication())
 	}
-	c.Write("f", make([]byte, 100*4))
+	testutil.Must(c.Write("f", make([]byte, 100*4)))
 	total := 0
 	for _, dn := range c.dns {
 		total += len(dn.blocks)
@@ -31,8 +33,8 @@ func TestReplicationFactorClamped(t *testing.T) {
 func TestReadFailsOverAcrossReplicas(t *testing.T) {
 	c := NewReplicatedCluster(3, 1000, 2)
 	data := make([]byte, 3000)
-	rand.New(rand.NewSource(1)).Read(data)
-	c.Write("f", data)
+	testutil.Must1(rand.New(rand.NewSource(1)).Read(data))
+	testutil.Must(c.Write("f", data))
 
 	// Kill one datanode: every block keeps a live replica.
 	c.FailDataNode(0)
@@ -55,7 +57,7 @@ func TestReadFailsOverAcrossReplicas(t *testing.T) {
 
 func TestUnreplicatedClusterFailsHard(t *testing.T) {
 	c := NewCluster(3, 1000)
-	c.Write("f", make([]byte, 3000))
+	testutil.Must(c.Write("f", make([]byte, 3000)))
 	c.FailDataNode(0)
 	if _, err := c.Read("f"); err != ErrAllReplicasDown {
 		t.Fatalf("want ErrAllReplicasDown with r=1, got %v", err)
@@ -67,8 +69,8 @@ func TestCacheLayerMasksDataNodeFailure(t *testing.T) {
 	// DFS can lose nodes without the application noticing.
 	c := NewReplicatedCluster(3, 500, 1)
 	data := make([]byte, 2000)
-	rand.New(rand.NewSource(2)).Read(data)
-	c.Write("f", data)
+	testutil.Must1(rand.New(rand.NewSource(2)).Read(data))
+	testutil.Must(c.Write("f", data))
 	kv := newMemKV()
 	cache := NewCacheLayer(c, kv, 500, 0)
 	if err := cache.Prefetch("f"); err != nil {

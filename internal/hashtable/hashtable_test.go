@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"hydradb/internal/hashx"
+	"hydradb/internal/testutil"
 )
 
 // refStore is a tiny item store for tests: ref -> key.
@@ -68,7 +69,7 @@ func TestInsertReplaceReturnsOld(t *testing.T) {
 	rs.keys[ref2] = key // same key, new area (out-of-place update)
 	rs.next++
 
-	tb.Insert(h, ref1, rs.matcher(key))
+	testutil.Must2(tb.Insert(h, ref1, rs.matcher(key)))
 	old, replaced, err := tb.Insert(h, ref2, rs.matcher(key))
 	if err != nil || !replaced || old != ref1 {
 		t.Fatalf("replace: old=%d replaced=%v err=%v", old, replaced, err)
@@ -126,7 +127,7 @@ func TestOverflowMergeAfterDelete(t *testing.T) {
 	keys := make([]string, n)
 	for i := range keys {
 		keys[i] = fmt.Sprintf("key%04d", i)
-		tb.Insert(hashx.HashString(keys[i]), rs.add(keys[i]), rs.matcher(keys[i]))
+		testutil.Must2(tb.Insert(hashx.HashString(keys[i]), rs.add(keys[i]), rs.matcher(keys[i])))
 	}
 	grown := tb.OverflowBuckets()
 	if grown < 4 {
@@ -162,8 +163,8 @@ func TestSignatureCollisionDisambiguation(t *testing.T) {
 		return func(ref uint64) bool { return keyByRef[ref] == want }
 	}
 	h := uint64(0xABCD) << 48 // same signature for both inserts
-	tb.Insert(h, 1, match("alpha"))
-	tb.Insert(h, 2, match("beta"))
+	testutil.Must2(tb.Insert(h, 1, match("alpha")))
+	testutil.Must2(tb.Insert(h, 2, match("beta")))
 	if got, ok := tb.Lookup(h, match("alpha")); !ok || got != 1 {
 		t.Fatalf("alpha: %d %v", got, ok)
 	}
@@ -183,7 +184,7 @@ func TestRangeVisitsAll(t *testing.T) {
 		key := fmt.Sprintf("key%04d", i)
 		ref := rs.add(key)
 		want[ref] = true
-		tb.Insert(hashx.HashString(key), ref, rs.matcher(key))
+		testutil.Must2(tb.Insert(hashx.HashString(key), ref, rs.matcher(key)))
 	}
 	got := make(map[uint64]bool)
 	tb.Range(func(ref uint64) bool {
@@ -279,7 +280,7 @@ func TestLinesTouchedStaysLow(t *testing.T) {
 	rs := newRefStore()
 	for i := 0; i < n; i++ {
 		key := fmt.Sprintf("user%016d", i)
-		tb.Insert(hashx.HashString(key), rs.add(key), rs.matcher(key))
+		testutil.Must2(tb.Insert(hashx.HashString(key), rs.add(key), rs.matcher(key)))
 	}
 	tb.Lookups, tb.LinesTouched = 0, 0
 	for i := 0; i < n; i++ {
@@ -305,7 +306,7 @@ func BenchmarkLookupHit(b *testing.B) {
 		hs[i] = hashx.Hash(keys[i])
 		ref := uint64(i + 1)
 		keyOf[ref] = string(keys[i])
-		tb.Insert(hs[i], ref, func(r uint64) bool { return keyOf[r] == string(keys[i]) })
+		testutil.Must2(tb.Insert(hs[i], ref, func(r uint64) bool { return keyOf[r] == string(keys[i]) }))
 	}
 	match := func(r uint64) bool { return true } // signature filter does the work
 	b.ResetTimer()
@@ -320,7 +321,7 @@ func BenchmarkInsertDelete(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		h := hashx.Hash64(uint64(i))
-		tb.Insert(h, uint64(i&refMaskInt), match)
+		testutil.Must2(tb.Insert(h, uint64(i&refMaskInt), match))
 		tb.Delete(h, match)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"hydradb/internal/hashx"
+	"hydradb/internal/testutil"
 )
 
 func TestNaiveTableAgreesWithCompact(t *testing.T) {
@@ -76,7 +77,7 @@ func TestCompactTouchesFewerLines(t *testing.T) {
 		ref := uint64(i + 1)
 		keyOf[ref] = keys[i]
 		match := func(r uint64) bool { return keyOf[r] == keys[i] }
-		compact.Insert(h, ref, match)
+		testutil.Must2(compact.Insert(h, ref, match))
 		naive.Insert(h, ref, match)
 	}
 	compact.Lookups, compact.LinesTouched, compact.KeyCompares = 0, 0, 0
@@ -118,7 +119,7 @@ func benchTable(b *testing.B, useCompact bool) {
 	if useCompact {
 		tb := New(n / 5)
 		for i := range keys {
-			tb.Insert(hs[i], uint64(i+1), match)
+			testutil.Must2(tb.Insert(hs[i], uint64(i+1), match))
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"hydradb/internal/lease"
+	"hydradb/internal/testutil"
 	"hydradb/internal/timing"
 )
 
@@ -156,14 +157,14 @@ func TestConcurrentReadersUnderUpdates(t *testing.T) {
 func TestReadAtNeverTearsWithinLease(t *testing.T) {
 	clk := timing.NewManualClock(0)
 	s := NewStore(Config{ArenaBytes: 1 << 20, MaxItems: 1024, Clock: clk})
-	res, _, _ := s.Put([]byte("k"), []byte("generation-one"))
+	res, _ := testutil.Must2(s.Put([]byte("k"), []byte("generation-one")))
 	buf1 := make([]byte, res.Ptr.DataLen)
-	s.ReadAt(res.Ptr, buf1)
+	testutil.Must3(s.ReadAt(res.Ptr, buf1))
 	// Update twice; the old area must not change while leased.
-	s.Put([]byte("k"), []byte("generation-two"))
-	s.Put([]byte("k"), []byte("generation-three"))
+	testutil.Must2(s.Put([]byte("k"), []byte("generation-two")))
+	testutil.Must2(s.Put([]byte("k"), []byte("generation-three")))
 	buf2 := make([]byte, res.Ptr.DataLen)
-	_, guardian, _, _ := s.ReadAt(res.Ptr, buf2)
+	_, guardian, _ := testutil.Must3(s.ReadAt(res.Ptr, buf2))
 	if guardian != GuardianDead {
 		t.Fatal("old area guardian must be dead")
 	}

@@ -9,6 +9,7 @@ import (
 
 	"hydradb/internal/lease"
 	"hydradb/internal/stats"
+	"hydradb/internal/testutil"
 	"hydradb/internal/timing"
 )
 
@@ -123,7 +124,7 @@ func TestOutOfPlaceUpdate(t *testing.T) {
 	}
 	// Fresh read through the new pointer sees v2 + live guardian.
 	buf2 := make([]byte, res2.Ptr.DataLen)
-	_, guard2, _, _ := s.ReadAt(res2.Ptr, buf2)
+	_, guard2, _ := testutil.Must3(s.ReadAt(res2.Ptr, buf2))
 	if guard2 != GuardianLive {
 		t.Fatal("fresh read saw dead guardian")
 	}
@@ -136,8 +137,8 @@ func TestOutOfPlaceUpdate(t *testing.T) {
 func TestReclaimAfterLeaseExpiry(t *testing.T) {
 	clk := timing.NewManualClock(0)
 	s := testStore(t, clk)
-	res1, _, _ := s.Put([]byte("k"), []byte("v1"))
-	s.Put([]byte("k"), []byte("v2"))
+	res1, _ := testutil.Must2(s.Put([]byte("k"), []byte("v1")))
+	testutil.Must2(s.Put([]byte("k"), []byte("v2")))
 	if s.PendingReclaims() != 1 {
 		t.Fatalf("pending reclaims = %d", s.PendingReclaims())
 	}
@@ -155,7 +156,7 @@ func TestReclaimAfterLeaseExpiry(t *testing.T) {
 	}
 	// The old area is zeroed: a stale read now fails validation at decode.
 	buf := make([]byte, res1.Ptr.DataLen)
-	s.ReadAt(res1.Ptr, buf)
+	testutil.Must3(s.ReadAt(res1.Ptr, buf))
 	if _, _, ok := DecodeItem(buf); ok {
 		t.Fatal("reclaimed area still decodes")
 	}
@@ -164,7 +165,7 @@ func TestReclaimAfterLeaseExpiry(t *testing.T) {
 func TestLeaseExtensionAndPopularity(t *testing.T) {
 	clk := timing.NewManualClock(1e9)
 	s := testStore(t, clk)
-	s.Put([]byte("hot"), []byte("v"))
+	testutil.Must2(s.Put([]byte("hot"), []byte("v")))
 
 	res, _ := s.Get([]byte("hot"))
 	first := res.LeaseExp
@@ -180,7 +181,7 @@ func TestLeaseExtensionAndPopularity(t *testing.T) {
 		t.Fatalf("hot key lease term = %d, want 64s", term)
 	}
 	// A cold key gets the base term.
-	s.Put([]byte("cold"), []byte("v"))
+	testutil.Must2(s.Put([]byte("cold"), []byte("v")))
 	resC, _ := s.Get([]byte("cold"))
 	if got := resC.LeaseExp - clk.Now(); got != 2e9 {
 		// one access => level(1)=0 is base 1s... but Put also touches, so 2 accesses.
@@ -193,7 +194,7 @@ func TestLeaseExtensionAndPopularity(t *testing.T) {
 func TestPopularityDecay(t *testing.T) {
 	clk := timing.NewManualClock(0)
 	s := testStore(t, clk)
-	s.Put([]byte("k"), []byte("v"))
+	testutil.Must2(s.Put([]byte("k"), []byte("v")))
 	for i := 0; i < 300; i++ {
 		s.Get([]byte("k"))
 	}
@@ -209,11 +210,47 @@ func TestPopularityDecay(t *testing.T) {
 	}
 }
 
+func TestLeaseEpochWraparoundDecays(t *testing.T) {
+	// Regression: popularity must keep decaying when the uint32 decay-epoch
+	// counter wraps. With 1 ms epochs the counter wraps after ~49.7 days of
+	// server uptime; the skipped decay froze every key's popularity — and
+	// thus its lease term — at the pre-wrap value for another 49.7 days.
+	const epochNs = 1e6
+	start := (int64(^uint32(0)) - 1) * epochNs // two epochs short of the wrap
+	clk := timing.NewManualClock(start)
+	s := NewStore(Config{
+		ArenaBytes: 1 << 20,
+		MaxItems:   64,
+		Clock:      clk,
+		Policy: lease.Policy{
+			BaseTermNs:   1e9,
+			MaxShift:     6,
+			GraceNs:      100e6,
+			DecayEpochNs: epochNs,
+		},
+	})
+	testutil.Must2(s.Put([]byte("k"), []byte("v")))
+	for i := 0; i < 300; i++ {
+		s.Get([]byte("k"))
+	}
+	res, _ := s.Get([]byte("k"))
+	if res.LeaseExp-clk.Now() != 64e9 {
+		t.Fatal("key did not become hot before the wrap")
+	}
+	// Idle across the wrap: far more than 32 decay epochs and past the hot
+	// lease's expiry, so the next grant reflects the decayed popularity.
+	clk.Advance(100e9)
+	res, _ = s.Get([]byte("k"))
+	if term := res.LeaseExp - clk.Now(); term != 1e9 {
+		t.Fatalf("popularity survived the epoch wraparound: term=%d, want base 1s", term)
+	}
+}
+
 func TestRenewLease(t *testing.T) {
 	clk := timing.NewManualClock(0)
 	var ctr stats.OpCounters
 	s := NewStore(Config{ArenaBytes: 1 << 20, MaxItems: 1024, Clock: clk, Counters: &ctr})
-	s.Put([]byte("k"), []byte("v"))
+	testutil.Must2(s.Put([]byte("k"), []byte("v")))
 	exp, ok := s.RenewLease([]byte("k"))
 	if !ok || exp <= clk.Now() {
 		t.Fatalf("renew: exp=%d ok=%v", exp, ok)
@@ -264,8 +301,8 @@ func TestStoreFullAndReclaimRetry(t *testing.T) {
 func TestStoreNeverBreaksLeaseForAllocation(t *testing.T) {
 	clk := timing.NewManualClock(0)
 	s := NewStore(Config{ArenaBytes: 2048, MaxItems: 8, Clock: clk})
-	s.Put([]byte("a"), bytes.Repeat([]byte("x"), 400))
-	s.Put([]byte("a"), bytes.Repeat([]byte("y"), 400)) // old area now pending, lease alive
+	testutil.Must2(s.Put([]byte("a"), bytes.Repeat([]byte("x"), 400)))
+	testutil.Must2(s.Put([]byte("a"), bytes.Repeat([]byte("y"), 400))) // old area now pending, lease alive
 	// Fill the rest.
 	for i := 0; ; i++ {
 		_, _, err := s.Put([]byte(fmt.Sprintf("f%d", i)), bytes.Repeat([]byte("z"), 400))
@@ -292,7 +329,7 @@ func TestRangeVisitsLiveItems(t *testing.T) {
 	want := map[string]string{}
 	for i := 0; i < 50; i++ {
 		k, v := fmt.Sprintf("key%02d", i), fmt.Sprintf("val%02d", i)
-		s.Put([]byte(k), []byte(v))
+		testutil.Must2(s.Put([]byte(k), []byte(v)))
 		want[k] = v
 	}
 	s.Delete([]byte("key00"))
@@ -397,8 +434,8 @@ func TestNextReclaimDue(t *testing.T) {
 	if _, ok := s.NextReclaimDue(); ok {
 		t.Fatal("empty queue reported a due time")
 	}
-	s.Put([]byte("k"), []byte("v1"))
-	s.Put([]byte("k"), []byte("v2"))
+	testutil.Must2(s.Put([]byte("k"), []byte("v1")))
+	testutil.Must2(s.Put([]byte("k"), []byte("v2")))
 	due, ok := s.NextReclaimDue()
 	if !ok || due <= clk.Now() {
 		t.Fatalf("due=%d ok=%v", due, ok)
@@ -430,7 +467,7 @@ func BenchmarkStoreGet(b *testing.B) {
 	keys := make([][]byte, n)
 	for i := range keys {
 		keys[i] = []byte(fmt.Sprintf("user%012d", i))
-		s.Put(keys[i], bytes.Repeat([]byte("v"), 32))
+		testutil.Must2(s.Put(keys[i], bytes.Repeat([]byte("v"), 32)))
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

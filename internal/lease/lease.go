@@ -86,12 +86,17 @@ func (p Policy) Epoch(now int64) uint32 {
 }
 
 // Decay applies the lazy halving: count recorded at epoch `then`, observed at
-// epoch `cur`.
+// epoch `cur`. The subtraction is modular: the epoch counter is a uint32 that
+// wraps around, and a wrapped cur must still read as "after" then — comparing
+// with <= instead would freeze popularity for a whole counter period after
+// the wrap. A backwards epoch step (cannot happen with a monotonic clock)
+// lands in the >= 32 branch and zeroes the count, which errs on the safe
+// side: an unpopular key just gets the base lease term.
 func Decay(count uint32, then, cur uint32) uint32 {
-	if cur <= then {
+	shift := cur - then
+	if shift == 0 {
 		return count
 	}
-	shift := cur - then
 	if shift >= 32 {
 		return 0
 	}

@@ -81,11 +81,32 @@ func TestDecay(t *testing.T) {
 	if Decay(100, 5, 12) != 0 {
 		t.Fatal("seven epochs must decay 100 to 0")
 	}
-	if Decay(100, 9, 5) != 100 {
-		t.Fatal("backwards epochs must not decay")
+	if Decay(100, 9, 5) != 0 {
+		// A backwards step is indistinguishable from an almost-full trip
+		// around the modular counter; zeroing is the safe reading.
+		t.Fatal("backwards epochs must zero the count")
 	}
 	if Decay(^uint32(0), 0, 40) != 0 {
 		t.Fatal("large shift must clamp to zero")
+	}
+}
+
+func TestDecayEpochWraparound(t *testing.T) {
+	// Regression: the epoch counter is a modular uint32. A cur that wrapped
+	// past zero is still "after" then; decay used to be skipped entirely
+	// (cur <= then), freezing popularity for a whole counter period.
+	last := ^uint32(0)
+	if got := Decay(100, last, 0); got != 50 {
+		t.Fatalf("one epoch across the wrap: %d, want 50", got)
+	}
+	if got := Decay(1<<10, last-3, 3); got != (1<<10)>>7 {
+		t.Fatalf("seven epochs across the wrap: %d, want %d", got, (1<<10)>>7)
+	}
+	if got := Decay(100, last, last); got != 100 {
+		t.Fatalf("same epoch at the counter edge must not decay: %d", got)
+	}
+	if got := Decay(^uint32(0), last, 40); got != 0 {
+		t.Fatalf("large wrap shift must clamp to zero: %d", got)
 	}
 }
 

@@ -183,9 +183,9 @@ func TestRingGeometryValidation(t *testing.T) {
 		}()
 		fn()
 	}
-	mustPanic("word overflow", func() { NewRing(mr, 0, 64, 4, 0) })     // 4 slots need 8 words, have 4
-	mustPanic("byte overflow", func() { NewRing(mr, 0, 256, 2, 0) })    // 2*256 > 256
-	mustPanic("zero depth", func() { NewRing(mr, 0, 64, 0, 0) })        // depth >= 1
-	mustPanic("split words", func() { NewMailbox(mr, 0, 256, 0, 2) })   // head/tail not adjacent
-	NewRing(mr, 0, 128, 2, 0)                                           // fits: 2 slots, 4 words
+	mustPanic("word overflow", func() { NewRing(mr, 0, 64, 4, 0) })   // 4 slots need 8 words, have 4
+	mustPanic("byte overflow", func() { NewRing(mr, 0, 256, 2, 0) })  // 2*256 > 256
+	mustPanic("zero depth", func() { NewRing(mr, 0, 64, 0, 0) })      // depth >= 1
+	mustPanic("split words", func() { NewMailbox(mr, 0, 256, 0, 2) }) // head/tail not adjacent
+	NewRing(mr, 0, 128, 2, 0)                                         // fits: 2 slots, 4 words
 }

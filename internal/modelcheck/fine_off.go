@@ -1,0 +1,14 @@
+//go:build !hydradebug
+
+package modelcheck
+
+// FineAvailable reports whether word-granularity interleaving is compiled in.
+// It requires -tags hydradebug, which arms the invariant.SchedPoint hook that
+// arena.WordArea's atomic operations call.
+const FineAvailable = false
+
+func armFine(*Run, bool) bool { return false }
+func disarmFine()             {}
+func setCurrent(*Thread)      {}
+func clearCurrent()           {}
+func goroutineID() int64      { return 0 }

@@ -1,0 +1,63 @@
+//go:build hydradebug
+
+package modelcheck
+
+import (
+	"sync"
+
+	"hydradb/internal/invariant"
+)
+
+// FineAvailable reports whether word-granularity interleaving is compiled in.
+const FineAvailable = true
+
+// fineMu serializes fine-grained explorations: the invariant.SchedPoint hook
+// is process-wide, so only one checker may have it installed at a time.
+// fineCurrent is the model thread the scheduler most recently resumed; it is
+// written by the scheduler goroutine before the resume-channel send and read
+// by the model thread after the receive, so the channel handshake orders the
+// accesses without further synchronization.
+var (
+	fineMu      sync.Mutex
+	fineCurrent *Thread
+)
+
+// armFine installs the word-granularity yield hook for this run when
+// requested. Every arena.WordArea Load/Store/CAS executed by the currently
+// scheduled model thread then becomes a scheduling decision of its own,
+// exposing torn intermediate states (e.g. a mailbox tail indicator published
+// before its head). Calls from other goroutines — the scheduler evaluating
+// Await conditions, unrelated test goroutines — are ignored, as are calls
+// from a thread being unwound at schedule end.
+func armFine(r *Run, want bool) bool {
+	if !want {
+		return false
+	}
+	fineMu.Lock()
+	invariant.SetSchedPoint(func(tag string) {
+		t := fineCurrent
+		if t == nil || t.ending {
+			return
+		}
+		if invariant.GoroutineID() != t.gid {
+			return
+		}
+		// "*": word accesses from different steps may touch the same area,
+		// which coarse tags cannot express, so fine steps conflict with
+		// everything. This disables sleep-set pruning across them — sound,
+		// just slower, which is why fine explorations stay tightly bounded.
+		t.yield("*", nil)
+	})
+	return true
+}
+
+func disarmFine() {
+	invariant.SetSchedPoint(nil)
+	fineCurrent = nil
+	fineMu.Unlock()
+}
+
+func setCurrent(t *Thread) { fineCurrent = t }
+func clearCurrent()        { fineCurrent = nil }
+
+func goroutineID() int64 { return invariant.GoroutineID() }

@@ -1,0 +1,35 @@
+//go:build hydradebug
+
+package modelcheck
+
+import "testing"
+
+// TestFineModeSmoke runs a tightly bounded word-granularity exploration of
+// the mailbox model: every arena.WordArea access by a model thread becomes a
+// scheduling decision via the invariant.SchedPoint hook. The space is far too
+// large to exhaust, so this is a smoke test — the correct protocol must
+// survive whatever prefix fits the bound, and the word-level hook must not
+// wedge the scheduler.
+func TestFineModeSmoke(t *testing.T) {
+	if !FineAvailable {
+		t.Skip("fine mode needs -tags hydradebug")
+	}
+	res := Explore(mailboxModel, false, Options{Fine: true, MaxSteps: 400, MaxSchedules: 1500})
+	if res.Violation != nil {
+		t.Fatalf("fine-grained mailbox exploration violated:\n%s", res.Violation)
+	}
+	if res.Schedules == 0 {
+		t.Fatal("no schedules explored")
+	}
+	t.Logf("fine mailbox: %d schedules, %d steps, truncated=%v", res.Schedules, res.Steps, res.Truncated)
+}
+
+// TestFineModeSeededBug checks the fine-grained scheduler still catches the
+// mailbox window bug (coarse steps are a subset of fine interleavings, so the
+// credit violation must surface within a small bound too).
+func TestFineModeSeededBug(t *testing.T) {
+	res := Explore(mailboxModel, true, Options{Fine: true, MaxSteps: 400, MaxSchedules: 1500})
+	if res.Violation == nil {
+		t.Fatalf("seeded mailbox bug undetected in fine mode after %d schedules", res.Schedules)
+	}
+}

@@ -1,0 +1,369 @@
+package modelcheck
+
+import (
+	"bytes"
+	"fmt"
+
+	"hydradb/internal/kv"
+	"hydradb/internal/lease"
+	"hydradb/internal/timing"
+)
+
+// The two store models share one small world: a real kv.Store under a manual
+// clock, one key, a server thread performing out-of-place updates and
+// reclamation, a reader thread performing the client's one-sided GET protocol
+// against raw store memory, and a clock thread advancing time.
+//
+// The reader deliberately re-implements the client's read path
+// (client.readViaPointerInto) over direct memory access instead of calling
+// it, split into separate scheduler steps — validity check, data copy,
+// guardian check — because the interleaving of those steps with the server's
+// update/reclaim steps is exactly what is being checked.
+//
+// Environment assumption (DESIGN.md §9): a one-sided read completes within
+// ReadMargin + Grace of its validity check. The clock thread's enabling
+// condition enforces it — time never advances beyond readStart+margin+grace
+// while a read is in flight. Under that assumption the lease algebra
+// guarantees safety: validity gives readStart+margin < exp, and reclamation
+// is due no earlier than exp+grace > readStart+margin+grace.
+
+const (
+	smBase   = 100 // lease base term
+	smGrace  = 50  // reclamation grace after expiry
+	smMargin = 10  // client read margin (ValidForRead slack)
+	smCap    = smMargin + smGrace
+)
+
+func smPolicy() lease.Policy {
+	return lease.Policy{
+		BaseTermNs:   smBase,
+		MaxShift:     0, // popularity never stretches terms: keeps the space small
+		GraceNs:      smGrace,
+		DecayEpochNs: 1 << 40, // one epoch for the whole run
+	}
+}
+
+// storeWorld is the shared state of the guardian and lease models.
+type storeWorld struct {
+	st    *kv.Store
+	clock *timing.ManualClock
+	key   []byte
+
+	// tick is a logical step counter: every step function bumps it first,
+	// giving the invariant bookkeeping a total order aligned with the trace.
+	tick int
+
+	// liveStart/liveEnd record, per value, the tick window in which it was
+	// the attached (guardian-live, reachable) value of the key. A read is
+	// linearizable iff the value it returns was attached at some tick
+	// between its data copy and its guardian check.
+	liveStart map[string]int
+	liveEnd   map[string]int
+
+	// Reader state visible to the clock's enabling condition.
+	midRead    bool
+	readStart  int64
+	readerDone bool
+
+	accepted []string
+}
+
+func newStoreWorld(r *Run, v0 string) *storeWorld {
+	w := &storeWorld{
+		clock:     timing.NewManualClock(1),
+		key:       []byte("k"),
+		liveStart: map[string]int{},
+		liveEnd:   map[string]int{},
+	}
+	w.st = kv.NewStore(kv.Config{
+		ArenaBytes: 1 << 12,
+		MaxItems:   8,
+		Policy:     smPolicy(),
+		Clock:      w.clock,
+	})
+	if _, _, err := w.st.Put(w.key, []byte(v0)); err != nil {
+		r.Failf("setup Put(%q): %v", v0, err)
+	}
+	w.liveStart[v0] = 0
+	return w
+}
+
+// put performs an out-of-place update and moves the liveness window.
+func (w *storeWorld) put(r *Run, prev, next string) kv.GetResult {
+	res, _, err := w.st.Put(w.key, []byte(next))
+	if err != nil {
+		r.Failf("Put(%q): %v", next, err)
+	}
+	w.liveEnd[prev] = w.tick
+	w.liveStart[next] = w.tick
+	return res
+}
+
+// liveDuring reports whether v was the attached value at some tick in [a, b].
+func (w *storeWorld) liveDuring(v string, a, b int) bool {
+	start, known := w.liveStart[v]
+	if !known || start > b {
+		return false
+	}
+	end, ended := w.liveEnd[v]
+	return !ended || end > a
+}
+
+// clockThread advances time in fixed increments, never past the in-flight
+// read's completion bound (the environment assumption above).
+func (w *storeWorld) clockThread(steps int, delta int64) func(*Thread) {
+	return func(t *Thread) {
+		for i := 0; i < steps; i++ {
+			t.Await("clock", func() bool {
+				return !w.midRead || w.clock.Now()+delta <= w.readStart+smCap
+			}, func() {
+				w.tick++
+				w.clock.Advance(delta)
+			})
+		}
+	}
+}
+
+// accept records a value returned to the "application".
+func (w *storeWorld) accept(v string) { w.accepted = append(w.accepted, v) }
+
+// readerAttempt is one one-sided GET attempt against ptr/exp. It returns the
+// refreshed (ptr, exp, done): done=false means the read came back stale and
+// the caller should retry or fall back. skipValidity seeds the guardian-model
+// bug: the reader dereferences without checking its lease first.
+func (w *storeWorld) readerAttempt(t *Thread, ptr kv.RemotePtr, exp int64, skipValidity bool) (kv.RemotePtr, int64, bool) {
+	valid := false
+	t.Step("clock", func() {
+		w.tick++
+		now := w.clock.Now()
+		valid = skipValidity || lease.ValidForRead(exp, now, smMargin)
+		if valid {
+			w.midRead = true
+			w.readStart = now
+		}
+	})
+	if !valid {
+		// Lease too old for a one-sided read: fall back to the messaging
+		// path, modeled by a server-side Get (atomic in one step).
+		done := false
+		t.Step("store", func() {
+			w.tick++
+			res, ok := w.st.Get(w.key)
+			if !ok {
+				t.Fail("fallback Get(%q) missed a key that is never deleted", w.key)
+			}
+			w.accept(string(res.Value))
+			ptr, exp = res.Ptr, res.LeaseExp
+			done = true
+		})
+		return ptr, exp, done
+	}
+
+	var data []byte
+	var readTick int
+	t.Step("store", func() {
+		w.tick++
+		readTick = w.tick
+		end := int(ptr.DataOff) + int(ptr.DataLen)
+		data = append([]byte(nil), w.st.ArenaData()[ptr.DataOff:end]...)
+	})
+
+	done := false
+	t.Step("store,clock", func() {
+		w.tick++
+		w.midRead = false
+		guardian := w.st.Guardian(ptr.MetaIdx)
+		leaseExp := w.st.Lease(ptr.MetaIdx)
+		if guardian != kv.GuardianLive {
+			return // detached or reclaimed: stale read, retry
+		}
+		k, v, ok := kv.DecodeItem(data)
+		if !ok || !bytes.Equal(k, w.key) {
+			return // torn or reused bytes that no longer decode to our key
+		}
+		val := string(v)
+		if !w.liveDuring(val, readTick, w.tick) {
+			t.Fail("one-sided GET returned %q, a torn or reclaimed value (copied at tick %d, guardian checked at tick %d)",
+				val, readTick, w.tick)
+		}
+		w.accept(val)
+		exp = leaseExp
+		done = true
+	})
+	return ptr, exp, done
+}
+
+// readerLoop is the full client read path: up to two one-sided attempts,
+// then a messaging fallback, then the reader-done handshake that releases
+// the server and clock threads.
+func (w *storeWorld) readerLoop(t *Thread, ptr kv.RemotePtr, exp int64, skipValidity bool) {
+	done := false
+	for attempt := 0; attempt < 2 && !done; attempt++ {
+		ptr, exp, done = w.readerAttempt(t, ptr, exp, skipValidity)
+	}
+	if !done {
+		t.Step("store", func() {
+			w.tick++
+			res, ok := w.st.Get(w.key)
+			if !ok {
+				t.Fail("final fallback Get(%q) missed", w.key)
+			}
+			w.accept(string(res.Value))
+		})
+	}
+	t.Step("store,clock", func() {
+		w.tick++
+		w.readerDone = true
+	})
+}
+
+// guardianModel checks DESIGN.md invariant (1): a guardian-word GET racing
+// out-of-place PUTs never returns a torn or reclaimed value.
+//
+// The server updates k twice with a reclamation pass in between, so the
+// second update reuses the first value's arena block and guardian/lease word
+// group (both free lists are LIFO) — the ABA scenario the guardian+lease
+// protocol must survive. The seeded bug removes the reader's lease-validity
+// check, allowing the read to straddle reclamation: the reader copies the old
+// bytes, the server reclaims and reuses the block, and the guardian — now
+// live again for the new item — approves a value that was never current
+// during the read.
+var guardianModel = Model{
+	Name:  "guardian",
+	Desc:  "one-sided GET vs. out-of-place PUT + reclaim: no torn or reclaimed value",
+	Bug:   "reader skips the lease-validity check before the one-sided read",
+	Setup: setupGuardian,
+}
+
+func setupGuardian(r *Run, bug bool) {
+	w := newStoreWorld(r, "v0")
+	res0, ok := w.st.Get(w.key)
+	if !ok {
+		r.Failf("setup Get missed")
+	}
+
+	r.Spawn("server", func(t *Thread) {
+		t.Step("store", func() {
+			w.tick++
+			w.put(r, "v0", "v1")
+		})
+		reclaimed := false
+		t.Await("store,clock", func() bool {
+			if w.readerDone {
+				return true
+			}
+			due, ok := w.st.NextReclaimDue()
+			return ok && due <= w.clock.Now()
+		}, func() {
+			w.tick++
+			if due, ok := w.st.NextReclaimDue(); ok && due <= w.clock.Now() {
+				w.st.ReclaimDue()
+				reclaimed = true
+			}
+		})
+		if reclaimed {
+			// Reuses v0's arena block and word group: ABA.
+			t.Step("store", func() {
+				w.tick++
+				w.put(r, "v1", "v2")
+			})
+		}
+	})
+
+	r.Spawn("reader", func(t *Thread) {
+		w.readerLoop(t, res0.Ptr, res0.LeaseExp, bug)
+	})
+
+	r.Spawn("clock", w.clockThread(3, 60))
+
+	r.AtEnd(func() error {
+		if len(w.accepted) == 0 {
+			return fmt.Errorf("reader never obtained a value")
+		}
+		return nil
+	})
+}
+
+// leaseModel checks DESIGN.md invariant (2): lease reclamation never frees an
+// item a reader may still dereference. "May still dereference" is exactly
+// what a valid lease means, so the model checks, at the moment of
+// reclamation, that the item's lease word has truly lapsed — and that no
+// reader is mid-read believing otherwise.
+//
+// The store enforces this through RenewLease, which refuses to extend the
+// lease of a detached (outdated) item. The seeded bug is a reader renewing
+// its lease by writing the expiry word directly, bypassing that liveness
+// check: the reclaim deadline was computed from the pre-renewal expiry, so
+// the item is freed while its lease — and the reader trusting it — is still
+// valid.
+var leaseModel = Model{
+	Name:  "lease",
+	Desc:  "reclamation never frees an item a reader holding a valid lease may dereference",
+	Bug:   "reader extends its lease by writing the expiry word, bypassing RenewLease's liveness check",
+	Setup: setupLease,
+}
+
+func setupLease(r *Run, bug bool) {
+	w := newStoreWorld(r, "v0")
+	res0, ok := w.st.Get(w.key)
+	if !ok {
+		r.Failf("setup Get missed")
+	}
+
+	r.Spawn("server", func(t *Thread) {
+		t.Step("store", func() {
+			w.tick++
+			w.put(r, "v0", "v1") // detaches v0, scheduling its reclamation
+		})
+		t.Await("store,clock", func() bool {
+			if w.readerDone {
+				return true
+			}
+			due, ok := w.st.NextReclaimDue()
+			return ok && due <= w.clock.Now()
+		}, func() {
+			w.tick++
+			due, pending := w.st.NextReclaimDue()
+			now := w.clock.Now()
+			if !pending || due > now {
+				return // reader finished first; nothing due within the run
+			}
+			// The only queued reclaim is v0, the item the reader points at.
+			expw := w.st.Lease(res0.Ptr.MetaIdx)
+			if lease.ValidForRead(expw, now, smMargin) {
+				t.Fail("reclaiming an item whose lease is still valid (expiry %d, now %d): a reader may still dereference it", expw, now)
+			}
+			if w.midRead {
+				t.Fail("reclaiming an item while a reader that validated its lease is mid-read (read started at %d, now %d)", w.readStart, now)
+			}
+			w.st.ReclaimDue()
+		})
+	})
+
+	r.Spawn("reader", func(t *Thread) {
+		ptr, exp := res0.Ptr, res0.LeaseExp
+		t.Step("store,clock", func() {
+			w.tick++
+			if bug {
+				// Rogue renewal: extend the expiry word of the (possibly
+				// already detached) item directly instead of asking the
+				// store, which would refuse an outdated item.
+				newExp := w.clock.Now() + smBase
+				w.st.Words().Store(int(ptr.MetaIdx)+1, uint64(newExp))
+				exp = newExp
+			} else if _, ok := w.st.RenewLease(w.key); !ok {
+				t.Fail("RenewLease(%q) refused a key that is never deleted", w.key)
+			}
+		})
+		w.readerLoop(t, ptr, exp, false)
+	})
+
+	r.Spawn("clock", w.clockThread(5, 40))
+
+	r.AtEnd(func() error {
+		if len(w.accepted) == 0 {
+			return fmt.Errorf("reader never obtained a value")
+		}
+		return nil
+	})
+}

@@ -1,0 +1,132 @@
+package modelcheck
+
+import (
+	"fmt"
+
+	"hydradb/internal/arena"
+	"hydradb/internal/message"
+	"hydradb/internal/rdma"
+)
+
+// mailboxModel checks DESIGN.md invariant (3): the depth-N mailbox slot ring
+// stays FIFO and neither side ever overwrites an unconsumed slot, provided
+// both sides follow the window-credit rule (one new request per consumed
+// response, at most depth requests outstanding).
+//
+// The model is a 3-thread client/shard exchange over the real
+// message.Mailbox rings and the real simulated fabric: a sender that spends
+// credits to write requests, a shard that polls, consumes, and responds, and
+// a receiver that consumes responses and refunds credits. Because a remote
+// RDMA writer cannot see the owner's indicator words, an overwrite would
+// silently corrupt a pending message on real hardware; the model checks the
+// indicator just before every write and fails if the slot is still busy.
+//
+// The seeded bug starts the client with depth+1 credits — the off-by-one the
+// window rule exists to exclude — and the checker finds a schedule where the
+// third request lands on top of an unconsumed first request.
+var mailboxModel = Model{
+	Name:  "mailbox",
+	Desc:  "mailbox slot ring FIFO + no overwrite under the window-credit rule",
+	Bug:   "client starts with depth+1 credits (window off by one)",
+	Setup: setupMailbox,
+}
+
+const (
+	mbDepth   = 2  // ring depth in both directions
+	mbMsgs    = 3  // requests the client sends (> depth forces credit reuse)
+	mbSlotCap = 16 // slot byte capacity
+)
+
+func setupMailbox(r *Run, bug bool) {
+	fabric := rdma.NewFabric(rdma.Config{}) // zero latency: fully deterministic
+	shardNIC := fabric.NewNIC("shard")
+	clientNIC := fabric.NewNIC("client")
+	clientQP, shardQP := rdma.Connect(clientNIC, shardNIC, mbDepth)
+
+	reqMR := shardNIC.Register(make([]byte, mbDepth*mbSlotCap), arena.NewWordArea(mbDepth, 2))
+	respMR := clientNIC.Register(make([]byte, mbDepth*mbSlotCap), arena.NewWordArea(mbDepth, 2))
+	reqRing := message.NewRing(reqMR, 0, mbSlotCap, mbDepth, 0)   // client → shard memory
+	respRing := message.NewRing(respMR, 0, mbSlotCap, mbDepth, 0) // shard → client memory
+
+	credits := mbDepth
+	if bug {
+		credits = mbDepth + 1
+	}
+	var sent, handled, received int
+
+	// precheck fails the schedule when a writer is about to clobber a slot
+	// the owner has not consumed. On real hardware the remote writer cannot
+	// observe the indicators, so the write would corrupt silently; the model
+	// peeks at the head word of the slot the write cursor targets.
+	precheck := func(t *Thread, mr *rdma.MemoryRegion, slot int, side string) {
+		if mr.Words().Load(2*slot) != 0 {
+			t.Fail("%s ring: write into unconsumed slot %d (window-credit rule violated)", side, slot)
+		}
+	}
+
+	r.Spawn("send", func(t *Thread) {
+		for i := 0; i < mbMsgs; i++ {
+			i := i
+			seq := uint32(i + 1)
+			t.Await("req,credit", func() bool { return credits > 0 }, func() {
+				credits--
+				precheck(t, reqMR, i%mbDepth, "request")
+				if err := reqRing.WriteVia(clientQP, []byte{byte(0xA0 + i)}, seq); err != nil {
+					t.Fail("request write %d: %v", seq, err)
+				}
+				sent++
+			})
+		}
+	})
+
+	r.Spawn("shard", func(t *Thread) {
+		for i := 0; i < mbMsgs; i++ {
+			i := i
+			seq := uint32(i + 1)
+			t.Await("req,resp", reqRing.Busy, func() {
+				body, got, ok := reqRing.Poll()
+				if !ok {
+					t.Fail("request ring: Busy slot failed to Poll (torn indicator)")
+				}
+				if got != seq || len(body) != 1 || body[0] != byte(0xA0+i) {
+					t.Fail("request ring FIFO violated: want seq %d payload %#x, got seq %d payload %#x",
+						seq, 0xA0+i, got, body)
+				}
+				reqRing.Consume()
+				precheck(t, respMR, i%mbDepth, "response")
+				if err := respRing.WriteVia(shardQP, []byte{byte(0xB0 + i)}, seq); err != nil {
+					t.Fail("response write %d: %v", seq, err)
+				}
+				handled++
+			})
+		}
+	})
+
+	r.Spawn("recv", func(t *Thread) {
+		for i := 0; i < mbMsgs; i++ {
+			i := i
+			seq := uint32(i + 1)
+			t.Await("resp,credit", respRing.Busy, func() {
+				body, got, ok := respRing.Poll()
+				if !ok {
+					t.Fail("response ring: Busy slot failed to Poll (torn indicator)")
+				}
+				if got != seq || len(body) != 1 || body[0] != byte(0xB0+i) {
+					t.Fail("response ring FIFO violated: want seq %d payload %#x, got seq %d payload %#x",
+						seq, 0xB0+i, got, body)
+				}
+				respRing.Consume()
+				credits++
+				received++
+			})
+		}
+	})
+
+	r.AtEnd(func() error {
+		if sent != mbMsgs || handled != mbMsgs || received != mbMsgs {
+			return fmt.Errorf("exchange incomplete: sent %d handled %d received %d of %d",
+				sent, handled, received, mbMsgs)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,65 @@
+package modelcheck
+
+import (
+	"testing"
+)
+
+// TestModelsExploreClean is the positive half of the protocol proofs: every
+// registered model, run without its seeded bug, survives exhaustive
+// exploration of its interleaving space.
+func TestModelsExploreClean(t *testing.T) {
+	for _, m := range Models() {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			res := Explore(m, false, Options{})
+			if res.Violation != nil {
+				t.Fatalf("clean %s model violated its invariant:\n%s", m.Name, res.Violation)
+			}
+			if res.Truncated {
+				t.Fatalf("clean %s model exploration truncated (space larger than expected)", m.Name)
+			}
+			if res.Schedules == 0 {
+				t.Fatalf("clean %s model explored zero schedules", m.Name)
+			}
+			t.Logf("%s: %d schedules, %d steps", m.Name, res.Schedules, res.Steps)
+		})
+	}
+}
+
+// TestModelsCatchSeededBugs is the self-test half, mirroring hydralint's
+// fixture self-tests: each model's deliberately broken variant must be
+// caught, and the recorded schedule must replay to the same violation.
+func TestModelsCatchSeededBugs(t *testing.T) {
+	for _, m := range Models() {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			res := Explore(m, true, Options{})
+			if res.Violation == nil {
+				t.Fatalf("seeded bug (%s) went undetected after %d schedules", m.Bug, res.Schedules)
+			}
+			if len(res.Violation.Schedule) == 0 {
+				t.Fatal("violation carries no replayable schedule")
+			}
+			rep, _ := Replay(m, true, res.Violation.Schedule, Options{})
+			if rep.Violation == nil {
+				t.Fatalf("recorded schedule %v did not replay to a violation", res.Violation.Schedule)
+			}
+			if rep.Violation.Msg != res.Violation.Msg {
+				t.Fatalf("replay diverged:\n explore: %s\n replay:  %s", res.Violation.Msg, rep.Violation.Msg)
+			}
+			t.Logf("%s: caught after %d schedules: %s", m.Name, res.Schedules, res.Violation.Msg)
+		})
+	}
+}
+
+func TestLookup(t *testing.T) {
+	for _, m := range Models() {
+		got, ok := Lookup(m.Name)
+		if !ok || got.Name != m.Name {
+			t.Fatalf("Lookup(%q) failed", m.Name)
+		}
+	}
+	if _, ok := Lookup("no-such-model"); ok {
+		t.Fatal("Lookup of unknown model succeeded")
+	}
+}

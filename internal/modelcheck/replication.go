@@ -1,0 +1,156 @@
+package modelcheck
+
+import (
+	"errors"
+	"fmt"
+
+	"hydradb/internal/message"
+	"hydradb/internal/rdma"
+	"hydradb/internal/replication"
+)
+
+// replicationModel checks DESIGN.md invariant (4): the replication log's
+// relaxed-acknowledgement protocol (§5.2) — rollback and re-send after a
+// secondary-side failure — never lets the primary treat a lost record as
+// durable.
+//
+// The model runs a real replication.Primary/Secondary pair over the
+// simulated fabric, replicating repRecords records with a processing failure
+// injected on record 3. In the correct mode the primary marks a record
+// durable only once MinAcked covers it; the secondary nacks at the next
+// ack-request, the primary rolls back and re-sends, and everything
+// converges. The seeded bug is a fire-and-forget primary: it marks every
+// record durable as soon as the one-sided write is posted and never polls
+// acks — so the nack is never seen, records 3..4 are never re-sent, and the
+// checker reports records acknowledged as durable that no secondary applied.
+var replicationModel = Model{
+	Name:  "replication",
+	Desc:  "relaxed-ack log rollback/re-send never acks a lost record",
+	Bug:   "primary marks records durable on send and never polls acks (no rollback)",
+	Setup: setupReplication,
+}
+
+const repRecords = 4
+
+func setupReplication(r *Run, bug bool) {
+	cfg := replication.LogConfig{Slots: 8, SlotSize: 64, AckEvery: 2}
+	fabric := rdma.NewFabric(rdma.Config{})
+	priNIC := fabric.NewNIC("primary")
+	secNIC := fabric.NewNIC("secondary")
+	priQP, secQP := rdma.Connect(priNIC, secNIC, cfg.Slots)
+
+	pri := replication.NewPrimary(priNIC, cfg, 1)
+	log := replication.NewLog(secNIC, cfg)
+	ackIdx, err := pri.AddSecondary(priQP, log)
+	if err != nil {
+		r.Failf("AddSecondary: %v", err)
+	}
+
+	var applied []uint64
+	applier := replication.ApplierFunc(func(seq uint64, rec replication.Record) error {
+		want := uint64(len(applied)) + 1
+		if seq != want {
+			r.Failf("secondary applied seq %d out of order (want %d)", seq, want)
+		}
+		wantKey, wantVal := repPayload(seq)
+		if string(rec.Key) != wantKey || string(rec.Val) != wantVal {
+			r.Failf("secondary applied seq %d with payload %q=%q, want %q=%q",
+				seq, rec.Key, rec.Val, wantKey, wantVal)
+		}
+		applied = append(applied, seq)
+		return nil
+	})
+	sec := replication.NewSecondary(log, applier, secQP, pri.AckRegion(), ackIdx)
+
+	// One injected processing failure on record 3, in both modes: the
+	// invariant is about how the primary handles the resulting nack.
+	failedOnce := false
+	sec.FailureHook = func(seq uint64, rec replication.Record) error {
+		if seq == 3 && !failedOnce {
+			failedOnce = true
+			return errors.New("injected processing failure")
+		}
+		return nil
+	}
+
+	durable := make(map[uint64]bool)
+	ackWord := func() bool { return pri.AckRegion().Words().Load(ackIdx) != 0 }
+
+	r.Spawn("primary", func(t *Thread) {
+		for i := 1; i <= repRecords; i++ {
+			seq := uint64(i)
+			key, val := repPayload(seq)
+			t.Await("rep", func() bool {
+				// Window room: Replicate would otherwise spin in its
+				// internal wait-for-ack-progress loop, which a cooperative
+				// scheduler must never enter.
+				return pri.Seq()-pri.MinAcked() < uint64(cfg.Slots)
+			}, func() {
+				rec := replication.Record{Op: message.OpPut, Key: []byte(key), Val: []byte(val)}
+				if err := pri.Replicate(rec); err != nil {
+					t.Fail("Replicate(%d): %v", seq, err)
+				}
+				if bug {
+					// Fire-and-forget: relaxed acks without the rollback
+					// obligation. The write was posted, so call it durable.
+					durable[seq] = true
+				}
+			})
+		}
+		if bug {
+			return // never polls acks, never sees the nack
+		}
+		t.Step("rep", func() { pri.SolicitAcks() })
+		for pri.MinAcked() < repRecords {
+			t.Await("rep", ackWord, func() {
+				before := pri.MinAcked()
+				pri.PollAcksOnce() // absorbs acks; on a nack, rolls back and re-sends
+				for s := before + 1; s <= pri.MinAcked(); s++ {
+					durable[s] = true
+				}
+			})
+		}
+	})
+
+	r.Spawn("secondary", func(t *Thread) {
+		for len(applied) < repRecords {
+			t.Await("rep", sec.Pending, func() {
+				if !sec.PollOnce() {
+					t.Fail("secondary: Pending() but PollOnce made no progress")
+				}
+			})
+		}
+	})
+
+	r.AtEnd(func() error {
+		for seq := uint64(1); seq <= repRecords; seq++ {
+			if durable[seq] && !contains(applied, seq) {
+				return fmt.Errorf("record %d acknowledged as durable but never applied by the secondary (lost after failure)", seq)
+			}
+		}
+		if !bug {
+			if got := len(applied); got != repRecords {
+				return fmt.Errorf("secondary applied %d of %d records", got, repRecords)
+			}
+			for seq := uint64(1); seq <= repRecords; seq++ {
+				if !durable[seq] {
+					return fmt.Errorf("record %d never became durable", seq)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func repPayload(seq uint64) (key, val string) {
+	return fmt.Sprintf("key-%d", seq), fmt.Sprintf("val-%d", seq)
+}
+
+func contains(s []uint64, v uint64) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,260 @@
+package modelcheck
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// twoThreads builds a model of two threads doing `steps` steps each with the
+// given tags; body, when non-nil, runs inside every step.
+func twoThreads(tagA, tagB string, steps int, body func(thread, step int)) Model {
+	return Model{
+		Name: "test",
+		Setup: func(r *Run, bug bool) {
+			for ti, tag := range []string{tagA, tagB} {
+				ti, tag := ti, tag
+				r.Spawn(tag+"-thread", func(t *Thread) {
+					for i := 0; i < steps; i++ {
+						i := i
+						t.Step(tag, func() {
+							if body != nil {
+								body(ti, i)
+							}
+						})
+					}
+				})
+			}
+		},
+	}
+}
+
+func TestExploreEnumeratesDependentInterleavings(t *testing.T) {
+	// Two threads, two steps each, all steps conflicting: the full
+	// interleaving count is C(4,2) = 6 and none may be pruned.
+	res := Explore(twoThreads("x", "x", 2, nil), false, Options{})
+	if res.Violation != nil {
+		t.Fatalf("unexpected violation: %v", res.Violation)
+	}
+	if res.Schedules != 6 {
+		t.Fatalf("explored %d schedules, want 6 (all interleavings of dependent steps)", res.Schedules)
+	}
+}
+
+func TestExplorePrunesIndependentInterleavings(t *testing.T) {
+	// Disjoint tags: every interleaving is equivalent, so sleep sets must
+	// prune the space below the full count (ideally to 1).
+	res := Explore(twoThreads("a", "b", 2, nil), false, Options{})
+	if res.Violation != nil {
+		t.Fatalf("unexpected violation: %v", res.Violation)
+	}
+	if res.Schedules >= 6 {
+		t.Fatalf("explored %d schedules, want < 6 (independent steps must be pruned)", res.Schedules)
+	}
+}
+
+func TestExploreFindsOrderDependentViolation(t *testing.T) {
+	// The violation exists only in schedules where thread 1's step runs
+	// before thread 0's — a strict subset of interleavings.
+	m := Model{
+		Name: "race",
+		Setup: func(r *Run, bug bool) {
+			flag := false
+			r.Spawn("setter", func(t *Thread) {
+				t.Step("flag", func() { flag = true })
+			})
+			r.Spawn("checker", func(t *Thread) {
+				t.Step("flag", func() {
+					if !flag {
+						t.Fail("checker ran before setter")
+					}
+				})
+			})
+		},
+	}
+	res := Explore(m, false, Options{})
+	if res.Violation == nil {
+		t.Fatal("explorer missed the order-dependent violation")
+	}
+	if !strings.Contains(res.Violation.Msg, "checker ran before setter") {
+		t.Fatalf("unexpected violation message: %q", res.Violation.Msg)
+	}
+
+	// The recorded schedule must reproduce the violation deterministically.
+	rep, trace := Replay(m, false, res.Violation.Schedule, Options{})
+	if rep.Violation == nil || rep.Violation.Msg != res.Violation.Msg {
+		t.Fatalf("replay did not reproduce the violation: %+v", rep.Violation)
+	}
+	if len(trace) != len(res.Violation.Trace) {
+		t.Fatalf("replay trace %v differs from recorded trace %v", trace, res.Violation.Trace)
+	}
+}
+
+func TestAwaitEnablesOnCondition(t *testing.T) {
+	m := Model{
+		Name: "await",
+		Setup: func(r *Run, bug bool) {
+			ready := false
+			got := false
+			r.Spawn("producer", func(t *Thread) {
+				t.Step("state", func() { ready = true })
+			})
+			r.Spawn("consumer", func(t *Thread) {
+				t.Await("state", func() bool { return ready }, func() { got = true })
+			})
+			r.AtEnd(func() error {
+				if !got {
+					return errors.New("consumer never ran")
+				}
+				return nil
+			})
+		},
+	}
+	res := Explore(m, false, Options{})
+	if res.Violation != nil {
+		t.Fatalf("unexpected violation: %v", res.Violation)
+	}
+	if res.Schedules == 0 {
+		t.Fatal("no schedules explored")
+	}
+}
+
+func TestDeadlockIsReported(t *testing.T) {
+	m := Model{
+		Name: "stuck",
+		Setup: func(r *Run, bug bool) {
+			r.Spawn("waiter", func(t *Thread) {
+				t.Await("never", func() bool { return false }, func() {})
+			})
+		},
+	}
+	res := Explore(m, false, Options{})
+	if res.Violation == nil || !strings.Contains(res.Violation.Msg, "deadlock") {
+		t.Fatalf("want deadlock violation, got %+v", res.Violation)
+	}
+	if !strings.Contains(res.Violation.Msg, "waiter") {
+		t.Fatalf("deadlock report must name the blocked thread: %q", res.Violation.Msg)
+	}
+}
+
+func TestAtEndViolationWins(t *testing.T) {
+	// AtEnd invariants are checked before the generic deadlock report, so a
+	// protocol-level diagnosis shadows the bare "blocked" message.
+	m := Model{
+		Name: "atend",
+		Setup: func(r *Run, bug bool) {
+			r.Spawn("waiter", func(t *Thread) {
+				t.Await("never", func() bool { return false }, func() {})
+			})
+			r.AtEnd(func() error { return errors.New("specific protocol diagnosis") })
+		},
+	}
+	res := Explore(m, false, Options{})
+	if res.Violation == nil || res.Violation.Msg != "specific protocol diagnosis" {
+		t.Fatalf("want AtEnd diagnosis, got %+v", res.Violation)
+	}
+}
+
+func TestMaxStepsTruncatesRunawaySchedules(t *testing.T) {
+	m := Model{
+		Name: "spin",
+		Setup: func(r *Run, bug bool) {
+			r.Spawn("spinner", func(t *Thread) {
+				for {
+					t.Step("x", func() {})
+				}
+			})
+		},
+	}
+	res := Explore(m, false, Options{MaxSteps: 50, MaxSchedules: 4})
+	if !res.Truncated {
+		t.Fatal("runaway model must report truncation")
+	}
+	if res.Violation != nil {
+		t.Fatalf("truncation is not a violation: %v", res.Violation)
+	}
+}
+
+func TestMaxSchedulesBoundsExploration(t *testing.T) {
+	res := Explore(twoThreads("x", "x", 4, nil), false, Options{MaxSchedules: 3})
+	if res.Schedules > 3 {
+		t.Fatalf("explored %d schedules past the bound of 3", res.Schedules)
+	}
+	if !res.Truncated {
+		t.Fatal("hitting MaxSchedules must mark the result truncated")
+	}
+}
+
+func TestSetupFailureIsReported(t *testing.T) {
+	m := Model{
+		Name: "setupfail",
+		Setup: func(r *Run, bug bool) {
+			r.Spawn("early", func(t *Thread) {
+				t.Fail("broken before first yield")
+			})
+		},
+	}
+	res := Explore(m, false, Options{})
+	if res.Violation == nil || !strings.Contains(res.Violation.Msg, "broken before first yield") {
+		t.Fatalf("setup-time failure lost: %+v", res.Violation)
+	}
+}
+
+func TestModelPanicBecomesViolation(t *testing.T) {
+	m := Model{
+		Name: "panicky",
+		Setup: func(r *Run, bug bool) {
+			r.Spawn("oops", func(t *Thread) {
+				t.Step("x", func() { panic("kaboom") })
+			})
+		},
+	}
+	res := Explore(m, false, Options{})
+	if res.Violation == nil || !strings.Contains(res.Violation.Msg, "kaboom") {
+		t.Fatalf("model panic must surface as a violation: %+v", res.Violation)
+	}
+}
+
+func TestParseScheduleRoundTrip(t *testing.T) {
+	in := []int{0, 2, 1, 1, 0}
+	got, err := ParseSchedule(formatSchedule(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(in) {
+		t.Fatalf("round trip: got %v want %v", got, in)
+	}
+	for i := range in {
+		if got[i] != in[i] {
+			t.Fatalf("round trip: got %v want %v", got, in)
+		}
+	}
+	if _, err := ParseSchedule("1,x,2"); err == nil {
+		t.Fatal("malformed schedule must not parse")
+	}
+	if s, err := ParseSchedule("  "); err != nil || s != nil {
+		t.Fatalf("blank schedule: got %v, %v", s, err)
+	}
+}
+
+func TestDependentTagAlgebra(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"x", "x", true},
+		{"a", "b", false},
+		{"*", "anything", true},
+		{"store,clock", "clock", true},
+		{"store,clock", "ring", false},
+		{"req,credit", "resp,credit", true},
+	}
+	for _, c := range cases {
+		if got := dependent(c.a, c.b); got != c.want {
+			t.Errorf("dependent(%q, %q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+	if dependent("a", "b") != dependent("b", "a") {
+		t.Error("dependence must be symmetric")
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+
+	"hydradb/internal/testutil"
 	"time"
 
 	"hydradb/internal/arena"
@@ -153,7 +155,7 @@ func (e *testErr) Error() string { return e.msg }
 func TestSendRecv(t *testing.T) {
 	qa, qb, _, _ := pair(t, Config{})
 	go func() {
-		qa.Send([]byte("ping"))
+		testutil.Must(qa.Send([]byte("ping")))
 	}()
 	m, ok := qb.Recv()
 	if !ok || string(m) != "ping" {
@@ -185,7 +187,7 @@ func TestCloseSemantics(t *testing.T) {
 	if a.QPCount() != 1 || b.QPCount() != 1 {
 		t.Fatalf("qp counts: %d %d", a.QPCount(), b.QPCount())
 	}
-	qa.Send([]byte("last"))
+	testutil.Must(qa.Send([]byte("last")))
 	qa.Close()
 	qa.Close() // double close safe
 	if a.QPCount() != 0 {
@@ -210,7 +212,7 @@ func TestCloseSemantics(t *testing.T) {
 func TestNICAccounting(t *testing.T) {
 	qa, _, _, mrb := pair(t, Config{})
 	before := qa.LocalNIC().Bytes.Load()
-	qa.WriteBytes(mrb, 0, make([]byte, 100))
+	testutil.Must(qa.WriteBytes(mrb, 0, make([]byte, 100)))
 	if got := qa.LocalNIC().Bytes.Load() - before; got != 100 {
 		t.Fatalf("byte accounting: %d", got)
 	}
@@ -224,7 +226,7 @@ func TestNICCeilingThrottles(t *testing.T) {
 	mrb := b.Register(make([]byte, 64), nil)
 	start := time.Now()
 	for i := 0; i < 10; i++ {
-		qa.WriteBytes(mrb, 0, []byte("x"))
+		testutil.Must(qa.WriteBytes(mrb, 0, []byte("x")))
 	}
 	// 10 ops, each charged on both NICs serially by one initiator:
 	// lower-bound the initiator NIC alone: 10*200us = 2ms.
@@ -280,7 +282,7 @@ func BenchmarkWriteIndicated64(b *testing.B) {
 	qa, _, _, mrb := pair(b, Config{})
 	body := make([]byte, 64)
 	for i := 0; i < b.N; i++ {
-		qa.WriteIndicated(mrb, 0, body, 1, 0, uint64(i+1))
+		testutil.Must(qa.WriteIndicated(mrb, 0, body, 1, 0, uint64(i+1)))
 		mrb.Words().Store(0, 0)
 	}
 }
@@ -289,7 +291,7 @@ func BenchmarkOneSidedRead64(b *testing.B) {
 	qa, _, _, mrb := pair(b, Config{})
 	dst := make([]byte, 64)
 	for i := 0; i < b.N; i++ {
-		qa.Read(mrb, 0, dst, 0, 1)
+		testutil.Must2(qa.Read(mrb, 0, dst, 0, 1))
 	}
 }
 
@@ -305,7 +307,7 @@ func BenchmarkSendRecv64(b *testing.B) {
 	}()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		qa.Send(msg)
+		testutil.Must(qa.Send(msg))
 	}
 	b.StopTimer()
 	qa.Close()

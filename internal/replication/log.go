@@ -98,7 +98,8 @@ type Secondary struct {
 	applied        atomic.Uint64
 	failed         bool
 	firstFailed    uint64
-	awaitingResend bool // nacked; record firstFailed not yet re-received
+	awaitingResend bool   // nacked; record firstFailed not yet re-received
+	nackCount      uint64 // discarded-slot count the pending nack reported
 	lastDoorbell   uint64
 	stop           chan struct{}
 	done           chan struct{}
@@ -132,6 +133,19 @@ func NewSecondary(log *Log, applier Applier, qp *rdma.QP, ackMR *rdma.MemoryRegi
 // safe to read from other goroutines (monitoring, promotion).
 func (s *Secondary) AppliedSeq() uint64 { return s.applied.Load() }
 
+// Pending reports whether PollOnce would make progress: an unseen doorbell
+// value, or the next expected record published in the ring. It is
+// side-effect-free — the stepping hook the model checker (and tests driving
+// the drain loop manually) use to know when polling is worthwhile.
+func (s *Secondary) Pending() bool {
+	words := s.log.mr.Words()
+	if db := words.Load(s.log.doorbellIdx()); db != 0 && db != s.lastDoorbell {
+		return true
+	}
+	seq, _, _ := splitReady(words.Load(s.slotOf(s.nextSeq)))
+	return seq == s.nextSeq
+}
+
 func (s *Secondary) slotOf(seq uint64) int { return int((seq - 1) % uint64(s.log.cfg.Slots)) }
 
 // PollOnce processes at most one pending record or doorbell, returning
@@ -147,8 +161,12 @@ func (s *Secondary) PollOnce() bool {
 			s.nack()
 		case s.awaitingResend:
 			// Our nack may still be unread or was superseded in the ack
-			// word: repeat it. The primary de-duplicates.
-			s.sendAckWord(makeNack(s.firstFailed, s.nextSeq-s.firstFailed))
+			// word: repeat it verbatim. The discard count must be the one
+			// recorded when the slots were zeroed — nack() has already reset
+			// nextSeq to firstFailed, so recomputing it here would repeat the
+			// nack with count 0 and the primary would re-send nothing. The
+			// primary de-duplicates identical repeats.
+			s.sendAckWord(makeNack(s.firstFailed, s.nackCount))
 		default:
 			s.sendAckWord(makeAck(s.applied.Load()))
 		}
@@ -217,7 +235,8 @@ func (s *Secondary) nack() {
 		words.Store(s.slotOf(seq), 0)
 	}
 	s.Nacks.Inc()
-	s.sendAckWord(makeNack(s.firstFailed, s.nextSeq-s.firstFailed))
+	s.nackCount = s.nextSeq - s.firstFailed
+	s.sendAckWord(makeNack(s.firstFailed, s.nackCount))
 	s.nextSeq = s.firstFailed
 	s.failed = false
 	s.awaitingResend = true
@@ -468,6 +487,23 @@ func (p *Primary) Flush() error {
 	}
 	p.ringBehind(p.seq)
 	return p.waitAcked(p.seq)
+}
+
+// PollAcksOnce consumes pending acknowledgement words exactly once without
+// blocking — the stepping hook for tests and the model checker, which must
+// interleave primary-side ack handling with secondary-side polling
+// deterministically instead of entering the spin in waitForAckProgress. The
+// live path keeps using Replicate/Flush.
+func (p *Primary) PollAcksOnce() { p.pollAcks() }
+
+// SolicitAcks rings the out-of-band doorbell of every secondary lagging the
+// last assigned sequence, without waiting for the answers (the waiting
+// counterpart is Flush). Stepping hook for tests and the model checker.
+func (p *Primary) SolicitAcks() {
+	if p.seq == 0 {
+		return
+	}
+	p.ringBehind(p.seq)
 }
 
 // pollAcks consumes every secondary's ack word with a CAS-clear (so a

@@ -11,6 +11,7 @@ import (
 	"hydradb/internal/kv"
 	"hydradb/internal/message"
 	"hydradb/internal/rdma"
+	"hydradb/internal/testutil"
 	"hydradb/internal/timing"
 )
 
@@ -191,7 +192,7 @@ func TestLoggingReplicationBasic(t *testing.T) {
 func TestReplicationFanOut(t *testing.T) {
 	env := newReplEnv(t, LogConfig{Slots: 32, SlotSize: 128}, 2)
 	for i := 0; i < 20; i++ {
-		env.primary.Replicate(put(fmt.Sprintf("k%d", i), "v"))
+		testutil.Must(env.primary.Replicate(put(fmt.Sprintf("k%d", i), "v")))
 		env.drain()
 	}
 	for si, app := range env.apps {
@@ -203,8 +204,8 @@ func TestReplicationFanOut(t *testing.T) {
 
 func TestDeleteReplicated(t *testing.T) {
 	env := newReplEnv(t, LogConfig{Slots: 16, SlotSize: 128}, 1)
-	env.primary.Replicate(put("k", "v"))
-	env.primary.Replicate(Record{Op: message.OpDelete, Key: []byte("k")})
+	testutil.Must(env.primary.Replicate(put("k", "v")))
+	testutil.Must(env.primary.Replicate(Record{Op: message.OpDelete, Key: []byte("k")}))
 	env.drain()
 	if _, ok := env.apps[0].get("k"); ok {
 		t.Fatal("delete not applied")
@@ -312,6 +313,66 @@ func TestFailureRollbackResend(t *testing.T) {
 	}
 }
 
+func TestRepeatedNackKeepsDiscardCount(t *testing.T) {
+	// Regression: a doorbell arriving while the secondary awaits a re-send
+	// must repeat the nack with the discard count recorded when the slots
+	// were zeroed. nack() resets nextSeq to firstFailed, so recomputing the
+	// count at repeat time yields 0 — the primary would "re-send" an empty
+	// range, mark the nack handled, and the discarded records would be lost
+	// until some later doorbell cycle.
+	cfg := LogConfig{Slots: 16, SlotSize: 128, AckEvery: 4}
+	env := newReplEnv(t, cfg, 1)
+	sec := env.secs[0]
+	failed := false
+	sec.FailureHook = func(seq uint64, r Record) error {
+		if seq == 5 && !failed {
+			failed = true
+			return fmt.Errorf("injected transient failure")
+		}
+		return nil
+	}
+	// Publish seqs 1..8 before the secondary runs at all: 1..4 apply (4 is
+	// acked mid-batch), 5 fails, 6..8 are discarded, and the ack request on
+	// 8 publishes nack(firstFailed=5, count=4).
+	for i := 0; i < 8; i++ {
+		testutil.Must(env.primary.Replicate(put(fmt.Sprintf("k%d", i), "v")))
+	}
+	for sec.PollOnce() {
+	}
+	w := sec.ackMR.Words().Load(sec.ackIdx)
+	if seq, count, nack := splitAck(w); !nack || seq != 5 || count != 4 {
+		t.Fatalf("first nack = (seq=%d count=%d nack=%v), want (5, 4, true)", seq, count, nack)
+	}
+
+	// The primary consumes (and clears) the nack, but its re-send has not
+	// arrived yet when the next doorbell rings.
+	sec.ackMR.Words().Store(sec.ackIdx, 0)
+	sec.log.mr.Words().Store(sec.log.doorbellIdx(), 0xDEAD)
+	if !sec.PollOnce() {
+		t.Fatal("doorbell not processed")
+	}
+	w = sec.ackMR.Words().Load(sec.ackIdx)
+	if seq, count, nack := splitAck(w); !nack || seq != 5 || count != 4 {
+		t.Fatalf("repeated nack = (seq=%d count=%d nack=%v), want (5, 4, true)", seq, count, nack)
+	}
+
+	// End to end: the primary acts on the repeated nack and recovery
+	// converges with every record applied exactly once, in order. Flush
+	// blocks until fully acked, so the secondary now runs concurrently.
+	go sec.Run()
+	defer sec.Stop()
+	testutil.Must(env.primary.Flush())
+	if env.apps[0].len() != 8 {
+		t.Fatalf("applied %d records, want 8", env.apps[0].len())
+	}
+	for i := 0; i < 8; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if _, ok := env.apps[0].get(k); !ok {
+			t.Fatalf("record %s lost across the rollback", k)
+		}
+	}
+}
+
 func TestTwoFailuresDifferentSeqs(t *testing.T) {
 	cfg := LogConfig{Slots: 16, SlotSize: 128, AckEvery: 4}
 	env := newReplEnv(t, cfg, 1)
@@ -411,11 +472,11 @@ func TestKVApplierIntegration(t *testing.T) {
 	p := NewPrimary(pnic, cfg, 1)
 	qpP, qpS := rdma.Connect(pnic, snic, 4)
 	log := NewLog(snic, cfg)
-	ackIdx, _ := p.AddSecondary(qpP, log)
+	ackIdx := testutil.Must1(p.AddSecondary(qpP, log))
 	sec := NewSecondary(log, applier, qpS, p.AckRegion(), ackIdx)
 
 	for i := 0; i < 100; i++ {
-		p.Replicate(put(fmt.Sprintf("user%04d", i), fmt.Sprintf("val%04d", i)))
+		testutil.Must(p.Replicate(put(fmt.Sprintf("user%04d", i), fmt.Sprintf("val%04d", i))))
 		for sec.PollOnce() {
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -229,13 +230,23 @@ func (t *Table) String() string {
 	return b.String()
 }
 
+// numericPrefix parses the longest numeric prefix of s ("1.5x" -> 1.5,
+// "12 QPs" -> 12). Cells with no leading number parse as 0, so they sort
+// together and fall through to the string comparison in SortRowsBy.
+func numericPrefix(s string) float64 {
+	for end := len(s); end > 0; end-- {
+		if v, err := strconv.ParseFloat(s[:end], 64); err == nil {
+			return v
+		}
+	}
+	return 0
+}
+
 // SortRowsBy sorts rows by the given column, parsing numeric prefixes when
 // possible so "10" sorts after "9".
 func (t *Table) SortRowsBy(col int) {
 	sort.SliceStable(t.Rows, func(i, j int) bool {
-		var a, b float64
-		fmt.Sscanf(t.Rows[i][col], "%g", &a) //hydralint:ignore error-discipline non-numeric cells fall back to the string comparison below
-		fmt.Sscanf(t.Rows[j][col], "%g", &b) //hydralint:ignore error-discipline non-numeric cells fall back to the string comparison below
+		a, b := numericPrefix(t.Rows[i][col]), numericPrefix(t.Rows[j][col])
 		if a != b {
 			return a < b
 		}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"hydradb/internal/coord"
+	"hydradb/internal/testutil"
 	"hydradb/internal/timing"
 )
 
@@ -80,7 +81,7 @@ func TestFailoverOfSWATLeader(t *testing.T) {
 
 	// The new leader still reacts to shard failures.
 	shardSess := srv.NewSession()
-	shardSess.Create("/hydra/live/shard-1", nil, coord.FlagEphemeral)
+	testutil.Must1(shardSess.Create("/hydra/live/shard-1", nil, coord.FlagEphemeral))
 	shardSess.Close()
 	waitFor(t, func() bool {
 		mu.Lock()
@@ -93,16 +94,16 @@ func TestReactorFiresOncePerFailure(t *testing.T) {
 	srv := coord.NewServer(timing.NewManualClock(0), 2e9)
 	var mu sync.Mutex
 	count := 0
-	team, _ := NewTeam(srv, 5, "/hydra/live", func(name string) {
+	team := testutil.Must1(NewTeam(srv, 5, "/hydra/live", func(name string) {
 		mu.Lock()
 		count++
 		mu.Unlock()
 		time.Sleep(10 * time.Millisecond) // widen the dedup race window
-	})
+	}))
 	defer team.Stop()
 
 	s := srv.NewSession()
-	s.Create("/hydra/live/shard-2", nil, coord.FlagEphemeral)
+	testutil.Must1(s.Create("/hydra/live/shard-2", nil, coord.FlagEphemeral))
 	s.Close()
 	waitFor(t, func() bool {
 		mu.Lock()

@@ -1,0 +1,36 @@
+// Package testutil holds small helpers shared by the package tests.
+// hydralint's error-discipline pass covers _test.go files too, and most
+// test setup wants "this cannot fail; abort loudly if it does" — these
+// helpers make that the one-line default instead of a discarded error.
+// They panic rather than taking a testing.TB so a multi-value call can be
+// wrapped directly (`v := testutil.Must1(store.Get(k))`); a panic in a test
+// fails it with a full stack trace.
+package testutil
+
+// Must panics if err is non-nil.
+func Must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+// Must1 returns v after panicking if err is non-nil, so setup calls like
+// `v := Must1(store.Get(k))` stay one line.
+func Must1[T any](v T, err error) T {
+	Must(err)
+	return v
+}
+
+// Must2 is Must1 for two-value results (e.g. watch registration returning a
+// channel and a cancel func).
+func Must2[A, B any](a A, b B, err error) (A, B) {
+	Must(err)
+	return a, b
+}
+
+// Must3 is Must1 for three-value results (e.g. kv.Store.ReadAt's
+// bytes/guardian/lease triple).
+func Must3[A, B, C any](a A, b B, c C, err error) (A, B, C) {
+	Must(err)
+	return a, b, c
+}

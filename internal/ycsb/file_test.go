@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"hydradb/internal/testutil"
 )
 
 func TestSaveLoadRoundTrip(t *testing.T) {
@@ -51,9 +53,9 @@ func TestLoadRejectsGarbage(t *testing.T) {
 }
 
 func TestLoadRejectsTruncatedRequests(t *testing.T) {
-	w, _ := Generate(StandardSpec(100, 100, 100, Uniform, 1))
+	w := testutil.Must1(Generate(StandardSpec(100, 100, 100, Uniform, 1)))
 	var buf bytes.Buffer
-	w.Save(&buf)
+	testutil.Must(w.Save(&buf))
 	b := buf.Bytes()
 	if _, err := Load(bytes.NewReader(b[:len(b)-5])); err == nil {
 		t.Fatal("truncated requests loaded")

@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"sort"
 	"testing"
+
+	"hydradb/internal/testutil"
 )
 
 func TestSpecValidation(t *testing.T) {
@@ -36,7 +38,7 @@ func TestGenerateDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w2, _ := Generate(spec)
+	w2 := testutil.Must1(Generate(spec))
 	for i := range w1.Requests {
 		if w1.Requests[i] != w2.Requests[i] {
 			t.Fatalf("request %d differs across runs", i)
@@ -46,7 +48,7 @@ func TestGenerateDeterministic(t *testing.T) {
 
 func TestMixProportions(t *testing.T) {
 	spec := StandardSpec(10000, 100000, 90, Uniform, 7)
-	w, _ := Generate(spec)
+	w := testutil.Must1(Generate(spec))
 	reads := 0
 	for _, r := range w.Requests {
 		if r.Op == OpRead {
@@ -83,7 +85,7 @@ func TestInsertWorkloadGrowsKeyspace(t *testing.T) {
 
 func TestKeyFormat(t *testing.T) {
 	spec := StandardSpec(100, 10, 100, Uniform, 1)
-	w, _ := Generate(spec)
+	w := testutil.Must1(Generate(spec))
 	k := w.Key(42)
 	if len(k) != 16 || string(k[:4]) != "user" {
 		t.Fatalf("key %q", k)
@@ -138,7 +140,7 @@ func TestZipfianSkew(t *testing.T) {
 
 func TestUniformSpread(t *testing.T) {
 	spec := StandardSpec(1000, 100000, 100, Uniform, 5)
-	w, _ := Generate(spec)
+	w := testutil.Must1(Generate(spec))
 	counts := make([]int, 1000)
 	for _, r := range w.Requests {
 		counts[r.KeyIdx]++
@@ -159,8 +161,8 @@ func TestScrambledZipfianSpreadsHotKeys(t *testing.T) {
 	const n = 10000
 	specZ := StandardSpec(n, 50000, 100, Zipfian, 9)
 	specS := StandardSpec(n, 50000, 100, ScrambledZipfian, 9)
-	wz, _ := Generate(specZ)
-	ws, _ := Generate(specS)
+	wz := testutil.Must1(Generate(specZ))
+	ws := testutil.Must1(Generate(specS))
 	hotZ, hotS := int64(-1), int64(-1)
 	cz, cs := map[int64]int{}, map[int64]int{}
 	for i := range wz.Requests {
