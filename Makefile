@@ -5,7 +5,7 @@
 GO        ?= go
 FUZZTIME  ?= 20s
 
-.PHONY: all build vet test race lint fuzz-smoke debug-test bench-smoke hydramc-smoke ci
+.PHONY: all build vet test race lint fuzz-smoke debug-test bench-smoke hydramc-smoke chaos-smoke cover ci
 
 all: build test
 
@@ -65,4 +65,21 @@ hydramc-smoke:
 	timeout $(MCTIMEOUT) $(GO) run -tags hydradebug ./cmd/hydramc -model mailbox -fine -maxsteps 400 -maxschedules $(MCSCHEDULES)
 	! timeout $(MCTIMEOUT) $(GO) run -tags hydradebug ./cmd/hydramc -model mailbox -fine -bug -maxsteps 400 -maxschedules $(MCSCHEDULES)
 
-ci: build vet lint test race debug-test bench-smoke fuzz-smoke hydramc-smoke
+# Chaos smoke (DESIGN.md §10): every scenario — crash-primary,
+# partition-secondary, leader-kill — under seeded link faults and scripted
+# node failures, each run checked for per-key linearizability and lost
+# acked writes; then the armed seeded-bug self-test, which must exit
+# non-zero or the oracle is blind. Bounded seeds keep the pass in seconds;
+# a failing run prints a one-line schedule for `hydrachaos -replay`.
+CHAOSSEEDS   ?= 3
+CHAOSTIMEOUT ?= 600
+chaos-smoke:
+	timeout $(CHAOSTIMEOUT) $(GO) run ./cmd/hydrachaos -seed 1 -seeds $(CHAOSSEEDS) -clients 3 -ops 100 -keys 16
+	! timeout $(CHAOSTIMEOUT) $(GO) run ./cmd/hydrachaos -scenario crash-primary -bug -clients 2 -ops 60 -keys 8
+
+# Per-package statement coverage, so the HA packages' verification gain is
+# visible at a glance.
+cover:
+	$(GO) test -cover ./... | grep -v "no test files"
+
+ci: build vet lint test race debug-test bench-smoke fuzz-smoke hydramc-smoke chaos-smoke

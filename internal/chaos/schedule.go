@@ -1,0 +1,268 @@
+// Package chaos drives HydraDB clusters through deterministic fault
+// schedules and checks the surviving behavior against the linearizability
+// oracle in internal/history.
+//
+// A Schedule is the complete, replayable description of one chaos run: the
+// workload shape (clients, ops, keys), the probabilistic link-fault rates,
+// and the scripted node-level events (primary crashes, SWAT leader kills,
+// partitions, migrations) pinned to workload progress points. A schedule
+// prints as a single line and parses back losslessly, so every failure the
+// harness finds is reproducible with `hydrachaos -replay '<line>'`.
+//
+// Determinism has one honest caveat: the fault *decision stream* is a pure
+// function of (seed, intercepted-op index), so a replay injects the
+// identical sequence of drops/delays/duplicates — but which logical client
+// operation collides with decision k still depends on goroutine scheduling.
+// In practice failures reproduce within a few seeds; the schedule line also
+// re-runs the exact event script, which is what most failures hinge on.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Event actions.
+const (
+	// ActKill crashes the primary of the Shard-th partition (SWAT promotes).
+	ActKill = "kill"
+	// ActKillLeader crashes the current SWAT leader.
+	ActKillLeader = "leaderkill"
+	// ActMove migrates the Shard-th partition to server machine Arg.
+	ActMove = "move"
+	// ActPartitionSec cuts the first secondary machine of the Shard-th
+	// partition off from the other server machines (replication stalls;
+	// client traffic to that machine is unaffected).
+	ActPartitionSec = "partitionsec"
+	// ActHeal lifts all partitions.
+	ActHeal = "heal"
+)
+
+// Event is one scripted node-level fault, fired when the cluster-wide
+// completed-operation count reaches AtOp.
+type Event struct {
+	AtOp   int64
+	Action string
+	Shard  int // partition index (into ShardIDs) for kill/move/partitionsec
+	Arg    int // target machine for move
+}
+
+// String renders the event token (the inverse of parseEvent).
+func (e Event) String() string {
+	switch e.Action {
+	case ActKill, ActPartitionSec:
+		return fmt.Sprintf("%s:%d@%d", e.Action, e.Shard, e.AtOp)
+	case ActMove:
+		return fmt.Sprintf("%s:%d:%d@%d", e.Action, e.Shard, e.Arg, e.AtOp)
+	default:
+		return fmt.Sprintf("%s@%d", e.Action, e.AtOp)
+	}
+}
+
+// Schedule is a fully replayable chaos run description.
+type Schedule struct {
+	Seed    uint64
+	Name    string // scenario label, informational
+	Clients int    // concurrent client goroutines
+	Ops     int    // operations per client
+	Keys    int    // distinct keys (k000..k{Keys-1})
+
+	// Probabilistic client-link fault rates, per 10 000 intercepted ops.
+	// Server↔server (replication) links never receive probabilistic faults:
+	// a silently lost replication write is not a fault RC hardware exhibits
+	// (persistent loss kills the QP), and the scripted partitions above
+	// cover the honest failure mode.
+	DropRate    int
+	DupRate     int
+	ReorderRate int
+	DelayRate   int
+	DelayNs     int64 // busy-wait per delayed client-link op
+
+	// Scheduled server-link delay (congested replication path).
+	SrvDelayRate int
+	SrvDelayNs   int64
+
+	Events []Event
+}
+
+// String renders the schedule as one replayable line.
+func (s Schedule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "v1 name=%s seed=%d clients=%d ops=%d keys=%d", s.Name, s.Seed, s.Clients, s.Ops, s.Keys)
+	fmt.Fprintf(&b, " drop=%d dup=%d reorder=%d delay=%d:%d srvdelay=%d:%d",
+		s.DropRate, s.DupRate, s.ReorderRate, s.DelayRate, s.DelayNs, s.SrvDelayRate, s.SrvDelayNs)
+	if len(s.Events) > 0 {
+		toks := make([]string, len(s.Events))
+		for i, e := range s.Events {
+			toks[i] = e.String()
+		}
+		fmt.Fprintf(&b, " events=%s", strings.Join(toks, ","))
+	}
+	return b.String()
+}
+
+// Parse decodes a schedule line produced by String.
+func Parse(line string) (Schedule, error) {
+	var s Schedule
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) == 0 || fields[0] != "v1" {
+		return s, fmt.Errorf("chaos: schedule must start with version token v1")
+	}
+	for _, f := range fields[1:] {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			return s, fmt.Errorf("chaos: malformed token %q", f)
+		}
+		var err error
+		switch k {
+		case "name":
+			s.Name = v
+		case "seed":
+			s.Seed, err = strconv.ParseUint(v, 10, 64)
+		case "clients":
+			s.Clients, err = strconv.Atoi(v)
+		case "ops":
+			s.Ops, err = strconv.Atoi(v)
+		case "keys":
+			s.Keys, err = strconv.Atoi(v)
+		case "drop":
+			s.DropRate, err = strconv.Atoi(v)
+		case "dup":
+			s.DupRate, err = strconv.Atoi(v)
+		case "reorder":
+			s.ReorderRate, err = strconv.Atoi(v)
+		case "delay":
+			s.DelayRate, s.DelayNs, err = parseRateNs(v)
+		case "srvdelay":
+			s.SrvDelayRate, s.SrvDelayNs, err = parseRateNs(v)
+		case "events":
+			for _, tok := range strings.Split(v, ",") {
+				ev, perr := parseEvent(tok)
+				if perr != nil {
+					return s, perr
+				}
+				s.Events = append(s.Events, ev)
+			}
+		default:
+			return s, fmt.Errorf("chaos: unknown schedule key %q", k)
+		}
+		if err != nil {
+			return s, fmt.Errorf("chaos: bad value for %s: %v", k, err)
+		}
+	}
+	if err := s.validate(); err != nil {
+		return s, err
+	}
+	sort.SliceStable(s.Events, func(i, j int) bool { return s.Events[i].AtOp < s.Events[j].AtOp })
+	return s, nil
+}
+
+func parseRateNs(v string) (int, int64, error) {
+	rs, ns, ok := strings.Cut(v, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("want rate:ns, got %q", v)
+	}
+	rate, err := strconv.Atoi(rs)
+	if err != nil {
+		return 0, 0, err
+	}
+	d, err := strconv.ParseInt(ns, 10, 64)
+	return rate, d, err
+}
+
+func parseEvent(tok string) (Event, error) {
+	var e Event
+	body, at, ok := strings.Cut(tok, "@")
+	if !ok {
+		return e, fmt.Errorf("chaos: event %q missing @op", tok)
+	}
+	n, err := strconv.ParseInt(at, 10, 64)
+	if err != nil {
+		return e, fmt.Errorf("chaos: event %q: %v", tok, err)
+	}
+	e.AtOp = n
+	parts := strings.Split(body, ":")
+	e.Action = parts[0]
+	argc := map[string]int{ActKill: 1, ActKillLeader: 0, ActMove: 2, ActPartitionSec: 1, ActHeal: 0}
+	want, known := argc[e.Action]
+	if !known {
+		return e, fmt.Errorf("chaos: unknown event action %q", e.Action)
+	}
+	if len(parts)-1 != want {
+		return e, fmt.Errorf("chaos: event %q wants %d args", e.Action, want)
+	}
+	if want >= 1 {
+		if e.Shard, err = strconv.Atoi(parts[1]); err != nil {
+			return e, fmt.Errorf("chaos: event %q: %v", tok, err)
+		}
+	}
+	if want >= 2 {
+		if e.Arg, err = strconv.Atoi(parts[2]); err != nil {
+			return e, fmt.Errorf("chaos: event %q: %v", tok, err)
+		}
+	}
+	return e, nil
+}
+
+func (s *Schedule) validate() error {
+	if s.Clients <= 0 || s.Ops <= 0 || s.Keys <= 0 {
+		return fmt.Errorf("chaos: clients/ops/keys must be positive (got %d/%d/%d)", s.Clients, s.Ops, s.Keys)
+	}
+	for _, r := range []int{s.DropRate, s.DupRate, s.ReorderRate, s.DelayRate, s.SrvDelayRate} {
+		if r < 0 || r > 10000 {
+			return fmt.Errorf("chaos: rate %d out of range [0,10000]", r)
+		}
+	}
+	return nil
+}
+
+// Scenarios lists the named scenarios ForScenario accepts, in the order the
+// smoke suite runs them.
+func Scenarios() []string {
+	return []string{"crash-primary", "partition-secondary", "leader-kill"}
+}
+
+// ForScenario builds the canonical schedule for a named scenario. The same
+// (name, seed) always yields the same schedule.
+func ForScenario(name string, seed uint64) (Schedule, error) {
+	base := Schedule{
+		Seed:     seed,
+		Name:     name,
+		Clients:  4,
+		Ops:      300,
+		Keys:     24,
+		DropRate: 60, DupRate: 25, ReorderRate: 25,
+		DelayRate: 80, DelayNs: 20_000,
+		SrvDelayRate: 40, SrvDelayNs: 10_000,
+	}
+	third := int64(base.Clients*base.Ops) / 3
+	switch name {
+	case "crash-primary":
+		// Crash a primary mid-traffic, then migrate another partition while
+		// the cluster is still settling.
+		base.Events = []Event{
+			{AtOp: third, Action: ActKill, Shard: 0},
+			{AtOp: 2 * third, Action: ActMove, Shard: 1, Arg: 2},
+		}
+	case "partition-secondary":
+		// Cut a secondary's machine off the replication mesh, heal it, and
+		// crash the primary afterwards: promotion must still lose nothing.
+		base.Events = []Event{
+			{AtOp: third / 2, Action: ActPartitionSec, Shard: 0},
+			{AtOp: third, Action: ActHeal},
+			{AtOp: 2 * third, Action: ActKill, Shard: 0},
+		}
+	case "leader-kill":
+		// Kill the SWAT leader, then a primary: the re-elected watcher team
+		// must still drive the promotion.
+		base.Events = []Event{
+			{AtOp: third, Action: ActKillLeader},
+			{AtOp: 2 * third, Action: ActKill, Shard: 2},
+		}
+	default:
+		return Schedule{}, fmt.Errorf("chaos: unknown scenario %q (have %v)", name, Scenarios())
+	}
+	return base, nil
+}

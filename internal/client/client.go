@@ -29,6 +29,10 @@ var (
 	ErrUnrouted = errors.New("hydradb: no shard owns this key")
 	ErrRemote   = errors.New("hydradb: server error")
 	ErrRetries  = errors.New("hydradb: routing retries exhausted")
+	// ErrMaybeApplied reports a write whose request was delivered but whose
+	// response never arrived (AtMostOnceWrites mode): the mutation may or
+	// may not have executed, and the caller owns the ambiguity.
+	ErrMaybeApplied = errors.New("hydradb: write may or may not have been applied")
 )
 
 // PtrEntry is a cached remote pointer plus its lease (§4.2.2).
@@ -121,6 +125,15 @@ type Options struct {
 	// real clock, timing.Wall(); deterministic harnesses may inject a
 	// ManualClock and drive timeouts explicitly.
 	WallClock timing.Clock
+	// AtMostOnceWrites makes a timed-out Put/Delete return ErrMaybeApplied
+	// instead of transparently retrying. The default (false) retries after a
+	// routing refresh, which is at-LEAST-once: the first attempt's request
+	// may have executed with only its response lost, so a retry can apply
+	// the same mutation twice — observable as a resurrected value when
+	// other writes landed in between. Reads always retry (idempotent).
+	// History-checking harnesses set this so every recorded operation
+	// executes at most once and timeouts surface as "maybe applied".
+	AtMostOnceWrites bool
 	// Counters, when non-nil, receives operation accounting (shared across
 	// clients when aggregating a machine).
 	Counters *stats.OpCounters
@@ -212,6 +225,12 @@ func (c *Client) endpointFor(key []byte) (*shard.Endpoint, error) {
 	return ep, nil
 }
 
+// mutates reports whether op changes server state (the ops AtMostOnceWrites
+// refuses to blind-retry).
+func mutates(op message.Op) bool {
+	return op == message.OpPut || op == message.OpDelete
+}
+
 // request performs one synchronous message exchange with the shard owning
 // key, handling epoch-stale rerouting.
 func (c *Client) request(req *message.Request) (message.Response, error) {
@@ -248,6 +267,15 @@ func (c *Client) requestAppend(req *message.Request, dst []byte) (message.Respon
 		var resp message.Response
 		if ep.SendRecv {
 			if err := ep.QP.Send(c.reqBuf[:n]); err != nil {
+				// The request never left: nothing executed, so even a
+				// mutation retries safely. A dead shard's revoked mailbox
+				// surfaces here, turning a 150 ms-class timeout into an
+				// immediate reroute.
+				if c.opts.Refresh != nil {
+					c.ctr.RoutingRetries.Inc()
+					c.refreshTable()
+					continue
+				}
 				return message.Response{}, dst, err
 			}
 			deadline := c.wall.Now() + int64(c.opts.RequestTimeout)
@@ -270,11 +298,20 @@ func (c *Client) requestAppend(req *message.Request, dst []byte) (message.Respon
 					return message.Response{}, dst, ErrRemote
 				}
 				if c.wall.Now() > deadline {
+					if c.opts.AtMostOnceWrites && mutates(req.Op) {
+						// Surface the ambiguity, but still refresh: the
+						// timeout is routing's failure signal, and the next
+						// operation must not re-target a dead shard.
+						if c.opts.Refresh != nil {
+							c.refreshTable()
+						}
+						return message.Response{}, dst, ErrMaybeApplied
+					}
 					if c.opts.Refresh == nil {
 						return message.Response{}, dst, ErrRemote
 					}
 					c.ctr.RoutingRetries.Inc()
-					c.table = c.opts.Refresh()
+					c.refreshTable()
 					body = nil
 					break
 				}
@@ -290,6 +327,13 @@ func (c *Client) requestAppend(req *message.Request, dst []byte) (message.Respon
 			}
 		} else {
 			if err := ep.ReqBox.WriteVia(ep.QP, c.reqBuf[:n], req.Seq); err != nil {
+				// Same as the two-sided send: the request write failed whole,
+				// so refresh and retry without at-most-once concern.
+				if c.opts.Refresh != nil {
+					c.ctr.RoutingRetries.Inc()
+					c.refreshTable()
+					continue
+				}
 				return message.Response{}, dst, err
 			}
 			// Sustained polling for the response (§4.2.1): the client CPU
@@ -318,11 +362,19 @@ func (c *Client) requestAppend(req *message.Request, dst []byte) (message.Respon
 				runtime.Gosched()
 			}
 			if timedOut {
+				if c.opts.AtMostOnceWrites && mutates(req.Op) {
+					// Same refresh-on-timeout as above: keep the ambiguity,
+					// drop the stale routing.
+					if c.opts.Refresh != nil {
+						c.refreshTable()
+					}
+					return message.Response{}, dst, ErrMaybeApplied
+				}
 				if c.opts.Refresh == nil {
 					return message.Response{}, dst, ErrRemote
 				}
 				c.ctr.RoutingRetries.Inc()
-				c.table = c.opts.Refresh()
+				c.refreshTable()
 				continue
 			}
 			resp, err = message.DecodeResponse(body)
@@ -350,12 +402,29 @@ func (c *Client) requestAppend(req *message.Request, dst []byte) (message.Respon
 			if c.opts.Refresh == nil {
 				return resp, dst, ErrRetries
 			}
-			c.table = c.opts.Refresh()
+			c.refreshTable()
 			continue
 		}
 		return resp, dst, nil
 	}
 	return message.Response{}, dst, ErrRetries
+}
+
+// refreshTable installs a fresh routing table. When the refresh reveals a
+// new routing epoch, every cached pointer was minted under superseded
+// placement (§5.1: promotion and migration bump the epoch), so the pointer
+// cache is dropped wholesale — offsets into a reshuffled arena must not be
+// revalidated item by item.
+func (c *Client) refreshTable() {
+	old := c.table
+	c.table = c.opts.Refresh()
+	if c.table.Epoch == old.Epoch {
+		return
+	}
+	c.cache.Range(func(key string, e *PtrEntry) bool {
+		c.cache.CompareAndDelete(key, e)
+		return true
+	})
 }
 
 // cachePointer installs/overwrites the pointer for key.

@@ -169,9 +169,25 @@ func (c *Client) Pipeline(ops []Op) []Result {
 	c.pump(ops)
 
 	// Anything still queued or in flight after the pump retries
-	// synchronously, in submission order.
+	// synchronously, in submission order. Exception: an issued mutation
+	// under AtMostOnceWrites must NOT be re-executed — its request reached
+	// the shard's ring and only the response is missing, so a retry could
+	// apply it a second time. It fails with the honest ambiguity instead.
+	refreshed := false
 	for i := range ops {
 		if st := p.state[i]; st == stateQueued || st == stateIssued {
+			if st == stateIssued && c.opts.AtMostOnceWrites &&
+				(ops[i].Code == message.OpPut || ops[i].Code == message.OpDelete) {
+				p.results[i].Err = ErrMaybeApplied
+				p.state[i] = stateDone
+				// A stranded response means the target may be dead: refresh
+				// routing once so later operations do not re-target it.
+				if !refreshed && c.opts.Refresh != nil {
+					c.refreshTable()
+					refreshed = true
+				}
+				continue
+			}
 			p.state[i] = stateRetry
 		}
 	}

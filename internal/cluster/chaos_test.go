@@ -7,7 +7,6 @@ import (
 	"time"
 
 	"hydradb/internal/client"
-	"hydradb/internal/kv"
 	"hydradb/internal/testutil"
 	"hydradb/internal/timing"
 )
@@ -94,7 +93,7 @@ func TestMoveShardWithReplication(t *testing.T) {
 	if err := cl.KillShard(victim); err != nil {
 		t.Fatal(err)
 	}
-	waitUntil(t, 10*time.Second, func() bool { return cl.Promotions.Load() >= 1 }, "no promotion")
+	testutil.WaitUntil(t, 10*time.Second, func() bool { return cl.Promotions.Load() >= 1 }, "no promotion")
 	for i := 0; i < 150; i++ {
 		k := []byte(fmt.Sprintf("user%08d", i))
 		if v, err := c.Get(k); err != nil || string(v) != "v" {
@@ -143,7 +142,7 @@ func TestDoubleFailover(t *testing.T) {
 	if err := cl.KillShard(victim); err != nil {
 		t.Fatal(err)
 	}
-	waitUntil(t, 10*time.Second, func() bool { return cl.Promotions.Load() >= 1 }, "first promotion")
+	testutil.WaitUntil(t, 10*time.Second, func() bool { return cl.Promotions.Load() >= 1 }, "first promotion")
 
 	// Write more through the promoted primary, then kill it as well.
 	for i := 0; i < n; i++ {
@@ -154,7 +153,7 @@ func TestDoubleFailover(t *testing.T) {
 	if err := cl.KillShard(victim); err != nil {
 		t.Fatal(err)
 	}
-	waitUntil(t, 10*time.Second, func() bool { return cl.Promotions.Load() >= 2 }, "second promotion")
+	testutil.WaitUntil(t, 10*time.Second, func() bool { return cl.Promotions.Load() >= 2 }, "second promotion")
 
 	for i := 0; i < n; i++ {
 		k := []byte(fmt.Sprintf("user%08d", i))
@@ -209,7 +208,7 @@ func TestTrafficDuringFailover(t *testing.T) {
 	if err := cl.KillShard(cl.ShardIDs()[1]); err != nil {
 		t.Fatal(err)
 	}
-	waitUntil(t, 10*time.Second, func() bool { return cl.Promotions.Load() >= 1 }, "no promotion")
+	testutil.WaitUntil(t, 10*time.Second, func() bool { return cl.Promotions.Load() >= 1 }, "no promotion")
 	time.Sleep(30 * time.Millisecond) // traffic through the new topology
 	close(stopWriters)
 	wg.Wait()
@@ -228,7 +227,7 @@ func TestTrafficDuringFailover(t *testing.T) {
 		t.Fatal("no writes were acknowledged during the chaos window")
 	}
 	for k, want := range acked {
-		v, err := c0Get(reader, k)
+		v, err := testutil.GetString(reader, k)
 		if err != nil {
 			t.Fatalf("get %s: %v", k, err)
 		}
@@ -244,13 +243,6 @@ func TestTrafficDuringFailover(t *testing.T) {
 		}
 	}
 }
-
-func c0Get(c *client.Client, k string) (string, error) {
-	v, err := c.Get([]byte(k))
-	return string(v), err
-}
-
-var _ = kv.Config{} // keep the import used if the helper set changes
 
 // TestSendRecvFailover covers the two-sided transport's failover path: the
 // client's receive deadline expires against the dead shard, routing
@@ -279,11 +271,46 @@ func TestSendRecvFailover(t *testing.T) {
 	if err := cl.KillShard(victim); err != nil {
 		t.Fatal(err)
 	}
-	waitUntil(t, 10*time.Second, func() bool { return cl.Promotions.Load() >= 1 }, "no promotion")
+	testutil.WaitUntil(t, 10*time.Second, func() bool { return cl.Promotions.Load() >= 1 }, "no promotion")
 	for i := 0; i < n; i++ {
 		k := []byte(fmt.Sprintf("user%08d", i))
 		if v, err := c.Get(k); err != nil || string(v) != "v" {
 			t.Fatalf("get %s after send/recv failover: %q %v", k, v, err)
+		}
+	}
+}
+
+// TestMoveShardRoutingStability pins the §5.1 property that a migration is
+// invisible to routing: shard IDs anchor the consistent-hash ring, so
+// moving a shard to another machine must not remap a single key — only the
+// epoch changes, forcing clients onto fresh connections.
+func TestMoveShardRoutingStability(t *testing.T) {
+	clk := timing.NewManualClock(1e9)
+	cfg := testConfig(clk)
+	cfg.ServerMachines = 3
+	cfg.ShardsPerMachine = 2
+	cl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+
+	before := map[string]uint32{}
+	for i := 0; i < 512; i++ {
+		k := fmt.Sprintf("route%05d", i)
+		before[k] = cl.Ring().OwnerOfKey([]byte(k))
+	}
+	epoch := cl.Epoch()
+	moved := cl.ShardIDs()[0]
+	if err := cl.MoveShard(moved, 2); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Epoch() == epoch {
+		t.Fatal("migration did not bump the routing epoch")
+	}
+	for k, owner := range before {
+		if got := cl.Ring().OwnerOfKey([]byte(k)); got != owner {
+			t.Fatalf("key %s moved shard %d -> %d during migration", k, owner, got)
 		}
 	}
 }

@@ -115,10 +115,11 @@ type Cluster struct {
 	serverNICs []*rdma.NIC
 	clientNICs []*rdma.NIC
 
-	mu     sync.Mutex
-	groups map[uint32]*group
-	ring   *consistent.Ring
-	epoch  atomic.Uint32
+	mu        sync.Mutex
+	groups    map[uint32]*group
+	ring      *consistent.Ring
+	epoch     atomic.Uint32
+	promoting map[uint32]bool // partitions with a promotion in flight
 
 	Promotions atomic.Int32
 }
@@ -133,7 +134,8 @@ func New(cfg Config) (*Cluster, error) {
 		clock:  c.Store.Clock,
 		fabric: rdma.NewFabric(c.Fabric),
 		coord:  coord.NewServer(c.Store.Clock, c.SessionTimeoutNs),
-		groups: map[uint32]*group{},
+		groups:    map[uint32]*group{},
+		promoting: map[uint32]bool{},
 	}
 	for i := 0; i < c.ServerMachines; i++ {
 		cl.serverNICs = append(cl.serverNICs, cl.fabric.NewNIC(fmt.Sprintf("server-%d", i)))
@@ -281,7 +283,29 @@ func (cl *Cluster) Promote(id uint32) error {
 		cl.mu.Unlock()
 		return fmt.Errorf("cluster: group %d has no secondaries", id)
 	}
+	// Promotion replaces a dead primary. With the primary alive this is
+	// always a stale or duplicate reaction (the SWAT and a chaos controller
+	// may both observe the same failure; the loser of the race arrives after
+	// the winner already installed a live primary) — refuse it cleanly.
+	if !g.shard.Killed() {
+		cl.mu.Unlock()
+		return fmt.Errorf("cluster: primary of group %d is alive; refusing promotion", id)
+	}
+	// Guard against concurrent promotions of the same partition: the SWAT
+	// reactor and a chaos controller may both observe the failure. The
+	// second caller gets a clean error instead of a double promotion racing
+	// over the same secondaries.
+	if cl.promoting[id] {
+		cl.mu.Unlock()
+		return fmt.Errorf("cluster: promotion of group %d already in progress", id)
+	}
+	cl.promoting[id] = true
 	cl.mu.Unlock()
+	defer func() {
+		cl.mu.Lock()
+		delete(cl.promoting, id)
+		cl.mu.Unlock()
+	}()
 
 	// Stop drain loops, then drain the rings completely: every record the
 	// dead primary acknowledged is in secondary memory (the RDMA write
@@ -578,6 +602,24 @@ func (cl *Cluster) NewClient(m int, opts client.Options) *client.Client {
 
 // SWAT exposes the watcher team (leader-failure tests).
 func (cl *Cluster) SWAT() *swat.Team { return cl.team }
+
+// Fabric exposes the simulated verbs fabric (fault injection, chaos).
+func (cl *Cluster) Fabric() *rdma.Fabric { return cl.fabric }
+
+// GroupMachines reports the server machines hosting partition id: the
+// primary's machine first, then each secondary's. Chaos introspection.
+func (cl *Cluster) GroupMachines(id uint32) (primary int, secondaries []int, err error) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	g, ok := cl.groups[id]
+	if !ok {
+		return 0, nil, fmt.Errorf("cluster: unknown group %d", id)
+	}
+	for _, sec := range g.secondaries {
+		secondaries = append(secondaries, sec.machine)
+	}
+	return g.machine, secondaries, nil
+}
 
 // Coord exposes the coordination service.
 func (cl *Cluster) Coord() *coord.Server { return cl.coord }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"strings"
 	"fmt"
 	"testing"
 
@@ -82,7 +83,7 @@ func TestReplicationToSecondaries(t *testing.T) {
 	}
 	// Wait for the drain loops via the atomic applied counters, then stop
 	// the cluster and inspect the (now quiescent) replica stores.
-	waitUntil(t, 5*time.Second, func() bool {
+	testutil.WaitUntil(t, 5*time.Second, func() bool {
 		return cl.SecondaryAppliedTotal() == int64(n)
 	}, "replicas never converged")
 	ids := cl.ShardIDs()
@@ -130,7 +131,7 @@ func TestFailoverPreservesAckedWrites(t *testing.T) {
 		t.Fatal(err)
 	}
 	// SWAT must notice and promote.
-	waitUntil(t, 10*time.Second, func() bool {
+	testutil.WaitUntil(t, 10*time.Second, func() bool {
 		return cl.Promotions.Load() >= 1 && cl.Epoch() > epochBefore
 	}, "promotion never happened")
 
@@ -176,7 +177,7 @@ func TestFailoverWithTwoReplicasPicksMostCaughtUp(t *testing.T) {
 	if err := cl.KillShard(victim); err != nil {
 		t.Fatal(err)
 	}
-	waitUntil(t, 10*time.Second, func() bool { return cl.Promotions.Load() >= 1 }, "no promotion")
+	testutil.WaitUntil(t, 10*time.Second, func() bool { return cl.Promotions.Load() >= 1 }, "no promotion")
 
 	// The promoted shard must hold every key the dead one owned.
 	for i := 0; i < n; i++ {
@@ -260,14 +261,55 @@ func TestPipelinedCluster(t *testing.T) {
 	}
 }
 
-func waitUntil(t *testing.T, d time.Duration, cond func() bool, msg string) {
-	t.Helper()
-	deadline := time.Now().Add(d)
-	for time.Now().Before(deadline) {
-		if cond() {
-			return
-		}
-		time.Sleep(time.Millisecond)
+// TestDoublePromotionRace fires two Promote calls for the same group
+// concurrently — the SWAT reactor and a chaos controller can both observe
+// one failure. Exactly the guarded outcomes are allowed: a success, and
+// either a clean "already in progress" error or a second full promotion
+// (when the calls did not overlap). Never a panic, and the data stays
+// reachable afterwards.
+func TestDoublePromotionRace(t *testing.T) {
+	clk := timing.NewManualClock(1e9)
+	cfg := testConfig(clk)
+	cfg.ServerMachines = 3
+	cfg.ShardsPerMachine = 1
+	cfg.Replicas = 2
+	cl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
 	}
-	t.Fatal(msg)
+	defer cl.Stop()
+
+	c := cl.NewClient(0, client.Options{})
+	for i := 0; i < 50; i++ {
+		if err := c.Put([]byte(fmt.Sprintf("dp%04d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	victim := cl.ShardIDs()[0]
+	if err := cl.KillShard(victim); err != nil {
+		t.Fatal(err)
+	}
+	testutil.WaitUntil(t, 10*time.Second, func() bool { return cl.Promotions.Load() >= 1 }, "SWAT promotion")
+
+	// Race two explicit promotions of the already-promoted group.
+	errs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() { errs <- cl.Promote(victim) }()
+	}
+	var failures []error
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			failures = append(failures, err)
+		}
+	}
+	for _, err := range failures {
+		if !strings.Contains(err.Error(), "already in progress") &&
+			!strings.Contains(err.Error(), "refusing promotion") {
+			t.Fatalf("unexpected promotion error: %v", err)
+		}
+	}
+	testutil.WaitUntil(t, 10*time.Second, func() bool {
+		v, err := c.Get([]byte("dp0000"))
+		return err == nil && string(v) == "v"
+	}, "data unreachable after racing promotions")
 }

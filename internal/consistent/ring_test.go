@@ -134,3 +134,68 @@ func BenchmarkOwner(b *testing.B) {
 		r.Owner(hs[i&1023])
 	}
 }
+
+// TestRingEdgeCases walks the reconfiguration corners the SWAT hits in
+// production: shrinking to one shard, losing the final shard, and re-adding
+// a shard after removal. Routing must be a pure function of the surviving
+// shard-ID set — history (the order shards joined, or that one left and came
+// back) must not leak into placement.
+func TestRingEdgeCases(t *testing.T) {
+	cases := []struct {
+		name   string
+		before []uint32
+		after  []uint32
+		// wantMoved bounds MovedArcs(before, after): exact 0 for identical
+		// sets, and (lo, hi) for genuine reconfigurations.
+		lo, hi float64
+	}{
+		{name: "re-add after removal restores routing exactly",
+			before: []uint32{1, 2, 3}, after: []uint32{1, 2, 3}, lo: 0, hi: 0},
+		{name: "join order does not matter",
+			before: []uint32{1, 2, 3}, after: []uint32{3, 1, 2}, lo: 0, hi: 0},
+		{name: "shrink to a single shard moves only the lost arcs",
+			before: []uint32{1, 2}, after: []uint32{1}, lo: 0.2, hi: 0.8},
+		{name: "remove one of three moves about a third",
+			before: []uint32{1, 2, 3}, after: []uint32{1, 3}, lo: 0.15, hi: 0.55},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rb := testutil.Must1(Build(tc.before, 64))
+			ra := testutil.Must1(Build(tc.after, 64))
+			moved := rb.MovedArcs(ra, 8192)
+			if moved < tc.lo || moved > tc.hi {
+				t.Fatalf("MovedArcs = %.3f, want in [%.2f, %.2f]", moved, tc.lo, tc.hi)
+			}
+			// Keys moved off a removed shard must land on a survivor, and
+			// keys that stay must not change owners.
+			surviving := map[uint32]bool{}
+			for _, s := range tc.after {
+				surviving[s] = true
+			}
+			for i := 0; i < 2048; i++ {
+				h := hashx.Hash64(uint64(i) * 0x633d5f1b8c6e92a7)
+				ob, oa := rb.Owner(h), ra.Owner(h)
+				if !surviving[oa] {
+					t.Fatalf("hash %#x routed to dead shard %d", h, oa)
+				}
+				if surviving[ob] && oa != ob {
+					t.Fatalf("hash %#x moved %d -> %d although %d survived", h, ob, oa, ob)
+				}
+			}
+		})
+	}
+}
+
+// TestRemoveLastShard pins the degenerate teardown path: a ring cannot go
+// below one shard, and the one-shard ring owns the entire hash space.
+func TestRemoveLastShard(t *testing.T) {
+	if _, err := Build([]uint32{}, 64); err == nil {
+		t.Fatal("zero-shard ring built")
+	}
+	r := testutil.Must1(Build([]uint32{7}, 1))
+	for _, h := range []uint64{0, 1, 1 << 63, ^uint64(0)} {
+		if got := r.Owner(h); got != 7 {
+			t.Fatalf("Owner(%#x) = %d on single-shard ring", h, got)
+		}
+	}
+}

@@ -1,0 +1,254 @@
+// Per-key linearizability checking for register histories, using the
+// Wing & Gong / Lowe algorithm (the same search porcupine implements):
+// repeatedly try to linearize some minimal operation (one whose invocation
+// precedes every un-linearized operation's response), apply it to the model
+// state, and backtrack on dead ends. A memoization cache keyed by
+// (linearized-set, model state) collapses the exponential blowup for
+// register histories.
+package history
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// regState is the model: a single register that is either absent or holds a
+// value.
+type regState struct {
+	present bool
+	value   string
+}
+
+// step applies op to the state, reporting whether the op's recorded output
+// is consistent. Maybe-applied ops (Err on a mutation) are unconstrained:
+// they always step (the search may also defer them to the very end of the
+// order, where their effect is unobserved — "never happened").
+func step(s regState, op *Op) (regState, bool) {
+	switch op.Kind {
+	case KindGet:
+		if op.Found != s.present {
+			return s, false
+		}
+		if op.Found && op.Output != s.value {
+			return s, false
+		}
+		return s, true
+	case KindPut:
+		return regState{present: true, value: op.Input}, true
+	case KindDelete:
+		if !op.Err && op.Found != s.present {
+			return s, false
+		}
+		return regState{}, true
+	default:
+		return s, false
+	}
+}
+
+// Violation describes a non-linearizable per-key history.
+type Violation struct {
+	Key string
+	Ops []Op // minimal failing prefix, sorted by invocation
+}
+
+// String renders the offending history, one op per line in invocation
+// order, for pasting into a bug report.
+func (v *Violation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "key %q: history not linearizable (%d ops)\n", v.Key, len(v.Ops))
+	base := int64(0)
+	if len(v.Ops) > 0 {
+		base = v.Ops[0].Invoke
+	}
+	for _, op := range v.Ops {
+		ret := "inf"
+		if op.Return != Infinity {
+			ret = fmt.Sprintf("%.3fms", float64(op.Return-base)/1e6)
+		}
+		out := ""
+		switch {
+		case op.Err:
+			out = " = ERR(maybe applied)"
+		case op.Kind == KindGet && op.Found:
+			out = fmt.Sprintf(" = %q", op.Output)
+		case op.Kind == KindGet:
+			out = " = notfound"
+		case op.Kind == KindDelete && !op.Found:
+			out = " = notfound"
+		}
+		fmt.Fprintf(&b, "  c%d %s(%q%s)%s  [%.3fms, %s]\n",
+			op.Client, op.Kind, op.Key, putArg(op), out,
+			float64(op.Invoke-base)/1e6, ret)
+	}
+	return b.String()
+}
+
+func putArg(op Op) string {
+	if op.Kind == KindPut {
+		return fmt.Sprintf(", %q", op.Input)
+	}
+	return ""
+}
+
+// Check verifies every per-key history in ops linearizes under register
+// semantics. It returns nil when all keys pass, or a Violation carrying the
+// first offending key's minimal failing prefix.
+func Check(ops []Op) *Violation {
+	byKey := map[string][]Op{}
+	var keys []string
+	for _, op := range ops {
+		if op.Kind == KindGet && op.Err {
+			continue // observed nothing
+		}
+		if _, seen := byKey[op.Key]; !seen {
+			keys = append(keys, op.Key)
+		}
+		byKey[op.Key] = append(byKey[op.Key], op)
+	}
+	sort.Strings(keys) // deterministic reporting order
+	for _, k := range keys {
+		kops := byKey[k]
+		sort.SliceStable(kops, func(i, j int) bool { return kops[i].Invoke < kops[j].Invoke })
+		if checkKey(kops) {
+			continue
+		}
+		// Minimal failing prefix in invocation order: the full history
+		// fails, so some prefix does; report the shortest.
+		for n := 1; n <= len(kops); n++ {
+			if !checkKey(kops[:n]) {
+				return &Violation{Key: k, Ops: append([]Op(nil), kops[:n]...)}
+			}
+		}
+		return &Violation{Key: k, Ops: kops} // unreachable, but stay safe
+	}
+	return nil
+}
+
+// entry is one endpoint (invocation or response) of an op in the
+// doubly-linked event list the search walks.
+type entry struct {
+	op         int // index into the per-key ops slice
+	invoke     bool
+	time       int64
+	prev, next *entry
+	match      *entry // invocation's response entry
+}
+
+// checkKey runs the WGL search over one key's ops (sorted by invocation).
+func checkKey(ops []Op) bool {
+	n := len(ops)
+	if n == 0 {
+		return true
+	}
+	if n > 64*1024 {
+		// The bitset cache key below is O(n/8) bytes per insertion; keep the
+		// checker's memory bounded on absurd histories.
+		panic("history: per-key history too large to check")
+	}
+	events := make([]entry, 0, 2*n)
+	for i := range ops {
+		events = append(events,
+			entry{op: i, invoke: true, time: ops[i].Invoke},
+			entry{op: i, invoke: false, time: ops[i].Return})
+	}
+	// Invocations sort before responses on equal timestamps: ties are
+	// treated as concurrent, the permissive (sound) direction.
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].time != events[j].time {
+			return events[i].time < events[j].time
+		}
+		return events[i].invoke && !events[j].invoke
+	})
+	head := &entry{}
+	prev := head
+	for i := range events {
+		e := &events[i]
+		prev.next = e
+		e.prev = prev
+		prev = e
+	}
+	for i := range events {
+		if events[i].invoke {
+			for j := range events {
+				if !events[j].invoke && events[j].op == events[i].op {
+					events[i].match = &events[j]
+				}
+			}
+		}
+	}
+
+	lift := func(e *entry) { // unlink invocation + its response
+		e.prev.next = e.next
+		e.next.prev = e.prev
+		m := e.match
+		m.prev.next = m.next
+		if m.next != nil {
+			m.next.prev = m.prev
+		}
+	}
+	unlift := func(e *entry) {
+		m := e.match
+		m.prev.next = m
+		if m.next != nil {
+			m.next.prev = m
+		}
+		e.prev.next = e
+		e.next.prev = e
+	}
+
+	linearized := make([]uint64, (n+63)/64)
+	cacheKey := func(s regState) string {
+		var b strings.Builder
+		for _, w := range linearized {
+			fmt.Fprintf(&b, "%016x", w)
+		}
+		if s.present {
+			b.WriteByte(1)
+		} else {
+			b.WriteByte(0)
+		}
+		b.WriteString(s.value)
+		return b.String()
+	}
+	cache := map[string]struct{}{}
+
+	type frame struct {
+		e     *entry
+		state regState
+	}
+	var stack []frame
+	state := regState{}
+	e := head.next
+	for head.next != nil {
+		if e.invoke {
+			newState, ok := step(state, &ops[e.op])
+			if ok {
+				linearized[e.op/64] |= 1 << (e.op % 64)
+				key := cacheKey(newState)
+				if _, seen := cache[key]; !seen {
+					cache[key] = struct{}{}
+					stack = append(stack, frame{e: e, state: state})
+					state = newState
+					lift(e)
+					e = head.next
+					continue
+				}
+				linearized[e.op/64] &^= 1 << (e.op % 64)
+			}
+			e = e.next
+		} else {
+			// A response with nothing linearizable before it: backtrack.
+			if len(stack) == 0 {
+				return false
+			}
+			f := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			state = f.state
+			linearized[f.e.op/64] &^= 1 << (f.e.op % 64)
+			unlift(f.e)
+			e = f.e.next
+		}
+	}
+	return true
+}

@@ -1,0 +1,226 @@
+package history
+
+import (
+	"strings"
+	"testing"
+)
+
+// op builders for hand-authored histories.
+func get(c int, key, val string, found bool, inv, ret int64) Op {
+	return Op{Client: c, Kind: KindGet, Key: key, Output: val, Found: found, Invoke: inv, Return: ret}
+}
+
+func putOp(c int, key, val string, inv, ret int64) Op {
+	return Op{Client: c, Kind: KindPut, Key: key, Input: val, Invoke: inv, Return: ret}
+}
+
+func delOp(c int, key string, found bool, inv, ret int64) Op {
+	return Op{Client: c, Kind: KindDelete, Key: key, Found: found, Invoke: inv, Return: ret}
+}
+
+func TestSequentialHistoryLinearizable(t *testing.T) {
+	h := []Op{
+		putOp(0, "k", "v1", 0, 10),
+		get(0, "k", "v1", true, 20, 30),
+		putOp(0, "k", "v2", 40, 50),
+		get(0, "k", "v2", true, 60, 70),
+		delOp(0, "k", true, 80, 90),
+		get(0, "k", "", false, 100, 110),
+	}
+	if v := Check(h); v != nil {
+		t.Fatalf("sequential history rejected:\n%s", v)
+	}
+}
+
+func TestEmptyAndAbsentKey(t *testing.T) {
+	if v := Check(nil); v != nil {
+		t.Fatal("empty history rejected")
+	}
+	h := []Op{
+		get(0, "k", "", false, 0, 10),
+		delOp(0, "k", false, 20, 30),
+	}
+	if v := Check(h); v != nil {
+		t.Fatalf("reads of an absent key rejected:\n%s", v)
+	}
+}
+
+func TestConcurrentPutsAllowEitherOrder(t *testing.T) {
+	// Two overlapping puts; a later read may see either value.
+	for _, winner := range []string{"a", "b"} {
+		h := []Op{
+			putOp(0, "k", "a", 0, 100),
+			putOp(1, "k", "b", 10, 90),
+			get(2, "k", winner, true, 200, 210),
+		}
+		if v := Check(h); v != nil {
+			t.Fatalf("winner %q rejected:\n%s", winner, v)
+		}
+	}
+}
+
+func TestConcurrentReadDuringPut(t *testing.T) {
+	// A read concurrent with a put may see old or new.
+	for _, val := range []struct {
+		v     string
+		found bool
+	}{{"", false}, {"x", true}} {
+		h := []Op{
+			putOp(0, "k", "x", 0, 100),
+			get(1, "k", val.v, val.found, 50, 60),
+		}
+		if v := Check(h); v != nil {
+			t.Fatalf("concurrent read %+v rejected:\n%s", val, v)
+		}
+	}
+}
+
+// TestStaleReadFlagged is the seeded-bug self-test demanded by the chaos
+// harness design: a read that returns an already-overwritten value after
+// the overwrite completed MUST be flagged.
+func TestStaleReadFlagged(t *testing.T) {
+	h := []Op{
+		putOp(0, "k", "v1", 0, 10),
+		putOp(0, "k", "v2", 20, 30),
+		get(1, "k", "v1", true, 40, 50), // stale: v2 fully precedes this read
+	}
+	v := Check(h)
+	if v == nil {
+		t.Fatal("stale read not flagged")
+	}
+	if v.Key != "k" {
+		t.Fatalf("violation key = %q", v.Key)
+	}
+	if len(v.Ops) != 3 {
+		t.Fatalf("minimal prefix has %d ops, want 3:\n%s", len(v.Ops), v)
+	}
+	s := v.String()
+	for _, want := range []string{`key "k"`, "v1", "v2", "not linearizable"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("violation output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestLostWriteFlagged(t *testing.T) {
+	// An acked put whose value then vanishes (read observes absence).
+	h := []Op{
+		putOp(0, "k", "v", 0, 10),
+		get(0, "k", "", false, 20, 30),
+	}
+	v := Check(h)
+	if v == nil {
+		t.Fatal("lost acked write not flagged")
+	}
+	if len(v.Ops) != 2 {
+		t.Fatalf("minimal prefix has %d ops, want 2:\n%s", len(v.Ops), v)
+	}
+}
+
+func TestPhantomReadFlagged(t *testing.T) {
+	// A read of a value nobody ever wrote.
+	h := []Op{
+		putOp(0, "k", "v", 0, 10),
+		get(0, "k", "ghost", true, 20, 30),
+	}
+	if Check(h) == nil {
+		t.Fatal("phantom read not flagged")
+	}
+}
+
+func TestMaybeAppliedPutExplainsRead(t *testing.T) {
+	// A timed-out put (maybe applied) justifies a later read of its value...
+	h := []Op{
+		putOp(0, "k", "v1", 0, 10),
+		{Client: 1, Kind: KindPut, Key: "k", Input: "v2", Err: true, Invoke: 20, Return: Infinity},
+		get(2, "k", "v2", true, 100, 110),
+	}
+	if v := Check(h); v != nil {
+		t.Fatalf("maybe-applied put rejected as explanation:\n%s", v)
+	}
+	// ...and equally a read that never sees it (it may never have applied).
+	h[2] = get(2, "k", "v1", true, 100, 110)
+	if v := Check(h); v != nil {
+		t.Fatalf("maybe-applied put forced to apply:\n%s", v)
+	}
+}
+
+func TestMaybeAppliedCannotTimeTravel(t *testing.T) {
+	// A maybe-applied put can linearize only after its invocation: a read
+	// completing before the put was issued cannot see its value.
+	h := []Op{
+		get(0, "k", "v", true, 0, 10),
+		{Client: 1, Kind: KindPut, Key: "k", Input: "v", Err: true, Invoke: 20, Return: Infinity},
+	}
+	if Check(h) == nil {
+		t.Fatal("maybe-applied put linearized before its invocation")
+	}
+}
+
+func TestFailedGetDiscarded(t *testing.T) {
+	// An errored read observed nothing and must not constrain the order.
+	h := []Op{
+		putOp(0, "k", "v", 0, 10),
+		{Client: 1, Kind: KindGet, Key: "k", Output: "garbage", Found: true, Err: true, Invoke: 20, Return: 30},
+		get(0, "k", "v", true, 40, 50),
+	}
+	if v := Check(h); v != nil {
+		t.Fatalf("failed get constrained the history:\n%s", v)
+	}
+}
+
+func TestDeleteObservesPresence(t *testing.T) {
+	// Delete's OK/NotFound response carries information the checker uses.
+	h := []Op{
+		putOp(0, "k", "v", 0, 10),
+		delOp(0, "k", false, 20, 30), // NotFound right after a completed put
+	}
+	if Check(h) == nil {
+		t.Fatal("delete-notfound after completed put not flagged")
+	}
+	h[1] = delOp(0, "k", true, 20, 30)
+	if v := Check(h); v != nil {
+		t.Fatalf("delete-found after put rejected:\n%s", v)
+	}
+}
+
+func TestPerKeyIsolation(t *testing.T) {
+	// A violation on one key names that key even when other keys are clean.
+	h := []Op{
+		putOp(0, "clean", "v", 0, 10),
+		get(0, "clean", "v", true, 20, 30),
+		putOp(0, "dirty", "v1", 0, 10),
+		get(1, "dirty", "zzz", true, 20, 30),
+	}
+	v := Check(h)
+	if v == nil || v.Key != "dirty" {
+		t.Fatalf("violation = %+v, want key dirty", v)
+	}
+}
+
+func TestManyConcurrentClientsLinearizable(t *testing.T) {
+	// A dense valid history: writers write distinct values sequentially,
+	// readers always read the latest completed value. Exercises the cache.
+	var h []Op
+	vals := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	for i, val := range vals {
+		base := int64(i * 100)
+		h = append(h, putOp(0, "k", val, base, base+10))
+		// Three concurrent readers per round, all overlapping the put.
+		for c := 1; c <= 3; c++ {
+			prev := ""
+			found := false
+			if i > 0 {
+				prev, found = vals[i-1], true
+			}
+			if c%2 == 0 {
+				h = append(h, get(c, "k", val, true, base+5, base+50))
+			} else {
+				h = append(h, get(c, "k", prev, found, base+1, base+9))
+			}
+		}
+	}
+	if v := Check(h); v != nil {
+		t.Fatalf("valid dense history rejected:\n%s", v)
+	}
+}

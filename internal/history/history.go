@@ -1,0 +1,204 @@
+// Package history records concurrent client operations and checks the
+// per-key histories for linearizability against a register model.
+//
+// The recorder timestamps every operation's invocation and response with the
+// wall clock; the checker (check.go) then decides, per key, whether some
+// total order of the operations is consistent with both the timestamps and
+// register semantics. The chaos harness (internal/chaos) uses this as its
+// correctness oracle: faults may slow clients down or force retries, but the
+// observable history must still linearize.
+//
+// Failed operations need care:
+//
+//   - A Get that returns an error (timeout, injected fault) observed
+//     nothing, so it is discarded at check time.
+//   - A Put or Delete that returns an error is *maybe applied* — the request
+//     may have executed on the shard before the response was lost. Such ops
+//     are kept with Return = +inf and an unconstrained output, so the
+//     checker is free to linearize them anywhere after their invocation
+//     (including "effectively never", at the very end of the history).
+//
+// Batched operations (MultiGet/MultiPut) are recorded as one op per key, all
+// sharing the batch's invocation window. The shared window is a superset of
+// each sub-operation's true window, which only makes the checker more
+// permissive — a sound direction for a bug-finding oracle.
+package history
+
+import (
+	"sync"
+
+	"hydradb/internal/client"
+	"hydradb/internal/timing"
+)
+
+// Kind is the operation type of a recorded Op.
+type Kind uint8
+
+// Operation kinds.
+const (
+	KindGet Kind = iota
+	KindPut
+	KindDelete
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindGet:
+		return "get"
+	case KindPut:
+		return "put"
+	case KindDelete:
+		return "del"
+	default:
+		return "op?"
+	}
+}
+
+// Infinity is the Return timestamp of an operation whose response never
+// arrived (or arrived as an error for a mutating op): the op is concurrent
+// with everything after its invocation.
+const Infinity = int64(1<<63 - 1)
+
+// Op is one recorded client operation.
+type Op struct {
+	Client int    // recording client's id
+	Kind   Kind   //
+	Key    string //
+	Input  string // value written (puts)
+	Output string // value read (gets that found the key)
+	Found  bool   // get: key present; delete: key existed (OK vs NotFound)
+	Err    bool   // op failed (maybe-applied for put/delete)
+	Invoke int64  // invocation timestamp, ns
+	Return int64  // response timestamp, ns; Infinity when Err on a mutation
+}
+
+// Recorder accumulates ops from any number of goroutines.
+type Recorder struct {
+	mu  sync.Mutex
+	ops []Op
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Add appends one completed op.
+func (r *Recorder) Add(op Op) {
+	r.mu.Lock()
+	r.ops = append(r.ops, op)
+	r.mu.Unlock()
+}
+
+// Ops snapshots the recorded history.
+func (r *Recorder) Ops() []Op {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Op, len(r.ops))
+	copy(out, r.ops)
+	return out
+}
+
+// Len reports the number of recorded ops.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.ops)
+}
+
+// RecordingClient wraps a client.Client, timestamping every operation into a
+// shared Recorder. Like the wrapped client it is NOT safe for concurrent
+// use; create one per goroutine, all sharing one Recorder.
+type RecordingClient struct {
+	C  *client.Client
+	R  *Recorder
+	ID int
+}
+
+// now reads the wall clock (fault delays are real busy-waits, so the
+// recorded windows must be real time too).
+func now() int64 { return timing.Wall().Now() }
+
+// Get performs and records a read.
+func (rc *RecordingClient) Get(key []byte) ([]byte, error) {
+	op := Op{Client: rc.ID, Kind: KindGet, Key: string(key), Invoke: now()}
+	v, err := rc.C.Get(key)
+	op.Return = now()
+	switch err {
+	case nil:
+		op.Found = true
+		op.Output = string(v)
+	case client.ErrNotFound:
+		// A successful response observing absence.
+	default:
+		op.Err = true // observed nothing; discarded by the checker
+	}
+	rc.R.Add(op)
+	return v, err
+}
+
+// Put performs and records a write.
+func (rc *RecordingClient) Put(key, val []byte) error {
+	op := Op{Client: rc.ID, Kind: KindPut, Key: string(key), Input: string(val), Invoke: now()}
+	err := rc.C.Put(key, val)
+	op.Return = now()
+	if err != nil {
+		op.Err = true
+		op.Return = Infinity // maybe applied
+	}
+	rc.R.Add(op)
+	return err
+}
+
+// Delete performs and records a delete.
+func (rc *RecordingClient) Delete(key []byte) error {
+	op := Op{Client: rc.ID, Kind: KindDelete, Key: string(key), Invoke: now()}
+	err := rc.C.Delete(key)
+	op.Return = now()
+	switch err {
+	case nil:
+		op.Found = true
+	case client.ErrNotFound:
+		// Applied; the key was already absent.
+	default:
+		op.Err = true
+		op.Return = Infinity // maybe applied
+	}
+	rc.R.Add(op)
+	return err
+}
+
+// MultiGet performs and records a batched read: one Get op per key, all
+// sharing the batch window.
+func (rc *RecordingClient) MultiGet(keys [][]byte) ([][]byte, error) {
+	invoke := now()
+	vals, err := rc.C.MultiGet(keys)
+	ret := now()
+	for i, k := range keys {
+		op := Op{Client: rc.ID, Kind: KindGet, Key: string(k), Invoke: invoke, Return: ret}
+		if err != nil {
+			op.Err = true
+		} else if vals[i] != nil {
+			op.Found = true
+			op.Output = string(vals[i])
+		}
+		rc.R.Add(op)
+	}
+	return vals, err
+}
+
+// MultiPut performs and records a batched write: one Put op per pair, all
+// sharing the batch window.
+func (rc *RecordingClient) MultiPut(pairs []client.KV) error {
+	invoke := now()
+	err := rc.C.MultiPut(pairs)
+	ret := now()
+	for _, p := range pairs {
+		op := Op{Client: rc.ID, Kind: KindPut, Key: string(p.Key), Input: string(p.Val), Invoke: invoke, Return: ret}
+		if err != nil {
+			op.Err = true
+			op.Return = Infinity
+		}
+		rc.R.Add(op)
+	}
+	return err
+}

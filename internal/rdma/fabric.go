@@ -44,6 +44,7 @@ var (
 	ErrClosed       = errors.New("rdma: queue pair closed")
 	ErrNotConnected = errors.New("rdma: memory region not reachable through this queue pair")
 	ErrOutOfBounds  = errors.New("rdma: access outside registered region")
+	ErrRevoked      = errors.New("rdma: memory registration revoked")
 )
 
 // Config tunes the fabric. The zero value is a valid infinitely fast fabric.
@@ -72,6 +73,8 @@ type Fabric struct {
 	clock timing.Clock
 	mu    sync.Mutex
 	nics  []*NIC
+
+	faultState // chaos hook (see faults.go); zero value = no injection
 }
 
 // NewFabric creates a fabric.
@@ -166,10 +169,21 @@ func (f *Fabric) spinFor(ns int64) {
 // MemoryRegion is memory registered with a NIC: a byte area plus the aligned
 // word area carrying indicators, guardians and leases (see package arena).
 type MemoryRegion struct {
-	nic   *NIC
-	data  []byte
-	words *arena.WordArea
+	nic     *NIC
+	data    []byte
+	words   *arena.WordArea
+	revoked atomic.Bool
 }
+
+// Revoke withdraws the registration: every subsequent one-sided access
+// through any queue pair fails with ErrRevoked. This is what a remote peer
+// observes when the owning process dies — the mapping is gone and the HCA
+// answers with a protection fault, not with frozen bytes. Revoking a region
+// does not affect later registrations of the same underlying memory.
+func (mr *MemoryRegion) Revoke() { mr.revoked.Store(true) }
+
+// Revoked reports whether the registration was withdrawn.
+func (mr *MemoryRegion) Revoked() bool { return mr.revoked.Load() }
 
 // Register registers data and words with the NIC. Either may be nil when a
 // region only needs one area.
@@ -193,6 +207,7 @@ type QP struct {
 	recvCh        chan []byte // from peer
 	closed        atomic.Bool
 	peerClosed    *atomic.Bool
+	reorder       reorderBuf // chaos: held-back send (see faults.go)
 }
 
 // Connect wires two NICs together and returns the two QP ends.
@@ -239,7 +254,32 @@ func (qp *QP) checkTarget(mr *MemoryRegion) error {
 	if mr.nic != qp.remote {
 		return ErrNotConnected
 	}
+	if mr.revoked.Load() {
+		return ErrRevoked
+	}
 	return nil
+}
+
+// fault consults the fabric's fault hook for a one-sided verb, applying any
+// delay. drop=true means the op must silently do nothing (reads map drop to
+// ErrInjected — see faults.go).
+//
+// hydralint:hotpath
+func (qp *QP) fault(verb Verb, nbytes int) (drop bool, err error) {
+	out := qp.local.fabric.faultFor(verb, qp.local, qp.remote, nbytes)
+	if out.DelayNs > 0 {
+		qp.local.fabric.spinFor(out.DelayNs)
+	}
+	if out.Err != nil {
+		return false, out.Err
+	}
+	if out.Drop {
+		if verb == VerbRead {
+			return false, ErrInjected
+		}
+		return true, nil
+	}
+	return false, nil
 }
 
 // WriteBytes performs a one-sided RDMA Write of src into the remote region
@@ -250,6 +290,11 @@ func (qp *QP) WriteBytes(mr *MemoryRegion, off int, src []byte) error {
 	}
 	if off < 0 || off+len(src) > len(mr.data) {
 		return ErrOutOfBounds
+	}
+	if drop, err := qp.fault(VerbWrite, len(src)); err != nil {
+		return err
+	} else if drop {
+		return nil
 	}
 	qp.local.admit(len(src))
 	qp.remote.admit(len(src))
@@ -265,6 +310,11 @@ func (qp *QP) WriteWord(mr *MemoryRegion, wordIdx int, val uint64) error {
 	}
 	if mr.words == nil || wordIdx < 0 || wordIdx >= mr.words.Len() {
 		return ErrOutOfBounds
+	}
+	if drop, err := qp.fault(VerbWrite, 8); err != nil {
+		return err
+	} else if drop {
+		return nil
 	}
 	qp.local.admit(8)
 	qp.remote.admit(8)
@@ -289,6 +339,11 @@ func (qp *QP) WriteIndicated(mr *MemoryRegion, off int, body []byte, tailIdx, he
 	}
 	if mr.words == nil || tailIdx < 0 || tailIdx >= mr.words.Len() || headIdx < 0 || headIdx >= mr.words.Len() {
 		return ErrOutOfBounds
+	}
+	if drop, err := qp.fault(VerbWrite, len(body)+16); err != nil {
+		return err
+	} else if drop {
+		return nil
 	}
 	qp.local.admit(len(body) + 16)
 	qp.remote.admit(len(body) + 16)
@@ -336,6 +391,9 @@ func (qp *QP) ReadInto(mr *MemoryRegion, off int, dst []byte, words []uint64, wo
 			return 0, ErrOutOfBounds
 		}
 	}
+	if _, err := qp.fault(VerbRead, len(dst)); err != nil {
+		return 0, err
+	}
 	qp.local.admit(len(dst))
 	qp.remote.admit(len(dst))
 	qp.local.fabric.spinFor(qp.local.fabric.cfg.ReadNs)
@@ -355,17 +413,48 @@ func (qp *QP) Send(msg []byte) error {
 	if qp.Closed() {
 		return ErrClosed
 	}
+	out := qp.local.fabric.faultFor(VerbSend, qp.local, qp.remote, len(msg))
+	if out.DelayNs > 0 {
+		qp.local.fabric.spinFor(out.DelayNs)
+	}
+	if out.Err != nil {
+		return out.Err
+	}
+	if out.Drop {
+		return nil
+	}
 	qp.local.admit(len(msg))
 	qp.remote.admit(len(msg))
 	qp.local.fabric.spinFor(qp.local.fabric.cfg.SendNs)
 	buf := make([]byte, len(msg))
 	copy(buf, msg)
+	if out.Reorder && qp.reorder.hold(buf) {
+		return nil // delivered after the next send on this end
+	}
+	if err := qp.deliver(buf); err != nil {
+		return err
+	}
+	if out.Duplicate {
+		dup := make([]byte, len(buf))
+		copy(dup, buf)
+		if err := qp.deliver(dup); err != nil {
+			return err
+		}
+	}
+	if held := qp.reorder.take(); held != nil {
+		return qp.deliver(held)
+	}
+	return nil
+}
+
+// deliver enqueues one already-copied message toward the peer, blocking
+// cooperatively when the receiver queue is full and bailing out on close.
+func (qp *QP) deliver(buf []byte) error {
 	select {
 	case qp.sendCh <- buf:
 		return nil
 	default:
 	}
-	// Receiver queue full: block cooperatively, bailing out if closed.
 	for {
 		if qp.Closed() {
 			return ErrClosed

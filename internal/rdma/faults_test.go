@@ -1,0 +1,155 @@
+package rdma
+
+import (
+	"bytes"
+	"testing"
+
+	"hydradb/internal/arena"
+	"hydradb/internal/testutil"
+)
+
+// hookFor installs a hook that applies out to every op of the given verb.
+func hookFor(f *Fabric, verb Verb, out FaultOutcome) {
+	f.SetFaultHook(func(v Verb, local, remote *NIC, nbytes int) FaultOutcome {
+		if v == verb {
+			return out
+		}
+		return FaultOutcome{}
+	})
+}
+
+func testPair(t *testing.T) (*Fabric, *QP, *QP, *MemoryRegion) {
+	t.Helper()
+	f := NewFabric(Config{})
+	a := f.NewNIC("a")
+	b := f.NewNIC("b")
+	qa, qb := Connect(a, b, 8)
+	mr := b.Register(make([]byte, 64), arena.NewWordArea(4, 1))
+	return f, qa, qb, mr
+}
+
+func TestFaultErrFailsOp(t *testing.T) {
+	f, qa, _, mr := testPair(t)
+	hookFor(f, VerbWrite, FaultOutcome{Err: ErrInjected})
+	if err := qa.WriteBytes(mr, 0, []byte("x")); err != ErrInjected {
+		t.Fatalf("WriteBytes err = %v, want ErrInjected", err)
+	}
+	if err := qa.WriteWord(mr, 0, 7); err != ErrInjected {
+		t.Fatalf("WriteWord err = %v, want ErrInjected", err)
+	}
+	if err := qa.WriteIndicated(mr, 0, []byte("x"), 0, 1, 9); err != ErrInjected {
+		t.Fatalf("WriteIndicated err = %v, want ErrInjected", err)
+	}
+	// The payload must not have landed.
+	if mr.Data()[0] != 0 || mr.Words().Load(0) != 0 {
+		t.Fatal("failed op had side effects")
+	}
+	f.SetFaultHook(nil)
+	testutil.Must(qa.WriteBytes(mr, 0, []byte("x")))
+	if mr.Data()[0] != 'x' {
+		t.Fatal("op after hook removal did not land")
+	}
+}
+
+func TestFaultDropSilentlySkipsWrite(t *testing.T) {
+	f, qa, _, mr := testPair(t)
+	hookFor(f, VerbWrite, FaultOutcome{Drop: true})
+	if err := qa.WriteIndicated(mr, 0, []byte("pay"), 0, 1, 42); err != nil {
+		t.Fatalf("dropped write errored: %v", err)
+	}
+	if mr.Words().Load(0) != 0 || mr.Words().Load(1) != 0 {
+		t.Fatal("dropped write published its indicator")
+	}
+	if !bytes.Equal(mr.Data()[:3], []byte{0, 0, 0}) {
+		t.Fatal("dropped write landed payload")
+	}
+}
+
+func TestFaultDropOnReadSurfacesAsError(t *testing.T) {
+	f, qa, _, mr := testPair(t)
+	copy(mr.Data(), "hello")
+	hookFor(f, VerbRead, FaultOutcome{Drop: true})
+	dst := make([]byte, 5)
+	if _, _, err := qa.Read(mr, 0, dst); err != ErrInjected {
+		t.Fatalf("dropped read err = %v, want ErrInjected", err)
+	}
+	f.SetFaultHook(nil)
+	n := testutil.Must1(qa.ReadInto(mr, 0, dst, nil))
+	if n != 5 || string(dst) != "hello" {
+		t.Fatalf("read after heal: %q", dst)
+	}
+}
+
+func TestFaultDropLosesSend(t *testing.T) {
+	f, qa, qb, _ := testPair(t)
+	hookFor(f, VerbSend, FaultOutcome{Drop: true})
+	testutil.Must(qa.Send([]byte("lost")))
+	if m, ok := qb.TryRecv(); ok {
+		t.Fatalf("dropped send delivered %q", m)
+	}
+	f.SetFaultHook(nil)
+	testutil.Must(qa.Send([]byte("kept")))
+	m, ok := qb.TryRecv()
+	if !ok || string(m) != "kept" {
+		t.Fatalf("send after heal: %q %v", m, ok)
+	}
+}
+
+func TestFaultDuplicateSend(t *testing.T) {
+	f, qa, qb, _ := testPair(t)
+	hookFor(f, VerbSend, FaultOutcome{Duplicate: true})
+	testutil.Must(qa.Send([]byte("twice")))
+	for i := 0; i < 2; i++ {
+		m, ok := qb.TryRecv()
+		if !ok || string(m) != "twice" {
+			t.Fatalf("copy %d: %q %v", i, m, ok)
+		}
+	}
+	if _, ok := qb.TryRecv(); ok {
+		t.Fatal("more than two copies delivered")
+	}
+}
+
+func TestFaultReorderSwapsSends(t *testing.T) {
+	f, qa, qb, _ := testPair(t)
+	first := true
+	f.SetFaultHook(func(v Verb, local, remote *NIC, nbytes int) FaultOutcome {
+		if v == VerbSend && first {
+			first = false
+			return FaultOutcome{Reorder: true}
+		}
+		return FaultOutcome{}
+	})
+	testutil.Must(qa.Send([]byte("one")))
+	if _, ok := qb.TryRecv(); ok {
+		t.Fatal("held message delivered early")
+	}
+	testutil.Must(qa.Send([]byte("two")))
+	m1, _ := qb.TryRecv()
+	m2, _ := qb.TryRecv()
+	if string(m1) != "two" || string(m2) != "one" {
+		t.Fatalf("order = %q, %q; want two, one", m1, m2)
+	}
+}
+
+func TestFaultDelayExecutesOp(t *testing.T) {
+	f, qa, _, mr := testPair(t)
+	hookFor(f, VerbWrite, FaultOutcome{DelayNs: 100_000}) // 100µs spin
+	testutil.Must(qa.WriteBytes(mr, 0, []byte("d")))
+	if mr.Data()[0] != 'd' {
+		t.Fatal("delayed write did not land")
+	}
+}
+
+func TestFaultHookSeesNICs(t *testing.T) {
+	f, qa, _, mr := testPair(t)
+	var gotLocal, gotRemote string
+	f.SetFaultHook(func(v Verb, local, remote *NIC, nbytes int) FaultOutcome {
+		gotLocal, gotRemote = local.Name(), remote.Name()
+		return FaultOutcome{}
+	})
+	testutil.Must(qa.WriteBytes(mr, 0, []byte("x")))
+	if gotLocal != "a" || gotRemote != "b" {
+		t.Fatalf("hook saw %s->%s, want a->b", gotLocal, gotRemote)
+	}
+}

@@ -287,6 +287,14 @@ type secondaryState struct {
 	lastAcked uint64
 	doorbell  uint64 // last doorbell value rung
 
+	// written is the highest sequence number written to this secondary with
+	// no gap below it. A failed writeRecord (transient partition, chaos
+	// injection) leaves written behind seq; Replicate, the ack-wait loops and
+	// Flush re-send the missing range before anything newer, because the
+	// secondary consumes strictly in sequence order and a permanent hole
+	// would stall it forever.
+	written uint64
+
 	// rollback de-duplication: a doorbell may re-elicit an already handled
 	// nack while the re-sent prefix is in flight.
 	lastNackFrom  uint64
@@ -406,7 +414,7 @@ func (p *Primary) Replicate(r Record) error {
 	p.pending[slot] = buf
 
 	for _, s := range p.secs {
-		if err := p.writeRecord(s, seq, buf, ackReq); err != nil {
+		if err := p.writeThrough(s, seq, ackReq); err != nil {
 			return err
 		}
 	}
@@ -423,6 +431,40 @@ func (p *Primary) writeRecord(s *secondaryState, seq uint64, body []byte, ackReq
 	ready := makeReady(seq, len(body), ackReq)
 	// One posted RDMA Write: body then ready word (in-order delivery).
 	return s.qp.WriteIndicated(s.log.Region(), slot*p.cfg.SlotSize, body, slot, slot, ready)
+}
+
+// writeThrough writes every record in (s.written, seq] to one secondary in
+// sequence order, filling any gap a previously failed write left before the
+// newest record. Gap records are re-encoded from the pending ring, which
+// still holds them: written never lags the window (written >= lastAcked >=
+// seq-Slots), so their slots have not been reused. On failure written stays
+// put and a later Replicate/Flush/ack-wait retries.
+func (p *Primary) writeThrough(s *secondaryState, seq uint64, ackReq bool) error {
+	for w := s.written + 1; w <= seq; w++ {
+		slot := int((w - 1) % uint64(p.cfg.Slots))
+		body := p.pending[slot]
+		req := ackReq
+		if w != seq {
+			req = p.cfg.Strict || w%uint64(p.cfg.AckEvery) == 0
+		}
+		if err := p.writeRecord(s, w, body, req); err != nil {
+			return err
+		}
+		s.written = w
+	}
+	return nil
+}
+
+// catchUp retries the gap fill of every secondary lagging the last assigned
+// sequence, ignoring errors (the link may still be down); used by the
+// ack-wait loops so a healed partition drains without a new Replicate.
+func (p *Primary) catchUp() {
+	for _, s := range p.secs {
+		if s.written < p.seq {
+			//hydralint:ignore error-discipline recovery catch-up; the link may still be down and a later pass retries
+			_ = p.writeThrough(s, p.seq, p.cfg.Strict)
+		}
+	}
 }
 
 // ring writes the out-of-band doorbell soliciting an ack from s.
@@ -443,6 +485,7 @@ func (p *Primary) waitForAckProgress() {
 			return
 		}
 		if i%4096 == 4095 {
+			p.catchUp()
 			p.ringBehind(before + 1)
 		}
 		runtime.Gosched()
@@ -463,8 +506,11 @@ func (p *Primary) waitAcked(seq uint64) error {
 		if done {
 			return nil
 		}
-		if !p.cfg.Strict && i%4096 == 4095 {
-			p.ringBehind(seq)
+		if i%4096 == 4095 {
+			p.catchUp()
+			if !p.cfg.Strict {
+				p.ringBehind(seq)
+			}
 		}
 		runtime.Gosched()
 	}
@@ -485,6 +531,7 @@ func (p *Primary) Flush() error {
 	if len(p.secs) == 0 || p.seq == 0 {
 		return nil
 	}
+	p.catchUp()
 	p.ringBehind(p.seq)
 	return p.waitAcked(p.seq)
 }

@@ -110,6 +110,7 @@ func (a *mapApplier) len() int {
 }
 
 type replEnv struct {
+	fabric  *rdma.Fabric
 	primary *Primary
 	secs    []*Secondary
 	apps    []*mapApplier
@@ -120,7 +121,7 @@ func newReplEnv(t testing.TB, cfg LogConfig, nSecs int) *replEnv {
 	f := rdma.NewFabric(rdma.Config{})
 	pnic := f.NewNIC("primary")
 	p := NewPrimary(pnic, cfg, nSecs)
-	env := &replEnv{primary: p}
+	env := &replEnv{fabric: f, primary: p}
 	for i := 0; i < nSecs; i++ {
 		snic := f.NewNIC(fmt.Sprintf("sec%d", i))
 		qpP, qpS := rdma.Connect(pnic, snic, 8)
@@ -522,6 +523,102 @@ func BenchmarkStrictReplicate(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if err := env.primary.Replicate(rec); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// secLinkDown installs a fault hook failing every one-sided write whose
+// target is the named secondary NIC (a one-way partition of the record
+// stream; acks from the secondary still flow).
+func secLinkDown(f *rdma.Fabric, secNIC string) {
+	f.SetFaultHook(func(v rdma.Verb, local, remote *rdma.NIC, nbytes int) rdma.FaultOutcome {
+		if v == rdma.VerbWrite && remote.Name() == secNIC {
+			return rdma.FaultOutcome{Err: rdma.ErrInjected}
+		}
+		return rdma.FaultOutcome{}
+	})
+}
+
+// TestWriteFailureGapCatchesUp covers the transient-partition hole: a failed
+// writeRecord must not leave a permanent gap in the secondary's ring. The
+// next successful Replicate has to re-send the missing range first, because
+// the secondary consumes strictly in sequence order.
+func TestWriteFailureGapCatchesUp(t *testing.T) {
+	env := newReplEnv(t, LogConfig{Slots: 16, SlotSize: 128, AckEvery: 4}, 1)
+	for i := 0; i < 3; i++ {
+		testutil.Must(env.primary.Replicate(put(fmt.Sprintf("pre%d", i), "v")))
+	}
+	env.drain()
+
+	secLinkDown(env.fabric, "sec0")
+	if err := env.primary.Replicate(put("gap", "lost?")); err == nil {
+		t.Fatal("replicate through a dead link succeeded")
+	}
+	if env.primary.Seq() != 4 {
+		t.Fatalf("seq = %d, want 4 (assigned before the failure)", env.primary.Seq())
+	}
+	env.drain()
+	if got := env.secs[0].AppliedSeq(); got != 3 {
+		t.Fatalf("applied = %d, want 3 while partitioned", got)
+	}
+
+	env.fabric.SetFaultHook(nil) // heal
+	testutil.Must(env.primary.Replicate(put("after", "v")))
+	env.drain()
+	if got := env.secs[0].AppliedSeq(); got != 5 {
+		t.Fatalf("applied = %d, want 5 after heal (gap re-sent)", got)
+	}
+	if v, ok := env.apps[0].get("gap"); !ok || v != "lost?" {
+		t.Fatalf("gap record not recovered: %q %v", v, ok)
+	}
+	// Strictly in-order apply across the gap fill.
+	for i, s := range env.apps[0].seqs {
+		if s != uint64(i+1) {
+			t.Fatalf("out-of-order apply at %d: %d", i, s)
+		}
+	}
+}
+
+// TestFlushCatchesUpGap: Flush alone (promotion / graceful-stop path) must
+// repair a write gap, not just wait for acks that can never come.
+func TestFlushCatchesUpGap(t *testing.T) {
+	env := newReplEnv(t, LogConfig{Slots: 16, SlotSize: 128, AckEvery: 4}, 1)
+	testutil.Must(env.primary.Replicate(put("a", "1")))
+	env.drain()
+
+	secLinkDown(env.fabric, "sec0")
+	if err := env.primary.Replicate(put("b", "2")); err == nil {
+		t.Fatal("replicate through a dead link succeeded")
+	}
+	env.fabric.SetFaultHook(nil) // heal before flush
+
+	go env.secs[0].Run()
+	defer env.secs[0].Stop()
+	testutil.Must(env.primary.Flush())
+	if got := env.secs[0].AppliedSeq(); got != 2 {
+		t.Fatalf("applied = %d, want 2 after Flush", got)
+	}
+}
+
+// TestGapCatchUpWithTwoSecondaries: only the partitioned secondary lags; the
+// healthy one keeps receiving, and the catch-up repairs exactly the hole.
+func TestGapCatchUpWithTwoSecondaries(t *testing.T) {
+	env := newReplEnv(t, LogConfig{Slots: 32, SlotSize: 128, AckEvery: 4}, 2)
+	testutil.Must(env.primary.Replicate(put("k0", "v")))
+	env.drain()
+
+	secLinkDown(env.fabric, "sec1")
+	// The write to sec0 lands before sec1's fails: the record is visible on
+	// sec0 even though Replicate reports the failure.
+	if err := env.primary.Replicate(put("k1", "v")); err == nil {
+		t.Fatal("replicate through a dead link succeeded")
+	}
+	env.fabric.SetFaultHook(nil)
+	testutil.Must(env.primary.Replicate(put("k2", "v")))
+	env.drain()
+	for si, sec := range env.secs {
+		if got := sec.AppliedSeq(); got != 3 {
+			t.Fatalf("secondary %d applied %d, want 3", si, got)
 		}
 	}
 }

@@ -99,6 +99,7 @@ type conn struct {
 	reqBox   *message.Mailbox
 	respBox  *message.Mailbox
 	qp       *rdma.QP // shard's end: response writes
+	reqMR    *rdma.MemoryRegion
 	sendRecv bool
 }
 
@@ -194,7 +195,7 @@ func (s *Shard) Connect(clientNIC *rdma.NIC, sendRecv bool) *Endpoint {
 	reqBox := message.NewRing(reqMR, 0, s.cfg.MailboxBytes, depth, 0)
 	respBox := message.NewRing(respMR, 0, s.cfg.MailboxBytes, depth, 0)
 
-	c := &conn{reqBox: reqBox, respBox: respBox, qp: qpShard, sendRecv: sendRecv}
+	c := &conn{reqBox: reqBox, respBox: respBox, qp: qpShard, reqMR: reqMR, sendRecv: sendRecv}
 	s.mu.Lock() //hydralint:ignore shard-exclusivity control-plane connect path, never taken by the shard loop
 	s.connSet = append(s.connSet, c)
 	snapshot := append([]*conn(nil), s.connSet...)
@@ -344,11 +345,9 @@ func (s *Shard) apply(req message.Request, resp *message.Response) {
 		resp.Ptr.ShardID = s.id
 
 	case message.OpPut, message.OpMigrate:
-		res, existed, err := s.store.Put(req.Key, req.Val)
-		if err != nil {
-			resp.Status = message.StatusError
-			return
-		}
+		// Replicate before applying locally: a value only becomes visible to
+		// readers once it is in the backup stream, so a primary crash right
+		// after a Get can never lose data that Get observed.
 		if req.Op == message.OpPut && s.primary != nil {
 			if err := s.primary.Replicate(replication.Record{
 				Op: message.OpPut, Key: req.Key, Val: req.Val,
@@ -358,6 +357,11 @@ func (s *Shard) apply(req message.Request, resp *message.Response) {
 			}
 			s.Counters.Replications.Inc()
 		}
+		res, existed, err := s.store.Put(req.Key, req.Val)
+		if err != nil {
+			resp.Status = message.StatusError
+			return
+		}
 		resp.Status = message.StatusOK
 		resp.Existed = existed
 		resp.LeaseExp = res.LeaseExp
@@ -365,7 +369,6 @@ func (s *Shard) apply(req message.Request, resp *message.Response) {
 		resp.Ptr.ShardID = s.id
 
 	case message.OpDelete:
-		existed := s.store.Delete(req.Key)
 		if s.primary != nil {
 			if err := s.primary.Replicate(replication.Record{
 				Op: message.OpDelete, Key: req.Key,
@@ -375,6 +378,7 @@ func (s *Shard) apply(req message.Request, resp *message.Response) {
 			}
 			s.Counters.Replications.Inc()
 		}
+		existed := s.store.Delete(req.Key)
 		if existed {
 			resp.Status = message.StatusOK
 		} else {
@@ -424,6 +428,17 @@ func (s *Shard) Kill() {
 	if s.started.Load() {
 		<-s.stopped
 	}
+	// A dead process takes its memory registrations with it: one-sided reads
+	// of the frozen arena must fail at the fabric, not return pre-crash
+	// bytes. Without this, a client whose cached pointer targets the dead
+	// primary would keep validating stale items forever — the guardian stays
+	// GuardianLive in memory nobody will ever write again.
+	s.arenaMR.Revoke()
+	s.mu.Lock() //hydralint:ignore shard-exclusivity loop is dead; control-plane teardown
+	for _, c := range s.connSet {
+		c.reqMR.Revoke()
+	}
+	s.mu.Unlock() //hydralint:ignore shard-exclusivity loop is dead; control-plane teardown
 }
 
 // Killed reports whether the shard was failure-injected.

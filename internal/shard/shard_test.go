@@ -9,6 +9,7 @@ import (
 	"hydradb/internal/kv"
 	"hydradb/internal/message"
 	"hydradb/internal/rdma"
+	"hydradb/internal/replication"
 	"hydradb/internal/timing"
 )
 
@@ -223,18 +224,26 @@ func TestShardKillStopsServing(t *testing.T) {
 	go sh.Run()
 	ep := sh.Connect(f.NewNIC("client"), false)
 	exchange(t, ep, message.Request{Op: message.OpPut, Seq: 1, Key: []byte("k"), Val: []byte("v")})
+	put := exchange(t, ep, message.Request{Op: message.OpPut, Seq: 2, Key: []byte("k"), Val: []byte("w")})
 	sh.Kill()
 	if !sh.Killed() {
 		t.Fatal("killed flag")
 	}
-	// Requests written after the kill are never answered.
+	// Death revokes the shard's registrations: requests written after the
+	// kill fail at the fabric instead of landing in memory nobody drains,
+	// and one-sided reads of the frozen arena fail instead of returning
+	// pre-crash bytes (the §5 staleness hazard).
 	buf := make([]byte, 256)
-	req := message.Request{Op: message.OpGet, Seq: 2, Key: []byte("k")}
+	req := message.Request{Op: message.OpGet, Seq: 3, Key: []byte("k")}
 	n := req.EncodeTo(buf)
-	if err := ep.ReqBox.WriteVia(ep.QP, buf[:n], 2); err != nil {
-		t.Fatal(err)
+	if err := ep.ReqBox.WriteVia(ep.QP, buf[:n], 3); err != rdma.ErrRevoked {
+		t.Fatalf("write to dead shard: %v, want ErrRevoked", err)
 	}
-	time.Sleep(20 * time.Millisecond)
+	dst := make([]byte, put.Ptr.DataLen)
+	if _, _, err := ep.QP.Read(ep.ArenaMR, int(put.Ptr.DataOff), dst,
+		int(put.Ptr.MetaIdx)); err != rdma.ErrRevoked {
+		t.Fatalf("read of dead arena: %v, want ErrRevoked", err)
+	}
 	if _, _, ok := ep.RespBox.Poll(); ok {
 		t.Fatal("dead shard responded")
 	}
@@ -286,5 +295,65 @@ func TestPipelinedMatchesSingleThreadSemantics(t *testing.T) {
 		if r := exchange(t, ep, message.Request{Op: message.OpGet, Seq: uint32(100 + i), Key: key}); r.Status != message.StatusOK {
 			t.Fatalf("get %d: %+v", i, r)
 		}
+	}
+}
+
+func TestShardFailedReplicationLeavesValueInvisible(t *testing.T) {
+	// Replicate-before-apply: when the backup link is down, a Put fails AND
+	// the value must not be readable afterwards — no client can ever observe
+	// a value that is not in the replication stream.
+	sh, f, clk := testShard(t)
+	pnic := f.NewNIC("repl-primary")
+	snic := f.NewNIC("repl-sec")
+	cfg := replication.LogConfig{Slots: 16, SlotSize: 256, AckEvery: 4}
+	p := replication.NewPrimary(pnic, cfg, 1)
+	qpP, qpS := rdma.Connect(pnic, snic, 8)
+	log := replication.NewLog(snic, cfg)
+	ackIdx, err := p.AddSecondary(qpP, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backup := kv.NewStore(kv.Config{ArenaBytes: 1 << 20, MaxItems: 4096, Clock: clk})
+	applier := replication.ApplierFunc(func(seq uint64, r replication.Record) error {
+		switch r.Op {
+		case message.OpPut:
+			_, _, err := backup.Put(r.Key, r.Val)
+			return err
+		case message.OpDelete:
+			backup.Delete(r.Key)
+		}
+		return nil
+	})
+	sec := replication.NewSecondary(log, applier, qpS, p.AckRegion(), ackIdx)
+	go sec.Run()
+	defer sec.Stop()
+	sh.AttachPrimary(p)
+	go sh.Run()
+	defer sh.Stop()
+	ep := sh.Connect(f.NewNIC("client"), false)
+
+	f.SetFaultHook(func(v rdma.Verb, local, remote *rdma.NIC, nbytes int) rdma.FaultOutcome {
+		if v == rdma.VerbWrite && remote.Name() == "repl-sec" {
+			return rdma.FaultOutcome{Err: rdma.ErrInjected}
+		}
+		return rdma.FaultOutcome{}
+	})
+	put := exchange(t, ep, message.Request{Op: message.OpPut, Seq: 1, Key: []byte("k"), Val: []byte("v")})
+	if put.Status != message.StatusError {
+		t.Fatalf("put over dead backup link: %+v", put)
+	}
+	get := exchange(t, ep, message.Request{Op: message.OpGet, Seq: 2, Key: []byte("k")})
+	if get.Status != message.StatusNotFound {
+		t.Fatalf("failed put became visible: %+v", get)
+	}
+
+	f.SetFaultHook(nil)
+	ok := exchange(t, ep, message.Request{Op: message.OpPut, Seq: 3, Key: []byte("k"), Val: []byte("v2")})
+	if ok.Status != message.StatusOK {
+		t.Fatalf("put after heal: %+v", ok)
+	}
+	get2 := exchange(t, ep, message.Request{Op: message.OpGet, Seq: 4, Key: []byte("k")})
+	if get2.Status != message.StatusOK || string(get2.Val) != "v2" {
+		t.Fatalf("get after heal: %+v", get2)
 	}
 }

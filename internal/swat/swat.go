@@ -29,6 +29,7 @@ type Team struct {
 	members []*member
 	reacted map[string]bool // de-dup: several members may observe an event
 	stopped bool
+	gen     int // replacement-member name counter
 }
 
 type member struct {
@@ -97,6 +98,7 @@ func (t *Team) newMember(name string) (*member, error) {
 // run is one member's event loop.
 func (t *Team) run(m *member) {
 	defer close(m.done)
+	defer t.replace(m)
 	for {
 		select {
 		case <-m.stop:
@@ -175,6 +177,43 @@ func (t *Team) KillLeader() string {
 	victim.sess.Close()
 	<-victim.done
 	return victim.name
+}
+
+// replace self-heals the team: a member that dies outside Stop (leader
+// failure injection, an expired session) is replaced with a fresh session
+// under a new name, so the watcher ensemble recovers its size and repeated
+// leader failures never wear the team down to nothing (§5.1 — the SWAT is
+// itself supposed to be a resilient, self-sustaining group).
+func (t *Team) replace(dead *member) {
+	t.mu.Lock()
+	if t.stopped {
+		t.mu.Unlock()
+		return
+	}
+	t.gen++
+	name := fmt.Sprintf("swat-r%d", t.gen)
+	t.mu.Unlock()
+
+	nm, err := t.newMember(name)
+	if err != nil {
+		return
+	}
+	t.mu.Lock()
+	if t.stopped {
+		// Stop won the race while the replacement was being built.
+		t.mu.Unlock()
+		nm.cancel()
+		nm.sess.Close()
+		return
+	}
+	for i, m := range t.members {
+		if m == dead {
+			t.members[i] = nm
+			break
+		}
+	}
+	t.mu.Unlock()
+	go t.run(nm)
 }
 
 // Members reports the number of live members.

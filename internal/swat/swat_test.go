@@ -75,9 +75,9 @@ func TestFailoverOfSWATLeader(t *testing.T) {
 		name := team.LeaderName()
 		return name != "" && name != first
 	}, "no successor leader")
-	if team.Members() != 2 {
-		t.Fatalf("members after leader death = %d", team.Members())
-	}
+	// The team self-heals: the dead member is replaced by a fresh session,
+	// so the ensemble recovers its full size.
+	waitFor(t, func() bool { return team.Members() == 3 }, "team did not replace the dead member")
 
 	// The new leader still reacts to shard failures.
 	shardSess := srv.NewSession()
@@ -128,4 +128,26 @@ func waitFor(t *testing.T, cond func() bool, msg string) {
 		time.Sleep(time.Millisecond)
 	}
 	t.Fatal(msg)
+}
+
+// TestLeaderChurn kills the leader repeatedly. Every round must re-elect a
+// fresh leader, and the self-healing replacement must keep the ensemble at
+// full strength — the team never wears down no matter how many leaders die.
+func TestLeaderChurn(t *testing.T) {
+	srv := coord.NewServer(timing.NewManualClock(0), 2e9)
+	team := testutil.Must1(NewTeam(srv, 3, "/hydra/live", nil))
+	defer team.Stop()
+
+	for round := 0; round < 6; round++ {
+		waitFor(t, func() bool { return team.LeaderName() != "" }, "no leader before kill")
+		dead := team.KillLeader()
+		if dead == "" {
+			t.Fatalf("round %d: no leader to kill", round)
+		}
+		waitFor(t, func() bool {
+			l := team.LeaderName()
+			return l != "" && l != dead
+		}, "no successor leader")
+		waitFor(t, func() bool { return team.Members() == 3 }, "team did not recover its size")
+	}
 }

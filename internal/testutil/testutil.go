@@ -34,3 +34,17 @@ func Must3[A, B, C any](a A, b B, c C, err error) (A, B, C) {
 	Must(err)
 	return a, b, c
 }
+
+// Getter is anything that reads a key — client.Client, a recording wrapper,
+// or a store adaptor. Declared structurally so testutil does not import the
+// client package (whose own tests import testutil).
+type Getter interface {
+	Get(key []byte) ([]byte, error)
+}
+
+// GetString reads key and returns the value as a string. The common test
+// shape "fetch and compare" without per-call byte conversions.
+func GetString(g Getter, key string) (string, error) {
+	v, err := g.Get([]byte(key))
+	return string(v), err
+}

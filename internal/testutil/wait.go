@@ -1,0 +1,32 @@
+package testutil
+
+import (
+	"testing"
+	"time"
+
+	"hydradb/internal/timing"
+)
+
+// WaitUntil polls cond (1ms cadence) until it holds, failing t with msg
+// after d. Wall time, not a simulated clock: liveness machinery (SWAT
+// reaction, promotion) runs on goroutines the caller cannot step.
+func WaitUntil(t testing.TB, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	if !Eventually(d, cond) {
+		t.Fatal(msg)
+	}
+}
+
+// Eventually is WaitUntil returning the outcome instead of failing, for
+// callers outside a test context (the chaos harness CLI).
+func Eventually(d time.Duration, cond func() bool) bool {
+	wall := timing.Wall()
+	deadline := wall.Now() + d.Nanoseconds()
+	for wall.Now() < deadline {
+		if cond() {
+			return true
+		}
+		timing.Sleep(1e6)
+	}
+	return false
+}

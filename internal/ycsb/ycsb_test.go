@@ -1,6 +1,8 @@
 package ycsb
 
 import (
+	"encoding/binary"
+	"hash/fnv"
 	"bytes"
 	"math"
 	"math/rand"
@@ -243,5 +245,51 @@ func BenchmarkGenerate1M(b *testing.B) {
 		if _, err := Generate(spec); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// goldenHash collapses a workload's request stream (and the rendered form
+// of a few keys) into one FNV-1a digest.
+func goldenHash(w *Workload) uint64 {
+	h := fnv.New64a()
+	var buf [9]byte
+	for _, r := range w.Requests {
+		buf[0] = byte(r.Op)
+		binary.LittleEndian.PutUint64(buf[1:], uint64(r.KeyIdx))
+		//hydralint:ignore error-discipline hash.Hash Write never fails
+		h.Write(buf[:])
+	}
+	for _, r := range w.Requests[:16] {
+		//hydralint:ignore error-discipline hash.Hash Write never fails
+		h.Write(w.Key(r.KeyIdx))
+	}
+	//hydralint:ignore error-discipline hash.Hash Write never fails
+	h.Write(w.Value())
+	return h.Sum64()
+}
+
+// TestGenerateGolden pins the generator's exact output across code changes,
+// not just within one binary: chaos schedules and EXPERIMENTS.md numbers
+// reference (spec, seed) pairs, so a silent change to the request stream
+// would break replayability end-to-end. If this fails because the generator
+// was changed ON PURPOSE, update the constants and note the break in
+// EXPERIMENTS.md.
+func TestGenerateGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		want uint64
+	}{
+		{name: "zipfian-50-50", spec: StandardSpec(1000, 5000, 50, Zipfian, 42), want: 0xbd35860b11af2608},
+		{name: "uniform-95-5", spec: StandardSpec(500, 2000, 95, Uniform, 7), want: 0x37c2fcf856490430},
+		{name: "latest-insert-heavy", spec: StandardSpec(200, 1000, 30, Latest, 99), want: 0x2066f06ce0878dce},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := testutil.Must1(Generate(tc.spec))
+			if got := goldenHash(w); got != tc.want {
+				t.Fatalf("golden hash = %#x, want %#x (generator output changed)", got, tc.want)
+			}
+		})
 	}
 }
