@@ -5,7 +5,7 @@
 GO        ?= go
 FUZZTIME  ?= 20s
 
-.PHONY: all build vet test race lint fuzz-smoke debug-test bench-smoke hydramc-smoke chaos-smoke cover ci
+.PHONY: all build vet test race lint lint-budget lint-budget-write lint-sarif fuzz-smoke debug-test bench-smoke hydramc-smoke chaos-smoke cover ci
 
 all: build test
 
@@ -27,10 +27,25 @@ race:
 	$(GO) test -race ./...
 
 # Static invariants (clock discipline, shard exclusivity, atomic-word
-# hygiene, hot-path allocations, error discipline). Non-zero exit on any
+# hygiene, hot-path allocations, error discipline, lease/escape dataflow,
+# mixed atomic/plain access, wire-layout pins). Non-zero exit on any
 # unsuppressed finding.
 lint:
 	$(GO) run ./cmd/hydralint ./...
+
+# lint plus the suppression ratchet: fails when the repo-wide count of
+# ignore/holds/aliases/plainread directives exceeds the checked-in baseline
+# (.hydralint-budget). Raising the budget is a reviewed change to that file;
+# lowering it is `make lint-budget-write`.
+lint-budget:
+	$(GO) run ./cmd/hydralint -budget .hydralint-budget ./...
+
+lint-budget-write:
+	$(GO) run ./cmd/hydralint -budget-write .hydralint-budget ./...
+
+# Machine-readable findings for code-scanning upload (written even when clean).
+lint-sarif:
+	$(GO) run ./cmd/hydralint -sarif hydralint.sarif ./...
 
 # Short fuzz pass over the wire codecs; go test -fuzz accepts only one
 # package per invocation.
@@ -82,4 +97,4 @@ chaos-smoke:
 cover:
 	$(GO) test -cover ./... | grep -v "no test files"
 
-ci: build vet lint test race debug-test bench-smoke fuzz-smoke hydramc-smoke chaos-smoke
+ci: build vet lint-budget test race debug-test bench-smoke fuzz-smoke hydramc-smoke chaos-smoke

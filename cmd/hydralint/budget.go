@@ -1,0 +1,156 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The suppression ratchet. Every escape hatch the linter offers (the ignore,
+// holds, aliases, and plainread directives) is counted repo-wide and compared
+// against a checked-in baseline
+// (.hydralint-budget). A run whose count exceeds the baseline fails: new
+// suppressions need a reviewer to consciously raise the budget in the same
+// change. A run whose count is lower only reports that the baseline can be
+// tightened; `hydralint -budget-write` regenerates the file. The
+// stale-suppression check closes the loop from the other side by flagging
+// ignore directives that no longer filter anything.
+
+// SuppressionCounts is the repo-wide census of linter escape hatches.
+type SuppressionCounts struct {
+	Ignore    int `json:"ignore"`
+	Holds     int `json:"holds"`
+	Aliases   int `json:"aliases"`
+	Plainread int `json:"plainread"`
+}
+
+func (c SuppressionCounts) Total() int {
+	return c.Ignore + c.Holds + c.Aliases + c.Plainread
+}
+
+// categories orders the budget file deterministically.
+func (c SuppressionCounts) categories() []struct {
+	Name  string
+	Count int
+} {
+	return []struct {
+		Name  string
+		Count int
+	}{
+		{"ignore", c.Ignore},
+		{"holds", c.Holds},
+		{"aliases", c.Aliases},
+		{"plainread", c.Plainread},
+	}
+}
+
+// countSuppressions counts directive comments across all loaded files. Only
+// comments that *start* with a marker count — prose that mentions a marker
+// mid-sentence does not. Files shared between a package and its test variant
+// are counted once.
+func countSuppressions(pkgs []*Package) SuppressionCounts {
+	var c SuppressionCounts
+	seen := map[string]bool{}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			name := p.Fset.Position(f.Package).Filename
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+			for _, cg := range f.Comments {
+				for _, cm := range cg.List {
+					text := commentText(cm)
+					switch {
+					case matchesMarker(text, "hydralint:ignore"):
+						c.Ignore++
+					case matchesMarker(text, "hydralint:holds"):
+						c.Holds++
+					case matchesMarker(text, "hydralint:aliases"):
+						c.Aliases++
+					case matchesMarker(text, "hydralint:plainread"):
+						c.Plainread++
+					}
+				}
+			}
+		}
+	}
+	return c
+}
+
+func matchesMarker(text, marker string) bool {
+	_, ok := directiveRest(text, marker)
+	return ok
+}
+
+// parseBudget reads a baseline file of "category count" lines ('#' comments
+// and blank lines allowed).
+func parseBudget(path string) (SuppressionCounts, error) {
+	var c SuppressionCounts
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return c, err
+	}
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, val, found := strings.Cut(line, " ")
+		if !found {
+			return c, fmt.Errorf("%s:%d: malformed line %q (want \"category count\")", path, i+1, line)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil {
+			return c, fmt.Errorf("%s:%d: bad count %q", path, i+1, val)
+		}
+		switch name {
+		case "ignore":
+			c.Ignore = n
+		case "holds":
+			c.Holds = n
+		case "aliases":
+			c.Aliases = n
+		case "plainread":
+			c.Plainread = n
+		default:
+			return c, fmt.Errorf("%s:%d: unknown category %q", path, i+1, name)
+		}
+	}
+	return c, nil
+}
+
+// formatBudget renders the baseline file content.
+func formatBudget(c SuppressionCounts) string {
+	var b strings.Builder
+	b.WriteString("# hydralint suppression budget — the ratchet only goes down.\n")
+	b.WriteString("# Regenerate with: go run ./cmd/hydralint -budget-write .hydralint-budget ./...\n")
+	for _, cat := range c.categories() {
+		fmt.Fprintf(&b, "%s %d\n", cat.Name, cat.Count)
+	}
+	return b.String()
+}
+
+// checkBudget compares the current census against the baseline. It returns
+// human-readable failures (count exceeded) and notes (budget can be
+// tightened); an empty failures slice means the ratchet holds.
+func checkBudget(current, baseline SuppressionCounts) (failures, notes []string) {
+	cur, base := current.categories(), baseline.categories()
+	for i := range cur {
+		switch {
+		case cur[i].Count > base[i].Count:
+			failures = append(failures, fmt.Sprintf(
+				"suppression budget exceeded: %d hydralint:%s directives, baseline allows %d — remove the new suppression or consciously raise .hydralint-budget in this change",
+				cur[i].Count, cur[i].Name, base[i].Count))
+		case cur[i].Count < base[i].Count:
+			notes = append(notes, fmt.Sprintf(
+				"budget for hydralint:%s can be tightened: %d in tree, baseline says %d (run -budget-write)",
+				cur[i].Name, cur[i].Count, base[i].Count))
+		}
+	}
+	sort.Strings(failures)
+	sort.Strings(notes)
+	return failures, notes
+}

@@ -2,7 +2,9 @@ package main
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
+	"strconv"
 	"strings"
 )
 
@@ -25,9 +27,14 @@ import (
 // protocols (arena, rdma, kv, message, hashtable, shard, replication,
 // invariant, modelcheck) hold registered memory by design and are exempt, as
 // are _test.go files. Functions whose documented contract is to return a
-// view carry a `hydralint:aliases` marker in their doc comment. The analysis
-// does not follow taint through calls to other functions — a view passed as
-// an argument is the callee's problem under the callee's own analysis.
+// view carry a `hydralint:aliases` marker in their doc comment.
+//
+// The pass is interprocedural through escape summaries: a call into a module
+// function whose summary proves its result aliases an argument propagates
+// taint through the call, a marker-documented view producer taints its result
+// wherever it is called, and passing a view to a callee that publishes the
+// corresponding parameter is itself a sink. Unknown callees keep the old
+// optimistic behaviour (a call boundary launders taint).
 var escapeOwnerPackages = map[string]bool{
 	"internal/arena":       true,
 	"internal/rdma":        true,
@@ -53,7 +60,7 @@ func runPublishedEscape(p *Package, r *Reporter) {
 			if !ok || fd.Body == nil {
 				continue
 			}
-			e := &escapeFlow{p: p, tainted: map[*types.Var]bool{}}
+			e := &escapeFlow{p: p, prog: p.Prog, tainted: map[*types.Var]bool{}}
 			e.propagate(fd.Body)
 			e.reportSinks(r, fd)
 		}
@@ -62,9 +69,15 @@ func runPublishedEscape(p *Package, r *Reporter) {
 
 // escapeFlow is the per-function taint state. Closures are analyzed as part
 // of their enclosing function: captured variables share the same objects.
+// summaryMode is set when the flow computes an escape summary rather than
+// reporting: taint must then be rooted purely in the seeded input, so the
+// ambient view sources (owner-package APIs, hydralint:aliases markers) are
+// disabled.
 type escapeFlow struct {
-	p       *Package
-	tainted map[*types.Var]bool
+	p           *Package
+	prog        *Program
+	summaryMode bool
+	tainted     map[*types.Var]bool
 }
 
 // propagate runs assignment-driven taint propagation to a fixpoint.
@@ -75,11 +88,16 @@ func (e *escapeFlow) propagate(body *ast.BlockStmt) {
 			switch n := n.(type) {
 			case *ast.AssignStmt:
 				if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
-					// Tuple form: x, y := f(buf) — every reference-typed
-					// binding of a tainted producer is tainted.
+					// Tuple form: x, y := f(buf). When the callee's summary
+					// names which result positions may alias, only those
+					// bindings are tainted (DecodeResponse's error is not a
+					// view); otherwise every reference-typed binding is.
 					if e.taintedExpr(n.Rhs[0]) {
-						for _, l := range n.Lhs {
-							changed = e.taintLHS(l) || changed
+						resSet := e.aliasResultSet(n.Rhs[0])
+						for li, l := range n.Lhs {
+							if resSet == nil || resSet[li] {
+								changed = e.taintLHS(l) || changed
+							}
 						}
 					}
 					return true
@@ -119,12 +137,47 @@ func (e *escapeFlow) propagate(body *ast.BlockStmt) {
 }
 
 // taintLHS marks an assignment target tainted when it is a local variable;
-// non-local targets are sinks, handled separately.
+// non-local targets are sinks, handled separately. Storing a view into a
+// field of a value-typed local struct (r.Val = buf[...]) taints the root
+// variable — the struct now carries the pointer — rather than escaping.
 func (e *escapeFlow) taintLHS(l ast.Expr) bool {
-	if id, ok := l.(*ast.Ident); ok {
-		return e.taintIdent(id)
+	switch l := l.(type) {
+	case *ast.Ident:
+		return e.taintIdent(l)
+	case *ast.SelectorExpr:
+		if s, ok := e.p.Info.Selections[l]; ok && s.Kind() == types.FieldVal && e.localValueBase(l.X) {
+			if root, ok := exprRoot(l.X); ok {
+				return e.taintIdent(root)
+			}
+		}
 	}
 	return false
+}
+
+// localValueBase reports whether x is a chain of value-field selections
+// rooted at a function-local, non-pointer variable — a store through it
+// stays inside the frame.
+func (e *escapeFlow) localValueBase(x ast.Expr) bool {
+	for {
+		switch b := x.(type) {
+		case *ast.Ident:
+			v := e.localVar(b)
+			if v == nil {
+				return false
+			}
+			_, isPtr := v.Type().Underlying().(*types.Pointer)
+			return !isPtr
+		case *ast.SelectorExpr:
+			if s, ok := e.p.Info.Selections[b]; !ok || s.Kind() != types.FieldVal || s.Indirect() {
+				return false
+			}
+			x = b.X
+		case *ast.ParenExpr:
+			x = b.X
+		default:
+			return false
+		}
+	}
 }
 
 func (e *escapeFlow) taintIdent(id *ast.Ident) bool {
@@ -168,6 +221,9 @@ func (e *escapeFlow) taintedExpr(x ast.Expr) bool {
 	case *ast.SelectorExpr:
 		if e.isGetResultValue(x) {
 			return true
+		}
+		if tv, ok := e.p.Info.Types[x]; ok && !refType(tv.Type) {
+			return false // scalar(-struct) field copy carries no pointer
 		}
 		return e.taintedExpr(x.X)
 	case *ast.IndexExpr:
@@ -227,7 +283,6 @@ func (e *escapeFlow) taintedCall(call *ast.CallExpr) bool {
 				return e.taintedExpr(call.Args[0])
 			}
 		}
-		return false
 	case *ast.SelectorExpr:
 		// kv.DecodeItem(buf) returns key/val slices aliasing buf.
 		if id, ok := fun.X.(*ast.Ident); ok {
@@ -237,23 +292,65 @@ func (e *escapeFlow) taintedCall(call *ast.CallExpr) bool {
 					return len(call.Args) == 1 && e.taintedExpr(call.Args[0])
 				}
 				if path == "bytes" && fun.Sel.Name == "Clone" {
-					return false
+					return false // explicit copy
 				}
-				return false
 			}
 		}
-		// View-returning methods of the owner packages.
-		if recv, name, ok := e.methodRecv(fun); ok {
-			switch {
-			case recv == "internal/arena.Arena" && (name == "Bytes" || name == "Data"),
-				recv == "internal/rdma.MemoryRegion" && name == "Data",
-				recv == "internal/kv.Store" && name == "ArenaData",
-				recv == "internal/message.Mailbox" && name == "Poll":
+		// View-returning methods of the owner packages. These are ambient
+		// sources: off in summary mode, where taint must be input-rooted.
+		if !e.summaryMode {
+			if recv, name, ok := e.methodRecv(fun); ok {
+				switch {
+				case recv == "internal/arena.Arena" && (name == "Bytes" || name == "Data"),
+					recv == "internal/rdma.MemoryRegion" && name == "Data",
+					recv == "internal/kv.Store" && name == "ArenaData",
+					recv == "internal/message.Mailbox" && name == "Poll":
+					return true
+				}
+			}
+		}
+	}
+
+	// Interprocedural: a resolved module callee's summary tells whether its
+	// result is a view. hydralint:aliases marks a documented view producer
+	// (ambient source, consumer mode only); returnsAlias propagates taint
+	// from a tainted actual through the call.
+	if e.prog != nil {
+		if callee, inputs, ok := e.prog.resolveCallee(e.p, call); ok {
+			sum := e.prog.escapeSummaryFor(callee.Obj.FullName())
+			if !e.summaryMode && sum.aliasesMarker {
 				return true
+			}
+			for idx := range sum.returnsAlias {
+				if actual := inputs.inputExpr(idx); actual != nil && e.taintedExpr(actual) {
+					return true
+				}
 			}
 		}
 	}
 	return false
+}
+
+// aliasResultSet returns the set of result positions of a summarized callee
+// that may alias an input, or nil when the producer is not a call whose
+// summary proved that (nil = unknown, caller taints every ref-typed binding).
+func (e *escapeFlow) aliasResultSet(x ast.Expr) map[int]bool {
+	call, ok := unparen(x).(*ast.CallExpr)
+	if !ok || e.prog == nil {
+		return nil
+	}
+	callee, _, ok := e.prog.resolveCallee(e.p, call)
+	if !ok {
+		return nil
+	}
+	sum := e.prog.escapeSummaryFor(callee.Obj.FullName())
+	if !e.summaryMode && sum.aliasesMarker {
+		return nil // marker taints ambiently; which results is unspecified
+	}
+	if len(sum.resultsThatAlias) == 0 {
+		return nil // summary proved nothing about result positions
+	}
+	return sum.resultsThatAlias
 }
 
 // methodRecv resolves a method call's declared receiver to a
@@ -308,10 +405,21 @@ func (e *escapeFlow) isGetResultValue(sel *ast.SelectorExpr) bool {
 		named.Obj().Name() == "GetResult"
 }
 
-// reportSinks walks the body flagging tainted values reaching an escape.
-func (e *escapeFlow) reportSinks(r *Reporter, fd *ast.FuncDecl) {
-	aliases := docHasMarker(fd.Doc, "hydralint:aliases")
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
+// sinkKind classifies where a tainted value escaped to.
+type sinkKind int
+
+const (
+	sinkStore   sinkKind = iota // field / package-level var / pointer / element store
+	sinkSend                    // channel send
+	sinkReturn                  // function return value
+	sinkCallArg                 // argument to a callee whose summary publishes it
+)
+
+// walkSinks walks body and calls emit for every tainted value reaching an
+// escape sink. It is the shared core of the reporting pass and the summary
+// computation (which maps sinkReturn to returnsAlias and the rest to escapes).
+func (e *escapeFlow) walkSinks(body *ast.BlockStmt, emit func(pos token.Pos, kind sinkKind, desc string)) {
+	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.AssignStmt:
 			tuple := len(n.Rhs) == 1 && len(n.Lhs) > 1
@@ -326,27 +434,67 @@ func (e *escapeFlow) reportSinks(r *Reporter, fd *ast.FuncDecl) {
 					continue
 				}
 				if sink := e.sinkDesc(l); sink != "" {
-					r.report("published-escape", n.Pos(),
-						"a view into an RDMA-registered region escapes to %s; copy it out (append to a fresh buffer) before publishing", sink)
+					emit(n.Pos(), sinkStore, sink)
 				}
 			}
 		case *ast.SendStmt:
 			if e.taintedExpr(n.Value) {
-				r.report("published-escape", n.Pos(),
-					"a view into an RDMA-registered region escapes into a channel send; copy it out before handing it to another goroutine")
+				emit(n.Pos(), sinkSend, "")
 			}
 		case *ast.ReturnStmt:
-			if aliases {
+			// desc carries the result index so summaries can record which
+			// result positions alias (tuple callers taint only those).
+			for ri, res := range n.Results {
+				if e.taintedExpr(res) {
+					emit(n.Pos(), sinkReturn, strconv.Itoa(ri))
+				}
+			}
+		case *ast.CallExpr:
+			// A tainted argument handed to a callee that publishes the
+			// corresponding input escapes through the call.
+			if e.prog == nil {
 				return true
 			}
-			for _, res := range n.Results {
-				if e.taintedExpr(res) {
-					r.report("published-escape", n.Pos(),
-						"returning a view into an RDMA-registered region; copy it out, or mark the function hydralint:aliases if returning a view is its contract")
+			callee, inputs, ok := e.prog.resolveCallee(e.p, n)
+			if !ok {
+				return true
+			}
+			sum := e.prog.escapeSummaryFor(callee.Obj.FullName())
+			for idx := range sum.escapes {
+				if actual := inputs.inputExpr(idx); actual != nil && e.taintedExpr(actual) {
+					emit(n.Pos(), sinkCallArg, callee.Obj.Name()+"()")
+					break
 				}
 			}
 		}
 		return true
+	})
+}
+
+// reportSinks renders walkSinks findings as diagnostics. Functions whose
+// documented contract is to return a view (hydralint:aliases) keep return
+// sinks silent; every other sink kind still reports.
+func (e *escapeFlow) reportSinks(r *Reporter, fd *ast.FuncDecl) {
+	aliases := docHasMarker(fd.Doc, "hydralint:aliases")
+	returned := map[token.Pos]bool{} // one finding per return stmt, not per result
+	e.walkSinks(fd.Body, func(pos token.Pos, kind sinkKind, desc string) {
+		switch kind {
+		case sinkStore:
+			r.report("published-escape", pos,
+				"a view into an RDMA-registered region escapes to %s; copy it out (append to a fresh buffer) before publishing", desc)
+		case sinkSend:
+			r.report("published-escape", pos,
+				"a view into an RDMA-registered region escapes into a channel send; copy it out before handing it to another goroutine")
+		case sinkReturn:
+			if !aliases && !returned[pos] {
+				returned[pos] = true
+				r.report("published-escape", pos,
+					"returning a view into an RDMA-registered region; copy it out, or mark the function hydralint:aliases if returning a view is its contract")
+			}
+		case sinkCallArg:
+			r.report("published-escape", pos,
+				"a view into an RDMA-registered region is passed to %s, which publishes its argument; copy it out before the call", desc)
+		}
 	})
 }
 
@@ -365,8 +513,13 @@ func (e *escapeFlow) sinkDesc(l ast.Expr) string {
 		}
 		return ""
 	case *ast.SelectorExpr:
-		// A field store: the struct (and thus the view) outlives this call.
+		// A field store: the struct (and thus the view) outlives this call —
+		// unless the struct is itself a value-typed local, in which case the
+		// view stays in the frame (taintLHS taints the root instead).
 		if s, ok := e.p.Info.Selections[l]; ok && s.Kind() == types.FieldVal {
+			if e.localValueBase(l.X) {
+				return ""
+			}
 			return "field " + l.Sel.Name
 		}
 		// Qualified package-level var (pkg.Var = view).

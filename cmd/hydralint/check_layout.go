@@ -1,0 +1,232 @@
+package main
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// runLayout verifies wire- and cache-layout invariants at lint time, before
+// a miscounted constant ever reaches the fabric. The paper's layouts are
+// load-bearing: a hashtable bucket is exactly one 64-byte cache line — an
+// 8-byte header word plus seven 8-byte slots (§4.1.3) — the message ring's
+// indicator words and the arena's word groups must stay cache-line aligned,
+// and the signature/reference bit-packing constants must partition their
+// word exactly. The pass is driven by three source annotations:
+//
+//	//hydralint:assert <const-expr>
+//	    The expression is evaluated with go/types in the package scope at
+//	    the comment's position (so file-scoped imports like unsafe resolve)
+//	    and must be a boolean constant that is true. Use it to pin bit-width
+//	    sums, mask consistency, and divisibility facts next to the constants
+//	    they govern.
+//
+//	//hydralint:layout size=<n> [align=<n>]
+//	    On a type declaration: the type's Sizeof (and optionally Alignof)
+//	    under the gc sizes model for the current GOARCH must equal the
+//	    annotation. The doc comment states the layout; the linter makes it
+//	    non-fictional.
+//
+//	//hydralint:cacheline
+//	    On a struct declaration: fields annotated `//hydralint:owner <name>`
+//	    are checked for false sharing — two fields with different owners
+//	    must not share a 64-byte cache line. This is the static complement
+//	    of the mailbox's single-writer cursor split (§4.2.1): the reader's
+//	    and writer's cursors each get their own line or the fabric pays
+//	    coherence traffic on every advance.
+//
+// Malformed annotations (unparsable expression, bad size= value, owner on a
+// non-cacheline struct's line boundary) are findings, not silent no-ops.
+const cacheLineBytes = 64
+
+func runLayout(p *Package, r *Reporter) {
+	sizes := types.SizesFor("gc", runtime.GOARCH)
+	if sizes == nil {
+		sizes = types.SizesFor("gc", "amd64")
+	}
+
+	for _, f := range p.Files {
+		// Free-floating compile-time assertions (the assert directive).
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				expr, ok := directiveRest(commentText(c), "hydralint:assert")
+				if !ok {
+					continue
+				}
+				if expr == "" {
+					r.report("layout", c.Pos(), "hydralint:assert needs a constant boolean expression")
+					continue
+				}
+				tv, err := types.Eval(p.Fset, p.Pkg, c.Pos(), expr)
+				if err != nil {
+					r.report("layout", c.Pos(), "hydralint:assert cannot evaluate %q: %v", expr, err)
+					continue
+				}
+				if tv.Value == nil || tv.Value.Kind() != constant.Bool {
+					r.report("layout", c.Pos(), "hydralint:assert %q is not a constant boolean", expr)
+					continue
+				}
+				if !constant.BoolVal(tv.Value) {
+					r.report("layout", c.Pos(), "compile-time assertion failed: %s", expr)
+				}
+			}
+		}
+
+		// hydralint:layout and hydralint:cacheline — type-attached checks.
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil {
+					doc = gd.Doc
+				}
+				obj, ok := p.Info.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					continue
+				}
+				if line, pos, ok := markerLine(doc, "hydralint:layout"); ok {
+					checkSizeMarker(r, sizes, obj, line, pos)
+				}
+				if _, pos, ok := markerLine(doc, "hydralint:cacheline"); ok {
+					checkFalseSharing(p, r, sizes, obj, ts, pos)
+				}
+			}
+		}
+	}
+}
+
+// markerLine finds a doc-comment line starting with the marker and returns
+// the text after it.
+func markerLine(doc *ast.CommentGroup, marker string) (rest string, pos token.Pos, ok bool) {
+	if doc == nil {
+		return "", token.NoPos, false
+	}
+	for _, c := range doc.List {
+		if r, found := directiveRest(commentText(c), marker); found {
+			return r, c.Pos(), true
+		}
+	}
+	return "", token.NoPos, false
+}
+
+func checkSizeMarker(r *Reporter, sizes types.Sizes, obj *types.TypeName, line string, pos token.Pos) {
+	wantSize, wantAlign := int64(-1), int64(-1)
+	for _, field := range strings.Fields(line) {
+		key, val, found := strings.Cut(field, "=")
+		if !found {
+			r.report("layout", pos, "hydralint:layout: malformed clause %q (want size=<n> or align=<n>)", field)
+			return
+		}
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			r.report("layout", pos, "hydralint:layout: %s=%q is not an integer", key, val)
+			return
+		}
+		switch key {
+		case "size":
+			wantSize = n
+		case "align":
+			wantAlign = n
+		default:
+			r.report("layout", pos, "hydralint:layout: unknown clause %q (want size= or align=)", key)
+			return
+		}
+	}
+	if wantSize < 0 && wantAlign < 0 {
+		r.report("layout", pos, "hydralint:layout needs at least one size=<n> or align=<n> clause")
+		return
+	}
+	t := obj.Type()
+	if got := sizes.Sizeof(t); wantSize >= 0 && got != wantSize {
+		r.report("layout", pos, "%s is %d bytes, annotation pins size=%d; the wire layout and the struct disagree", obj.Name(), got, wantSize)
+	}
+	if got := sizes.Alignof(t); wantAlign >= 0 && got != wantAlign {
+		r.report("layout", pos, "%s has alignment %d, annotation pins align=%d", obj.Name(), got, wantAlign)
+	}
+}
+
+// checkFalseSharing verifies a hydralint:cacheline struct keeps fields with
+// different declared owners on distinct 64-byte lines.
+func checkFalseSharing(p *Package, r *Reporter, sizes types.Sizes, obj *types.TypeName, ts *ast.TypeSpec, pos token.Pos) {
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		r.report("layout", pos, "hydralint:cacheline annotates %s, which is not a struct", obj.Name())
+		return
+	}
+	astStruct, ok := ts.Type.(*ast.StructType)
+	if !ok {
+		return
+	}
+
+	// Owners by field name, read from //hydralint:owner lines in field docs
+	// (or trailing comments).
+	owners := map[string]string{}
+	ownerPos := map[string]token.Pos{}
+	for _, fld := range astStruct.Fields.List {
+		owner, opos, found := markerLine(fld.Doc, "hydralint:owner")
+		if !found {
+			owner, opos, found = markerLine(fld.Comment, "hydralint:owner")
+		}
+		if !found {
+			continue
+		}
+		if owner == "" {
+			r.report("layout", opos, "hydralint:owner needs a goroutine/role name")
+			continue
+		}
+		for _, name := range fld.Names {
+			owners[name.Name] = owner
+			ownerPos[name.Name] = opos
+		}
+	}
+	if len(owners) == 0 {
+		r.report("layout", pos, "hydralint:cacheline struct %s has no //hydralint:owner fields; annotate the per-goroutine fields or drop the marker", obj.Name())
+		return
+	}
+
+	fields := make([]*types.Var, st.NumFields())
+	for i := range fields {
+		fields[i] = st.Field(i)
+	}
+	offsets := sizes.Offsetsof(fields)
+
+	type lineOwner struct {
+		owner  string
+		field  string
+		offset int64
+	}
+	byLine := map[int64]lineOwner{}
+	for i, fv := range fields {
+		owner, has := owners[fv.Name()]
+		if !has {
+			continue
+		}
+		// An owned field may span lines (padding arrays don't carry owners,
+		// so this is the cursor-word case: one machine word per owner).
+		first := offsets[i] / cacheLineBytes
+		last := (offsets[i] + sizes.Sizeof(fv.Type()) - 1) / cacheLineBytes
+		for line := first; line <= last; line++ {
+			prev, taken := byLine[line]
+			if !taken {
+				byLine[line] = lineOwner{owner: owner, field: fv.Name(), offset: offsets[i]}
+				continue
+			}
+			if prev.owner != owner {
+				r.report("layout", ownerPos[fv.Name()],
+					"false sharing in %s: field %s (owner %s, offset %d) and field %s (owner %s, offset %d) share the 64-byte cache line at offset %d; pad them onto distinct lines",
+					obj.Name(), prev.field, prev.owner, prev.offset, fv.Name(), owner, offsets[i], line*cacheLineBytes)
+			}
+		}
+	}
+}

@@ -23,6 +23,13 @@ import (
 // the testing.T/B/F abort family — are exempt: deferred cleanup runs on
 // panic, and crash paths don't leak locks into live code.
 //
+// The pass is interprocedural through call summaries: a statement-position
+// call into a module function whose lock summary proves a constant net
+// effect ("releases s.mu on every exit", "acquires mu for the caller") is
+// stepped over with that effect applied, so release helpers and handoff
+// acquirers no longer stop the analysis at the function boundary. Calls
+// without a provable summary keep the old behaviour (no modeled effect).
+//
 // Escape hatches: a function whose contract is to return while holding a
 // lock (handoff APIs) carries a `hydralint:holds` marker in its doc comment.
 // Functions using goto, TryLock/TryRLock, or a lock receiver the analysis
@@ -177,12 +184,24 @@ func checkLockFlow(p *Package, r *Reporter, body *ast.BlockStmt) {
 		case *ast.DeferStmt:
 			if key, acquire, _, ok := a.lockOp(n.Call); ok && !acquire {
 				a.deferred[key] = true
+			} else if deltas, _, ok := a.summaryDeltas(n.Call); ok {
+				for key, d := range deltas {
+					if d < 0 {
+						a.deferred[key] = true
+					}
+				}
 			}
 			if fl, ok := n.Call.Fun.(*ast.FuncLit); ok {
 				ast.Inspect(fl.Body, func(m ast.Node) bool {
 					if call, ok := m.(*ast.CallExpr); ok {
 						if key, acquire, _, ok := a.lockOp(call); ok && !acquire {
 							a.deferred[key] = true
+						} else if deltas, _, ok := a.summaryDeltas(call); ok {
+							for key, d := range deltas {
+								if d < 0 {
+									a.deferred[key] = true
+								}
+							}
 						}
 					}
 					return true
@@ -254,7 +273,25 @@ func (a *lockFlow) stmt(s ast.Stmt, in pathSet, label string) flowOut {
 			}
 			return flowOut{normal: next}
 		}
-		if a.isNoReturnCall(call) {
+		if deltas, callee, ok := a.summaryDeltas(call); ok {
+			// Interprocedural step: apply the callee's proven net lock
+			// effect — releases discharge the caller's hold, acquires
+			// create a release obligation at the call site.
+			var next pathSet
+			for _, h := range in {
+				h2 := h.clone()
+				for key, d := range deltas {
+					if d < 0 {
+						delete(h2, key)
+					} else if d > 0 {
+						h2[key] = acq{pos: call.Pos(), what: descForKey(key) + " (acquired inside " + callee + ")"}
+					}
+				}
+				next = next.union(h2)
+			}
+			return flowOut{normal: next}
+		}
+		if isNoReturnCall(a.p, call) {
 			return flowOut{} // exempt exit: panic/Fatal paths don't leak
 		}
 		return flowOut{normal: in}
@@ -485,7 +522,7 @@ func (a *lockFlow) lockOp(call *ast.CallExpr) (key string, acquire bool, what st
 	if !isSel || !lockMethodName(sel.Sel.Name) {
 		return "", false, "", false
 	}
-	kind := a.lockRecvKind(sel)
+	kind := lockRecvKind(a.p, sel)
 	if kind == lockNone {
 		return "", false, "", false
 	}
@@ -516,6 +553,53 @@ func (a *lockFlow) lockOp(call *ast.CallExpr) (key string, acquire bool, what st
 	return "", false, "", false
 }
 
+// summaryDeltas resolves a statement-position call to a module function with
+// a proven lock summary and maps the callee's input-rooted effects into the
+// caller's syntactic key space. ok=false means the call has no modeled
+// effect (unknown callee, no summary, or an unmappable actual argument).
+func (a *lockFlow) summaryDeltas(call *ast.CallExpr) (map[string]int, string, bool) {
+	prog := a.p.Prog
+	if prog == nil {
+		return nil, "", false
+	}
+	callee, inputs, ok := prog.resolveCallee(a.p, call)
+	if !ok {
+		return nil, "", false
+	}
+	sum := prog.lockSummaryFor(callee.Obj.FullName())
+	if sum == nil || len(sum.effects) == 0 {
+		return nil, "", false
+	}
+	out := map[string]int{}
+	for _, eff := range sum.effects {
+		actual := inputs.inputExpr(eff.input)
+		if actual == nil {
+			return nil, "", false
+		}
+		if un, isAddr := actual.(*ast.UnaryExpr); isAddr && un.Op == token.AND {
+			actual = un.X
+		}
+		key, renderable := exprKey(actual)
+		if !renderable {
+			return nil, "", false
+		}
+		out[key+eff.path+eff.mode] += eff.n
+	}
+	return out, callee.Obj.Name() + "()", true
+}
+
+// descForKey turns a lock key back into the human phrasing the acquire-site
+// reports use ("s.mu/w" -> "lock s.mu").
+func descForKey(key string) string {
+	switch {
+	case strings.HasSuffix(key, "/w"):
+		return "lock " + strings.TrimSuffix(key, "/w")
+	case strings.HasSuffix(key, "/r"):
+		return "read lock " + strings.TrimSuffix(key, "/r")
+	}
+	return "ownership of " + key
+}
+
 type lockKind int
 
 const (
@@ -525,13 +609,13 @@ const (
 )
 
 func (a *lockFlow) isLockRecv(sel *ast.SelectorExpr) bool {
-	return a.lockRecvKind(sel) != lockNone
+	return lockRecvKind(a.p, sel) != lockNone
 }
 
 // lockRecvKind resolves the method's declared receiver (so promoted methods
 // of an embedded mutex are still attributed to the mutex) and classifies it.
-func (a *lockFlow) lockRecvKind(sel *ast.SelectorExpr) lockKind {
-	s, ok := a.p.Info.Selections[sel]
+func lockRecvKind(p *Package, sel *ast.SelectorExpr) lockKind {
+	s, ok := p.Info.Selections[sel]
 	if !ok || s.Kind() != types.MethodVal {
 		return lockNone
 	}
@@ -599,17 +683,17 @@ func exprKey(e ast.Expr) (string, bool) {
 
 // isNoReturnCall recognizes calls that never resume the caller, which makes
 // the current path exempt from release obligations.
-func (a *lockFlow) isNoReturnCall(call *ast.CallExpr) bool {
+func isNoReturnCall(p *Package, call *ast.CallExpr) bool {
 	switch fun := call.Fun.(type) {
 	case *ast.Ident:
 		if fun.Name == "panic" {
-			_, builtin := a.p.Info.Uses[fun].(*types.Builtin)
+			_, builtin := p.Info.Uses[fun].(*types.Builtin)
 			return builtin
 		}
 	case *ast.SelectorExpr:
 		name := fun.Sel.Name
 		if id, ok := fun.X.(*ast.Ident); ok {
-			if pn, ok := a.p.Info.Uses[id].(*types.PkgName); ok {
+			if pn, ok := p.Info.Uses[id].(*types.PkgName); ok {
 				switch path := pn.Imported().Path(); {
 				case path == "os" && name == "Exit",
 					path == "runtime" && name == "Goexit",
@@ -618,7 +702,7 @@ func (a *lockFlow) isNoReturnCall(call *ast.CallExpr) bool {
 				}
 			}
 		}
-		if s, ok := a.p.Info.Selections[fun]; ok && s.Kind() == types.MethodVal {
+		if s, ok := p.Info.Selections[fun]; ok && s.Kind() == types.MethodVal {
 			switch name {
 			case "Fatal", "Fatalf", "FailNow", "Skip", "Skipf", "SkipNow":
 				if fn, ok := s.Obj().(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "testing" {

@@ -1,0 +1,240 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+)
+
+// runMixedAccess is the whole-program mixed-access pass: a memory word that
+// is accessed with sync/atomic operations anywhere in the program must never
+// be accessed with a plain load or store anywhere else. On the RDMA data
+// plane a plain access to a CASed word is not "probably fine" — it is a data
+// race the fabric can expose as torn reads of guardian and indicator words
+// (§4.2.3), and the Go memory model gives it no semantics at all.
+//
+// The pass runs in two phases over every loaded package at once. Phase A
+// collects the atomic word set: every `&expr` handed to a sync/atomic
+// package function, plus — interprocedurally — every argument to a module
+// function whose atomic summary proves the callee dereferences that input
+// atomically. Phase B finds plain loads and stores of the same words. Words
+// are identified nominally ("pkg.Type.field" for fields, "pkg.var" for
+// package-level variables, with "[]" appended per indexing level), so the
+// identity crosses package boundaries the way go/types object identity
+// cannot.
+//
+// Escape hatch: a deliberately non-atomic access (an init-time store before
+// the word is shared, a test poking state single-threadedly) is annotated
+//
+//	//hydralint:plainread <justification>
+//
+// on the access line or the line above. The justification is mandatory — a
+// bare marker is itself a finding. Typed atomics (atomic.Uint64 and friends)
+// need none of this: their fields are unexported, so the type system already
+// makes plain access impossible; this pass exists for the function-style
+// sync/atomic calls on ordinary words.
+//
+// Limitations: a word reached only through a stored pointer (`p := &x.f;
+// *p = 1`) or a pointer argument the summary layer cannot resolve is not
+// tracked; bare address-of without a load or store is not an access.
+func runMixedAccess(prog *Program, rep func(*Package) *Reporter) {
+	type use struct {
+		p    *Package
+		pos  token.Pos
+		desc string
+	}
+	atomicUses := map[string][]use{}
+	plainUses := map[string][]use{}
+	// plainCover maps filename -> line -> true for lines covered by a
+	// justified plainread directive (its own line and the next).
+	plainCover := map[string]map[int]bool{}
+
+	for _, p := range prog.Pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					just, isDirective := directiveRest(commentText(c), "hydralint:plainread")
+					if !isDirective {
+						continue
+					}
+					pos := p.Fset.Position(c.Pos())
+					if just == "" {
+						rep(p).report("mixed-access", c.Pos(),
+							"hydralint:plainread requires a justification: say why this plain access cannot race the atomic accesses")
+						continue
+					}
+					cover := plainCover[pos.Filename]
+					if cover == nil {
+						cover = map[int]bool{}
+						plainCover[pos.Filename] = cover
+					}
+					cover[pos.Line] = true
+					cover[pos.Line+1] = true
+				}
+			}
+
+			// Phase A per file: classify atomic-call arguments (and summarized
+			// callee arguments), and index assignment targets, so phase B can
+			// tell stores from loads and skip consumed subtrees.
+			skip := map[ast.Node]bool{}
+			stores := map[ast.Node]bool{}
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					if isAtomicPkgCall(p, n) && len(n.Args) > 0 {
+						if id, ok := mixedWordID(p, addrOperand(n.Args[0])); ok {
+							atomicUses[id] = append(atomicUses[id], use{p, n.Pos(), "a sync/atomic call"})
+						}
+						skip[n.Args[0]] = true
+						return true
+					}
+					if callee, inputs, ok := prog.resolveCallee(p, n); ok {
+						sum := prog.atomicSummaryFor(callee.Obj.FullName())
+						for idx := range sum.atomicInputs {
+							if a := inputs.inputExpr(idx); a != nil {
+								if id, ok := mixedWordID(p, addrOperand(a)); ok {
+									atomicUses[id] = append(atomicUses[id], use{p, n.Pos(), "an atomic access inside " + callee.Obj.Name() + "()"})
+								}
+								skip[a] = true
+							}
+						}
+						for idx := range sum.plainInputs {
+							if a := inputs.inputExpr(idx); a != nil {
+								if id, ok := mixedWordID(p, addrOperand(a)); ok {
+									plainUses[id] = append(plainUses[id], use{p, n.Pos(), "plain access inside " + callee.Obj.Name() + "()"})
+								}
+								skip[a] = true
+							}
+						}
+					}
+				case *ast.AssignStmt:
+					for _, l := range n.Lhs {
+						stores[l] = true
+					}
+				case *ast.IncDecStmt:
+					stores[n.X] = true
+				}
+				return true
+			})
+
+			// Phase B per file: record plain loads/stores of nameable words.
+			ast.Inspect(f, func(n ast.Node) bool {
+				if n == nil || skip[n] {
+					return false
+				}
+				e, ok := n.(ast.Expr)
+				if !ok {
+					return true
+				}
+				if un, isU := e.(*ast.UnaryExpr); isU && un.Op == token.AND {
+					// A bare address-of is not a load or store of the word;
+					// don't descend, or the inner selector reads as a load.
+					if _, isWord := mixedWordID(p, un.X); isWord {
+						return false
+					}
+				}
+				if sel, isSel := e.(*ast.SelectorExpr); isSel {
+					// A method value/call selector is not a word access even
+					// when its receiver chain resolves to one (x.word.Load()).
+					if s, found := p.Info.Selections[sel]; found && s.Kind() != types.FieldVal {
+						return true
+					}
+				}
+				if id, ok := mixedWordID(p, e); ok {
+					desc := "plain load"
+					if stores[n] {
+						desc = "plain store"
+					}
+					plainUses[id] = append(plainUses[id], use{p, e.Pos(), desc})
+					return false
+				}
+				return true
+			})
+		}
+	}
+
+	var ids []string
+	for id := range atomicUses {
+		if len(plainUses[id]) > 0 {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		aud := atomicUses[id][0]
+		apos := aud.p.Fset.Position(aud.pos)
+		for _, u := range plainUses[id] {
+			pos := u.p.Fset.Position(u.pos)
+			if plainCover[pos.Filename][pos.Line] {
+				continue
+			}
+			rep(u.p).report("mixed-access", u.pos,
+				"%s of %s, which %s at %s:%d also accesses with sync/atomic; use atomics for every access, or annotate //hydralint:plainread <why> if the access provably cannot race",
+				u.desc, id, aud.desc, filepath.Base(apos.Filename), apos.Line)
+		}
+	}
+}
+
+// addrOperand strips one level of & from an atomic call's address argument;
+// anything else (an already-pointer value) is returned as-is and will fail
+// word resolution.
+func addrOperand(e ast.Expr) ast.Expr {
+	e = unparen(e)
+	if un, ok := e.(*ast.UnaryExpr); ok && un.Op == token.AND {
+		return unparen(un.X)
+	}
+	return e
+}
+
+// mixedWordID renders an lvalue as a program-wide nominal word identity:
+// "pkgpath.Type.field" for struct fields, "pkgpath.var" for package-level
+// variables, "[]" appended per indexing level. Locals, derefs of computed
+// pointers, and anything else un-nameable return ok=false.
+func mixedWordID(p *Package, e ast.Expr) (string, bool) {
+	e = unparen(e)
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		if s, ok := p.Info.Selections[x]; ok && s.Kind() == types.FieldVal {
+			tv, ok := p.Info.Types[x.X]
+			if !ok {
+				return "", false
+			}
+			t := tv.Type
+			if ptr, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				t = ptr.Elem()
+			}
+			named, isNamed := types.Unalias(t).(*types.Named)
+			if !isNamed || named.Obj().Pkg() == nil {
+				return "", false
+			}
+			return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + x.Sel.Name, true
+		}
+		if id, ok := x.X.(*ast.Ident); ok {
+			if _, isPkg := p.Info.Uses[id].(*types.PkgName); isPkg {
+				if v, ok := p.Info.Uses[x.Sel].(*types.Var); ok && v.Pkg() != nil {
+					return v.Pkg().Path() + "." + v.Name(), true
+				}
+			}
+		}
+		return "", false
+	case *ast.Ident:
+		obj := p.Info.Uses[x]
+		if obj == nil {
+			obj = p.Info.Defs[x]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+			return "", false
+		}
+		return v.Pkg().Path() + "." + v.Name(), true
+	case *ast.IndexExpr:
+		base, ok := mixedWordID(p, x.X)
+		if !ok {
+			return "", false
+		}
+		return base + "[]", true
+	}
+	return "", false
+}

@@ -9,12 +9,14 @@ import (
 	"strings"
 )
 
-// Check is one named rule. Run inspects a single package and reports
-// findings through the Reporter, which applies suppression directives.
+// Check is one named rule. Run inspects a single package; RunProgram (for
+// whole-program rules like mixed-access) sees every loaded package at once
+// and reports through per-package reporters. A check sets one or the other.
 type Check struct {
-	Name string
-	Desc string
-	Run  func(p *Package, r *Reporter)
+	Name       string
+	Desc       string
+	Run        func(p *Package, r *Reporter)
+	RunProgram func(prog *Program, rep func(*Package) *Reporter)
 }
 
 // allChecks is the registry, in the order findings group in the output.
@@ -46,13 +48,28 @@ var allChecks = []Check{
 	},
 	{
 		Name: "lease-discipline",
-		Desc: "every lock/lease acquire must be released on all paths (function-CFG dataflow)",
+		Desc: "every lock/lease acquire must be released on all paths (interprocedural via call summaries)",
 		Run:  runLeaseDiscipline,
 	},
 	{
 		Name: "published-escape",
-		Desc: "no pointer into an RDMA-registered region may escape to an un-leased reference",
+		Desc: "no pointer into an RDMA-registered region may escape to an un-leased reference (interprocedural)",
 		Run:  runPublishedEscape,
+	},
+	{
+		Name:       "mixed-access",
+		Desc:       "a word accessed with sync/atomic anywhere must never be accessed plainly (whole-program)",
+		RunProgram: runMixedAccess,
+	},
+	{
+		Name: "layout",
+		Desc: "compile-time wire-layout checks: hydralint:assert, hydralint:layout size=, hydralint:cacheline",
+		Run:  runLayout,
+	},
+	{
+		Name: "stale-suppression",
+		Desc: "hydralint:ignore directives that no longer match a finding must be removed (ratchet)",
+		// Runs built-in at the end of a full RunLint; no Run/RunProgram.
 	},
 }
 
@@ -67,11 +84,21 @@ func knownCheck(name string) bool {
 
 // Diagnostic is one reported finding.
 type Diagnostic struct {
-	File  string
-	Line  int
-	Col   int
-	Check string
-	Msg   string
+	File  string `json:"file"`
+	Line  int    `json:"line"`
+	Col   int    `json:"col"`
+	Check string `json:"check"`
+	Msg   string `json:"msg"`
+}
+
+// directive is one hydralint:ignore suppression for one check name. used is
+// set when a finding is filtered through it; a full run reports directives
+// that stayed unused (stale-suppression), so suppressions can only ratchet
+// down as checks and code improve.
+type directive struct {
+	pos  token.Pos
+	name string
+	used bool
 }
 
 // Reporter collects diagnostics, filtering ones a `//hydralint:ignore`
@@ -81,25 +108,43 @@ type Diagnostic struct {
 type Reporter struct {
 	fset *token.FileSet
 	base string // paths are reported relative to this directory
-	// suppressed maps file -> line -> set of check names ("" = current check
-	// list key; names stored verbatim).
-	suppressed map[string]map[int]map[string]bool
+	// suppressed maps file -> line -> check name -> the directive record
+	// (shared between the directive's own line and the line below).
+	suppressed map[string]map[int]map[string]*directive
+	directives []*directive
 	diags      []Diagnostic
 }
 
 func newReporter(fset *token.FileSet, base string) *Reporter {
-	return &Reporter{fset: fset, base: base, suppressed: map[string]map[int]map[string]bool{}}
+	return &Reporter{fset: fset, base: base, suppressed: map[string]map[int]map[string]*directive{}}
+}
+
+// commentText strips the comment markers and surrounding space from a
+// comment, leaving the text a directive match runs against.
+func commentText(c *ast.Comment) string {
+	return strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*"))
+}
+
+// directiveRest strips marker from the front of a comment's text, requiring a
+// word boundary after it, so prose like "the hydralint:ignore, ..." mid-doc
+// never reads as a directive. ok only when the text begins with the marker
+// followed by end-of-comment or whitespace.
+func directiveRest(text, marker string) (string, bool) {
+	rest, found := strings.CutPrefix(text, marker)
+	if !found || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+		return "", false
+	}
+	return strings.TrimSpace(strings.TrimSuffix(rest, "*/")), true
 }
 
 // indexSuppressions scans a file's comments for hydralint:ignore directives.
 func (r *Reporter) indexSuppressions(f *ast.File) {
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
-			text := strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*"))
-			if !strings.HasPrefix(text, "hydralint:ignore") {
+			rest, ok := directiveRest(commentText(c), "hydralint:ignore")
+			if !ok {
 				continue
 			}
-			rest := strings.TrimPrefix(text, "hydralint:ignore")
 			fields := strings.Fields(rest)
 			if len(fields) == 0 {
 				continue // malformed: no check named, suppresses nothing
@@ -107,17 +152,19 @@ func (r *Reporter) indexSuppressions(f *ast.File) {
 			pos := r.fset.Position(c.Pos())
 			byLine := r.suppressed[pos.Filename]
 			if byLine == nil {
-				byLine = map[int]map[string]bool{}
+				byLine = map[int]map[string]*directive{}
 				r.suppressed[pos.Filename] = byLine
 			}
 			for _, name := range strings.Split(fields[0], ",") {
+				d := &directive{pos: c.Pos(), name: name}
+				r.directives = append(r.directives, d)
 				for _, line := range []int{pos.Line, pos.Line + 1} {
 					set := byLine[line]
 					if set == nil {
-						set = map[string]bool{}
+						set = map[string]*directive{}
 						byLine[line] = set
 					}
-					set[name] = true
+					set[name] = d
 				}
 			}
 		}
@@ -127,7 +174,8 @@ func (r *Reporter) indexSuppressions(f *ast.File) {
 func (r *Reporter) report(check string, pos token.Pos, format string, args ...any) {
 	p := r.fset.Position(pos)
 	if byLine, ok := r.suppressed[p.Filename]; ok {
-		if set, ok := byLine[p.Line]; ok && set[check] {
+		if d, ok := byLine[p.Line][check]; ok && d != nil {
+			d.used = true
 			return
 		}
 	}
@@ -144,11 +192,33 @@ func (r *Reporter) report(check string, pos token.Pos, format string, args ...an
 	})
 }
 
+// reportStale emits a stale-suppression finding for every directive that
+// filtered nothing. Directives naming stale-suppression itself are exempt
+// (they are consumed by this very pass).
+func (r *Reporter) reportStale() {
+	for _, d := range r.directives {
+		if d.used || d.name == "stale-suppression" {
+			continue
+		}
+		r.report("stale-suppression", d.pos,
+			"hydralint:ignore %s matches no finding; remove the stale suppression (the budget ratchet only goes down)", d.name)
+	}
+}
+
+// Result is a full lint run: the findings plus the suppression census the
+// budget ratchet compares against its checked-in baseline.
+type Result struct {
+	Diags        []Diagnostic
+	Suppressions SuppressionCounts
+}
+
 // RunLint loads the packages matched by patterns (relative to dir), runs the
 // selected checks (nil/empty = all), and returns findings sorted by position.
 // With tests set, _test.go files are linted too (checks that only govern
-// production code skip them individually via Package.isTestFile).
-func RunLint(dir string, patterns []string, only []string, tests bool) ([]Diagnostic, error) {
+// production code skip them individually via Package.isTestFile). The
+// stale-suppression pass runs only on a full run (all checks, tests on),
+// since a restricted run cannot tell whether a directive is truly unused.
+func RunLint(dir string, patterns []string, only []string, tests bool) (*Result, error) {
 	abs, err := filepath.Abs(dir)
 	if err != nil {
 		return nil, err
@@ -157,6 +227,7 @@ func RunLint(dir string, patterns []string, only []string, tests bool) ([]Diagno
 	if err != nil {
 		return nil, err
 	}
+	prog := newProgram(pkgs)
 
 	selected := allChecks
 	if len(only) > 0 {
@@ -172,16 +243,42 @@ func RunLint(dir string, patterns []string, only []string, tests bool) ([]Diagno
 		}
 	}
 
+	reporters := map[*Package]*Reporter{}
+	rep := func(p *Package) *Reporter {
+		r := reporters[p]
+		if r == nil {
+			r = newReporter(p.Fset, abs)
+			for _, f := range p.Files {
+				r.indexSuppressions(f)
+			}
+			reporters[p] = r
+		}
+		return r
+	}
+	for _, p := range pkgs {
+		rep(p)
+	}
+
+	for _, c := range selected {
+		if c.Run != nil {
+			for _, p := range pkgs {
+				c.Run(p, rep(p))
+			}
+		}
+		if c.RunProgram != nil {
+			c.RunProgram(prog, rep)
+		}
+	}
+
+	if len(only) == 0 && tests {
+		for _, p := range pkgs {
+			rep(p).reportStale()
+		}
+	}
+
 	var diags []Diagnostic
 	for _, p := range pkgs {
-		r := newReporter(p.Fset, abs)
-		for _, f := range p.Files {
-			r.indexSuppressions(f)
-		}
-		for _, c := range selected {
-			c.Run(p, r)
-		}
-		diags = append(diags, r.diags...)
+		diags = append(diags, reporters[p].diags...)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		if diags[i].File != diags[j].File {
@@ -192,5 +289,5 @@ func RunLint(dir string, patterns []string, only []string, tests bool) ([]Diagno
 		}
 		return diags[i].Col < diags[j].Col
 	})
-	return diags, nil
+	return &Result{Diags: diags, Suppressions: countSuppressions(pkgs)}, nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -536,6 +537,334 @@ func Publish(mr *rdma.MemoryRegion, ch chan []byte) {
 }
 `,
 	},
+
+	// --- interprocedural lease-discipline: call summaries -----------------
+	{
+		name:  "lease-helper-releases-ok",
+		path:  "internal/l6/l6.go",
+		check: "lease-discipline",
+		want:  0,
+		src: `package l6
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *S) unlock() { s.mu.Unlock() }
+
+func (s *S) Get() int {
+	s.mu.Lock()
+	n := s.n
+	s.unlock()
+	return n
+}
+`,
+	},
+	{
+		name:  "lease-holds-helper-caller-leaks",
+		path:  "internal/l7/l7.go",
+		check: "lease-discipline",
+		want:  1,
+		src: `package l7
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+
+// lockit hands the lock to the caller.
+//
+// hydralint:holds
+func (s *S) lockit() { s.mu.Lock() }
+
+func (s *S) Bad() int {
+	s.lockit()
+	return s.n
+}
+`,
+	},
+	{
+		name:  "lease-holds-helper-caller-releases-ok",
+		path:  "internal/l8/l8.go",
+		check: "lease-discipline",
+		want:  0,
+		src: `package l8
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+
+// lockit hands the lock to the caller.
+//
+// hydralint:holds
+func (s *S) lockit() { s.mu.Lock() }
+
+func (s *S) Good() int {
+	s.lockit()
+	n := s.n
+	s.mu.Unlock()
+	return n
+}
+`,
+	},
+
+	// --- interprocedural published-escape: call summaries -----------------
+	{
+		name:  "escape-helper-returns-view",
+		path:  "internal/e6/e6.go",
+		check: "published-escape",
+		want:  1,
+		src: `package e6
+
+import "hydradb/internal/rdma"
+
+type Cache struct{ hdr []byte }
+
+func header(b []byte) []byte { return b[:8] }
+
+func (c *Cache) Stash(mr *rdma.MemoryRegion) {
+	c.hdr = header(mr.Data())
+}
+`,
+	},
+	{
+		name:  "escape-helper-publishes-arg",
+		path:  "internal/e7/e7.go",
+		check: "published-escape",
+		want:  1,
+		src: `package e7
+
+import "hydradb/internal/rdma"
+
+var latest []byte
+
+func retain(b []byte) { latest = b }
+
+func Publish(mr *rdma.MemoryRegion) {
+	v := mr.Data()
+	retain(v)
+}
+`,
+	},
+	{
+		name:  "escape-helper-copies-ok",
+		path:  "internal/e8/e8.go",
+		check: "published-escape",
+		want:  0,
+		src: `package e8
+
+import "hydradb/internal/rdma"
+
+type Cache struct{ snap []byte }
+
+func clone(b []byte) []byte { return append([]byte(nil), b...) }
+
+func (c *Cache) Snapshot(mr *rdma.MemoryRegion) {
+	c.snap = clone(mr.Data())
+}
+`,
+	},
+
+	// --- mixed-access ------------------------------------------------------
+	{
+		name:  "mixed-direct-plain-load",
+		path:  "internal/m1/m1.go",
+		check: "mixed-access",
+		want:  1,
+		src: `package m1
+
+import "sync/atomic"
+
+type Counter struct {
+	hits uint64
+	cold uint64
+}
+
+func (c *Counter) Inc() { atomic.AddUint64(&c.hits, 1) }
+
+func (c *Counter) Snapshot() uint64 { return c.hits }
+`,
+	},
+	{
+		name:  "mixed-through-helper",
+		path:  "internal/m2/m2.go",
+		check: "mixed-access",
+		want:  1,
+		src: `package m2
+
+import "sync/atomic"
+
+type Gate struct{ word uint64 }
+
+func bump(p *uint64) { atomic.AddUint64(p, 1) }
+
+func (g *Gate) Open() { bump(&g.word) }
+
+func (g *Gate) Peek() uint64 { return g.word }
+`,
+	},
+	{
+		name:  "mixed-plainread-justified-ok",
+		path:  "internal/m3/m3.go",
+		check: "mixed-access",
+		want:  0,
+		src: `package m3
+
+import "sync/atomic"
+
+type Stat struct{ n uint64 }
+
+func (s *Stat) Inc() { atomic.AddUint64(&s.n, 1) }
+
+// Reset runs before the collector goroutines start.
+func (s *Stat) Reset() {
+	//hydralint:plainread init-time store before the word is shared
+	s.n = 0
+}
+`,
+	},
+	{
+		name:  "mixed-plainread-needs-reason",
+		path:  "internal/m4/m4.go",
+		check: "mixed-access",
+		want:  1,
+		src: `package m4
+
+// F is fine; its bare annotation is not.
+func F() int {
+	//hydralint:plainread
+	return 1
+}
+`,
+	},
+	{
+		name:  "mixed-consistent-atomics-ok",
+		path:  "internal/m5/m5.go",
+		check: "mixed-access",
+		want:  0,
+		src: `package m5
+
+import "sync/atomic"
+
+type Seq struct{ n uint64 }
+
+func (s *Seq) Next() uint64 { return atomic.AddUint64(&s.n, 1) }
+
+func (s *Seq) Cur() uint64 { return atomic.LoadUint64(&s.n) }
+`,
+	},
+
+	// --- layout ------------------------------------------------------------
+	{
+		name:  "layout-assert-fails",
+		path:  "internal/y1/y1.go",
+		check: "layout",
+		want:  1,
+		src: `package y1
+
+const (
+	sigBits = 16
+	refBits = 48
+)
+
+//hydralint:assert sigBits+refBits == 64
+//hydralint:assert sigBits == 8
+`,
+	},
+	{
+		name:  "layout-size-mismatch",
+		path:  "internal/y2/y2.go",
+		check: "layout",
+		want:  1,
+		src: `package y2
+
+// hdr is documented as one cache line, but is not.
+//
+//hydralint:layout size=64
+type hdr struct {
+	a uint64
+	b uint64
+}
+
+var _ = hdr{}
+`,
+	},
+	{
+		name:  "layout-size-ok",
+		path:  "internal/y3/y3.go",
+		check: "layout",
+		want:  0,
+		src: `package y3
+
+// bucket is exactly one cache line.
+//
+//hydralint:layout size=64 align=8
+type bucket struct {
+	words [8]uint64
+}
+
+var _ = bucket{}
+`,
+	},
+	{
+		name:  "layout-cacheline-false-sharing",
+		path:  "internal/y4/y4.go",
+		check: "layout",
+		want:  1,
+		src: `package y4
+
+//hydralint:cacheline
+type cursors struct {
+	//hydralint:owner reader
+	rd uint64
+	//hydralint:owner writer
+	wr uint64
+}
+
+var _ = cursors{}
+`,
+	},
+	{
+		name:  "layout-cacheline-padded-ok",
+		path:  "internal/y5/y5.go",
+		check: "layout",
+		want:  0,
+		src: `package y5
+
+//hydralint:cacheline
+type cursors struct {
+	//hydralint:owner reader
+	rd uint64
+	_  [7]uint64
+	//hydralint:owner writer
+	wr uint64
+	_  [7]uint64
+}
+
+var _ = cursors{}
+`,
+	},
+
+	// --- stale-suppression -------------------------------------------------
+	{
+		name:  "stale-ignore-flagged",
+		path:  "internal/st1/st1.go",
+		check: "stale-suppression",
+		want:  1,
+		src: `package st1
+
+//hydralint:ignore clock-discipline nothing here uses the clock
+func Fine() int { return 1 }
+`,
+	},
 }
 
 // writeModule materializes the fixture module and returns its root.
@@ -562,10 +891,11 @@ func TestChecksFireOnFixtures(t *testing.T) {
 	}
 	dir := writeModule(t, files)
 
-	diags, err := RunLint(dir, []string{"./..."}, nil, true)
+	res, err := RunLint(dir, []string{"./..."}, nil, true)
 	if err != nil {
 		t.Fatalf("RunLint: %v", err)
 	}
+	diags := res.Diags
 
 	byFile := map[string][]Diagnostic{}
 	for _, d := range diags {
@@ -602,10 +932,11 @@ func TestIgnoreDirectiveSuppresses(t *testing.T) {
 	}
 	dir := writeModule(t, files)
 
-	diags, err := RunLint(dir, []string{"./..."}, nil, true)
+	res, err := RunLint(dir, []string{"./..."}, nil, true)
 	if err != nil {
 		t.Fatalf("RunLint: %v", err)
 	}
+	diags := res.Diags
 	if len(diags) == 0 {
 		t.Fatal("fixture set produced no findings to suppress")
 	}
@@ -632,12 +963,12 @@ func TestIgnoreDirectiveSuppresses(t *testing.T) {
 	}
 	dir2 := writeModule(t, suppressed)
 
-	diags2, err := RunLint(dir2, []string{"./..."}, nil, true)
+	res2, err := RunLint(dir2, []string{"./..."}, nil, true)
 	if err != nil {
 		t.Fatalf("RunLint (suppressed): %v", err)
 	}
-	if len(diags2) != 0 {
-		t.Errorf("ignore directives did not silence findings: %v", diags2)
+	if len(res2.Diags) != 0 {
+		t.Errorf("ignore directives did not silence findings: %v", res2.Diags)
 	}
 }
 
@@ -648,10 +979,11 @@ func TestChecksFlagRestrictsRun(t *testing.T) {
 	}
 	dir := writeModule(t, files)
 
-	diags, err := RunLint(dir, []string{"./..."}, []string{"clock-discipline"}, true)
+	res, err := RunLint(dir, []string{"./..."}, []string{"clock-discipline"}, true)
 	if err != nil {
 		t.Fatalf("RunLint: %v", err)
 	}
+	diags := res.Diags
 	if len(diags) != 2 {
 		t.Fatalf("clock-discipline-only run: %d findings, want 2 (c1, c2): %v", len(diags), diags)
 	}
@@ -662,14 +994,122 @@ func TestChecksFlagRestrictsRun(t *testing.T) {
 	}
 }
 
+// TestSuppressionCensusAndBudget covers the ratchet: the census counts only
+// comments that start with a marker, and checkBudget fails on growth,
+// notes shrinkage, and accepts equality.
+func TestSuppressionCensusAndBudget(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/b1/b1.go": `package b1
+
+import "time"
+
+// The prose mention of hydralint:ignore below must not count; only the
+// leading directives do.
+
+//hydralint:ignore clock-discipline startup banner timestamp
+func Banner() int64 { return time.Now().UnixNano() }
+
+// Handoff returns holding its lock by contract (fake, for the census).
+//
+// hydralint:holds
+func Handoff() {}
+`,
+	})
+	res, err := RunLint(dir, []string{"./..."}, nil, true)
+	if err != nil {
+		t.Fatalf("RunLint: %v", err)
+	}
+	got := res.Suppressions
+	want := SuppressionCounts{Ignore: 1, Holds: 1}
+	if got != want {
+		t.Fatalf("census = %+v, want %+v", got, want)
+	}
+
+	if fails, _ := checkBudget(got, want); len(fails) != 0 {
+		t.Errorf("equal budget must pass, got failures: %v", fails)
+	}
+	if fails, _ := checkBudget(got, SuppressionCounts{Holds: 1}); len(fails) != 1 {
+		t.Errorf("exceeded ignore budget must fail once, got: %v", fails)
+	}
+	loose := SuppressionCounts{Ignore: 5, Holds: 1}
+	if fails, notes := checkBudget(got, loose); len(fails) != 0 || len(notes) != 1 {
+		t.Errorf("loose budget: fails=%v notes=%v, want 0 fails / 1 note", fails, notes)
+	}
+
+	// parseBudget round-trips formatBudget.
+	path := filepath.Join(t.TempDir(), ".hydralint-budget")
+	if err := os.WriteFile(path, []byte(formatBudget(got)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	back, err := parseBudget(path)
+	if err != nil {
+		t.Fatalf("parseBudget: %v", err)
+	}
+	if back != got {
+		t.Errorf("round trip = %+v, want %+v", back, got)
+	}
+}
+
+// TestEmitters validates the -json and SARIF output shapes.
+func TestEmitters(t *testing.T) {
+	diags := []Diagnostic{
+		{File: "internal/a/a.go", Line: 3, Col: 2, Check: "layout", Msg: "boom"},
+	}
+
+	var jbuf strings.Builder
+	if err := writeJSON(&jbuf, diags); err != nil {
+		t.Fatalf("writeJSON: %v", err)
+	}
+	var round []Diagnostic
+	if err := json.Unmarshal([]byte(jbuf.String()), &round); err != nil {
+		t.Fatalf("json output does not parse: %v\n%s", err, jbuf.String())
+	}
+	if len(round) != 1 || round[0] != diags[0] {
+		t.Errorf("json round trip = %+v, want %+v", round, diags)
+	}
+	jbuf.Reset()
+	if err := writeJSON(&jbuf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(jbuf.String()) != "[]" {
+		t.Errorf("empty run must emit [], got %q", jbuf.String())
+	}
+
+	var sbuf strings.Builder
+	if err := writeSARIF(&sbuf, diags); err != nil {
+		t.Fatalf("writeSARIF: %v", err)
+	}
+	var log sarifLog
+	if err := json.Unmarshal([]byte(sbuf.String()), &log); err != nil {
+		t.Fatalf("sarif output does not parse: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("sarif envelope wrong: version=%q runs=%d", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "hydralint" || len(run.Tool.Driver.Rules) != len(allChecks) {
+		t.Errorf("driver = %q with %d rules, want hydralint with %d",
+			run.Tool.Driver.Name, len(run.Tool.Driver.Rules), len(allChecks))
+	}
+	if len(run.Results) != 1 {
+		t.Fatalf("results = %d, want 1", len(run.Results))
+	}
+	r := run.Results[0]
+	loc := r.Locations[0].PhysicalLocation
+	if r.RuleID != "layout" || r.Level != "error" ||
+		loc.ArtifactLocation.URI != "internal/a/a.go" || loc.Region.StartLine != 3 {
+		t.Errorf("sarif result wrong: %+v", r)
+	}
+}
+
 // TestRepoIsClean is the dogfooding gate: the repository this linter ships
 // in must satisfy its own checks.
 func TestRepoIsClean(t *testing.T) {
-	diags, err := RunLint("../..", []string{"./..."}, nil, true)
+	res, err := RunLint("../..", []string{"./..."}, nil, true)
 	if err != nil {
 		t.Fatalf("RunLint on repo: %v", err)
 	}
-	for _, d := range diags {
+	for _, d := range res.Diags {
 		t.Errorf("repo finding: %s:%d:%d: %s (%s)", d.File, d.Line, d.Col, d.Msg, d.Check)
 	}
 }

@@ -28,6 +28,9 @@ type Package struct {
 	Files   []*ast.File
 	Info    *types.Info
 	Pkg     *types.Package
+	// Prog is the whole-run view, set by newProgram after every package has
+	// loaded; the interprocedural passes resolve call summaries through it.
+	Prog *Program
 }
 
 // isInternal reports whether the package sits under the module's internal/

@@ -1,7 +1,10 @@
 // Command hydralint is HydraDB's project linter: a stdlib-only static
 // analyzer (go/parser + go/types) that enforces the paper's structural
 // invariants at review time, before the hydradebug runtime sanitizers ever
-// get a chance to fire.
+// get a chance to fire. The analysis is interprocedural: a call graph over
+// the loaded packages feeds per-function summaries (net lock effect, escape
+// behaviour, atomic-vs-plain pointer use) that let the flow passes step over
+// calls into module functions instead of stopping at them.
 //
 // Checks (each individually suppressible with a `//hydralint:ignore <check>`
 // comment on the offending line or the line above):
@@ -31,26 +34,48 @@
 //	                   (sync.Mutex/RWMutex Lock/RLock, invariant.Owner
 //	                   Acquire) must be matched by the paired release on
 //	                   every path to a function exit, directly or via defer.
+//	                   Interprocedural: release helpers and handoff acquirers
+//	                   with a provable net lock effect are stepped over.
 //	                   Functions that intentionally return while holding a
 //	                   lock carry a `hydralint:holds` marker in their doc
 //	                   comment.
-//	published-escape   intra-procedural taint pass: a pointer into an
-//	                   RDMA-registered region (arena bytes, MemoryRegion
-//	                   data, decoded item views) must not escape to a
-//	                   longer-lived un-leased reference — no stores to
-//	                   fields/globals, channel sends, or returns. Functions
-//	                   whose contract is to return a view carry a
-//	                   `hydralint:aliases` marker in their doc comment.
+//	published-escape   taint pass: a pointer into an RDMA-registered region
+//	                   (arena bytes, MemoryRegion data, decoded item views)
+//	                   must not escape to a longer-lived un-leased reference
+//	                   — no stores to fields/globals, channel sends, or
+//	                   returns. Interprocedural: taint follows calls whose
+//	                   summary proves the result aliases an argument, and
+//	                   passing a view to a callee that publishes it is a
+//	                   sink. Functions whose contract is to return a view
+//	                   carry a `hydralint:aliases` marker in their doc
+//	                   comment.
+//	mixed-access       whole-program: a word accessed with sync/atomic
+//	                   anywhere must never see a plain load or store anywhere
+//	                   else. Deliberate exceptions carry a
+//	                   `//hydralint:plainread <justification>` annotation.
+//	layout             compile-time layout verification: `hydralint:assert`
+//	                   constant expressions, `hydralint:layout size=/align=`
+//	                   pins on type declarations, and `hydralint:cacheline`
+//	                   false-sharing checks over `hydralint:owner` fields.
+//	stale-suppression  a `hydralint:ignore` that no longer filters any
+//	                   finding is itself a finding — suppressions only
+//	                   ratchet down.
 //
 // Usage:
 //
-//	hydralint [-checks clock-discipline,...] [-tests=false] [-list] [packages]
+//	hydralint [-checks clock-discipline,...] [-tests=false] [-list]
+//	          [-json] [-sarif out.sarif] [-budget .hydralint-budget]
+//	          [-budget-write .hydralint-budget] [packages]
 //
 // Packages default to ./... and use `go list` syntax. _test.go files are
 // linted too unless -tests=false; checks whose rules only govern production
 // code (clock-discipline, shard-exclusivity, published-escape) always skip
-// them. Exit status is 0 when clean, 1 when findings were reported, 2 on
-// usage or load errors.
+// them. -json prints findings as a JSON array instead of text; -sarif writes
+// a SARIF 2.1.0 log for code-scanning upload (always written, even when
+// clean). -budget compares the repo-wide count of suppression directives
+// against a checked-in baseline and fails when it grew; -budget-write
+// regenerates the baseline. Exit status is 0 when clean, 1 when findings
+// were reported or the budget was exceeded, 2 on usage or load errors.
 package main
 
 import (
@@ -62,9 +87,13 @@ import (
 
 func main() {
 	var (
-		listFlag   = flag.Bool("list", false, "list registered checks and exit")
-		checksFlag = flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
-		testsFlag  = flag.Bool("tests", true, "also lint _test.go files")
+		listFlag    = flag.Bool("list", false, "list registered checks and exit")
+		checksFlag  = flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+		testsFlag   = flag.Bool("tests", true, "also lint _test.go files")
+		jsonFlag    = flag.Bool("json", false, "print findings as a JSON array")
+		sarifFlag   = flag.String("sarif", "", "write a SARIF 2.1.0 log to this file")
+		budgetFlag  = flag.String("budget", "", "fail if suppression counts exceed this baseline file")
+		budgetWrite = flag.String("budget-write", "", "write the current suppression counts to this baseline file")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: hydralint [flags] [packages]\n")
@@ -95,16 +124,71 @@ func main() {
 		patterns = []string{"./..."}
 	}
 
-	diags, err := RunLint(".", patterns, only, *testsFlag)
+	res, err := RunLint(".", patterns, only, *testsFlag)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hydralint: %v\n", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Printf("%s:%d:%d: %s (%s)\n", d.File, d.Line, d.Col, d.Msg, d.Check)
+	diags := res.Diags
+
+	if *sarifFlag != "" {
+		f, err := os.Create(*sarifFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hydralint: %v\n", err)
+			os.Exit(2)
+		}
+		if err := writeSARIF(f, diags); err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hydralint: writing SARIF: %v\n", err)
+			os.Exit(2)
+		}
 	}
-	if len(diags) > 0 {
+
+	if *jsonFlag {
+		if err := writeJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintf(os.Stderr, "hydralint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s:%d:%d: %s (%s)\n", d.File, d.Line, d.Col, d.Msg, d.Check)
+		}
+	}
+
+	failed := len(diags) > 0
+	if failed {
 		fmt.Fprintf(os.Stderr, "hydralint: %d finding(s)\n", len(diags))
+	}
+
+	if *budgetWrite != "" {
+		if err := os.WriteFile(*budgetWrite, []byte(formatBudget(res.Suppressions)), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "hydralint: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "hydralint: wrote %s (%d suppressions)\n", *budgetWrite, res.Suppressions.Total())
+	}
+
+	if *budgetFlag != "" {
+		baseline, err := parseBudget(*budgetFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hydralint: %v\n", err)
+			os.Exit(2)
+		}
+		failures, notes := checkBudget(res.Suppressions, baseline)
+		for _, n := range notes {
+			fmt.Fprintf(os.Stderr, "hydralint: note: %s\n", n)
+		}
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "hydralint: %s\n", f)
+		}
+		if len(failures) > 0 {
+			failed = true
+		}
+	}
+
+	if failed {
 		os.Exit(1)
 	}
 }

@@ -24,6 +24,21 @@ import (
 // can satisfy an allocation.
 var ErrOutOfMemory = errors.New("arena: out of memory")
 
+// Allocation geometry. Size classes start at minClassBytes and every class is
+// a multiple of 16, so the word groups class-rounded items occupy pack evenly
+// into 64-byte cache lines instead of straddling them.
+const (
+	minClassBytes  = 32
+	pageClassBytes = 4096    // first power-of-two-doubling class
+	maxClassBytes  = 8 << 20 // largest class: the 4 MB MapReduce chunks fit
+	cacheLineBytes = 64
+)
+
+// hydralint:assert cacheLineBytes%minClassBytes == 0
+// hydralint:assert minClassBytes%16 == 0
+// hydralint:assert pageClassBytes%cacheLineBytes == 0
+// hydralint:assert maxClassBytes%cacheLineBytes == 0
+
 // classSizes are the allocation size classes in bytes. The 16 B key + 32 B
 // value items the paper evaluates land in the first classes; the tail classes
 // cover the 4 MB chunks the MapReduce cache stores (§2.1).
@@ -31,7 +46,7 @@ var classSizes = buildClasses()
 
 func buildClasses() []int {
 	var cs []int
-	for s := 32; s < 4096; {
+	for s := minClassBytes; s < pageClassBytes; {
 		cs = append(cs, s)
 		// 32,48,64,96,128,... alternate +50% / +33% growth keeps internal
 		// fragmentation below ~34%.
@@ -41,7 +56,7 @@ func buildClasses() []int {
 			s = s * 3 / 2
 		}
 	}
-	for s := 4096; s <= 8<<20; s *= 2 {
+	for s := pageClassBytes; s <= maxClassBytes; s *= 2 {
 		cs = append(cs, s)
 	}
 	return cs

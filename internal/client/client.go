@@ -400,11 +400,13 @@ func (c *Client) requestAppend(req *message.Request, dst []byte) (message.Respon
 		if resp.Status == message.StatusWrongShard {
 			c.ctr.RoutingRetries.Inc()
 			if c.opts.Refresh == nil {
+				// hydralint:ignore published-escape resp.Val re-pointed at the private dst copy before Consume
 				return resp, dst, ErrRetries
 			}
 			c.refreshTable()
 			continue
 		}
+		// hydralint:ignore published-escape resp.Val re-pointed at the private dst copy before Consume
 		return resp, dst, nil
 	}
 	return message.Response{}, dst, ErrRetries

@@ -28,12 +28,34 @@ import (
 	"hydradb/internal/hashx"
 )
 
+// Bucket word geometry. The hydralint layout pass re-derives these facts on
+// every lint run, so the constants, the doc comment above, and the Bucket
+// spec struct below cannot drift apart silently.
 const (
 	slotsPerBucket = 7
 	wordsPerBucket = 8
+	sigBits        = 16
+	refBits        = 48
 	filterMask     = 0x7f
-	refMask        = (uint64(1) << 48) - 1
+	refMask        = (uint64(1) << refBits) - 1
 )
+
+// hydralint:assert slotsPerBucket+1 == wordsPerBucket
+// hydralint:assert 8*wordsPerBucket == 64
+// hydralint:assert sigBits+refBits == 64
+// hydralint:assert filterMask == (1<<slotsPerBucket)-1
+
+// Bucket is the declarative layout of one table bucket: the 8-byte header
+// word followed by seven signature|reference slots — exactly one 64-byte
+// cache line, the unit a lookup reads (§4.1.3). The table operates on
+// []uint64 windows (bucketWords); this struct exists so the layout linter
+// and the golden test pin the wire format those windows assume.
+//
+// hydralint:layout size=64 align=8
+type Bucket struct {
+	Header uint64
+	Slots  [slotsPerBucket]uint64
+}
 
 // ErrRefTooLarge reports an item reference that does not fit in 48 bits.
 var ErrRefTooLarge = errors.New("hashtable: reference exceeds 48 bits")
@@ -83,10 +105,10 @@ func (t *Table) OverflowBuckets() int {
 }
 
 func makeSlot(sig uint16, ref uint64) uint64 {
-	return uint64(sig)<<48 | (ref & refMask)
+	return uint64(sig)<<refBits | (ref & refMask)
 }
 
-func slotSig(w uint64) uint16    { return uint16(w >> 48) }
+func slotSig(w uint64) uint16    { return uint16(w >> refBits) }
 func slotRef(w uint64) uint64    { return w & refMask }
 func headerLink(h uint64) uint64 { return h >> 8 }
 func setHeaderLink(h, link uint64) uint64 {

@@ -38,27 +38,56 @@ var (
 //
 // The same Mailbox value is shared by both ends of a connection in-process:
 // the owner advances the read cursor, the writer the write cursor, and the
-// indicator words carry all cross-goroutine synchronization.
+// indicator words carry all cross-goroutine synchronization. The cursors are
+// padded onto private cache lines: each is written by exactly one goroutine
+// on every message, and sharing a line would put coherence traffic on the
+// per-message hot path (the in-process analogue of §4.2.1's single-writer
+// cursor split).
+//
+// hydralint:layout size=192 align=8
+// hydralint:cacheline
 type Mailbox struct {
 	mr       *rdma.MemoryRegion
 	dataOff  int
 	slotCap  int
 	depth    int
 	wordBase int
-	rd       int // owner-side read cursor (slot index)
-	wr       int // writer-side write cursor (slot index)
+	_        [3]uint64 // pad: the read-only config above fills its own line
+
+	// owner-side read cursor (slot index)
+	// hydralint:owner owner
+	rd int
+	_  [7]uint64 // pad: rd gets a private cache line
+
+	// writer-side write cursor (slot index)
+	// hydralint:owner writer
+	wr int
+	_  [7]uint64 // pad: keep wr's line private even in Mailbox arrays
 }
 
-// indicator layout: bit 63 = present, bits 62..32 = seq (31 bits),
-// bits 31..0 = body size.
-const presentBit = uint64(1) << 63
+// Indicator word format: one present bit, a 31-bit sequence number, and a
+// 32-bit body size, packed most-significant first so a zero word means
+// "slot free". Each ring slot owns an adjacent (head, tail) indicator pair.
+const (
+	presentBits           = 1
+	seqBits               = 31
+	sizeBits              = 32
+	seqMask               = (uint64(1) << seqBits) - 1
+	sizeMask              = (uint64(1) << sizeBits) - 1
+	indicatorWordsPerSlot = 2
+)
+
+// hydralint:assert presentBits+seqBits+sizeBits == 64
+// hydralint:assert 64%(8*indicatorWordsPerSlot) == 0
+
+const presentBit = uint64(1) << (seqBits + sizeBits)
 
 func makeIndicator(seq uint32, size int) uint64 {
-	return presentBit | uint64(seq&0x7fffffff)<<32 | uint64(uint32(size))
+	return presentBit | (uint64(seq)&seqMask)<<sizeBits | uint64(uint32(size))
 }
 
 func splitIndicator(w uint64) (seq uint32, size int, present bool) {
-	return uint32(w>>32) & 0x7fffffff, int(uint32(w)), w&presentBit != 0
+	return uint32((w >> sizeBits) & seqMask), int(uint32(w & sizeMask)), w&presentBit != 0
 }
 
 // NewMailbox creates a single-slot mailbox over [dataOff, dataOff+dataCap)
@@ -82,7 +111,7 @@ func NewRing(mr *rdma.MemoryRegion, dataOff, slotCap, depth, wordBase int) *Mail
 	if depth < 1 || slotCap <= 0 {
 		panic("message: mailbox ring needs depth >= 1 and positive slot capacity")
 	}
-	if wordBase < 0 || wordBase+2*depth > mr.Words().Len() {
+	if wordBase < 0 || wordBase+indicatorWordsPerSlot*depth > mr.Words().Len() {
 		panic("message: mailbox ring exceeds word area")
 	}
 	if dataOff < 0 || dataOff+depth*slotCap > len(mr.Data()) {
@@ -105,7 +134,7 @@ func (m *Mailbox) Depth() int { return m.depth }
 // hydralint:hotpath
 func (m *Mailbox) Poll() (body []byte, seq uint32, ok bool) {
 	words := m.mr.Words()
-	headIdx := m.wordBase + 2*m.rd
+	headIdx := m.wordBase + indicatorWordsPerSlot*m.rd
 	head := words.Load(headIdx)
 	if head == 0 {
 		return nil, 0, false
@@ -129,7 +158,7 @@ func (m *Mailbox) Poll() (body []byte, seq uint32, ok bool) {
 // hydralint:hotpath
 func (m *Mailbox) Consume() {
 	words := m.mr.Words()
-	headIdx := m.wordBase + 2*m.rd
+	headIdx := m.wordBase + indicatorWordsPerSlot*m.rd
 	words.Store(headIdx+1, 0)
 	words.Store(headIdx, 0)
 	m.rd++
@@ -142,7 +171,7 @@ func (m *Mailbox) Consume() {
 // (owner side).
 //
 // hydralint:hotpath
-func (m *Mailbox) Busy() bool { return m.mr.Words().Load(m.wordBase+2*m.rd) != 0 }
+func (m *Mailbox) Busy() bool { return m.mr.Words().Load(m.wordBase+indicatorWordsPerSlot*m.rd) != 0 }
 
 // WriteVia delivers body into the slot at the write cursor through qp as one
 // RDMA Write (writer side) and advances the cursor. The caller must respect
@@ -155,7 +184,7 @@ func (m *Mailbox) WriteVia(qp *rdma.QP, body []byte, seq uint32) error {
 	if len(body) > m.slotCap {
 		return ErrTooLarge
 	}
-	headIdx := m.wordBase + 2*m.wr
+	headIdx := m.wordBase + indicatorWordsPerSlot*m.wr
 	off := m.dataOff + m.wr*m.slotCap
 	ind := makeIndicator(seq, len(body))
 	if err := qp.WriteIndicated(m.mr, off, body, headIdx+1, headIdx, ind); err != nil {
@@ -179,7 +208,7 @@ func (m *Mailbox) WriteLocal(body []byte, seq uint32) error {
 		return ErrTooLarge
 	}
 	words := m.mr.Words()
-	headIdx := m.wordBase + 2*m.wr
+	headIdx := m.wordBase + indicatorWordsPerSlot*m.wr
 	if words.Load(headIdx) != 0 {
 		return ErrRingFull
 	}
