@@ -5,7 +5,7 @@
 GO        ?= go
 FUZZTIME  ?= 20s
 
-.PHONY: all build vet test race lint lint-budget lint-budget-write lint-sarif fuzz-smoke debug-test bench-smoke hydramc-smoke chaos-smoke cover ci
+.PHONY: all build vet test race lint lint-budget lint-budget-write lint-sarif deep-lint fuzz-smoke debug-test bench-smoke hydramc-smoke chaos-smoke cover ci
 
 all: build test
 
@@ -46,6 +46,18 @@ lint-budget-write:
 # Machine-readable findings for code-scanning upload (written even when clean).
 lint-sarif:
 	$(GO) run ./cmd/hydralint -sarif hydralint.sarif ./...
+
+# Nightly deep verification (.github/workflows/nightly.yml): the budgeted
+# lint plus a hydramc exploration an order of magnitude past the smoke
+# bound, including a word-granularity (-fine) mailbox leg. Model drift and
+# rare interleavings that hide under the smoke caps surface here instead of
+# blocking the per-PR pipeline.
+DEEPMCSCHEDULES ?= 200000
+DEEPMCTIMEOUT   ?= 2400
+deep-lint: lint-budget lint-sarif
+	timeout $(DEEPMCTIMEOUT) $(GO) run ./cmd/hydramc -all -maxschedules $(DEEPMCSCHEDULES)
+	timeout $(DEEPMCTIMEOUT) $(GO) run -tags hydradebug ./cmd/hydramc -model mailbox -fine -maxsteps 800 -maxschedules $(DEEPMCSCHEDULES)
+	! timeout $(DEEPMCTIMEOUT) $(GO) run -tags hydradebug ./cmd/hydramc -model mailbox -fine -bug -maxsteps 800 -maxschedules $(DEEPMCSCHEDULES)
 
 # Short fuzz pass over the wire codecs; go test -fuzz accepts only one
 # package per invocation.

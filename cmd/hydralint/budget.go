@@ -10,28 +10,60 @@ import (
 
 // The suppression ratchet. Every escape hatch the linter offers (the ignore,
 // holds, aliases, and plainread directives) is counted repo-wide and compared
-// against a checked-in baseline
-// (.hydralint-budget). A run whose count exceeds the baseline fails: new
-// suppressions need a reviewer to consciously raise the budget in the same
-// change. A run whose count is lower only reports that the baseline can be
-// tightened; `hydralint -budget-write` regenerates the file. The
-// stale-suppression check closes the loop from the other side by flagging
-// ignore directives that no longer filter anything.
+// against a checked-in baseline (.hydralint-budget). A run whose count
+// exceeds the baseline fails: new suppressions need a reviewer to consciously
+// raise the budget in the same change. A run whose count is lower only
+// reports that the baseline can be tightened; `hydralint -budget-write`
+// regenerates the file. The stale-suppression check closes the loop from the
+// other side by flagging ignore directives that no longer filter anything.
+//
+// Since format version 2, hydralint:ignore directives are keyed by
+// check + package + enclosing symbol rather than counted as one repo-wide
+// total. Moving a suppression to another file or line inside the same
+// declaration changes nothing; adding one to a new symbol — or renaming the
+// check it suppresses — shows up as a new key the baseline does not cover
+// and fails the ratchet. Version-1 baselines (a single "ignore N" total) are
+// still read and compared by total, so the transition does not break older
+// checkouts.
+
+// ignoreKey identifies one budgeted suppression site nominally.
+type ignoreKey struct {
+	Check  string
+	Pkg    string
+	Symbol string // enclosing top-level declaration; "-" at file scope
+}
+
+func (k ignoreKey) String() string {
+	return k.Check + " " + k.Pkg + " " + k.Symbol
+}
 
 // SuppressionCounts is the repo-wide census of linter escape hatches.
 type SuppressionCounts struct {
-	Ignore    int `json:"ignore"`
-	Holds     int `json:"holds"`
-	Aliases   int `json:"aliases"`
-	Plainread int `json:"plainread"`
+	Ignore    map[ignoreKey]int
+	Holds     int
+	Aliases   int
+	Plainread int
+
+	// legacyIgnore carries the aggregate total of a version-1 baseline file;
+	// legacy is set when the file had no keyed entries to compare against.
+	legacyIgnore int
+	legacy       bool
+}
+
+func (c SuppressionCounts) IgnoreTotal() int {
+	n := 0
+	for _, v := range c.Ignore {
+		n += v
+	}
+	return n
 }
 
 func (c SuppressionCounts) Total() int {
-	return c.Ignore + c.Holds + c.Aliases + c.Plainread
+	return c.IgnoreTotal() + c.Holds + c.Aliases + c.Plainread
 }
 
-// categories orders the budget file deterministically.
-func (c SuppressionCounts) categories() []struct {
+// aggregates orders the non-keyed categories deterministically.
+func (c SuppressionCounts) aggregates() []struct {
 	Name  string
 	Count int
 } {
@@ -39,19 +71,20 @@ func (c SuppressionCounts) categories() []struct {
 		Name  string
 		Count int
 	}{
-		{"ignore", c.Ignore},
 		{"holds", c.Holds},
 		{"aliases", c.Aliases},
 		{"plainread", c.Plainread},
 	}
 }
 
-// countSuppressions counts directive comments across all loaded files. Only
-// comments that *start* with a marker count — prose that mentions a marker
-// mid-sentence does not. Files shared between a package and its test variant
-// are counted once.
+// countSuppressions counts directive comments across all loaded files. The
+// ignore directives are keyed by (check, package, enclosing symbol); a
+// directive naming several checks budgets each. Only comments that
+// *start* with a marker count — prose that mentions a marker mid-sentence
+// does not. Files shared between a package and its test variant are counted
+// once.
 func countSuppressions(pkgs []*Package) SuppressionCounts {
-	var c SuppressionCounts
+	c := SuppressionCounts{Ignore: map[ignoreKey]int{}}
 	seen := map[string]bool{}
 	for _, p := range pkgs {
 		for _, f := range p.Files {
@@ -63,9 +96,21 @@ func countSuppressions(pkgs []*Package) SuppressionCounts {
 			for _, cg := range f.Comments {
 				for _, cm := range cg.List {
 					text := commentText(cm)
+					if rest, ok := directiveRest(text, "hydralint:ignore"); ok {
+						fields := strings.Fields(rest)
+						if len(fields) == 0 {
+							continue
+						}
+						sym := enclosingSymbol(p, cm.Pos())
+						if sym == "" {
+							sym = "-"
+						}
+						for _, check := range strings.Split(fields[0], ",") {
+							c.Ignore[ignoreKey{Check: check, Pkg: p.ImportPath, Symbol: sym}]++
+						}
+						continue
+					}
 					switch {
-					case matchesMarker(text, "hydralint:ignore"):
-						c.Ignore++
 					case matchesMarker(text, "hydralint:holds"):
 						c.Holds++
 					case matchesMarker(text, "hydralint:aliases"):
@@ -85,69 +130,147 @@ func matchesMarker(text, marker string) bool {
 	return ok
 }
 
-// parseBudget reads a baseline file of "category count" lines ('#' comments
-// and blank lines allowed).
+// parseBudget reads a baseline file ('#' comments and blank lines allowed).
+// Version 2 files carry a "version 2" line and keyed entries
+// "ignore <check> <pkg> <symbol> <count>"; version 1 files carry a single
+// "ignore <total>" and are compared by total only. A missing file is an
+// error: the ratchet cannot hold against nothing — regenerate the baseline
+// with -budget-write.
 func parseBudget(path string) (SuppressionCounts, error) {
-	var c SuppressionCounts
+	c := SuppressionCounts{Ignore: map[ignoreKey]int{}, legacy: true}
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return c, err
+		return c, fmt.Errorf("suppression baseline unreadable (regenerate with -budget-write): %w", err)
 	}
 	for i, line := range strings.Split(string(data), "\n") {
 		line = strings.TrimSpace(line)
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		name, val, found := strings.Cut(line, " ")
-		if !found {
-			return c, fmt.Errorf("%s:%d: malformed line %q (want \"category count\")", path, i+1, line)
+		fields := strings.Fields(line)
+		bad := func(why string) (SuppressionCounts, error) {
+			return c, fmt.Errorf("%s:%d: %s: %q", path, i+1, why, line)
 		}
-		n, err := strconv.Atoi(strings.TrimSpace(val))
-		if err != nil {
-			return c, fmt.Errorf("%s:%d: bad count %q", path, i+1, val)
-		}
-		switch name {
+		switch fields[0] {
+		case "version":
+			if len(fields) != 2 || fields[1] != "2" {
+				return bad("unsupported budget format version")
+			}
+			c.legacy = false
 		case "ignore":
-			c.Ignore = n
-		case "holds":
-			c.Holds = n
-		case "aliases":
-			c.Aliases = n
-		case "plainread":
-			c.Plainread = n
+			switch len(fields) {
+			case 2: // version-1 aggregate
+				n, err := strconv.Atoi(fields[1])
+				if err != nil {
+					return bad("bad count")
+				}
+				c.legacyIgnore += n
+			case 5:
+				n, err := strconv.Atoi(fields[4])
+				if err != nil {
+					return bad("bad count")
+				}
+				c.Ignore[ignoreKey{Check: fields[1], Pkg: fields[2], Symbol: fields[3]}] += n
+			default:
+				return bad("malformed line (want \"ignore <check> <pkg> <symbol> <count>\")")
+			}
+		case "holds", "aliases", "plainread":
+			if len(fields) != 2 {
+				return bad("malformed line (want \"category count\")")
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return bad("bad count")
+			}
+			switch fields[0] {
+			case "holds":
+				c.Holds = n
+			case "aliases":
+				c.Aliases = n
+			case "plainread":
+				c.Plainread = n
+			}
 		default:
-			return c, fmt.Errorf("%s:%d: unknown category %q", path, i+1, name)
+			return bad("unknown category")
 		}
 	}
 	return c, nil
 }
 
-// formatBudget renders the baseline file content.
+// formatBudget renders the baseline file content (format version 2, keyed
+// ignores sorted for a stable diff).
 func formatBudget(c SuppressionCounts) string {
 	var b strings.Builder
 	b.WriteString("# hydralint suppression budget — the ratchet only goes down.\n")
 	b.WriteString("# Regenerate with: go run ./cmd/hydralint -budget-write .hydralint-budget ./...\n")
-	for _, cat := range c.categories() {
+	b.WriteString("# ignore entries are keyed by check + package + enclosing symbol, so moving\n")
+	b.WriteString("# a suppression between files is free; adding one to a new symbol is not.\n")
+	b.WriteString("version 2\n")
+	keys := make([]ignoreKey, 0, len(c.Ignore))
+	for k := range c.Ignore {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	for _, k := range keys {
+		fmt.Fprintf(&b, "ignore %s %d\n", k, c.Ignore[k])
+	}
+	for _, cat := range c.aggregates() {
 		fmt.Fprintf(&b, "%s %d\n", cat.Name, cat.Count)
 	}
 	return b.String()
 }
 
 // checkBudget compares the current census against the baseline. It returns
-// human-readable failures (count exceeded) and notes (budget can be
-// tightened); an empty failures slice means the ratchet holds.
+// human-readable failures (count exceeded, or a key the baseline does not
+// know) and notes (budget can be tightened); an empty failures slice means
+// the ratchet holds.
 func checkBudget(current, baseline SuppressionCounts) (failures, notes []string) {
-	cur, base := current.categories(), baseline.categories()
-	for i := range cur {
+	if baseline.legacy {
+		// Version-1 baseline: only the total is comparable.
+		cur, base := current.IgnoreTotal(), baseline.legacyIgnore
 		switch {
-		case cur[i].Count > base[i].Count:
+		case cur > base:
+			failures = append(failures, fmt.Sprintf(
+				"suppression budget exceeded: %d hydralint:ignore directives, version-1 baseline allows %d — remove the new suppression or regenerate the baseline (now keyed) in this change",
+				cur, base))
+		case cur < base:
+			notes = append(notes, fmt.Sprintf(
+				"budget for hydralint:ignore can be tightened: %d in tree, baseline says %d (run -budget-write; the new baseline is keyed per check+package+symbol)",
+				cur, base))
+		}
+	} else {
+		for k, n := range current.Ignore {
+			allowed, known := baseline.Ignore[k]
+			switch {
+			case !known:
+				failures = append(failures, fmt.Sprintf(
+					"suppression budget exceeded: hydralint:ignore %s in %s (%s) is not in the baseline — a new or renamed suppression needs the budget consciously raised in the same change",
+					k.Check, k.Pkg, k.Symbol))
+			case n > allowed:
+				failures = append(failures, fmt.Sprintf(
+					"suppression budget exceeded: %d hydralint:ignore %s in %s (%s), baseline allows %d",
+					n, k.Check, k.Pkg, k.Symbol, allowed))
+			}
+		}
+		for k, allowed := range baseline.Ignore {
+			if n := current.Ignore[k]; n < allowed {
+				notes = append(notes, fmt.Sprintf(
+					"budget for hydralint:ignore %s in %s (%s) can be tightened: %d in tree, baseline says %d (run -budget-write)",
+					k.Check, k.Pkg, k.Symbol, n, allowed))
+			}
+		}
+	}
+	for i, cur := range current.aggregates() {
+		base := baseline.aggregates()[i]
+		switch {
+		case cur.Count > base.Count:
 			failures = append(failures, fmt.Sprintf(
 				"suppression budget exceeded: %d hydralint:%s directives, baseline allows %d — remove the new suppression or consciously raise .hydralint-budget in this change",
-				cur[i].Count, cur[i].Name, base[i].Count))
-		case cur[i].Count < base[i].Count:
+				cur.Count, cur.Name, base.Count))
+		case cur.Count < base.Count:
 			notes = append(notes, fmt.Sprintf(
 				"budget for hydralint:%s can be tightened: %d in tree, baseline says %d (run -budget-write)",
-				cur[i].Name, cur[i].Count, base[i].Count))
+				cur.Name, cur.Count, base.Count))
 		}
 	}
 	sort.Strings(failures)

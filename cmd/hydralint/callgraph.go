@@ -19,6 +19,9 @@ type Program struct {
 	lockSums   map[string]*lockSummary
 	escapeSums map[string]*escapeSummary
 	atomicSums map[string]*atomicSummary
+	mutateSums map[string]*mutateSummary
+
+	markers *progMarkers
 }
 
 // FuncInfo is one source-loaded function or method declaration.
@@ -35,6 +38,7 @@ func newProgram(pkgs []*Package) *Program {
 		lockSums:   map[string]*lockSummary{},
 		escapeSums: map[string]*escapeSummary{},
 		atomicSums: map[string]*atomicSummary{},
+		mutateSums: map[string]*mutateSummary{},
 	}
 	for _, p := range pkgs {
 		p.Prog = prog

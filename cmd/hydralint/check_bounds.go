@@ -1,0 +1,318 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// region-bounds: abstract interpretation over offset arithmetic proving that
+// every access into an RDMA-registered region is in-bounds and aligned.
+//
+// A "region" is any slice field or package var marked //hydralint:region (the
+// backing stores handed to NIC.Register) and any result of a
+// //hydralint:region-view function (Data(), Bytes(), ...). The pass runs the
+// def-use interpreter (ssa.go) over every production function and demands, at
+// each index or slice of a region:
+//
+//	lower bound  offset provably >= 0 (type, interval, or dominating guard)
+//	upper bound  offset (+length) provably <= len(region) via a dominating
+//	             guard fact, a constant capacity, or offset-source provenance
+//
+// At calls to //hydralint:offset-sink functions (the one-sided RDMA verbs),
+// the listed parameters are remote offsets: each must be non-negative and
+// either a compile-time constant or derived from a //hydralint:offset-source
+// value — raw arithmetic that never touched a validated base cannot be handed
+// to the fabric. Stores to //hydralint:offset-source fields must themselves
+// be provably non-negative, and stores to //hydralint:aligned n fields must
+// prove the value is a multiple of n.
+//
+// Dynamic invariants the interpreter cannot see (ring-cursor wrap, allocator
+// free-list discipline) are suppressed at the access with
+// //hydralint:ignore region-bounds <why>; the budget ratchet holds the count.
+func runRegionBounds(prog *Program, rep func(*Package) *Reporter) {
+	m := prog.markersFor()
+	if len(m.regionKeys) == 0 && len(m.regionViewFuncs) == 0 &&
+		len(m.offsetSinkFuncs) == 0 && len(m.offsetSourceKeys) == 0 && len(m.alignedKeys) == 0 {
+		return
+	}
+	for _, p := range prog.Pkgs {
+		for _, f := range p.Files {
+			if p.isTestFile(f) {
+				continue
+			}
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := p.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				info := prog.funcs[obj.FullName()]
+				if info == nil || info.Decl != fd {
+					continue // test-variant duplicate of an already-walked decl
+				}
+				walkFunc(info, func(w *flowWalker, env *absEnv, n ast.Node) {
+					boundsVisit(w, env, n, m, rep(info.Pkg))
+				})
+			}
+		}
+	}
+}
+
+func boundsVisit(w *flowWalker, env *absEnv, n ast.Node, m *progMarkers, r *Reporter) {
+	switch n := n.(type) {
+	case *ast.IndexExpr:
+		key, ok := regionBaseKey(w, n.X, m)
+		if !ok {
+			return
+		}
+		checkRegionIndex(w, env, r, n.Pos(), key, n.X, n.Index)
+	case *ast.SliceExpr:
+		key, ok := regionBaseKey(w, n.X, m)
+		if !ok {
+			return
+		}
+		checkRegionSliceBound(w, env, r, n.Pos(), key, n.X, n.Low, false)
+		checkRegionSliceBound(w, env, r, n.Pos(), key, n.X, n.High, true)
+		if n.Slice3 {
+			checkRegionSliceBound(w, env, r, n.Pos(), key, n.X, n.Max, true)
+		}
+	case *ast.CallExpr:
+		checkOffsetSinkCall(w, env, r, n, m)
+	case *ast.AssignStmt:
+		checkMarkedStores(w, env, r, n, m)
+	case *ast.IncDecStmt:
+		if key, ok := mixedWordID(w.p, n.X); ok {
+			if want := m.alignedKeys[key]; want > 1 {
+				r.report("region-bounds", n.Pos(),
+					"%s is declared hydralint:aligned %d; ++/-- breaks the alignment invariant", key, want)
+			}
+		}
+	}
+}
+
+// regionBaseKey decides whether base is a region access and returns the
+// region's display key. Marked fields/vars match by nominal identity; calls
+// match when they resolve to a region-view function.
+func regionBaseKey(w *flowWalker, base ast.Expr, m *progMarkers) (string, bool) {
+	base = unparen(base)
+	if key, ok := mixedWordID(w.p, base); ok && m.regionKeys[key] {
+		return key, true
+	}
+	if call, ok := base.(*ast.CallExpr); ok {
+		if callee, _, ok := w.prog.resolveCallee(w.p, call); ok && m.regionViewFuncs[callee.Obj.FullName()] {
+			return callee.Obj.FullName() + "()", true
+		}
+	}
+	return "", false
+}
+
+// proveNonNeg reports whether e is provably >= 0 under env: by interval (an
+// unsigned type, a constant, a refined local) or by a dominating-guard fact.
+func proveNonNeg(w *flowWalker, env *absEnv, e ast.Expr) bool {
+	if w.eval(env, e).nonNeg() {
+		return true
+	}
+	if l := w.lin(env, e); l.ok && env.provesNonNeg(l) {
+		return true
+	}
+	return false
+}
+
+// lenLin renders len(base) as a linear expression: a constant for arrays, a
+// symbolic "len(<key>)" term for renderable slices, !ok otherwise.
+func lenLin(w *flowWalker, base ast.Expr) linExpr {
+	if n, fixed := arrayLen(w.p, base); fixed {
+		return linConst(n)
+	}
+	if key, ok := exprKey(base); ok {
+		return linTerm("len(" + key + ")")
+	}
+	return linExpr{}
+}
+
+// proveMax reports whether e is provably <= limit - slack under env, where
+// limit is a linear rendering of len(base): via the fact set, or via the
+// interval when the limit is constant.
+func proveMax(w *flowWalker, env *absEnv, base, e ast.Expr, slack int64) bool {
+	limit := lenLin(w, base)
+	if !limit.ok {
+		return false
+	}
+	if l := w.lin(env, e); l.ok {
+		// limit - e - slack >= 0
+		if env.provesNonNeg(limit.addScaled(l, -1).addScaled(linConst(slack), -1)) {
+			return true
+		}
+	}
+	if len(limit.terms) == 0 {
+		if av := w.eval(env, e); av.hiSet && av.hi <= limit.c-slack {
+			return true
+		}
+	}
+	return false
+}
+
+func checkRegionIndex(w *flowWalker, env *absEnv, r *Reporter, pos token.Pos, key string, base, idx ast.Expr) {
+	if !proveNonNeg(w, env, idx) {
+		r.report("region-bounds", pos,
+			"index into region %s not provably >= 0; guard the offset or derive it from a hydralint:offset-source value", key)
+		return
+	}
+	av := w.eval(env, idx)
+	if av.origins != nil {
+		return // validated provenance covers the upper bound
+	}
+	if proveMax(w, env, base, idx, 1) {
+		return
+	}
+	r.report("region-bounds", pos,
+		"index into region %s not provably < its length; guard against len(...) or derive the offset from a hydralint:offset-source value", key)
+}
+
+// checkRegionSliceBound checks one bound of base[lo:hi:max]. A nil low is 0
+// and a nil high is len(base), both trivially in range. upper distinguishes
+// the <= len obligation from the >= 0 one.
+func checkRegionSliceBound(w *flowWalker, env *absEnv, r *Reporter, pos token.Pos, key string, base, e ast.Expr, upper bool) {
+	if e == nil {
+		return
+	}
+	if !proveNonNeg(w, env, e) {
+		r.report("region-bounds", pos,
+			"slice bound of region %s not provably >= 0; guard the offset or derive it from a hydralint:offset-source value", key)
+		return
+	}
+	if !upper {
+		return // low >= 0 suffices; low <= high is covered by high <= len
+	}
+	av := w.eval(env, e)
+	if av.origins != nil {
+		return
+	}
+	if proveMax(w, env, base, e, 0) {
+		return
+	}
+	r.report("region-bounds", pos,
+		"slice bound of region %s not provably <= its length; guard against len(...) or derive the offset from a hydralint:offset-source value", key)
+}
+
+// checkOffsetSinkCall enforces provenance at one-sided verb calls: every
+// parameter listed by the callee's //hydralint:offset-sink marker must be a
+// non-negative constant or a non-negative offset-source-derived value.
+func checkOffsetSinkCall(w *flowWalker, env *absEnv, r *Reporter, call *ast.CallExpr, m *progMarkers) {
+	callee, _, ok := w.prog.resolveCallee(w.p, call)
+	if !ok {
+		return
+	}
+	params, marked := m.offsetSinkFuncs[callee.Obj.FullName()]
+	if !marked {
+		return
+	}
+	want := map[string]bool{}
+	for _, name := range params {
+		want[name] = true
+	}
+	for i, arg := range call.Args {
+		name, ok := paramNameAt(callee, i)
+		if !ok || (len(want) > 0 && !want[name]) {
+			continue
+		}
+		if tv, hasType := w.p.Info.Types[arg]; !hasType || !isIntType(tv.Type) {
+			continue
+		}
+		av := w.eval(env, arg)
+		if c, isConst := av.isConst(); isConst {
+			if c < 0 {
+				r.report("region-bounds", arg.Pos(),
+					"negative constant passed as region offset %q to %s", name, callee.Obj.Name())
+			}
+			continue
+		}
+		switch {
+		case !proveNonNeg(w, env, arg):
+			r.report("region-bounds", arg.Pos(),
+				"region offset %q passed to %s is not provably >= 0", name, callee.Obj.Name())
+		case av.origins == nil:
+			r.report("region-bounds", arg.Pos(),
+				"region offset %q passed to %s is not derived from a hydralint:offset-source value", name, callee.Obj.Name())
+		}
+	}
+}
+
+// paramNameAt returns the declared name of callee parameter i, mapping the
+// variadic tail onto its single declared name.
+func paramNameAt(callee *FuncInfo, i int) (string, bool) {
+	idx := 0
+	fields := callee.Decl.Type.Params.List
+	for fi, f := range fields {
+		n := len(f.Names)
+		if n == 0 {
+			n = 1
+		}
+		_, variadic := f.Type.(*ast.Ellipsis)
+		if variadic && fi == len(fields)-1 && i >= idx {
+			if len(f.Names) > 0 {
+				return f.Names[0].Name, true
+			}
+			return "", false
+		}
+		if i < idx+n {
+			if len(f.Names) > 0 {
+				return f.Names[i-idx].Name, true
+			}
+			return "", false
+		}
+		idx += n
+	}
+	return "", false
+}
+
+// checkMarkedStores enforces the producer side of offset-source and aligned
+// markers: values stored into marked fields must uphold the declared facts.
+func checkMarkedStores(w *flowWalker, env *absEnv, r *Reporter, as *ast.AssignStmt, m *progMarkers) {
+	pairwise := len(as.Lhs) == len(as.Rhs)
+	for i, lhs := range as.Lhs {
+		key, ok := mixedWordID(w.p, lhs)
+		if !ok {
+			continue
+		}
+		isSource := m.offsetSourceKeys[key]
+		alignN := m.alignedKeys[key]
+		if !isSource && alignN <= 1 {
+			continue
+		}
+		if !pairwise {
+			r.report("region-bounds", lhs.Pos(),
+				"%s is a marked offset field; a tuple assignment cannot be proven — assign it from a checked value", key)
+			continue
+		}
+		rhs := as.Rhs[i]
+		switch as.Tok {
+		case token.ASSIGN, token.DEFINE:
+			if isSource && !proveNonNeg(w, env, rhs) {
+				r.report("region-bounds", rhs.Pos(),
+					"store to hydralint:offset-source %s is not provably >= 0; validate the offset before caching it", key)
+			}
+			if alignN > 1 && !w.eval(env, rhs).alignedTo(alignN) {
+				r.report("region-bounds", rhs.Pos(),
+					"store to %s does not provably keep it a multiple of %d (hydralint:aligned)", key, alignN)
+			}
+		case token.ADD_ASSIGN:
+			if isSource && !proveNonNeg(w, env, rhs) {
+				r.report("region-bounds", rhs.Pos(),
+					"+= on hydralint:offset-source %s with a possibly negative delta", key)
+			}
+			if alignN > 1 && !w.eval(env, rhs).alignedTo(alignN) {
+				r.report("region-bounds", rhs.Pos(),
+					"+= on %s with a delta not provably a multiple of %d (hydralint:aligned)", key, alignN)
+			}
+		default:
+			r.report("region-bounds", rhs.Pos(),
+				"%s on marked offset field %s cannot be proven; use plain assignment from a checked value", strings.TrimSuffix(as.Tok.String(), "="), key)
+		}
+	}
+}

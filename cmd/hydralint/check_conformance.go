@@ -1,0 +1,334 @@
+package main
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// model-conformance: keep the hydramc models in lockstep with the lock-free
+// code they check. Each internal/modelcheck model declares a Footprint — the
+// packages it covers, the nominal atomic words those packages may touch, and
+// the invariant.SchedPoint tags they may yield at. This pass parses the
+// declarations statically, extracts the real atomic footprint of every
+// covered package (direct sync/atomic calls, methods on sync/atomic types,
+// and constant SchedPoint tags, production files only), and diffs the two:
+//
+//	undeclared  an atomic word or tag appears in covered code but in no
+//	            footprint covering that package — the model no longer
+//	            exercises the full interleaving surface (silent rot)
+//	stale       a footprint declares a word or tag no covered package
+//	            accesses — the declaration has drifted from the code
+//
+// Refactors that add an atomic word or a scheduling point therefore fail
+// lint until the owning model (and its Footprint) is updated.
+
+// fpDecl is one parsed Footprint literal.
+type fpDecl struct {
+	p     *Package
+	pos   token.Pos
+	model string
+	pkgs  []string
+	words map[string]token.Pos
+	tags  map[string]token.Pos
+}
+
+func runModelConformance(prog *Program, rep func(*Package) *Reporter) {
+	decls := parseFootprints(prog, rep)
+	if len(decls) == 0 {
+		return
+	}
+	covered := map[string][]*fpDecl{}
+	for _, d := range decls {
+		for _, path := range d.pkgs {
+			covered[path] = append(covered[path], d)
+		}
+	}
+
+	type site struct {
+		p   *Package
+		pos token.Pos
+	}
+	actualWords := map[string]map[string]site{} // pkg path -> word -> first site
+	actualTags := map[string]map[string]site{}
+	seen := map[string]bool{}
+	for _, p := range prog.Pkgs {
+		if covered[p.ImportPath] == nil || seen[p.ImportPath] {
+			continue
+		}
+		seen[p.ImportPath] = true
+		words, tags := map[string]site{}, map[string]site{}
+		for _, f := range p.Files {
+			if p.isTestFile(f) {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, pos, ok := atomicAccessWord(p, call); ok {
+					if _, dup := words[id]; !dup {
+						words[id] = site{p, pos}
+					}
+					return true
+				}
+				if tag, pos, ok, bad := schedPointTag(prog, p, call); ok {
+					if bad {
+						rep(p).report("model-conformance", pos,
+							"invariant.SchedPoint tag must be a constant string so model footprints can be checked statically")
+					} else if _, dup := tags[tag]; !dup {
+						tags[tag] = site{p, pos}
+					}
+				}
+				return true
+			})
+		}
+		actualWords[p.ImportPath] = words
+		actualTags[p.ImportPath] = tags
+	}
+
+	// Direction 1: every actual word/tag must be declared by some footprint
+	// covering its package.
+	for path, words := range actualWords {
+		for id, s := range words {
+			if !declaresWord(covered[path], id) {
+				rep(s.p).report("model-conformance", s.pos,
+					"atomic word %s is not declared in any modelcheck footprint covering %s; update the owning model (%s) and its Footprint",
+					id, path, modelNames(covered[path]))
+			}
+		}
+	}
+	for path, tags := range actualTags {
+		for tag, s := range tags {
+			if !declaresTag(covered[path], tag) {
+				rep(s.p).report("model-conformance", s.pos,
+					"SchedPoint tag %q is not declared in any modelcheck footprint covering %s; update the owning model (%s) and its Footprint",
+					tag, path, modelNames(covered[path]))
+			}
+		}
+	}
+
+	// Direction 2: every declared word/tag must appear in some covered
+	// package (only judged when at least one covered package was loaded).
+	for _, d := range decls {
+		loaded := false
+		for _, path := range d.pkgs {
+			if seen[path] {
+				loaded = true
+			}
+		}
+		if !loaded {
+			continue
+		}
+		for id, pos := range d.words {
+			found := false
+			for _, path := range d.pkgs {
+				if _, ok := actualWords[path][id]; ok {
+					found = true
+				}
+			}
+			if !found {
+				rep(d.p).report("model-conformance", pos,
+					"footprint for model %q declares atomic word %s, but no covered package accesses it; the declaration is stale", d.model, id)
+			}
+		}
+		for tag, pos := range d.tags {
+			found := false
+			for _, path := range d.pkgs {
+				if _, ok := actualTags[path][tag]; ok {
+					found = true
+				}
+			}
+			if !found {
+				rep(d.p).report("model-conformance", pos,
+					"footprint for model %q declares SchedPoint tag %q, but no covered package yields at it; the declaration is stale", d.model, tag)
+			}
+		}
+	}
+}
+
+func declaresWord(decls []*fpDecl, id string) bool {
+	for _, d := range decls {
+		if _, ok := d.words[id]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+func declaresTag(decls []*fpDecl, tag string) bool {
+	for _, d := range decls {
+		if _, ok := d.tags[tag]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+func modelNames(decls []*fpDecl) string {
+	var names []string
+	for _, d := range decls {
+		names = append(names, d.model)
+	}
+	return strings.Join(names, ", ")
+}
+
+// parseFootprints statically reads every Footprint composite literal declared
+// in an internal/modelcheck package. Entries that are not constant strings
+// are findings: the conformance diff is only as trustworthy as the parse.
+func parseFootprints(prog *Program, rep func(*Package) *Reporter) []*fpDecl {
+	var decls []*fpDecl
+	seen := map[string]bool{}
+	for _, p := range prog.Pkgs {
+		if p.RelPath != "internal/modelcheck" || seen[p.ImportPath] {
+			continue
+		}
+		seen[p.ImportPath] = true
+		for _, f := range p.Files {
+			if p.isTestFile(f) {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				cl, ok := n.(*ast.CompositeLit)
+				if !ok || !isFootprintLit(p, cl) {
+					return true
+				}
+				decls = append(decls, parseFootprintLit(p, rep(p), cl))
+				return false // field literals inside are not footprints
+			})
+		}
+	}
+	return decls
+}
+
+// isFootprintLit reports whether cl's type is the Footprint struct declared
+// in the same modelcheck package.
+func isFootprintLit(p *Package, cl *ast.CompositeLit) bool {
+	tv, ok := p.Info.Types[cl]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := types.Unalias(tv.Type).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Footprint" && obj.Pkg() != nil && obj.Pkg() == p.Pkg
+}
+
+func parseFootprintLit(p *Package, r *Reporter, cl *ast.CompositeLit) *fpDecl {
+	d := &fpDecl{p: p, pos: cl.Pos(), words: map[string]token.Pos{}, tags: map[string]token.Pos{}}
+	for _, elt := range cl.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			r.report("model-conformance", elt.Pos(),
+				"Footprint literals must use keyed fields so the conformance pass can parse them statically")
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		switch key.Name {
+		case "Model":
+			if s, ok := constString(p, kv.Value); ok {
+				d.model = s
+			} else {
+				r.report("model-conformance", kv.Value.Pos(), "Footprint.Model must be a literal string")
+			}
+		case "Packages":
+			d.pkgs = parseStringList(p, r, kv.Value, "Footprint.Packages", nil)
+		case "AtomicWords":
+			parseStringList(p, r, kv.Value, "Footprint.AtomicWords", d.words)
+		case "SchedTags":
+			parseStringList(p, r, kv.Value, "Footprint.SchedTags", d.tags)
+		}
+	}
+	return d
+}
+
+// parseStringList reads a []string composite literal of constant strings,
+// optionally recording each element's position into at.
+func parseStringList(p *Package, r *Reporter, e ast.Expr, what string, at map[string]token.Pos) []string {
+	cl, ok := unparen(e).(*ast.CompositeLit)
+	if !ok {
+		r.report("model-conformance", e.Pos(), "%s must be a literal []string so it can be parsed statically", what)
+		return nil
+	}
+	var out []string
+	for _, elt := range cl.Elts {
+		s, ok := constString(p, elt)
+		if !ok {
+			r.report("model-conformance", elt.Pos(), "%s entries must be literal strings", what)
+			continue
+		}
+		out = append(out, s)
+		if at != nil {
+			if _, dup := at[s]; !dup {
+				at[s] = elt.Pos()
+			}
+		}
+	}
+	return out
+}
+
+func constString(p *Package, e ast.Expr) (string, bool) {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// atomicAccessWord resolves one call to a nominal atomic-word access: either
+// a sync/atomic package call (atomic.StoreUint64(&x.f, v)) or a method on a
+// sync/atomic type (x.f.Store(v)). Locals and unnameable words resolve false
+// — they are not cross-thread state a model could cover.
+func atomicAccessWord(p *Package, call *ast.CallExpr) (string, token.Pos, bool) {
+	if isAtomicPkgCall(p, call) && len(call.Args) > 0 {
+		if id, ok := mixedWordID(p, addrOperand(call.Args[0])); ok {
+			return id, call.Pos(), true
+		}
+		return "", token.NoPos, false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", token.NoPos, false
+	}
+	s, ok := p.Info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return "", token.NoPos, false
+	}
+	recv := s.Recv()
+	if ptr, isPtr := recv.Underlying().(*types.Pointer); isPtr {
+		recv = ptr.Elem()
+	}
+	named, ok := types.Unalias(recv).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync/atomic" {
+		return "", token.NoPos, false
+	}
+	if id, ok := mixedWordID(p, sel.X); ok {
+		return id, call.Pos(), true
+	}
+	return "", token.NoPos, false
+}
+
+// schedPointTag recognizes invariant.SchedPoint calls; bad is set when the
+// tag argument is not a constant string.
+func schedPointTag(prog *Program, p *Package, call *ast.CallExpr) (tag string, pos token.Pos, ok, bad bool) {
+	callee, _, resolved := prog.resolveCallee(p, call)
+	if !resolved || callee.Obj.FullName() != "hydradb/internal/invariant.SchedPoint" {
+		return "", token.NoPos, false, false
+	}
+	if len(call.Args) != 1 {
+		return "", call.Pos(), true, true
+	}
+	s, isConst := constString(p, call.Args[0])
+	if !isConst {
+		return "", call.Args[0].Pos(), true, true
+	}
+	return s, call.Pos(), true, false
+}

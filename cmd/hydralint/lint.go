@@ -67,6 +67,21 @@ var allChecks = []Check{
 		Run:  runLayout,
 	},
 	{
+		Name:       "region-bounds",
+		Desc:       "one-sided offsets into RDMA regions must be provably in-bounds, aligned, and offset-source derived (def-use interpreter)",
+		RunProgram: runRegionBounds,
+	},
+	{
+		Name:       "model-conformance",
+		Desc:       "the atomic words and SchedPoint tags of covered packages must match the modelcheck Footprint declarations (whole-program)",
+		RunProgram: runModelConformance,
+	},
+	{
+		Name:       "publication-order",
+		Desc:       "every write into an item's region memory must sequence before its guardian/indicator release store (out-of-place PUT)",
+		RunProgram: runPublicationOrder,
+	},
+	{
 		Name: "stale-suppression",
 		Desc: "hydralint:ignore directives that no longer match a finding must be removed (ratchet)",
 		// Runs built-in at the end of a full RunLint; no Run/RunProgram.
@@ -82,13 +97,18 @@ func knownCheck(name string) bool {
 	return false
 }
 
-// Diagnostic is one reported finding.
+// Diagnostic is one reported finding. Pkg and Symbol identify the finding
+// nominally (import path + enclosing declaration), so downstream consumers —
+// the budget ratchet, SARIF fingerprints — stay stable when code moves
+// between files or lines.
 type Diagnostic struct {
-	File  string `json:"file"`
-	Line  int    `json:"line"`
-	Col   int    `json:"col"`
-	Check string `json:"check"`
-	Msg   string `json:"msg"`
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Col    int    `json:"col"`
+	Check  string `json:"check"`
+	Pkg    string `json:"pkg"`
+	Symbol string `json:"symbol"`
+	Msg    string `json:"msg"`
 }
 
 // directive is one hydralint:ignore suppression for one check name. used is
@@ -107,7 +127,8 @@ type directive struct {
 // offending statement). Multiple checks may be listed comma-separated.
 type Reporter struct {
 	fset *token.FileSet
-	base string // paths are reported relative to this directory
+	pkg  *Package // findings are attributed to this package's symbols
+	base string   // paths are reported relative to this directory
 	// suppressed maps file -> line -> check name -> the directive record
 	// (shared between the directive's own line and the line below).
 	suppressed map[string]map[int]map[string]*directive
@@ -115,8 +136,82 @@ type Reporter struct {
 	diags      []Diagnostic
 }
 
-func newReporter(fset *token.FileSet, base string) *Reporter {
-	return &Reporter{fset: fset, base: base, suppressed: map[string]map[int]map[string]*directive{}}
+func newReporter(p *Package, base string) *Reporter {
+	return &Reporter{fset: p.Fset, pkg: p, base: base, suppressed: map[string]map[int]map[string]*directive{}}
+}
+
+// enclosingSymbol names the top-level declaration containing pos:
+// "(*Mailbox).WriteVia" for methods, "RunLint" for functions, the first
+// declared name for var/const/type groups, "" outside any declaration. The
+// rendering is file- and line-independent, which is what makes budget keys
+// and SARIF fingerprints survive refactors that only move code.
+func enclosingSymbol(p *Package, pos token.Pos) string {
+	for _, f := range p.Files {
+		if pos < f.FileStart || pos > f.FileEnd {
+			continue
+		}
+		for _, d := range f.Decls {
+			start := d.Pos()
+			// A directive above a declaration is its doc comment; attribute
+			// it to the declaration, not to file scope.
+			switch d := d.(type) {
+			case *ast.FuncDecl:
+				if d.Doc != nil {
+					start = d.Doc.Pos()
+				}
+			case *ast.GenDecl:
+				if d.Doc != nil {
+					start = d.Doc.Pos()
+				}
+			}
+			if pos < start || pos > d.End() {
+				continue
+			}
+			switch d := d.(type) {
+			case *ast.FuncDecl:
+				return funcSymbol(d)
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch spec := spec.(type) {
+					case *ast.TypeSpec:
+						return spec.Name.Name
+					case *ast.ValueSpec:
+						if len(spec.Names) > 0 {
+							return spec.Names[0].Name
+						}
+					}
+				}
+			}
+		}
+		return ""
+	}
+	return ""
+}
+
+// funcSymbol renders a FuncDecl's nominal name, including the receiver type.
+func funcSymbol(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	star := ""
+	if se, ok := t.(*ast.StarExpr); ok {
+		star, t = "*", se.X
+	}
+	name := "?"
+	switch t := t.(type) {
+	case *ast.Ident:
+		name = t.Name
+	case *ast.IndexExpr: // generic receiver T[P]
+		if id, ok := t.X.(*ast.Ident); ok {
+			name = id.Name
+		}
+	case *ast.IndexListExpr:
+		if id, ok := t.X.(*ast.Ident); ok {
+			name = id.Name
+		}
+	}
+	return "(" + star + name + ")." + fd.Name.Name
 }
 
 // commentText strips the comment markers and surrounding space from a
@@ -183,13 +278,18 @@ func (r *Reporter) report(check string, pos token.Pos, format string, args ...an
 	if rel, err := filepath.Rel(r.base, file); err == nil && !strings.HasPrefix(rel, "..") {
 		file = rel
 	}
-	r.diags = append(r.diags, Diagnostic{
+	d := Diagnostic{
 		File:  file,
 		Line:  p.Line,
 		Col:   p.Column,
 		Check: check,
 		Msg:   fmt.Sprintf(format, args...),
-	})
+	}
+	if r.pkg != nil {
+		d.Pkg = r.pkg.ImportPath
+		d.Symbol = enclosingSymbol(r.pkg, pos)
+	}
+	r.diags = append(r.diags, d)
 }
 
 // reportStale emits a stale-suppression finding for every directive that
@@ -247,7 +347,7 @@ func RunLint(dir string, patterns []string, only []string, tests bool) (*Result,
 	rep := func(p *Package) *Reporter {
 		r := reporters[p]
 		if r == nil {
-			r = newReporter(p.Fset, abs)
+			r = newReporter(p, abs)
 			for _, f := range p.Files {
 				r.indexSuppressions(f)
 			}
@@ -280,6 +380,9 @@ func RunLint(dir string, patterns []string, only []string, tests bool) (*Result,
 	for _, p := range pkgs {
 		diags = append(diags, reporters[p].diags...)
 	}
+	// Deterministic total order: position first, then check and message, so
+	// two findings on the same line (two flagged arguments of one call) never
+	// flap between runs and -json/-sarif output is byte-stable.
 	sort.Slice(diags, func(i, j int) bool {
 		if diags[i].File != diags[j].File {
 			return diags[i].File < diags[j].File
@@ -287,7 +390,13 @@ func RunLint(dir string, patterns []string, only []string, tests bool) (*Result,
 		if diags[i].Line != diags[j].Line {
 			return diags[i].Line < diags[j].Line
 		}
-		return diags[i].Col < diags[j].Col
+		if diags[i].Col != diags[j].Col {
+			return diags[i].Col < diags[j].Col
+		}
+		if diags[i].Check != diags[j].Check {
+			return diags[i].Check < diags[j].Check
+		}
+		return diags[i].Msg < diags[j].Msg
 	})
 	return &Result{Diags: diags, Suppressions: countSuppressions(pkgs)}, nil
 }

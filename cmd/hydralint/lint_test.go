@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -865,6 +866,210 @@ var _ = cursors{}
 func Fine() int { return 1 }
 `,
 	},
+
+	// --- region-bounds -----------------------------------------------------
+	{
+		name:  "bounds-unguarded-offset",
+		path:  "internal/rb1/rb1.go",
+		check: "region-bounds",
+		want:  1,
+		src: `package rb1
+
+type Area struct {
+	data []byte // hydralint:region fixture byte region
+}
+
+func (a *Area) Peek(off int) byte { return a.data[off] }
+`,
+	},
+	{
+		name:  "bounds-guarded-ok",
+		path:  "internal/rb2/rb2.go",
+		check: "region-bounds",
+		want:  0,
+		src: `package rb2
+
+type Area struct {
+	data []byte // hydralint:region fixture byte region
+}
+
+func (a *Area) Peek(off int) (byte, bool) {
+	if off < 0 || off >= len(a.data) {
+		return 0, false
+	}
+	return a.data[off], true
+}
+`,
+	},
+	{
+		name:  "bounds-offset-source-ok",
+		path:  "internal/rb3/rb3.go",
+		check: "region-bounds",
+		want:  0,
+		src: `package rb3
+
+type Ring struct {
+	data []byte // hydralint:region fixture byte region
+	base int    // hydralint:offset-source validated at construction
+}
+
+func (r *Ring) First() byte { return r.data[r.base] }
+`,
+	},
+
+	// --- publication-order -------------------------------------------------
+	{
+		name:  "puborder-write-after-publish",
+		path:  "internal/pb1/pb1.go",
+		check: "publication-order",
+		want:  1,
+		src: `package pb1
+
+import "sync/atomic"
+
+const Live = 1 // hydralint:publish fixture guardian value
+
+type Shard struct {
+	data  []byte          // hydralint:region payload
+	words []atomic.Uint64 // hydralint:region guardians
+}
+
+// hydralint:offset-source
+func (s *Shard) alloc() (int, int) { return 0, 0 }
+
+func (s *Shard) Put(b byte) {
+	off, idx := s.alloc()
+	s.words[idx].Store(Live)
+	s.data[off] = b
+}
+`,
+	},
+	{
+		name:  "puborder-write-before-publish-ok",
+		path:  "internal/pb2/pb2.go",
+		check: "publication-order",
+		want:  0,
+		src: `package pb2
+
+import "sync/atomic"
+
+const Live = 1 // hydralint:publish fixture guardian value
+
+type Shard struct {
+	data  []byte          // hydralint:region payload
+	words []atomic.Uint64 // hydralint:region guardians
+}
+
+// hydralint:offset-source
+func (s *Shard) alloc() (int, int) { return 0, 0 }
+
+func (s *Shard) Put(b byte) {
+	off, idx := s.alloc()
+	s.data[off] = b
+	s.words[idx].Store(Live)
+}
+`,
+	},
+	{
+		name:  "puborder-unpublish-retracts-ok",
+		path:  "internal/pb3/pb3.go",
+		check: "publication-order",
+		want:  0,
+		src: `package pb3
+
+import "sync/atomic"
+
+const (
+	Live = 1 // hydralint:publish fixture guardian value
+	Dead = 2 // hydralint:unpublish fixture retraction value
+)
+
+type Shard struct {
+	data  []byte          // hydralint:region payload
+	words []atomic.Uint64 // hydralint:region guardians
+}
+
+// hydralint:offset-source
+func (s *Shard) alloc() (int, int) { return 0, 0 }
+
+func (s *Shard) Rollback(b byte) {
+	off, idx := s.alloc()
+	s.words[idx].Store(Live)
+	s.words[idx].Store(Dead)
+	s.data[off] = b
+}
+`,
+	},
+	{
+		name:  "puborder-payload-after-indicator",
+		path:  "internal/pb4/pb4.go",
+		check: "publication-order",
+		want:  1,
+		src: `package pb4
+
+import "sync/atomic"
+
+type Box struct {
+	data  []byte          // hydralint:region payload
+	words []atomic.Uint64 // hydralint:region indicators
+}
+
+// hydralint:offset-source
+func (b *Box) slot() int { return 0 }
+
+// Deliver releases the indicator before the body lands: seeded bug.
+//
+// hydralint:publishes
+func (b *Box) Deliver(body []byte, ind uint64) {
+	idx := b.slot()
+	b.words[idx].Store(ind)
+	copy(b.data, body)
+}
+`,
+	},
+
+	// --- model-conformance -------------------------------------------------
+	{
+		name:  "conformance-stale-declaration",
+		path:  "internal/modelcheck/mc.go",
+		check: "model-conformance",
+		want:  1,
+		src: `package modelcheck
+
+type Footprint struct {
+	Model       string
+	Packages    []string
+	AtomicWords []string
+	SchedTags   []string
+}
+
+var fixtureFootprint = Footprint{
+	Model:       "fixture",
+	Packages:    []string{"hydradb/internal/mcfix"},
+	AtomicWords: []string{"hydradb/internal/mcfix.ops", "hydradb/internal/mcfix.gone"},
+}
+
+var _ = fixtureFootprint
+`,
+	},
+	{
+		name:  "conformance-undeclared-word",
+		path:  "internal/mcfix/mcfix.go",
+		check: "model-conformance",
+		want:  1,
+		src: `package mcfix
+
+import "sync/atomic"
+
+var ops atomic.Uint64
+var extra atomic.Uint64
+
+func Tick() {
+	ops.Add(1)
+	extra.Add(1)
+}
+`,
+	},
 }
 
 // writeModule materializes the fixture module and returns its root.
@@ -1020,18 +1225,20 @@ func Handoff() {}
 		t.Fatalf("RunLint: %v", err)
 	}
 	got := res.Suppressions
-	want := SuppressionCounts{Ignore: 1, Holds: 1}
-	if got != want {
+	bannerKey := ignoreKey{Check: "clock-discipline", Pkg: "hydradb/internal/b1", Symbol: "Banner"}
+	want := SuppressionCounts{Ignore: map[ignoreKey]int{bannerKey: 1}, Holds: 1}
+	if !reflect.DeepEqual(got.Ignore, want.Ignore) || got.Holds != want.Holds ||
+		got.Aliases != want.Aliases || got.Plainread != want.Plainread {
 		t.Fatalf("census = %+v, want %+v", got, want)
 	}
 
 	if fails, _ := checkBudget(got, want); len(fails) != 0 {
 		t.Errorf("equal budget must pass, got failures: %v", fails)
 	}
-	if fails, _ := checkBudget(got, SuppressionCounts{Holds: 1}); len(fails) != 1 {
-		t.Errorf("exceeded ignore budget must fail once, got: %v", fails)
+	if fails, _ := checkBudget(got, SuppressionCounts{Ignore: map[ignoreKey]int{}, Holds: 1}); len(fails) != 1 {
+		t.Errorf("unknown ignore key must fail once, got: %v", fails)
 	}
-	loose := SuppressionCounts{Ignore: 5, Holds: 1}
+	loose := SuppressionCounts{Ignore: map[ignoreKey]int{bannerKey: 5}, Holds: 1}
 	if fails, notes := checkBudget(got, loose); len(fails) != 0 || len(notes) != 1 {
 		t.Errorf("loose budget: fails=%v notes=%v, want 0 fails / 1 note", fails, notes)
 	}
@@ -1045,9 +1252,85 @@ func Handoff() {}
 	if err != nil {
 		t.Fatalf("parseBudget: %v", err)
 	}
-	if back != got {
+	if back.legacy {
+		t.Errorf("formatBudget output parsed as legacy v1")
+	}
+	if !reflect.DeepEqual(back.Ignore, got.Ignore) || back.Holds != got.Holds {
 		t.Errorf("round trip = %+v, want %+v", back, got)
 	}
+}
+
+// TestBudgetRatchetEdgeCases pins the behaviors the keyed ratchet exists for:
+// a suppression that moves between files under the same symbol is free, a
+// renamed check shows up as an uncovered key and fails, a version-1 baseline
+// still compares by total, and a missing baseline file is an error rather
+// than a silently-passing ratchet.
+func TestBudgetRatchetEdgeCases(t *testing.T) {
+	key := func(check, sym string) ignoreKey {
+		return ignoreKey{Check: check, Pkg: "hydradb/internal/kv", Symbol: sym}
+	}
+
+	t.Run("moved across files", func(t *testing.T) {
+		// Same check+package+symbol, different file: the census has no file
+		// axis at all, so the key is identical and the ratchet holds.
+		baseline := SuppressionCounts{Ignore: map[ignoreKey]int{key("region-bounds", "(*Store).Put"): 1}}
+		current := SuppressionCounts{Ignore: map[ignoreKey]int{key("region-bounds", "(*Store).Put"): 1}}
+		if fails, notes := checkBudget(current, baseline); len(fails) != 0 || len(notes) != 0 {
+			t.Errorf("moved suppression: fails=%v notes=%v, want none", fails, notes)
+		}
+	})
+
+	t.Run("rule renamed", func(t *testing.T) {
+		baseline := SuppressionCounts{Ignore: map[ignoreKey]int{key("region-bounds", "(*Store).Put"): 1}}
+		current := SuppressionCounts{Ignore: map[ignoreKey]int{key("bounds", "(*Store).Put"): 1}}
+		fails, notes := checkBudget(current, baseline)
+		if len(fails) != 1 || !strings.Contains(fails[0], "bounds") {
+			t.Errorf("renamed rule must fail as an uncovered key, got fails=%v", fails)
+		}
+		// The old key now counts zero against a baseline of one — a
+		// tightening note, not a failure.
+		if len(notes) != 1 {
+			t.Errorf("renamed rule: notes=%v, want the stale old key noted", notes)
+		}
+	})
+
+	t.Run("legacy v1 baseline", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), ".hydralint-budget")
+		if err := os.WriteFile(path, []byte("ignore 2\nholds 0\naliases 0\nplainread 0\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		baseline, err := parseBudget(path)
+		if err != nil {
+			t.Fatalf("parseBudget(v1): %v", err)
+		}
+		if !baseline.legacy || baseline.legacyIgnore != 2 {
+			t.Fatalf("v1 parse = %+v, want legacy total 2", baseline)
+		}
+		within := SuppressionCounts{Ignore: map[ignoreKey]int{key("x", "A"): 1, key("y", "B"): 1}}
+		if fails, _ := checkBudget(within, baseline); len(fails) != 0 {
+			t.Errorf("v1 total met: fails=%v, want none", fails)
+		}
+		over := SuppressionCounts{Ignore: map[ignoreKey]int{key("x", "A"): 3}}
+		if fails, _ := checkBudget(over, baseline); len(fails) != 1 {
+			t.Errorf("v1 total exceeded: fails=%v, want one", fails)
+		}
+	})
+
+	t.Run("budget file missing", func(t *testing.T) {
+		if _, err := parseBudget(filepath.Join(t.TempDir(), "no-such-budget")); err == nil {
+			t.Error("parseBudget on a missing file must error, got nil")
+		}
+	})
+
+	t.Run("malformed keyed line", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), ".hydralint-budget")
+		if err := os.WriteFile(path, []byte("version 2\nignore region-bounds hydradb/internal/kv 1\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := parseBudget(path); err == nil {
+			t.Error("parseBudget on a 4-field ignore line must error, got nil")
+		}
+	})
 }
 
 // TestEmitters validates the -json and SARIF output shapes.
@@ -1060,19 +1343,26 @@ func TestEmitters(t *testing.T) {
 	if err := writeJSON(&jbuf, diags); err != nil {
 		t.Fatalf("writeJSON: %v", err)
 	}
-	var round []Diagnostic
+	var round jsonReport
 	if err := json.Unmarshal([]byte(jbuf.String()), &round); err != nil {
 		t.Fatalf("json output does not parse: %v\n%s", err, jbuf.String())
 	}
-	if len(round) != 1 || round[0] != diags[0] {
-		t.Errorf("json round trip = %+v, want %+v", round, diags)
+	if round.Version != jsonSchemaVersion {
+		t.Errorf("json envelope version = %d, want %d", round.Version, jsonSchemaVersion)
+	}
+	if len(round.Findings) != 1 || round.Findings[0] != diags[0] {
+		t.Errorf("json round trip = %+v, want %+v", round.Findings, diags)
 	}
 	jbuf.Reset()
 	if err := writeJSON(&jbuf, nil); err != nil {
 		t.Fatal(err)
 	}
-	if strings.TrimSpace(jbuf.String()) != "[]" {
-		t.Errorf("empty run must emit [], got %q", jbuf.String())
+	var empty jsonReport
+	if err := json.Unmarshal([]byte(jbuf.String()), &empty); err != nil {
+		t.Fatalf("empty json output does not parse: %v", err)
+	}
+	if empty.Findings == nil || len(empty.Findings) != 0 {
+		t.Errorf("empty run must emit findings: [], got %q", jbuf.String())
 	}
 
 	var sbuf strings.Builder
@@ -1100,6 +1390,21 @@ func TestEmitters(t *testing.T) {
 		loc.ArtifactLocation.URI != "internal/a/a.go" || loc.Region.StartLine != 3 {
 		t.Errorf("sarif result wrong: %+v", r)
 	}
+	if r.PartialFingerprints["hydralintFinding/v1"] == "" {
+		t.Errorf("sarif result missing partial fingerprint: %+v", r)
+	}
+	// The fingerprint is nominal: shifting the finding's position must not
+	// change it, while changing the message must.
+	moved := diags[0]
+	moved.File, moved.Line = "internal/a/b.go", 99
+	if fingerprint(moved) != fingerprint(diags[0]) {
+		t.Errorf("fingerprint changed when only the position moved")
+	}
+	reworded := diags[0]
+	reworded.Msg = "different"
+	if fingerprint(reworded) == fingerprint(diags[0]) {
+		t.Errorf("fingerprint identical across different messages")
+	}
 }
 
 // TestRepoIsClean is the dogfooding gate: the repository this linter ships
@@ -1111,5 +1416,95 @@ func TestRepoIsClean(t *testing.T) {
 	}
 	for _, d := range res.Diags {
 		t.Errorf("repo finding: %s:%d:%d: %s (%s)", d.File, d.Line, d.Col, d.Msg, d.Check)
+	}
+}
+
+// copyRepoGoTree clones the repo's Go sources (and go.mod) into a temp dir so
+// a test can deliberately corrupt a file and lint the result.
+func copyRepoGoTree(t *testing.T) string {
+	t.Helper()
+	dst := t.TempDir()
+	root := filepath.Clean("../..")
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			if info.Name() == ".git" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if ext := filepath.Ext(path); ext != ".go" && ext != ".mod" {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		out := filepath.Join(dst, rel)
+		if err := os.MkdirAll(filepath.Dir(out), 0o755); err != nil {
+			return err
+		}
+		return os.WriteFile(out, src, 0o644)
+	})
+	if err != nil {
+		t.Fatalf("copy repo: %v", err)
+	}
+	return dst
+}
+
+// TestFootprintDriftFailsLint desyncs the checked-in modelcheck footprints —
+// renaming the word-area entry the guardian and mailbox models declare — and
+// asserts the model-conformance pass fails the drifted tree in both
+// directions: the real atomic word becomes undeclared, the renamed one stale.
+func TestFootprintDriftFailsLint(t *testing.T) {
+	root := copyRepoGoTree(t)
+	fp := filepath.Join(root, "internal", "modelcheck", "footprint.go")
+	src, err := os.ReadFile(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const real, bogus = `"hydradb/internal/arena.WordArea.words[]"`, `"hydradb/internal/arena.WordArea.retired[]"`
+	drifted := strings.ReplaceAll(string(src), real, bogus)
+	if drifted == string(src) {
+		t.Fatalf("footprint.go no longer declares %s; update this test's drift target", real)
+	}
+	if err := os.WriteFile(fp, []byte(drifted), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := RunLint(root, []string{"./..."}, []string{"model-conformance"}, true)
+	if err != nil {
+		t.Fatalf("RunLint on drifted tree: %v", err)
+	}
+	var undeclared, stale, mailbox int
+	for _, d := range res.Diags {
+		if d.Check != "model-conformance" {
+			t.Errorf("unexpected %s finding: %+v", d.Check, d)
+			continue
+		}
+		if strings.Contains(d.Msg, "is not declared in any modelcheck footprint") {
+			undeclared++
+		}
+		if strings.Contains(d.Msg, "the declaration is stale") {
+			stale++
+		}
+		if strings.Contains(d.Msg, "mailbox") {
+			mailbox++
+		}
+	}
+	if undeclared == 0 {
+		t.Error("drifted footprint produced no undeclared-word finding")
+	}
+	if stale == 0 {
+		t.Error("drifted footprint produced no stale-declaration finding")
+	}
+	if mailbox == 0 {
+		t.Error("no finding names the mailbox model whose footprint drifted")
 	}
 }

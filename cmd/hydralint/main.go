@@ -57,6 +57,31 @@
 //	                   constant expressions, `hydralint:layout size=/align=`
 //	                   pins on type declarations, and `hydralint:cacheline`
 //	                   false-sharing checks over `hydralint:owner` fields.
+//	region-bounds      def-use abstract interpretation over offset and pointer
+//	                   arithmetic: every index into a `hydralint:region`
+//	                   backing array, every slice window from a
+//	                   `hydralint:region-view` accessor, and every offset
+//	                   argument of a `hydralint:offset-sink` verb must be
+//	                   provably non-negative, in bounds (guard-refined
+//	                   intervals with congruence through named geometry
+//	                   constants), and derived from a `hydralint:offset-source`
+//	                   allocator result; `hydralint:aligned <n>` pins word
+//	                   alignment.
+//	model-conformance  whole-program diff of each covered package's atomic
+//	                   footprint — the atomic words it touches and the
+//	                   invariant.SchedPoint tags it declares — against the
+//	                   Footprint declarations shipped by internal/modelcheck.
+//	                   Drift in either direction (an undeclared access, or a
+//	                   stale declaration nothing implements) fails the lint,
+//	                   so the hydramc models provably talk about the code as
+//	                   written.
+//	publication-order  out-of-place PUT discipline (§4.2.3): every store into
+//	                   region memory reachable from a to-be-published pointer
+//	                   must sequence before the guardian/indicator release
+//	                   store that makes it remotely visible. Publication
+//	                   events are atomic stores of `hydralint:publish` marked
+//	                   constants and calls to `hydralint:publishes` functions;
+//	                   interprocedural via write-effect call summaries.
 //	stale-suppression  a `hydralint:ignore` that no longer filters any
 //	                   finding is itself a finding — suppressions only
 //	                   ratchet down.
@@ -70,10 +95,13 @@
 // Packages default to ./... and use `go list` syntax. _test.go files are
 // linted too unless -tests=false; checks whose rules only govern production
 // code (clock-discipline, shard-exclusivity, published-escape) always skip
-// them. -json prints findings as a JSON array instead of text; -sarif writes
-// a SARIF 2.1.0 log for code-scanning upload (always written, even when
-// clean). -budget compares the repo-wide count of suppression directives
-// against a checked-in baseline and fails when it grew; -budget-write
+// them. -json prints findings in a versioned envelope {"version": N,
+// "findings": [...]} sorted deterministically; -sarif writes a SARIF 2.1.0
+// log for code-scanning upload (always written, even when clean), with each
+// result fingerprinted by check+package+symbol so findings track across
+// refactors. -budget compares the suppression census — keyed by
+// check+package+enclosing-symbol since format version 2 — against a
+// checked-in baseline and fails when a key grew or appeared; -budget-write
 // regenerates the baseline. Exit status is 0 when clean, 1 when findings
 // were reported or the budget was exceeded, 2 on usage or load errors.
 package main
@@ -90,7 +118,7 @@ func main() {
 		listFlag    = flag.Bool("list", false, "list registered checks and exit")
 		checksFlag  = flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
 		testsFlag   = flag.Bool("tests", true, "also lint _test.go files")
-		jsonFlag    = flag.Bool("json", false, "print findings as a JSON array")
+		jsonFlag    = flag.Bool("json", false, "print findings as a versioned JSON envelope")
 		sarifFlag   = flag.String("sarif", "", "write a SARIF 2.1.0 log to this file")
 		budgetFlag  = flag.String("budget", "", "fail if suppression counts exceed this baseline file")
 		budgetWrite = flag.String("budget-write", "", "write the current suppression counts to this baseline file")

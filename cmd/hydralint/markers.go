@@ -1,0 +1,239 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// The def-use layer is steered by declaration-site markers, all sharing the
+// //hydralint: prefix of the existing pragma family:
+//
+//	//hydralint:region <why>         slice field/var whose backing store is a
+//	                                 registered RDMA region; indexing it is a
+//	                                 region-bounds proof obligation
+//	//hydralint:region-view <why>    func/method whose result aliases a region
+//	                                 (Data(), Bytes(), ...); slicing the result
+//	                                 carries the same obligation
+//	//hydralint:offset-source <why>  field/var/func producing offsets already
+//	                                 validated against its region (constructor
+//	                                 checks, allocator invariants)
+//	//hydralint:aligned <n> <why>    field/var/func whose value is always a
+//	                                 multiple of n; stores must prove it,
+//	                                 reads may assume it
+//	//hydralint:publish <why>        const whose store to a guardian word
+//	                                 makes an item remotely visible
+//	//hydralint:unpublish <why>      const whose store retracts visibility
+//	//hydralint:publishes <why>      func whose first indicator store is the
+//	                                 publication point for its payload
+//	//hydralint:unpublishes <why>    func that retracts visibility (clears
+//	                                 indicators, stores a dead guardian);
+//	                                 writes after it are allowed again
+//
+// The markers are collected once per run into a program-wide table keyed by
+// the same nominal identities the mixed-access pass uses ("pkgpath.Type.field",
+// "pkgpath.var") plus types.Func full names, so they resolve across package
+// boundaries without shared object identity.
+type progMarkers struct {
+	regionKeys        map[string]bool  // region-backed slice fields / vars
+	regionViewFuncs   map[string]bool  // funcs returning region views
+	offsetSourceKeys  map[string]bool  // validated-offset fields / vars
+	offsetSourceFuncs map[string]bool  // validated-offset producers
+	alignedKeys       map[string]int64 // field/var -> required multiple
+	alignedFuncs      map[string]int64 // func result -> required multiple
+	// offsetSinkFuncs maps a func to the parameter names its
+	// //hydralint:offset-sink marker lists as region offsets (the leading
+	// marker words that match declared parameter names; the rest is prose).
+	// An empty list means every integer parameter.
+	offsetSinkFuncs  map[string][]string
+	publishConsts    map[string]bool // "pkgpath.Name" of publish constants
+	unpublishConsts  map[string]bool
+	publishesFuncs   map[string]bool
+	unpublishesFuncs map[string]bool
+}
+
+// markersFor collects (once) every def-use marker in the loaded program.
+func (prog *Program) markersFor() *progMarkers {
+	if prog.markers != nil {
+		return prog.markers
+	}
+	m := &progMarkers{
+		regionKeys:        map[string]bool{},
+		regionViewFuncs:   map[string]bool{},
+		offsetSourceKeys:  map[string]bool{},
+		offsetSourceFuncs: map[string]bool{},
+		alignedKeys:       map[string]int64{},
+		alignedFuncs:      map[string]int64{},
+		offsetSinkFuncs:   map[string][]string{},
+		publishConsts:     map[string]bool{},
+		unpublishConsts:   map[string]bool{},
+		publishesFuncs:    map[string]bool{},
+		unpublishesFuncs:  map[string]bool{},
+	}
+	prog.markers = m
+	for _, p := range prog.Pkgs {
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				switch d := d.(type) {
+				case *ast.FuncDecl:
+					m.collectFunc(p, d)
+				case *ast.GenDecl:
+					m.collectGen(p, d)
+				}
+			}
+		}
+	}
+	return m
+}
+
+func (m *progMarkers) collectFunc(p *Package, fd *ast.FuncDecl) {
+	fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	name := fn.FullName()
+	if docHasMarker(fd.Doc, "hydralint:publishes") {
+		m.publishesFuncs[name] = true
+	}
+	if docHasMarker(fd.Doc, "hydralint:unpublishes") {
+		m.unpublishesFuncs[name] = true
+	}
+	if docHasMarker(fd.Doc, "hydralint:offset-source") {
+		m.offsetSourceFuncs[name] = true
+	}
+	if docHasMarker(fd.Doc, "hydralint:region-view") {
+		m.regionViewFuncs[name] = true
+	}
+	if rest, _, ok := markerLine(fd.Doc, "hydralint:offset-sink"); ok {
+		declared := map[string]bool{}
+		if fd.Type.Params != nil {
+			for _, f := range fd.Type.Params.List {
+				for _, n := range f.Names {
+					declared[n.Name] = true
+				}
+			}
+		}
+		params := []string{}
+		for _, word := range strings.Fields(rest) {
+			if !declared[word] {
+				break // first non-parameter word starts the prose
+			}
+			params = append(params, word)
+		}
+		m.offsetSinkFuncs[name] = params
+	}
+	if n, ok := alignedArg(fd.Doc); ok {
+		m.alignedFuncs[name] = n
+	}
+}
+
+func (m *progMarkers) collectGen(p *Package, gd *ast.GenDecl) {
+	for _, spec := range gd.Specs {
+		switch spec := spec.(type) {
+		case *ast.TypeSpec:
+			st, ok := spec.Type.(*ast.StructType)
+			if !ok {
+				continue
+			}
+			tn, ok := p.Info.Defs[spec.Name].(*types.TypeName)
+			if !ok || tn.Pkg() == nil {
+				continue
+			}
+			prefix := tn.Pkg().Path() + "." + tn.Name() + "."
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					m.collectKeyed(prefix+name.Name, field.Doc, field.Comment)
+				}
+			}
+		case *ast.ValueSpec:
+			for _, name := range spec.Names {
+				obj := p.Info.Defs[name]
+				switch obj := obj.(type) {
+				case *types.Var:
+					if obj.Pkg() == nil || obj.Parent() != obj.Pkg().Scope() {
+						continue
+					}
+					m.collectKeyed(obj.Pkg().Path()+"."+obj.Name(), spec.Doc, spec.Comment, gd.Doc)
+				case *types.Const:
+					if obj.Pkg() == nil {
+						continue
+					}
+					key := obj.Pkg().Path() + "." + obj.Name()
+					if anyHasMarker("hydralint:publish", spec.Doc, spec.Comment) {
+						m.publishConsts[key] = true
+					}
+					if anyHasMarker("hydralint:unpublish", spec.Doc, spec.Comment) {
+						m.unpublishConsts[key] = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// collectKeyed records the field/var markers found in any of the groups.
+func (m *progMarkers) collectKeyed(key string, groups ...*ast.CommentGroup) {
+	if anyHasMarker("hydralint:region", groups...) {
+		m.regionKeys[key] = true
+	}
+	if anyHasMarker("hydralint:offset-source", groups...) {
+		m.offsetSourceKeys[key] = true
+	}
+	for _, g := range groups {
+		if n, ok := alignedArg(g); ok {
+			m.alignedKeys[key] = n
+			break
+		}
+	}
+}
+
+// anyHasMarker reports whether any comment group carries the marker.
+// directiveRest (via markerLine) requires a word boundary after the marker,
+// so "hydralint:region" never matches the longer "hydralint:region-view".
+func anyHasMarker(marker string, groups ...*ast.CommentGroup) bool {
+	for _, g := range groups {
+		if _, _, ok := markerLine(g, marker); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// alignedArg extracts n from a "hydralint:aligned <n> <why>" marker.
+func alignedArg(g *ast.CommentGroup) (int64, bool) {
+	rest, _, ok := markerLine(g, "hydralint:aligned")
+	if !ok {
+		return 0, false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil || n <= 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// constKeyOf resolves an expression naming a declared constant to its
+// "pkgpath.Name" key (for publish/unpublish matching); literals and
+// non-constant expressions return ok=false.
+func constKeyOf(p *Package, e ast.Expr) (string, bool) {
+	e = unparen(e)
+	var obj types.Object
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj = p.Info.Uses[x]
+	case *ast.SelectorExpr:
+		obj = p.Info.Uses[x.Sel]
+	default:
+		return "", false
+	}
+	c, ok := obj.(*types.Const)
+	if !ok || c.Pkg() == nil {
+		return "", false
+	}
+	return c.Pkg().Path() + "." + c.Name(), true
+}

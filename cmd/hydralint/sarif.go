@@ -2,6 +2,8 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
+	"hash/fnv"
 	"io"
 )
 
@@ -47,6 +49,10 @@ type sarifResult struct {
 	Level     string          `json:"level"`
 	Message   sarifMessage    `json:"message"`
 	Locations []sarifLocation `json:"locations"`
+	// PartialFingerprints keys the result by check + package + symbol +
+	// message (never file:line), so code-scanning backends track a finding
+	// across refactors that move code between files or lines.
+	PartialFingerprints map[string]string `json:"partialFingerprints,omitempty"`
 }
 
 type sarifLocation struct {
@@ -88,6 +94,7 @@ func sarifReport(diags []Diagnostic) sarifLog {
 					Region:           sarifRegion{StartLine: d.Line, StartColumn: d.Col},
 				},
 			}},
+			PartialFingerprints: map[string]string{"hydralintFinding/v1": fingerprint(d)},
 		})
 	}
 	return sarifLog{
@@ -97,19 +104,40 @@ func sarifReport(diags []Diagnostic) sarifLog {
 	}
 }
 
+// fingerprint hashes a finding's nominal identity (check, package, symbol,
+// message) into a stable hex token. Position fields are deliberately
+// excluded.
+func fingerprint(d Diagnostic) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s\x00%s\x00%s\x00%s", d.Check, d.Pkg, d.Symbol, d.Msg)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
 func writeSARIF(w io.Writer, diags []Diagnostic) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(sarifReport(diags))
 }
 
-// writeJSON emits the findings as a JSON array (never null: an empty run is
-// an empty array, so `jq length` works unconditionally).
+// jsonSchemaVersion identifies the -json envelope shape; bump it whenever a
+// field is renamed or removed so scripted consumers can fail loudly instead
+// of silently reading zero values.
+const jsonSchemaVersion = 2
+
+type jsonReport struct {
+	Version  int          `json:"version"`
+	Findings []Diagnostic `json:"findings"`
+}
+
+// writeJSON emits the findings inside a versioned envelope. Findings is never
+// null: an empty run is an empty array, so `jq '.findings | length'` works
+// unconditionally. Ordering is the deterministic total order RunLint
+// established.
 func writeJSON(w io.Writer, diags []Diagnostic) error {
 	if diags == nil {
 		diags = []Diagnostic{}
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(diags)
+	return enc.Encode(jsonReport{Version: jsonSchemaVersion, Findings: diags})
 }

@@ -1,0 +1,1345 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is the whole-program def-use layer the region-bounds and
+// publication-order passes run on: a pruned-SSA-style abstract interpreter
+// over the per-function control flow the summary layer (summaries.go,
+// callgraph.go) already walks. Instead of materializing phi nodes, every
+// assignment produces a fresh abstract value and join points merge the
+// environments, which is exactly the information SSA def-use chains carry
+// for a pass that only ever asks "what may this use evaluate to here".
+//
+// The abstract domain is a reduced product of three components:
+//
+//	interval    [lo, hi] with optional bounds, saturating int64 arithmetic
+//	congruence  v ≡ rem (mod stride) — the word-alignment component
+//	origins     provenance labels seeded by hydralint:offset-source markers
+//	            (a value derived from a validated region offset keeps its
+//	            label through +nonneg arithmetic)
+//
+// alongside a relational fact set: linear inequalities ("len(mr.data) - off
+// - len(src) >= 0") harvested from dominating guards, which is how the
+// fabric's `if off < 0 || off+n > len(mr.data) { return }` checks prove the
+// slice expressions below them. Facts survive straight-line code and calls
+// that cannot write the mentioned objects, and are invalidated by
+// reassignment of any mentioned root.
+
+// ---------------------------------------------------------------------------
+// Saturating interval + congruence + origins
+
+// absVal is one abstract integer value.
+type absVal struct {
+	loSet, hiSet bool
+	lo, hi       int64
+	// Congruence v ≡ rem (mod stride); stride 0 carries no information,
+	// stride 1 with rem 0 is "any integer" (kept normalized to stride 0).
+	stride, rem int64
+	// origins holds hydralint:offset-source provenance labels.
+	origins map[string]bool
+}
+
+func topVal() absVal { return absVal{} }
+
+func constVal(c int64) absVal {
+	return absVal{loSet: true, hiSet: true, lo: c, hi: c, stride: 0, rem: 0}
+}
+
+func nonNegVal() absVal { return absVal{loSet: true, lo: 0} }
+
+func (v absVal) isConst() (int64, bool) {
+	if v.loSet && v.hiSet && v.lo == v.hi {
+		return v.lo, true
+	}
+	return 0, false
+}
+
+func (v absVal) nonNeg() bool { return v.loSet && v.lo >= 0 }
+
+// alignedTo reports whether the congruence component proves v ≡ 0 (mod n).
+func (v absVal) alignedTo(n int64) bool {
+	if n <= 0 {
+		return false
+	}
+	if c, ok := v.isConst(); ok {
+		return c%n == 0
+	}
+	return v.stride > 0 && v.stride%n == 0 && v.rem%n == 0
+}
+
+func satAdd(a, b int64) int64 {
+	s := a + b
+	if (a > 0 && b > 0 && s < 0) || (a < 0 && b < 0 && s >= 0) {
+		if a > 0 {
+			return int64(^uint64(0) >> 1)
+		}
+		return -int64(^uint64(0)>>1) - 1
+	}
+	return s
+}
+
+func satMul(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	p := a * b
+	if p/b != a {
+		return 0, false
+	}
+	return p, true
+}
+
+func gcd64(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func mod64(a, m int64) int64 {
+	r := a % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}
+
+// congJoin merges two congruence components.
+func congJoin(s1, r1, s2, r2 int64) (int64, int64) {
+	if s1 == 0 && s2 == 0 {
+		// Two exact constants: their difference sets the stride.
+		if d := gcd64(r1-r2, 0); d != 0 {
+			return d, mod64(r1, d)
+		}
+		return 0, r1 // equal constants
+	}
+	if s1 == 0 {
+		s1 = gcd64(s2, r1-r2)
+		return s1, mod64(r2, max64one(s1))
+	}
+	if s2 == 0 {
+		s2 = gcd64(s1, r1-r2)
+		return s2, mod64(r1, max64one(s2))
+	}
+	g := gcd64(gcd64(s1, s2), r1-r2)
+	if g == 0 {
+		return 0, r1
+	}
+	return g, mod64(r1, g)
+}
+
+func max64one(a int64) int64 {
+	if a == 0 {
+		return 1
+	}
+	return a
+}
+
+func joinOrigins(a, b map[string]bool) map[string]bool {
+	if a == nil || b == nil {
+		return nil
+	}
+	out := map[string]bool{}
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+func (v absVal) join(o absVal) absVal {
+	var out absVal
+	if v.loSet && o.loSet {
+		out.loSet = true
+		out.lo = min64(v.lo, o.lo)
+	}
+	if v.hiSet && o.hiSet {
+		out.hiSet = true
+		out.hi = max64(v.hi, o.hi)
+	}
+	out.stride, out.rem = congJoin(v.stride, v.rem, o.stride, o.rem)
+	if c1, ok1 := v.isConst(); ok1 {
+		if c2, ok2 := o.isConst(); ok2 && c1 == c2 {
+			out.stride, out.rem = 0, 0
+		}
+	}
+	out.origins = joinOrigins(v.origins, o.origins)
+	return out
+}
+
+func (v absVal) add(o absVal) absVal {
+	var out absVal
+	if v.loSet && o.loSet {
+		out.loSet, out.lo = true, satAdd(v.lo, o.lo)
+	}
+	if v.hiSet && o.hiSet {
+		out.hiSet, out.hi = true, satAdd(v.hi, o.hi)
+	}
+	// Congruence addition.
+	switch {
+	case v.stride == 0 && o.stride == 0:
+		out.stride, out.rem = 0, v.rem+o.rem
+	case v.stride == 0:
+		out.stride, out.rem = o.stride, mod64(o.rem+v.rem, o.stride)
+	case o.stride == 0:
+		out.stride, out.rem = v.stride, mod64(v.rem+o.rem, v.stride)
+	default:
+		g := gcd64(v.stride, o.stride)
+		out.stride, out.rem = g, mod64(v.rem+o.rem, g)
+	}
+	// Provenance: an origin-rooted offset plus a non-negative displacement is
+	// still rooted at the same validated base.
+	if v.origins != nil && o.nonNeg() {
+		out.origins = v.origins
+	} else if o.origins != nil && v.nonNeg() {
+		out.origins = o.origins
+	}
+	return out
+}
+
+func (v absVal) neg() absVal {
+	var out absVal
+	if v.hiSet {
+		out.loSet, out.lo = true, -v.hi
+	}
+	if v.loSet {
+		out.hiSet, out.hi = true, -v.lo
+	}
+	out.stride = v.stride
+	if v.stride > 0 {
+		out.rem = mod64(-v.rem, v.stride)
+	} else {
+		out.rem = -v.rem
+	}
+	return out
+}
+
+func (v absVal) mul(o absVal) absVal {
+	var out absVal
+	if c, ok := o.isConst(); ok {
+		if c2, ok2 := v.isConst(); ok2 {
+			if p, fits := satMul(c2, c); fits {
+				return constVal(p)
+			}
+			return topVal()
+		}
+		if c >= 0 {
+			if v.loSet {
+				if p, fits := satMul(v.lo, c); fits {
+					out.loSet, out.lo = true, p
+				}
+			}
+			if v.hiSet {
+				if p, fits := satMul(v.hi, c); fits {
+					out.hiSet, out.hi = true, p
+				}
+			}
+			// A validated offset scaled by a non-negative constant is still
+			// rooted at the same base (slot index * slot size).
+			out.origins = v.origins
+		}
+		// k*x: stride scales; x of any stride times k is ≡ rem*k (mod s*k),
+		// and an arbitrary integer times k is ≡ 0 (mod k).
+		if c != 0 {
+			if v.stride > 0 {
+				if s, fits := satMul(v.stride, c); fits {
+					out.stride, out.rem = abs64(s), mod64(v.rem*c, abs64(s))
+				}
+			} else if _, isC := v.isConst(); !isC {
+				out.stride, out.rem = abs64(c), 0
+			}
+		}
+		return out
+	}
+	if _, ok := v.isConst(); ok {
+		return o.mul(v)
+	}
+	if v.nonNeg() && o.nonNeg() {
+		out := nonNegVal()
+		// Both factors validated and non-negative: the product stays rooted
+		// (cursor * slot capacity).
+		if v.origins != nil {
+			out.origins = v.origins
+		} else {
+			out.origins = o.origins
+		}
+		return out
+	}
+	return topVal()
+}
+
+func abs64(a int64) int64 {
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ---------------------------------------------------------------------------
+// Linear expressions and relational facts
+
+// linExpr is a linear combination over named terms: sum(terms[k]*k) + c.
+// Term keys are renderable exprKeys ("off", "m.dataOff") or "len(<key>)".
+type linExpr struct {
+	terms map[string]int64
+	c     int64
+	ok    bool
+}
+
+func linConst(c int64) linExpr { return linExpr{c: c, ok: true} }
+
+func linTerm(key string) linExpr {
+	return linExpr{terms: map[string]int64{key: 1}, ok: true}
+}
+
+func (l linExpr) addScaled(o linExpr, k int64) linExpr {
+	if !l.ok || !o.ok {
+		return linExpr{}
+	}
+	out := linExpr{terms: map[string]int64{}, c: satAdd(l.c, o.c*k), ok: true}
+	for t, co := range l.terms {
+		out.terms[t] += co
+	}
+	for t, co := range o.terms {
+		out.terms[t] += co * k
+	}
+	for t, co := range out.terms {
+		if co == 0 {
+			delete(out.terms, t)
+		}
+	}
+	return out
+}
+
+// canon renders the linear expression as a stable string ("len(a)-b-3"),
+// terms sorted, used as the fact-set key for the inequality expr >= 0.
+func (l linExpr) canon() string {
+	if !l.ok {
+		return ""
+	}
+	keys := make([]string, 0, len(l.terms))
+	for t := range l.terms {
+		keys = append(keys, t)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, t := range keys {
+		fmt.Fprintf(&b, "%+d*%s", l.terms[t], t)
+	}
+	fmt.Fprintf(&b, "%+d", l.c)
+	return b.String()
+}
+
+// roots returns the leftmost identifiers mentioned by the expression's terms
+// ("m.dataOff" → "m", "len(mr.data)" → "mr"), for invalidation.
+func (l linExpr) roots() []string {
+	var out []string
+	for t := range l.terms {
+		t = strings.TrimSuffix(strings.TrimPrefix(t, "len("), ")")
+		t = strings.TrimPrefix(strings.TrimPrefix(t, "&"), "*")
+		if i := strings.IndexAny(t, ".["); i >= 0 {
+			t = t[:i]
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Environment
+
+// absEnv is the interpreter state at one program point.
+type absEnv struct {
+	// vals tracks locals and parameters by object identity.
+	vals map[*types.Var]absVal
+	// facts maps canon(linExpr) -> true, each meaning "expr >= 0".
+	facts map[string]bool
+	// factRoots indexes facts by mentioned root identifier for invalidation.
+	factRoots map[string][]string
+}
+
+func newAbsEnv() *absEnv {
+	return &absEnv{vals: map[*types.Var]absVal{}, facts: map[string]bool{}, factRoots: map[string][]string{}}
+}
+
+func (e *absEnv) clone() *absEnv {
+	c := newAbsEnv()
+	for k, v := range e.vals {
+		c.vals[k] = v
+	}
+	for k := range e.facts {
+		c.facts[k] = true
+	}
+	for k, v := range e.factRoots {
+		c.factRoots[k] = append([]string(nil), v...)
+	}
+	return c
+}
+
+// joinInto merges o into e (in place): values join, facts intersect.
+func (e *absEnv) joinInto(o *absEnv) {
+	for k, v := range e.vals {
+		if ov, ok := o.vals[k]; ok {
+			e.vals[k] = v.join(ov)
+		} else {
+			delete(e.vals, k)
+		}
+	}
+	for f := range e.facts {
+		if !o.facts[f] {
+			delete(e.facts, f)
+		}
+	}
+}
+
+func (e *absEnv) addFact(l linExpr) {
+	if !l.ok || len(l.terms) == 0 {
+		return
+	}
+	key := l.canon()
+	if e.facts[key] {
+		return
+	}
+	e.facts[key] = true
+	for _, r := range l.roots() {
+		e.factRoots[r] = append(e.factRoots[r], key)
+	}
+}
+
+// invalidateRoot drops every fact mentioning root (an identifier that was
+// reassigned or may have been written through).
+func (e *absEnv) invalidateRoot(root string) {
+	for _, key := range e.factRoots[root] {
+		delete(e.facts, key)
+	}
+	delete(e.factRoots, root)
+}
+
+// provesNonNeg reports whether the environment proves l >= 0: either l is a
+// non-negative constant, or some recorded fact F >= 0 has l - F constant and
+// non-negative (l = F + k, k >= 0).
+func (e *absEnv) provesNonNeg(l linExpr) bool {
+	if !l.ok {
+		return false
+	}
+	if len(l.terms) == 0 {
+		return l.c >= 0
+	}
+	if e.facts[l.canon()] {
+		return true
+	}
+	for f := range e.facts {
+		d := l.addScaled(parseCanon(f), -1)
+		if d.ok && len(d.terms) == 0 && d.c >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// parseCanon reverses linExpr.canon. canon strings are machine-produced, so
+// the parse is exact; a malformed string yields !ok and never matches.
+func parseCanon(s string) linExpr {
+	out := linExpr{terms: map[string]int64{}, ok: true}
+	for len(s) > 0 {
+		sign := int64(1)
+		switch s[0] {
+		case '+':
+		case '-':
+			sign = -1
+		default:
+			return linExpr{}
+		}
+		s = s[1:]
+		i := 0
+		for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+			i++
+		}
+		if i == 0 {
+			return linExpr{}
+		}
+		var n int64
+		for _, d := range s[:i] {
+			n = n*10 + int64(d-'0')
+		}
+		s = s[i:]
+		if len(s) > 0 && s[0] == '*' {
+			// coefficient * term: term runs to the next top-level +/-.
+			s = s[1:]
+			j, depth := 0, 0
+			for j < len(s) {
+				switch s[j] {
+				case '(', '[':
+					depth++
+				case ')', ']':
+					depth--
+				case '+', '-':
+					if depth == 0 {
+						goto termEnd
+					}
+				}
+				j++
+			}
+		termEnd:
+			out.terms[s[:j]] += sign * n
+			s = s[j:]
+		} else {
+			out.c += sign * n
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// The abstract interpreter
+
+// flowVisitor receives every statement — and every call, index, and slice
+// expression — in execution order, with the environment in effect just before
+// it and the walker for evaluating operands under that environment.
+type flowVisitor func(w *flowWalker, env *absEnv, n ast.Node)
+
+// flowWalker drives the per-function walk.
+type flowWalker struct {
+	p     *Package
+	prog  *Program
+	info  *FuncInfo
+	visit flowVisitor
+}
+
+// walkFunc interprets fn's body, calling visit at each statement and each
+// nested expression point with the current environment. Parameters seed the
+// environment with type-based intervals and marker-based origins.
+func walkFunc(info *FuncInfo, visit flowVisitor) {
+	w := &flowWalker{p: info.Pkg, prog: info.Pkg.Prog, info: info, visit: visit}
+	env := newAbsEnv()
+	for _, v := range inputVars(info) {
+		env.vals[v] = w.typeVal(v.Type())
+	}
+	// A function's own offset-sink marker is a precondition declaration: every
+	// call site is obligated to prove the listed params, so the body may
+	// assume them (this is how sink verbs forward offsets to each other).
+	if w.prog != nil {
+		name := info.Obj.FullName()
+		if sinkParams := w.prog.markersFor().offsetSinkFuncs[name]; len(sinkParams) > 0 {
+			for _, v := range inputVars(info) {
+				for _, pn := range sinkParams {
+					if v.Name() == pn && isIntType(v.Type()) {
+						av := env.vals[v]
+						av.origins = map[string]bool{name + ":" + pn: true}
+						if !av.loSet {
+							av.loSet, av.lo = true, 0
+						}
+						env.vals[v] = av
+					}
+				}
+			}
+		}
+	}
+	w.block(info.Decl.Body.List, env)
+}
+
+// typeVal is the type-based abstract value: unsigned types are non-negative.
+func (w *flowWalker) typeVal(t types.Type) absVal {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return topVal()
+	}
+	switch b.Kind() {
+	case types.Uint, types.Uint8, types.Uint16, types.Uint32, types.Uint64, types.Uintptr:
+		return nonNegVal()
+	}
+	return topVal()
+}
+
+// lookupVar resolves an identifier to its *types.Var.
+func (w *flowWalker) lookupVar(id *ast.Ident) (*types.Var, bool) {
+	obj := w.p.Info.Uses[id]
+	if obj == nil {
+		obj = w.p.Info.Defs[id]
+	}
+	v, ok := obj.(*types.Var)
+	return v, ok
+}
+
+// eval computes the abstract value of e under env.
+func (w *flowWalker) eval(env *absEnv, e ast.Expr) absVal {
+	e = unparen(e)
+	// Constant folding first: go/types evaluates named-constant arithmetic,
+	// which is how geometry constants propagate into the intervals.
+	if tv, ok := w.p.Info.Types[e]; ok && tv.Value != nil {
+		if c, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact {
+			return constVal(c)
+		}
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		if v, ok := w.lookupVar(x); ok {
+			if av, tracked := env.vals[v]; tracked {
+				return av
+			}
+			return w.markedVal(e, w.typeVal(v.Type()))
+		}
+	case *ast.SelectorExpr:
+		if tv, ok := w.p.Info.Types[e]; ok && tv.Type != nil {
+			return w.markedVal(e, w.typeVal(tv.Type))
+		}
+	case *ast.IndexExpr:
+		// An element read from an offset-source-marked container (a table of
+		// validated sizes, e.g. the arena's classSizes) carries the marker.
+		if tv, ok := w.p.Info.Types[e]; ok && tv.Type != nil {
+			return w.markedVal(x.X, w.typeVal(tv.Type))
+		}
+	case *ast.BinaryExpr:
+		a, b := w.eval(env, x.X), w.eval(env, x.Y)
+		var out absVal
+		switch x.Op {
+		case token.ADD:
+			out = a.add(b)
+		case token.SUB:
+			out = a.add(b.neg())
+		case token.MUL:
+			out = a.mul(b)
+		case token.SHL:
+			if k, ok := b.isConst(); ok && k >= 0 && k < 62 {
+				out = a.mul(constVal(int64(1) << uint(k)))
+			}
+		case token.REM:
+			if m, ok := b.isConst(); ok && m > 0 && a.nonNeg() {
+				out = absVal{loSet: true, hiSet: true, lo: 0, hi: m - 1}
+			}
+			// x % m with a validated (hence non-negative) modulus: the result
+			// is bounded by m, so it inherits m's provenance — a sequence
+			// number reduced mod a validated slot count IS a derived offset.
+			if out.origins == nil && b.origins != nil {
+				out.origins = b.origins
+			}
+		case token.AND:
+			if m, ok := b.isConst(); ok && m >= 0 {
+				out = absVal{loSet: true, hiSet: true, lo: 0, hi: m}
+			} else if m, ok := a.isConst(); ok && m >= 0 {
+				out = absVal{loSet: true, hiSet: true, lo: 0, hi: m}
+			}
+		case token.SHR, token.QUO:
+			if a.nonNeg() {
+				out = nonNegVal()
+			}
+		}
+		// The Go spec keeps unsigned arithmetic unsigned: whatever the
+		// interval says, the machine value cannot be negative.
+		if !out.loSet {
+			if tv, ok := w.p.Info.Types[e]; ok && tv.Type != nil && isUnsignedType(tv.Type) {
+				out.loSet, out.lo = true, 0
+			}
+		}
+		if out.loSet || out.hiSet || out.stride != 0 || out.origins != nil {
+			return out
+		}
+	case *ast.CallExpr:
+		// len/cap are non-negative; len of an array type is exact.
+		if id, ok := unparen(x.Fun).(*ast.Ident); ok && len(x.Args) == 1 {
+			if _, isBuiltin := w.p.Info.Uses[id].(*types.Builtin); isBuiltin && (id.Name == "len" || id.Name == "cap") {
+				if n, fixed := arrayLen(w.p, x.Args[0]); fixed {
+					return constVal(n)
+				}
+				return nonNegVal()
+			}
+		}
+		// Conversions pass the operand through: int(uint32v) stays non-neg.
+		if tv, ok := w.p.Info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+			if isIntType(tv.Type) {
+				inner := w.eval(env, x.Args[0])
+				if src, ok := w.p.Info.Types[x.Args[0]]; ok && isUnsignedType(src.Type) && !inner.loSet {
+					inner.loSet, inner.lo = true, 0
+				}
+				return inner
+			}
+		}
+		// Calls to marker-annotated functions: offset-source provenance and
+		// declared alignment on results.
+		if callee, _, ok := w.prog.resolveCallee(w.p, x); ok {
+			m := w.prog.markersFor()
+			name := callee.Obj.FullName()
+			out := w.typeVal(calleeFirstResult(callee))
+			if m.offsetSourceFuncs[name] {
+				out.origins = map[string]bool{name: true}
+				out.loSet, out.lo = true, 0
+			}
+			if n := m.alignedFuncs[name]; n > 1 {
+				out.stride, out.rem = n, 0
+			}
+			return out
+		}
+	case *ast.UnaryExpr:
+		if x.Op == token.SUB {
+			return w.eval(env, x.X).neg()
+		}
+	}
+	if tv, ok := w.p.Info.Types[e]; ok && tv.Type != nil {
+		return w.typeVal(tv.Type)
+	}
+	return topVal()
+}
+
+// markedVal decorates a field/package-var read with its declaration markers
+// (offset-source provenance, declared alignment), resolved through the same
+// nominal word identity the mixed-access pass uses.
+func (w *flowWalker) markedVal(e ast.Expr, base absVal) absVal {
+	if w.prog == nil {
+		return base
+	}
+	key, ok := mixedWordID(w.p, e)
+	if !ok {
+		return base
+	}
+	m := w.prog.markersFor()
+	if m.offsetSourceKeys[key] {
+		base.origins = map[string]bool{key: true}
+		if !base.loSet {
+			base.loSet, base.lo = true, 0
+		}
+	}
+	if n := m.alignedKeys[key]; n > 1 && base.stride == 0 && !base.hiSet {
+		base.stride, base.rem = n, 0
+	}
+	return base
+}
+
+// lin canonicalizes e as a linear expression over renderable terms.
+func (w *flowWalker) lin(env *absEnv, e ast.Expr) linExpr {
+	e = unparen(e)
+	if tv, ok := w.p.Info.Types[e]; ok && tv.Value != nil {
+		if c, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact {
+			return linConst(c)
+		}
+	}
+	switch x := e.(type) {
+	case *ast.Ident, *ast.SelectorExpr:
+		if key, ok := exprKey(e); ok {
+			return linTerm(key)
+		}
+	case *ast.BinaryExpr:
+		a, b := w.lin(env, x.X), w.lin(env, x.Y)
+		switch x.Op {
+		case token.ADD:
+			return a.addScaled(b, 1)
+		case token.SUB:
+			return a.addScaled(b, -1)
+		case token.MUL:
+			if len(b.terms) == 0 && b.ok {
+				return linConst(0).addScaled(a, b.c)
+			}
+			if len(a.terms) == 0 && a.ok {
+				return linConst(0).addScaled(b, a.c)
+			}
+		}
+	case *ast.CallExpr:
+		if id, ok := unparen(x.Fun).(*ast.Ident); ok && len(x.Args) == 1 {
+			if _, isBuiltin := w.p.Info.Uses[id].(*types.Builtin); isBuiltin && (id.Name == "len" || id.Name == "cap") {
+				if n, fixed := arrayLen(w.p, x.Args[0]); fixed {
+					return linConst(n)
+				}
+				if key, ok := exprKey(x.Args[0]); ok && id.Name == "len" {
+					return linTerm("len(" + key + ")")
+				}
+			}
+		}
+		// Integer conversions are linear-transparent.
+		if tv, ok := w.p.Info.Types[x.Fun]; ok && tv.IsType() && isIntType(tv.Type) && len(x.Args) == 1 {
+			return w.lin(env, x.Args[0])
+		}
+	}
+	return linExpr{}
+}
+
+// arrayLen reports the fixed length when e has an array (or *array) type.
+func arrayLen(p *Package, e ast.Expr) (int64, bool) {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return 0, false
+	}
+	t := tv.Type.Underlying()
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem().Underlying()
+	}
+	if arr, isArr := t.(*types.Array); isArr {
+		return arr.Len(), true
+	}
+	return 0, false
+}
+
+func isIntType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func isUnsignedType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsUnsigned != 0
+}
+
+func calleeFirstResult(info *FuncInfo) types.Type {
+	sig := info.Obj.Type().(*types.Signature)
+	if sig.Results().Len() == 0 {
+		return types.Typ[types.Invalid]
+	}
+	return sig.Results().At(0).Type()
+}
+
+// ---------------------------------------------------------------------------
+// Condition refinement
+
+// refine applies cond (assumed true when truth, false otherwise) to env.
+func (w *flowWalker) refine(env *absEnv, cond ast.Expr, truth bool) {
+	cond = unparen(cond)
+	switch x := cond.(type) {
+	case *ast.UnaryExpr:
+		if x.Op == token.NOT {
+			w.refine(env, x.X, !truth)
+		}
+		return
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.LAND:
+			if truth {
+				w.refine(env, x.X, true)
+				w.refine(env, x.Y, true)
+			}
+			return
+		case token.LOR:
+			if !truth {
+				w.refine(env, x.X, false)
+				w.refine(env, x.Y, false)
+			}
+			return
+		}
+		op := x.Op
+		if !truth {
+			switch op {
+			case token.LSS:
+				op = token.GEQ
+			case token.LEQ:
+				op = token.GTR
+			case token.GTR:
+				op = token.LEQ
+			case token.GEQ:
+				op = token.LSS
+			case token.EQL:
+				op = token.NEQ
+			case token.NEQ:
+				op = token.EQL
+			}
+		}
+		a, b := w.lin(env, x.X), w.lin(env, x.Y)
+		if !a.ok || !b.ok {
+			return
+		}
+		// Record as "expr >= 0" facts over integers (strict ops shift by 1).
+		switch op {
+		case token.LSS: // a < b  ⇔  b - a - 1 >= 0
+			w.assume(env, b.addScaled(a, -1).addScaled(linConst(1), -1), x.X, x.Y)
+		case token.LEQ: // a <= b ⇔  b - a >= 0
+			w.assume(env, b.addScaled(a, -1), x.X, x.Y)
+		case token.GTR: // a > b  ⇔  a - b - 1 >= 0
+			w.assume(env, a.addScaled(b, -1).addScaled(linConst(1), -1), x.X, x.Y)
+		case token.GEQ:
+			w.assume(env, a.addScaled(b, -1), x.X, x.Y)
+		case token.EQL:
+			w.assume(env, a.addScaled(b, -1), x.X, x.Y)
+			w.assume(env, b.addScaled(a, -1), x.X, x.Y)
+			w.refineEqMod(env, x.X, x.Y)
+		}
+	}
+}
+
+// assume records fact l >= 0 and, when l isolates a single tracked variable,
+// tightens that variable's interval too.
+func (w *flowWalker) assume(env *absEnv, l linExpr, lhs, rhs ast.Expr) {
+	if !l.ok {
+		return
+	}
+	env.addFact(l)
+	// Single-term cases tighten intervals: "+1*x + c >= 0" → x >= -c;
+	// "-1*x + c >= 0" → x <= c.
+	if len(l.terms) != 1 {
+		return
+	}
+	for t, co := range l.terms {
+		v := w.varForTerm(t, lhs, rhs)
+		if v == nil {
+			return
+		}
+		av, ok := env.vals[v]
+		if !ok {
+			av = w.typeVal(v.Type())
+		}
+		switch co {
+		case 1:
+			if !av.loSet || av.lo < -l.c {
+				av.loSet, av.lo = true, -l.c
+			}
+		case -1:
+			if !av.hiSet || av.hi > l.c {
+				av.hiSet, av.hi = true, l.c
+			}
+		default:
+			return
+		}
+		env.vals[v] = av
+	}
+}
+
+// refineEqMod handles `x % n == 0`-shaped equalities by updating congruence.
+func (w *flowWalker) refineEqMod(env *absEnv, lhs, rhs ast.Expr) {
+	bin, ok := unparen(lhs).(*ast.BinaryExpr)
+	if !ok || bin.Op != token.REM {
+		return
+	}
+	modVal := w.eval(env, bin.Y)
+	remVal := w.eval(env, rhs)
+	m, mok := modVal.isConst()
+	r, rok := remVal.isConst()
+	if !mok || !rok || m <= 1 {
+		return
+	}
+	if id, isID := unparen(bin.X).(*ast.Ident); isID {
+		if v, found := w.lookupVar(id); found {
+			av, tracked := env.vals[v]
+			if !tracked {
+				av = w.typeVal(v.Type())
+			}
+			av.stride, av.rem = m, mod64(r, m)
+			env.vals[v] = av
+		}
+	}
+}
+
+// varForTerm maps a single-variable term key back to its object by scanning
+// the comparison operands for a matching identifier.
+func (w *flowWalker) varForTerm(term string, exprs ...ast.Expr) *types.Var {
+	var found *types.Var
+	for _, e := range exprs {
+		ast.Inspect(e, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || id.Name != term || found != nil {
+				return true
+			}
+			if v, isVar := w.lookupVar(id); isVar {
+				found = v
+			}
+			return true
+		})
+	}
+	return found
+}
+
+// ---------------------------------------------------------------------------
+// Statement walk
+
+// exits reports whether stmt definitely leaves the function (return, panic).
+func (w *flowWalker) exits(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			return isNoReturnCall(w.p, call)
+		}
+	case *ast.BlockStmt:
+		if len(s.List) > 0 {
+			return w.exits(s.List[len(s.List)-1])
+		}
+	}
+	return false
+}
+
+func (w *flowWalker) block(stmts []ast.Stmt, env *absEnv) {
+	for _, s := range stmts {
+		if w.stmt(s, env) {
+			return
+		}
+	}
+}
+
+// stmt interprets one statement into env; reports whether the path exited.
+func (w *flowWalker) stmt(s ast.Stmt, env *absEnv) bool {
+	w.visit(w, env, s)
+	switch s := s.(type) {
+	case *ast.DeclStmt:
+		w.visitCalls(env, s)
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, sp := range gd.Specs {
+				if vs, ok := sp.(*ast.ValueSpec); ok && len(vs.Values) == len(vs.Names) {
+					for i := range vs.Names {
+						w.assignOne(env, vs.Names[i], vs.Values[i])
+					}
+				}
+			}
+		}
+	case *ast.AssignStmt:
+		w.visitCalls(env, s)
+		w.assign(env, s)
+	case *ast.IncDecStmt:
+		if id, ok := unparen(s.X).(*ast.Ident); ok {
+			if v, found := w.lookupVar(id); found {
+				delta := constVal(1)
+				if s.Tok == token.DEC {
+					delta = constVal(-1)
+				}
+				cur, tracked := env.vals[v]
+				if !tracked {
+					cur = w.typeVal(v.Type())
+				}
+				env.vals[v] = cur.add(delta)
+				env.invalidateRoot(id.Name)
+			}
+		} else {
+			w.havocTarget(env, s.X)
+		}
+	case *ast.ExprStmt:
+		w.visitCalls(env, s)
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			w.callEffect(env, call)
+		}
+	case *ast.DeferStmt:
+		w.visitCalls(env, s)
+	case *ast.ReturnStmt:
+		w.visitCalls(env, s)
+		return true
+	case *ast.BranchStmt:
+		return true
+	case *ast.BlockStmt:
+		w.block(s.List, env)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, env)
+		}
+		w.visitCalls(env, &ast.ExprStmt{X: s.Cond})
+		thenEnv := env.clone()
+		w.refine(thenEnv, s.Cond, true)
+		elseEnv := env.clone()
+		w.refine(elseEnv, s.Cond, false)
+		w.block(s.Body.List, thenEnv)
+		thenExits := w.exits(lastStmt(s.Body.List))
+		elseExits := false
+		if s.Else != nil {
+			elseExits = w.stmt(s.Else, elseEnv) || w.exits(s.Else)
+		}
+		switch {
+		case thenExits && elseExits:
+			return true
+		case thenExits:
+			*env = *elseEnv
+		case elseExits:
+			*env = *thenEnv
+		default:
+			thenEnv.joinInto(elseEnv)
+			*env = *thenEnv
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, env)
+		}
+		w.havocAssigned(env, s.Body)
+		if s.Post != nil {
+			w.havocAssigned(env, &ast.BlockStmt{List: []ast.Stmt{s.Post}})
+		}
+		bodyEnv := env.clone()
+		if s.Cond != nil {
+			w.visitCalls(env, &ast.ExprStmt{X: s.Cond})
+			w.refine(bodyEnv, s.Cond, true)
+		}
+		w.block(s.Body.List, bodyEnv)
+		if s.Post != nil {
+			w.stmt(s.Post, bodyEnv)
+		}
+		// After the loop only the havocked pre-state (no cond) is sound.
+	case *ast.RangeStmt:
+		w.visitCalls(env, &ast.ExprStmt{X: s.X})
+		w.havocAssigned(env, s.Body)
+		bodyEnv := env.clone()
+		// The index variable of a slice/array/string range is bounded.
+		if id, ok := s.Key.(*ast.Ident); ok && id.Name != "_" {
+			if v, found := w.lookupVar(id); found {
+				if isSliceLike(w.p, s.X) {
+					bodyEnv.vals[v] = nonNegVal()
+					if key, rok := exprKey(s.X); rok {
+						// idx <= len(x)-1
+						bodyEnv.addFact(linTerm("len("+key+")").addScaled(linTerm(id.Name), -1).addScaled(linConst(1), -1))
+					}
+				} else {
+					bodyEnv.vals[v] = topVal()
+				}
+			}
+		}
+		if id, ok := s.Value.(*ast.Ident); ok && id.Name != "_" {
+			if v, found := w.lookupVar(id); found {
+				bodyEnv.vals[v] = w.typeVal(v.Type())
+			}
+		}
+		w.block(s.Body.List, bodyEnv)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, env)
+		}
+		w.visitCalls(env, s)
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				ce := env.clone()
+				w.block(cc.Body, ce)
+			}
+		}
+		w.havocAssigned(env, s.Body)
+	case *ast.TypeSwitchStmt:
+		w.visitCalls(env, s)
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				ce := env.clone()
+				w.block(cc.Body, ce)
+			}
+		}
+		w.havocAssigned(env, s.Body)
+	case *ast.SelectStmt:
+		w.visitCalls(env, s)
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				ce := env.clone()
+				w.block(cc.Body, ce)
+			}
+		}
+		w.havocAssigned(env, s.Body)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, env)
+	case *ast.GoStmt:
+		w.visitCalls(env, s)
+	}
+	return false
+}
+
+func lastStmt(list []ast.Stmt) ast.Stmt {
+	if len(list) == 0 {
+		return nil
+	}
+	return list[len(list)-1]
+}
+
+func isSliceLike(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.Underlying().(type) {
+	case *types.Slice, *types.Array:
+		return true
+	case *types.Basic:
+		return t.Info()&types.IsString != 0
+	case *types.Pointer:
+		_, isArr := t.Elem().Underlying().(*types.Array)
+		return isArr
+	}
+	return false
+}
+
+// visitCalls visits every nested expression of s (function literals excluded)
+// so sink checks see calls and index expressions inside larger statements.
+func (w *flowWalker) visitCalls(env *absEnv, s ast.Node) {
+	ast.Inspect(s, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		switch n.(type) {
+		case *ast.CallExpr, *ast.IndexExpr, *ast.SliceExpr:
+			w.visit(w, env, n)
+		}
+		return true
+	})
+}
+
+// assign interprets an assignment statement.
+func (w *flowWalker) assign(env *absEnv, s *ast.AssignStmt) {
+	// Multi-value forms (x, y := f()) havoc their targets but keep the
+	// def-group note; single-expr pairs evaluate precisely.
+	if len(s.Lhs) == len(s.Rhs) {
+		for i, lhs := range s.Lhs {
+			w.assignOne(env, lhs, s.Rhs[i])
+		}
+		return
+	}
+	for _, rhs := range s.Rhs {
+		if call, ok := unparen(rhs).(*ast.CallExpr); ok {
+			w.callEffect(env, call)
+		}
+	}
+	// An offset-source producer validates every offset it returns (allocItem
+	// hands back both the byte offset and the word index), so each integer
+	// tuple position inherits the provenance, not just position 0.
+	srcName := ""
+	if w.prog != nil && len(s.Rhs) == 1 {
+		if call, isCall := unparen(s.Rhs[0]).(*ast.CallExpr); isCall {
+			if callee, _, ok := w.prog.resolveCallee(w.p, call); ok && w.prog.markersFor().offsetSourceFuncs[callee.Obj.FullName()] {
+				srcName = callee.Obj.FullName()
+			}
+		}
+	}
+	for i, lhs := range s.Lhs {
+		id, ok := unparen(lhs).(*ast.Ident)
+		if !ok {
+			w.havocTarget(env, lhs)
+			continue
+		}
+		if id.Name == "_" {
+			continue
+		}
+		if v, found := w.lookupVar(id); found {
+			env.invalidateRoot(id.Name)
+			val := w.typeVal(v.Type())
+			// Position 0 evaluates the call fully (alignment markers ride on
+			// the first result); later positions take provenance only.
+			if i == 0 && len(s.Rhs) == 1 {
+				if call, isCall := unparen(s.Rhs[0]).(*ast.CallExpr); isCall {
+					val = w.eval(env, call)
+				}
+			} else if srcName != "" && isIntType(v.Type()) {
+				val.origins = map[string]bool{srcName: true}
+				val.loSet, val.lo = true, 0
+			}
+			env.vals[v] = val
+		}
+	}
+}
+
+func (w *flowWalker) assignOne(env *absEnv, lhs, rhs ast.Expr) {
+	if call, ok := unparen(rhs).(*ast.CallExpr); ok {
+		w.callEffect(env, call)
+	}
+	id, ok := unparen(lhs).(*ast.Ident)
+	if !ok {
+		w.havocTarget(env, lhs)
+		return
+	}
+	if id.Name == "_" {
+		return
+	}
+	v, found := w.lookupVar(id)
+	if !found {
+		return
+	}
+	val := w.eval(env, rhs)
+	env.invalidateRoot(id.Name)
+	env.vals[v] = val
+	// Re-root equality: x := <linear expr> lets later facts about the rhs
+	// terms transfer — record x - rhs >= 0 and rhs - x >= 0.
+	if l := w.lin(env, rhs); l.ok && len(l.terms) > 0 {
+		lt := linTerm(id.Name)
+		env.addFact(lt.addScaled(l, -1))
+		env.addFact(l.addScaled(lt, -1))
+	}
+}
+
+// havocTarget invalidates facts rooted at a non-identifier assignment target
+// (field stores, element stores, pointer stores).
+func (w *flowWalker) havocTarget(env *absEnv, lhs ast.Expr) {
+	if root, ok := exprRoot(lhs); ok {
+		env.invalidateRoot(root.Name)
+		if v, found := w.lookupVar(root); found {
+			// Overwriting part of a struct does not change scalar locals,
+			// but any marker-derived info cached for it is gone.
+			if _, tracked := env.vals[v]; tracked {
+				delete(env.vals, v)
+			}
+		}
+	}
+}
+
+// havocAssigned resets every variable assigned anywhere under n (a loop body)
+// to its type-based value and drops facts mentioning it.
+func (w *flowWalker) havocAssigned(env *absEnv, n ast.Node) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for _, l := range m.Lhs {
+				w.havocExpr(env, l)
+			}
+		case *ast.IncDecStmt:
+			w.havocExpr(env, m.X)
+		case *ast.UnaryExpr:
+			if m.Op == token.AND {
+				w.havocExpr(env, m.X)
+			}
+		}
+		return true
+	})
+}
+
+func (w *flowWalker) havocExpr(env *absEnv, e ast.Expr) {
+	if id, ok := unparen(e).(*ast.Ident); ok {
+		if v, found := w.lookupVar(id); found {
+			env.vals[v] = w.typeVal(v.Type())
+		}
+		env.invalidateRoot(id.Name)
+		return
+	}
+	w.havocTarget(env, e)
+}
+
+// callEffect invalidates facts whose roots the call may write through: any
+// argument (or receiver) root passed by reference.
+func (w *flowWalker) callEffect(env *absEnv, call *ast.CallExpr) {
+	touch := func(e ast.Expr) {
+		if e == nil {
+			return
+		}
+		if root, ok := exprRoot(e); ok {
+			tv, hasType := w.p.Info.Types[e]
+			if !hasType || refType(tv.Type) {
+				env.invalidateRoot(root.Name)
+			}
+		}
+	}
+	for _, a := range call.Args {
+		touch(a)
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if s, found := w.p.Info.Selections[sel]; found && s.Kind() == types.MethodVal {
+			// Methods on the roots mentioned in region facts are assumed not
+			// to shrink their regions: registered areas never change length.
+			// Value receivers cannot write the caller's object at all, and
+			// the facts this layer records are all len()-shaped, so receiver
+			// calls do not invalidate. (Explicit stores do, via assign.)
+			_ = s
+		}
+	}
+}

@@ -42,6 +42,8 @@ const (
 // classSizes are the allocation size classes in bytes. The 16 B key + 32 B
 // value items the paper evaluates land in the first classes; the tail classes
 // cover the 4 MB chunks the MapReduce cache stores (§2.1).
+//
+// hydralint:offset-source class sizes are positive and bounded by maxClassBytes
 var classSizes = buildClasses()
 
 func buildClasses() []int {
@@ -74,7 +76,7 @@ func classOf(n int) int {
 
 // Arena allocates offsets out of a single contiguous byte region.
 type Arena struct {
-	data   []byte
+	data   []byte  // hydralint:region the NIC-registered backing store
 	bump   int     // next unallocated byte in the virgin region
 	free   [][]int // per-class free offsets
 	live   int     // bytes handed out (class-rounded)
@@ -108,6 +110,8 @@ func (a *Arena) Frees() int64 { return a.frees }
 
 // Alloc reserves n bytes and returns the region offset. The usable capacity
 // is the size class, at least n.
+//
+// hydralint:offset-source
 func (a *Arena) Alloc(n int) (uint32, error) {
 	if n <= 0 {
 		return 0, fmt.Errorf("arena: invalid allocation size %d", n)
@@ -167,14 +171,18 @@ func (a *Arena) Free(off uint32, n int) {
 // which may legitimately observe recycled memory, go through Data instead.
 //
 // hydralint:hotpath
+// hydralint:region-view
 func (a *Arena) Bytes(off uint32, n int) []byte {
 	if invariant.Enabled {
 		a.dbg.CheckLive(off, n)
 	}
+	//hydralint:ignore region-bounds callers pass a live allocation's offset and class size; CheckLive vets the window under hydradebug
 	return a.data[off : int(off)+n : int(off)+n]
 }
 
 // Data exposes the whole region for NIC registration.
+//
+// hydralint:region-view
 func (a *Arena) Data() []byte { return a.data }
 
 // ClassSize reports the rounded capacity an allocation of n bytes occupies.

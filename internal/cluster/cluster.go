@@ -130,10 +130,10 @@ const livePath = "/hydra/live"
 func New(cfg Config) (*Cluster, error) {
 	c := cfg.withDefaults()
 	cl := &Cluster{
-		cfg:    c,
-		clock:  c.Store.Clock,
-		fabric: rdma.NewFabric(c.Fabric),
-		coord:  coord.NewServer(c.Store.Clock, c.SessionTimeoutNs),
+		cfg:       c,
+		clock:     c.Store.Clock,
+		fabric:    rdma.NewFabric(c.Fabric),
+		coord:     coord.NewServer(c.Store.Clock, c.SessionTimeoutNs),
 		groups:    map[uint32]*group{},
 		promoting: map[uint32]bool{},
 	}

@@ -1,8 +1,8 @@
 package cluster
 
 import (
-	"strings"
 	"fmt"
+	"strings"
 	"testing"
 
 	"hydradb/internal/testutil"

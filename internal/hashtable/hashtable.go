@@ -66,9 +66,9 @@ type MatchFunc func(ref uint64) bool
 
 // Table is the compact hash table.
 type Table struct {
-	main     []uint64 // nBuckets * 8 words
+	main     []uint64 // hydralint:region nBuckets * 8 words
 	nBuckets uint64
-	overflow []uint64 // overflow bucket pool, 8 words each
+	overflow []uint64 // hydralint:region overflow bucket pool, 8 words each
 	freeOvf  []uint64 // free overflow bucket ids (1-based)
 	size     int
 
@@ -120,9 +120,11 @@ func setHeaderLink(h, link uint64) uint64 {
 func (t *Table) bucketWords(id uint64) []uint64 {
 	if id < t.nBuckets {
 		off := id * wordsPerBucket
+		//hydralint:ignore region-bounds len(main) is nBuckets*wordsPerBucket by construction and id < nBuckets guards the window
 		return t.main[off : off+wordsPerBucket]
 	}
 	off := (id - t.nBuckets) * wordsPerBucket
+	//hydralint:ignore region-bounds overflow ids come from linkToID on 8-bit links; len(overflow) is nOverflow*wordsPerBucket by construction
 	return t.overflow[off : off+wordsPerBucket]
 }
 

@@ -31,8 +31,8 @@ const (
 	// GuardianLive marks a valid item; GuardianDead marks an outdated or
 	// deleted one. A client RDMA Read always fetches the guardian with the
 	// item and discards the data when it is not GuardianLive.
-	GuardianLive uint64 = 0
-	GuardianDead uint64 = 1
+	GuardianLive uint64 = 0 // hydralint:publish storing this releases the item
+	GuardianDead uint64 = 1 // hydralint:unpublish storing this retracts the item
 
 	// MetaWordsPerItem is the word-group size: guardian + lease.
 	MetaWordsPerItem = 2
@@ -92,9 +92,9 @@ func DecodeItem(buf []byte) (key, val []byte, ok bool) {
 // (§4.2.2). It is returned alongside GET/PUT responses and cached client-side.
 type RemotePtr struct {
 	ShardID uint32 // global shard identity (routing epoch scoped)
-	DataOff uint32 // arena offset of the item
+	DataOff uint32 // hydralint:offset-source arena offset of the item
 	DataLen uint32 // ItemSize bytes
-	MetaIdx uint32 // word index of the guardian; lease is MetaIdx+1
+	MetaIdx uint32 // hydralint:offset-source guardian word index; lease is MetaIdx+1
 }
 
 // Zero reports whether the pointer is unset.

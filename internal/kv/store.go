@@ -237,9 +237,12 @@ func (s *Store) Put(key, val []byte) (GetResult, bool, error) {
 	if err != nil {
 		return GetResult{}, false, err
 	}
+	// Populate everything — payload bytes, then the lease word — before the
+	// guardian store publishes the item: a remote Read that wins the race
+	// against PUT must observe either no item or a fully formed one (§4.2.3).
 	EncodeItem(s.arena.Bytes(dataOff, size), key, val)
-	s.words.Store(metaIdx, GuardianLive)
 	s.words.Store(metaIdx+1, uint64(now+s.policy.Term(0)))
+	s.words.Store(metaIdx, GuardianLive)
 
 	rec := &s.items[ref-1]
 	h := hashx.Hash(key)
@@ -255,7 +258,10 @@ func (s *Store) Put(key, val []byte) (GetResult, bool, error) {
 	oldRef, replaced, err := s.table.Insert(h, ref, s.match)
 	if err != nil {
 		// Reference overflow cannot happen with slab-bounded refs, but roll
-		// back defensively.
+		// back defensively — and retract the guardian before recycling the
+		// memory, so a racing remote Read of the just-published item cannot
+		// validate against a zeroed (hence Live-looking) recycled group.
+		s.words.Store(metaIdx, GuardianDead)
 		s.arena.Free(dataOff, size)
 		s.words.FreeGroup(metaIdx)
 		s.freeRecord(ref)
@@ -271,6 +277,7 @@ func (s *Store) Put(key, val []byte) (GetResult, bool, error) {
 	} else {
 		s.ctr.Inserts.Inc()
 	}
+	//hydralint:ignore publication-order lease renewal on the just-published item is the §4.2.3 protocol; readers see a monotonically later expiry
 	exp := s.touch(rec, now)
 	return GetResult{Ptr: s.remotePtr(rec), LeaseExp: exp}, replaced, nil
 }

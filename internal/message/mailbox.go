@@ -48,19 +48,21 @@ var (
 // hydralint:cacheline
 type Mailbox struct {
 	mr       *rdma.MemoryRegion
-	dataOff  int
-	slotCap  int
+	dataOff  int // hydralint:offset-source byte base, validated by NewRing
+	slotCap  int // hydralint:offset-source slot capacity, validated by NewRing
 	depth    int
-	wordBase int
+	wordBase int       // hydralint:offset-source word base, validated by NewRing
 	_        [3]uint64 // pad: the read-only config above fills its own line
 
 	// owner-side read cursor (slot index)
 	// hydralint:owner owner
+	// hydralint:offset-source cursor stays in [0, depth)
 	rd int
 	_  [7]uint64 // pad: rd gets a private cache line
 
 	// writer-side write cursor (slot index)
 	// hydralint:owner writer
+	// hydralint:offset-source cursor stays in [0, depth)
 	wr int
 	_  [7]uint64 // pad: keep wr's line private even in Mailbox arrays
 }
@@ -140,7 +142,7 @@ func (m *Mailbox) Poll() (body []byte, seq uint32, ok bool) {
 		return nil, 0, false
 	}
 	seq, size, present := splitIndicator(head)
-	if !present || size > m.slotCap {
+	if !present || size < 0 || size > m.slotCap {
 		return nil, 0, false
 	}
 	// The paper polls the last word after the size-bearing first word; with
@@ -156,6 +158,7 @@ func (m *Mailbox) Poll() (body []byte, seq uint32, ok bool) {
 // to the writer, and advances the cursor to the next slot.
 //
 // hydralint:hotpath
+// hydralint:unpublishes clearing the head indicator retires the slot
 func (m *Mailbox) Consume() {
 	words := m.mr.Words()
 	headIdx := m.wordBase + indicatorWordsPerSlot*m.rd
@@ -203,6 +206,7 @@ func (m *Mailbox) WriteVia(qp *rdma.QP, body []byte, seq uint32) error {
 // unconsumed slot is rejected with ErrRingFull instead of corrupting it.
 //
 // hydralint:hotpath
+// hydralint:publishes
 func (m *Mailbox) WriteLocal(body []byte, seq uint32) error {
 	if len(body) > m.slotCap {
 		return ErrTooLarge

@@ -170,7 +170,7 @@ func (f *Fabric) spinFor(ns int64) {
 // word area carrying indicators, guardians and leases (see package arena).
 type MemoryRegion struct {
 	nic     *NIC
-	data    []byte
+	data    []byte // hydralint:region remotely writable registered bytes
 	words   *arena.WordArea
 	revoked atomic.Bool
 }
@@ -192,6 +192,8 @@ func (n *NIC) Register(data []byte, words *arena.WordArea) *MemoryRegion {
 }
 
 // Data exposes the byte area to its owner (local access only).
+//
+// hydralint:region-view
 func (mr *MemoryRegion) Data() []byte { return mr.data }
 
 // Words exposes the word area to its owner.
@@ -284,6 +286,8 @@ func (qp *QP) fault(verb Verb, nbytes int) (drop bool, err error) {
 
 // WriteBytes performs a one-sided RDMA Write of src into the remote region
 // at off. The target CPU is not involved.
+//
+// hydralint:offset-sink off
 func (qp *QP) WriteBytes(mr *MemoryRegion, off int, src []byte) error {
 	if err := qp.checkTarget(mr); err != nil {
 		return err
@@ -304,6 +308,8 @@ func (qp *QP) WriteBytes(mr *MemoryRegion, off int, src []byte) error {
 }
 
 // WriteWord performs a one-sided write of a single word (atomic publication).
+//
+// hydralint:offset-sink wordIdx
 func (qp *QP) WriteWord(mr *MemoryRegion, wordIdx int, val uint64) error {
 	if err := qp.checkTarget(mr); err != nil {
 		return err
@@ -330,6 +336,9 @@ func (qp *QP) WriteWord(mr *MemoryRegion, wordIdx int, val uint64) error {
 // message: the payload bytes land first, then tail and head indicator words
 // are published in order. The in-order delivery of RC RDMA Write makes this
 // a single posted work request on real hardware; it is charged as one NIC op.
+//
+// hydralint:offset-sink off tailIdx headIdx
+// hydralint:publishes
 func (qp *QP) WriteIndicated(mr *MemoryRegion, off int, body []byte, tailIdx, headIdx int, indicator uint64) error {
 	if err := qp.checkTarget(mr); err != nil {
 		return err
@@ -358,6 +367,8 @@ func (qp *QP) WriteIndicated(mr *MemoryRegion, off int, body []byte, tailIdx, he
 // region at off into dst and atomically loads the requested words, all in a
 // single round trip with one latency charge. Returns the number of bytes
 // copied and the word values.
+//
+// hydralint:offset-sink off wordIdxs
 func (qp *QP) Read(mr *MemoryRegion, off int, dst []byte, wordIdxs ...int) (int, []uint64, error) {
 	var words []uint64
 	if len(wordIdxs) > 0 {
@@ -376,6 +387,7 @@ func (qp *QP) Read(mr *MemoryRegion, off int, dst []byte, wordIdxs ...int) (int,
 // least len(wordIdxs).
 //
 // hydralint:hotpath
+// hydralint:offset-sink off wordIdxs
 func (qp *QP) ReadInto(mr *MemoryRegion, off int, dst []byte, words []uint64, wordIdxs ...int) (int, error) {
 	if err := qp.checkTarget(mr); err != nil {
 		return 0, err

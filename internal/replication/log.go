@@ -13,8 +13,12 @@ import (
 // LogConfig sizes a replication log ring.
 type LogConfig struct {
 	// Slots is the ring capacity in records.
+	//
+	// hydralint:offset-source positive and < 1<<15 after withDefaults
 	Slots int
 	// SlotSize is the byte capacity of one record (key+val+header).
+	//
+	// hydralint:offset-source positive and < 1<<15 after withDefaults
 	SlotSize int
 	// AckEvery solicits an acknowledgement every N records ("several tens
 	// of requests", §5.2). Strict mode ignores it and waits on every record.
@@ -82,6 +86,7 @@ func (l *Log) Region() *rdma.MemoryRegion { return l.mr }
 // Config reports the effective configuration.
 func (l *Log) Config() LogConfig { return l.cfg }
 
+// hydralint:offset-source
 func (l *Log) doorbellIdx() int { return l.cfg.Slots }
 
 // Secondary drains a Log and applies records. It is single-threaded: the
@@ -92,7 +97,7 @@ type Secondary struct {
 	applier Applier
 	ackQP   *rdma.QP
 	ackMR   *rdma.MemoryRegion
-	ackIdx  int
+	ackIdx  int // hydralint:offset-source assigned by Primary.AddSecondary
 
 	nextSeq        uint64
 	applied        atomic.Uint64
@@ -146,6 +151,9 @@ func (s *Secondary) Pending() bool {
 	return seq == s.nextSeq
 }
 
+// slotOf maps a sequence number to its ring slot.
+//
+// hydralint:offset-source the modulus keeps the slot in [0, Slots)
 func (s *Secondary) slotOf(seq uint64) int { return int((seq - 1) % uint64(s.log.cfg.Slots)) }
 
 // PollOnce processes at most one pending record or doorbell, returning
@@ -177,6 +185,12 @@ func (s *Secondary) PollOnce() bool {
 	w := words.Load(slot)
 	seq, size, ackReq := splitReady(w)
 	if seq != s.nextSeq {
+		return false
+	}
+	// A ready word whose size exceeds the slot would over-slice into the
+	// neighbouring record; treat it like a torn write and wait for the
+	// primary to republish the indicator.
+	if size < 0 || size > s.log.cfg.SlotSize {
 		return false
 	}
 	if s.awaitingResend && seq == s.firstFailed {
@@ -283,7 +297,7 @@ func (s *Secondary) Stop() {
 type secondaryState struct {
 	qp        *rdma.QP
 	log       *Log
-	ackIdx    int // index into the primary's ack word area
+	ackIdx    int // hydralint:offset-source index into the primary's ack word area
 	lastAcked uint64
 	doorbell  uint64 // last doorbell value rung
 

@@ -1,9 +1,9 @@
 package ycsb
 
 import (
+	"bytes"
 	"encoding/binary"
 	"hash/fnv"
-	"bytes"
 	"math"
 	"math/rand"
 	"sort"
