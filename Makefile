@@ -5,7 +5,7 @@
 GO        ?= go
 FUZZTIME  ?= 20s
 
-.PHONY: all build vet test race lint lint-budget lint-budget-write lint-sarif deep-lint fuzz-smoke debug-test bench-smoke hydramc-smoke chaos-smoke cover ci
+.PHONY: all build vet test race lint lint-budget lint-budget-write lint-sarif deep-lint fuzz-smoke debug-test bench-smoke bench-json hydramc-smoke chaos-smoke cover ci
 
 all: build test
 
@@ -72,6 +72,18 @@ fuzz-smoke:
 bench-smoke:
 	$(GO) test -run='^$$' -bench='BenchmarkLive' -benchtime=100x .
 
+# Machine-readable benchmark snapshot: the live microbenchmarks at a
+# meaningful iteration count, rendered to JSON by cmd/benchjson. CI uploads
+# the file as a build artifact; the checked-in BENCH_PR7.json is one such
+# run capturing the read-plane sweep (regenerate with this target).
+BENCHJSONTIME ?= 2000x
+BENCHJSONOUT  ?= BENCH_PR7.json
+bench-json:
+	$(GO) test -run='^$$' -bench='BenchmarkLive' -benchtime=$(BENCHJSONTIME) . \
+		| tee bench-json.log | $(GO) run ./cmd/benchjson > $(BENCHJSONOUT)
+	@rm -f bench-json.log
+	@echo wrote $(BENCHJSONOUT)
+
 # Runtime sanitizers: goroutine-ownership assertions, arena double-free /
 # use-after-free canaries, guardian-word validation at the fabric boundary.
 debug-test:
@@ -102,6 +114,7 @@ CHAOSSEEDS   ?= 3
 CHAOSTIMEOUT ?= 600
 chaos-smoke:
 	timeout $(CHAOSTIMEOUT) $(GO) run ./cmd/hydrachaos -seed 1 -seeds $(CHAOSSEEDS) -clients 3 -ops 100 -keys 16
+	timeout $(CHAOSTIMEOUT) $(GO) run ./cmd/hydrachaos -seed 1 -seeds $(CHAOSSEEDS) -readers 2 -clients 3 -ops 100 -keys 16
 	! timeout $(CHAOSTIMEOUT) $(GO) run ./cmd/hydrachaos -scenario crash-primary -bug -clients 2 -ops 60 -keys 8
 
 # Per-package statement coverage, so the HA packages' verification gain is

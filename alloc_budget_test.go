@@ -87,3 +87,48 @@ func TestAllocBudgetPipelinedGet(t *testing.T) {
 		t.Fatalf("pipelined GET allocates %.2f/op, budget is 1", perOp)
 	}
 }
+
+// TestAllocBudgetReadPlaneGet: a warm message-path GET served by a reader
+// goroutine (DESIGN.md §13) stays within the same ≤1 alloc/op budget as the
+// shard-loop path. AllocsPerRun counts process-global mallocs, so this pins
+// the server-side probe chain — ProbeRoot, publication word, guardian
+// check, copy-out, response encode — at zero allocations too: one more
+// malloc anywhere on the reader's hit path would blow the budget.
+func TestAllocBudgetReadPlaneGet(t *testing.T) {
+	opts := hydradb.DefaultOptions()
+	opts.ShardsPerMachine = 1
+	opts.DisableRDMARead = true
+	opts.SharedPointerCache = false
+	opts.ReaderThreads = 2
+	opts.ArenaBytesPerShard = 16 << 20
+	opts.MaxItemsPerShard = 1 << 16
+	db, err := hydradb.Start(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	c := db.NewClient()
+	key := []byte("budgetkey8bytes!")
+	if err := c.Put(key, make([]byte, 32)); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := c.GetInto(key, nil) // warm: sizes the value buffer
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		var gerr error
+		buf, gerr = c.GetInto(key, buf[:0])
+		if gerr != nil || len(buf) != 32 {
+			t.Fatalf("get: len=%d err=%v", len(buf), gerr)
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("read-plane GET allocates %.1f/op, budget is 1", allocs)
+	}
+	// The runs above must actually have been served by the read plane.
+	snap := db.Stats()
+	if snap.ReadPlaneHits < 150 {
+		t.Fatalf("only %d read-plane hits; probe path not exercised", snap.ReadPlaneHits)
+	}
+}

@@ -1,0 +1,121 @@
+// Command benchjson converts `go test -bench` text output on stdin into a
+// stable JSON document on stdout, so CI can archive benchmark runs as
+// artifacts and check a snapshot into the repo (BENCH_PR7.json) without
+// anyone hand-editing numbers out of a log.
+//
+//	go test -run='^$' -bench=BenchmarkLive -benchtime=2000x . | benchjson > BENCH.json
+//
+// Non-benchmark lines (PASS, ok, test logs) are ignored; header lines
+// (goos/goarch/cpu/pkg) are captured as environment metadata. ops_per_sec
+// is derived from ns/op; B/op and allocs/op appear when the benchmark
+// reported them (-benchmem or b.ReportAllocs).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line, flattened.
+type Result struct {
+	Iterations int64    `json:"iterations"`
+	NsPerOp    float64  `json:"ns_per_op"`
+	OpsPerSec  float64  `json:"ops_per_sec"`
+	BytesPerOp *int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"` // custom b.ReportMetric units
+}
+
+// Report is the whole document.
+type Report struct {
+	Env        map[string]string  `json:"env,omitempty"`
+	Benchmarks map[string]*Result `json:"benchmarks"`
+}
+
+func main() {
+	rep := Report{Env: map[string]string{}, Benchmarks: map[string]*Result{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		for _, k := range []string{"goos", "goarch", "pkg", "cpu"} {
+			if rest, ok := strings.CutPrefix(line, k+":"); ok {
+				rep.Env[k] = strings.TrimSpace(rest)
+			}
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 3 {
+			continue
+		}
+		name := f[0]
+		if maxprocsSuffix(name) > 0 {
+			name = name[:strings.LastIndexByte(name, '-')]
+		}
+		iters, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			continue // a RUN header or benchmark log line, not a result
+		}
+		r := &Result{Iterations: iters}
+		// The remainder alternates value/unit pairs.
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				break
+			}
+			switch unit := f[i+1]; unit {
+			case "ns/op":
+				r.NsPerOp = v
+				if v > 0 {
+					r.OpsPerSec = 1e9 / v
+				}
+			case "B/op":
+				n := int64(v)
+				r.BytesPerOp = &n
+			case "allocs/op":
+				n := int64(v)
+				r.AllocsPerOp = &n
+			default:
+				if r.Metrics == nil {
+					r.Metrics = map[string]float64{}
+				}
+				r.Metrics[unit] = v
+			}
+		}
+		rep.Benchmarks[name] = r
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// maxprocsSuffix extracts the trailing -N GOMAXPROCS marker of a benchmark
+// name, or 0 when the name has none (GOMAXPROCS=1 runs print bare names).
+func maxprocsSuffix(name string) int {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return 0
+	}
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil || n <= 0 {
+		return 0
+	}
+	return n
+}

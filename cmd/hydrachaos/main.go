@@ -47,6 +47,7 @@ func run(args []string) int {
 		keys     = fs.Int("keys", 0, "override distinct keys")
 		replay   = fs.String("replay", "", "re-run a schedule line printed by a failing run")
 		bug      = fs.Bool("bug", false, "arm the seeded corruption; the oracle must catch it")
+		readers  = fs.Int("readers", 0, "reader goroutines per shard (parallel read plane; 0: off)")
 		verbose  = fs.Bool("v", false, "log injected events and run progress")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -92,7 +93,7 @@ func run(args []string) int {
 
 	exit := 0
 	for _, s := range schedules {
-		if code := runOne(s, *bug, *verbose); code > exit {
+		if code := runOne(s, *bug, *readers, *verbose); code > exit {
 			exit = code
 		}
 	}
@@ -122,8 +123,8 @@ func reshape(s *chaos.Schedule, clients, ops, keys int) {
 	}
 }
 
-func runOne(s chaos.Schedule, bug, verbose bool) int {
-	opts := chaos.Options{Schedule: s, SeededBug: bug}
+func runOne(s chaos.Schedule, bug bool, readers int, verbose bool) int {
+	opts := chaos.Options{Schedule: s, SeededBug: bug, ReaderThreads: readers}
 	if verbose {
 		opts.Logf = func(format string, args ...any) {
 			fmt.Printf("  "+format+"\n", args...)

@@ -75,6 +75,11 @@ type Options struct {
 	// Pipelined runs shards under the decoupled I/O/compute model
 	// (§6.2.1 baseline).
 	Pipelined bool
+	// ReaderThreads > 0 gives every shard a parallel read plane: that many
+	// reader goroutines serve message-path GETs concurrently with
+	// guardian-validated probes while mutations stay on the shard loop
+	// (DESIGN.md §13). 0 keeps the paper's single-goroutine shard.
+	ReaderThreads int
 	// SharedPointerCache lets collocated clients share remote pointers
 	// through a lock-free cache (§4.2.4). Disable for isolated caches.
 	SharedPointerCache bool
@@ -155,6 +160,7 @@ func Start(opts Options) (*DB, error) {
 		StrictReplication: opts.StrictReplication,
 		SendRecv:          opts.SendRecv,
 		Pipelined:         opts.Pipelined,
+		ReaderThreads:     opts.ReaderThreads,
 		MailboxBytes:      opts.MailboxBytes,
 		RingDepth:         opts.RingDepth,
 		Fabric:            opts.Fabric,

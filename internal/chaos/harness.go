@@ -25,6 +25,10 @@ type Options struct {
 	// SeededBug silently corrupts one acked key after the run (bypassing the
 	// replication path), proving the checker and lost-write scan can see.
 	SeededBug bool
+	// ReaderThreads > 0 runs every shard with a parallel read plane
+	// (DESIGN.md §13), so the chaos oracle checks linearizability with
+	// reader goroutines probing across crashes, promotions, and faults.
+	ReaderThreads int
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...any)
 }
@@ -66,6 +70,7 @@ func Run(opts Options) (*Result, error) {
 		ShardsPerMachine: 1,
 		Replicas:         2,
 		VNodes:           16,
+		ReaderThreads:    opts.ReaderThreads,
 		Store: kv.Config{
 			ArenaBytes: 4 << 20,
 			MaxItems:   16384,

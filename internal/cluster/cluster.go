@@ -55,6 +55,9 @@ type Config struct {
 	SendRecv bool
 	// Pipelined runs shards under the decoupled execution model (§6.2.1).
 	Pipelined bool
+	// ReaderThreads > 0 gives every primary shard a parallel read plane of
+	// that many reader goroutines (DESIGN.md §13).
+	ReaderThreads int
 }
 
 func (c *Config) withDefaults() Config {
@@ -177,11 +180,12 @@ func New(cfg Config) (*Cluster, error) {
 func (cl *Cluster) startGroup(id uint32, machine int) error {
 	g := &group{id: id, machine: machine}
 	sh := shard.New(shard.Config{
-		ID:           id,
-		NIC:          cl.serverNICs[machine],
-		Store:        cl.cfg.Store,
-		MailboxBytes: cl.cfg.MailboxBytes,
-		RingDepth:    cl.cfg.RingDepth,
+		ID:            id,
+		NIC:           cl.serverNICs[machine],
+		Store:         cl.cfg.Store,
+		MailboxBytes:  cl.cfg.MailboxBytes,
+		RingDepth:     cl.cfg.RingDepth,
+		ReaderThreads: cl.cfg.ReaderThreads,
 	})
 	sh.SetEpoch(cl.epoch.Load())
 	g.shard = sh
@@ -332,6 +336,7 @@ func (cl *Cluster) Promote(id uint32) error {
 		Store:         cl.cfg.Store,
 		MailboxBytes:  cl.cfg.MailboxBytes,
 		RingDepth:     cl.cfg.RingDepth,
+		ReaderThreads: cl.cfg.ReaderThreads,
 		ExistingStore: chosen.store,
 	})
 
@@ -466,6 +471,7 @@ func (cl *Cluster) MoveShard(id uint32, targetMachine int) error {
 		Store:         cl.cfg.Store,
 		MailboxBytes:  cl.cfg.MailboxBytes,
 		RingDepth:     cl.cfg.RingDepth,
+		ReaderThreads: cl.cfg.ReaderThreads,
 		ExistingStore: g.shard.Store(),
 	})
 	newGroup.shard = newShard

@@ -313,3 +313,78 @@ func TestDoublePromotionRace(t *testing.T) {
 		return err == nil && string(v) == "v"
 	}, "data unreachable after racing promotions")
 }
+
+// TestStopThenPromotePreservesAckedWrites is the graceful-shutdown cousin of
+// TestFailoverPreservesAckedWrites, run with the parallel read plane on: a
+// primary whose readers are live is Stopped (the owner must drain reader
+// fallbacks and join every reader goroutine), then declared dead, then its
+// secondary is promoted explicitly. Every acknowledged write must be
+// readable from the promoted store — a reader still parked on a connection,
+// an undrained fallback, or a replication record dropped during the staged
+// shutdown would all surface here as a lost write.
+func TestStopThenPromotePreservesAckedWrites(t *testing.T) {
+	clk := timing.NewManualClock(1e9)
+	cfg := testConfig(clk)
+	cfg.Replicas = 1
+	cfg.ReaderThreads = 2
+	cl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+
+	c := cl.NewClient(0, client.Options{UseRDMARead: true})
+	const n = 300
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("user%016d", i))
+		if err := c.Put(k, []byte(fmt.Sprintf("val%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		// Interleave reads so the read plane is hot while writes replicate.
+		if i%7 == 0 {
+			if _, err := c.Get(k); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	var victim uint32
+	maxLen := -1
+	for _, id := range cl.ShardIDs() {
+		if l := cl.Shard(id).Store().Len(); l > maxLen {
+			maxLen, victim = l, id
+		}
+	}
+
+	// Graceful stop first: read-plane shutdown (reader join + fallback
+	// drain) runs to completion while the process is still healthy. Then
+	// declare the primary dead (KillShard also closes its coordination
+	// session, without which the promoted primary cannot register) and
+	// promote explicitly — the planned-maintenance path. The SWAT reactor
+	// sees the session close too, so losing the promotion race to it is
+	// fine; either way the partition must end with a promoted primary.
+	cl.Shard(victim).Stop()
+	if err := cl.KillShard(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Promote(victim); err != nil {
+		t.Logf("manual promote lost the race to SWAT: %v", err)
+	}
+	testutil.WaitUntil(t, 10*time.Second, func() bool {
+		return cl.Promotions.Load() >= 1
+	}, "promotion never happened")
+
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("user%016d", i))
+		v, err := c.Get(k)
+		if err != nil || string(v) != fmt.Sprintf("val%d", i) {
+			t.Fatalf("after stop+promote, get %s: %q %v", k, v, err)
+		}
+	}
+	if err := c.Put([]byte("post-promote"), []byte("yes")); err != nil {
+		t.Fatal(err)
+	}
+	if v := testutil.Must1(c.Get([]byte("post-promote"))); string(v) != "yes" {
+		t.Fatal("post-promote write lost")
+	}
+}

@@ -1,0 +1,133 @@
+// Read-plane probe surface (DESIGN.md §13): the concurrent, read-only GET
+// path used by shard reader goroutines. It mirrors the client's one-sided
+// path — table probe, guardian validation, lease check — but runs in-process
+// inside a ReadGate section, which pins every published byte it can reach
+// (see readgate.go for the safety argument). The owning shard loop remains
+// the only mutator.
+
+package kv
+
+import (
+	"bytes"
+	"encoding/binary"
+
+	"hydradb/internal/hashtable"
+	"hydradb/internal/hashx"
+	"hydradb/internal/lease"
+)
+
+// ProbeStatus classifies the outcome of a read-plane probe.
+type ProbeStatus uint8
+
+const (
+	// ProbeHit: the visit callback ran with the live value.
+	ProbeHit ProbeStatus = iota
+	// ProbeMiss: the key is definitively absent from its (chain-free) root
+	// bucket; safe to answer NotFound directly.
+	ProbeMiss
+	// ProbeTorn: the probe raced a concurrent update (slot flip, detach) and
+	// saw a half-transitioned state. The caller may retry or fall back.
+	ProbeTorn
+	// ProbeFallback: the request needs the owning shard loop — overflow
+	// chain on the bucket, or a hit whose lease is due for renewal.
+	ProbeFallback
+)
+
+// AttachReadGate installs the reader quiescence gate. Must be called before
+// any concurrent ProbeGet; from then on ReclaimDue defers whole free passes
+// while a probe section is open.
+func (s *Store) AttachReadGate(g *ReadGate) { s.gate = g }
+
+// pubVal packs the publication word: arena offset and word-group index of a
+// published item, with +1 on the meta index so the zero word means
+// "unpublished". Readers trust only this word — never the itemRecord slab,
+// which the owner mutates without synchronization.
+func pubVal(dataOff uint32, metaIdx int) uint64 {
+	return uint64(dataOff)<<32 | uint64(metaIdx+1)
+}
+
+// PubWord exposes an item's publication word — model-checker and test hook.
+func (s *Store) PubWord(ref uint64) uint64 { return s.pub[ref-1].Load() }
+
+// ProbeGet serves a GET without the owning shard loop: it opens a probe
+// section on slot, probes the root bucket, validates the candidate through
+// publication word → guardian → key compare → lease, and invokes visit with
+// the value while still inside the section (the bytes alias the arena and
+// are only pinned until ProbeGet returns, so visit must consume or copy them
+// synchronously). visit runs at most once.
+//
+// hydralint:hotpath
+func (s *Store) ProbeGet(slot *ReadSlot, key []byte, visit func(val []byte, ptr RemotePtr, leaseExp int64)) ProbeStatus {
+	slot.BeginProbe()
+	st := s.probeInSection(key, visit)
+	slot.EndProbe()
+	return st
+}
+
+// hydralint:hotpath
+func (s *Store) probeInSection(key []byte, visit func(val []byte, ptr RemotePtr, leaseExp int64)) ProbeStatus {
+	var cands [hashtable.SlotsPerBucket]uint64
+	n, ok := s.table.ProbeRoot(hashx.Hash(key), &cands)
+	if !ok {
+		return ProbeFallback
+	}
+	torn := false
+	data := s.arena.Data()
+	for i := 0; i < n; i++ {
+		ref := cands[i]
+		if ref > uint64(len(s.pub)) {
+			torn = true // stale slot read beyond the slab
+			continue
+		}
+		pw := s.pub[ref-1].Load()
+		if pw == 0 {
+			torn = true // detached and reclaimed, or not yet published
+			continue
+		}
+		metaIdx := int(uint32(pw)) - 1
+		dataOff := int(uint32(pw >> 32))
+		if metaIdx+1 >= s.words.Len() || dataOff+ItemHeaderSize > len(data) {
+			torn = true
+			continue
+		}
+		if s.words.Load(metaIdx) != GuardianLive {
+			torn = true // detached between slot read and validation
+			continue
+		}
+		// The section pins these bytes (readgate.go): decode directly from
+		// the raw region, like ReadAt, so hydradebug canaries cannot fire on
+		// a candidate that was detached-but-pinned.
+		kl := int(binary.LittleEndian.Uint16(data[dataOff : dataOff+2]))
+		vl := int(binary.LittleEndian.Uint32(data[dataOff+2 : dataOff+6]))
+		end := dataOff + ItemHeaderSize + kl + vl
+		if kl == 0 || kl > MaxKeyLen || vl > MaxValLen || end > len(data) {
+			torn = true
+			continue
+		}
+		k, v, okDec := DecodeItem(data[dataOff:end])
+		if !okDec {
+			torn = true
+			continue
+		}
+		if !bytes.Equal(k, key) {
+			continue // signature collision with another key
+		}
+		leaseExp := int64(s.words.Load(metaIdx + 1))
+		if !lease.ValidForRead(leaseExp, s.clock.Now(), 0) {
+			// Lease due: only the owner renews leases and popularity, so
+			// hand the request over rather than serve reads that would let
+			// the client's one-sided pointer cache starve on a stale expiry.
+			return ProbeFallback
+		}
+		visit(v, RemotePtr{
+			DataOff: uint32(dataOff),
+			DataLen: uint32(end - dataOff),
+			MetaIdx: uint32(metaIdx),
+		}, leaseExp)
+		return ProbeHit
+	}
+	if torn {
+		return ProbeTorn
+	}
+	return ProbeMiss
+}

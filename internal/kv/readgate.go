@@ -1,0 +1,64 @@
+// Read-plane quiescence gate (DESIGN.md §13).
+//
+// The guardian protocol makes remote one-sided reads safe because a detached
+// item's memory survives until its lease expires plus a grace period. The
+// in-process read plane gets a stronger, cheaper guarantee: each reader
+// brackets every probe in a ReadSlot section, and the owning shard loop
+// simply defers reclamation while any section is open. Reclaim-heap entries
+// were detached (table slot flipped away, guardian dead) strictly before
+// ReclaimDue runs, so a probe section that *begins after* the owner's
+// quiescence check can only find post-detach buckets and never reaches a
+// dying reference; a section holding an old reference keeps the whole free
+// pass deferred. Within a section, therefore, any published reference points
+// at bytes that cannot be freed or overwritten — no torn reads, no
+// generation counters, no post-copy validation.
+//
+// The Exit increment is a release store that the owner's Quiescent loads
+// acquire, ordering every byte read inside the section strictly before the
+// free that recycles it.
+
+package kv
+
+import "sync/atomic"
+
+// ReadSlot is one reader goroutine's quiescence cell. The sequence word is
+// odd while a probe section is open and even otherwise, seqlock-style.
+// Padding keeps each slot on its own cache line so readers never contend.
+type ReadSlot struct {
+	_   [64]byte
+	sec atomic.Uint64
+	_   [56]byte
+}
+
+// BeginProbe opens a probe section. Must be paired with EndProbe on the same
+// goroutine; sections must be short (one probe) and must never block.
+func (s *ReadSlot) BeginProbe() { s.sec.Add(1) }
+
+// EndProbe closes the section opened by BeginProbe.
+func (s *ReadSlot) EndProbe() { s.sec.Add(1) }
+
+// ReadGate is the set of reader slots attached to a Store. The owner polls
+// Quiescent before freeing reclaimed items.
+type ReadGate struct {
+	slots []ReadSlot
+}
+
+// NewReadGate creates a gate with n reader slots.
+func NewReadGate(n int) *ReadGate {
+	return &ReadGate{slots: make([]ReadSlot, n)}
+}
+
+// Slot returns reader i's quiescence cell.
+func (g *ReadGate) Slot(i int) *ReadSlot { return &g.slots[i] }
+
+// Quiescent reports whether no probe section is currently open. A section
+// that begins after the last load here returns true is harmless: it started
+// after everything the caller is about to free was already detached.
+func (g *ReadGate) Quiescent() bool {
+	for i := range g.slots {
+		if g.slots[i].sec.Load()&1 == 1 {
+			return false
+		}
+	}
+	return true
+}

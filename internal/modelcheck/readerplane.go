@@ -1,0 +1,182 @@
+package modelcheck
+
+import (
+	"bytes"
+	"fmt"
+
+	"hydradb/internal/hashtable"
+	"hydradb/internal/hashx"
+	"hydradb/internal/kv"
+)
+
+// readerplaneModel checks the in-process read plane (DESIGN.md §13): a
+// reader goroutine's guardian-validated probe, racing the shard loop's
+// out-of-place PUTs and quiescence-gated reclamation, never returns a torn
+// or reclaimed value.
+//
+// The reader re-implements kv.ProbeGet split into scheduler steps — root
+// probe + publication/guardian validation, then the byte copy broken in TWO
+// steps so a free-and-reuse between them manifests as a torn value. The
+// server performs the guardian model's ABA sequence (update, reclaim, update
+// reusing the freed block), except reclamation now respects the ReadGate:
+// with the gate honored, the free pass cannot land between the reader's copy
+// steps, because the probe section is open for their whole span.
+//
+// The seeded bug is a reader that skips the gate (no BeginProbe/EndProbe):
+// the server then reclaims and reuses the block mid-copy, and the probe
+// returns bytes from two different items — exactly the tear the quiescence
+// protocol exists to prevent. Unlike the one-sided guardian model, no lease
+// algebra or environment assumption saves the bugged reader: in-process
+// probes are licensed by the gate alone.
+var readerplaneModel = Model{
+	Name:  "readerplane",
+	Desc:  "read-plane probe vs. shard-loop PUT + gated reclaim: no torn or reclaimed value",
+	Bug:   "reader probes without opening its ReadGate section",
+	Setup: setupReaderplane,
+}
+
+func setupReaderplane(r *Run, bug bool) {
+	// Four-byte values of equal length: updates land in equally sized arena
+	// blocks, so the LIFO-reuse PUT overwrites exactly the bytes a stalled
+	// reader is copying.
+	w := newStoreWorld(r, "aaaa")
+	gate := kv.NewReadGate(1)
+	w.st.AttachReadGate(gate)
+	slot := gate.Slot(0)
+
+	r.Spawn("server", func(t *Thread) {
+		t.Step("store", func() {
+			w.tick++
+			w.put(r, "aaaa", "cccc")
+		})
+		reclaimed := false
+		t.Await("store,clock", func() bool {
+			if w.readerDone {
+				return true
+			}
+			due, ok := w.st.NextReclaimDue()
+			return ok && due <= w.clock.Now() && gate.Quiescent()
+		}, func() {
+			w.tick++
+			if due, ok := w.st.NextReclaimDue(); ok && due <= w.clock.Now() {
+				if w.st.ReclaimDue() == 0 {
+					// Deferred: the cond saw the gate quiescent, so the
+					// store must agree (cond and body run in one step).
+					t.Fail("ReclaimDue deferred a due pass with a quiescent gate")
+				}
+				reclaimed = true
+			}
+		})
+		if reclaimed {
+			t.Step("store", func() {
+				w.tick++
+				// Reuses the freed arena block and word group: ABA under
+				// the reader's feet.
+				w.put(r, "cccc", "bbbb")
+			})
+		}
+	})
+
+	r.Spawn("reader", func(t *Thread) {
+		var (
+			ref       uint64
+			dataOff   int
+			itemLen   int
+			guardTick int
+			data      []byte
+			probing   bool
+		)
+		// Probe + validate: section open, root bucket scan, publication
+		// word, guardian. All single-word atomic reads in the real path;
+		// grouped here because no server step can interleave a multi-word
+		// inconsistency into them (each is individually validated).
+		t.Step("store", func() {
+			w.tick++
+			if !bug {
+				slot.BeginProbe()
+			}
+			var cands [hashtable.SlotsPerBucket]uint64
+			n, ok := w.st.Table().ProbeRoot(hashx.Hash(w.key), &cands)
+			if !ok || n == 0 {
+				return
+			}
+			ref = cands[0]
+			pw := w.st.PubWord(ref)
+			if pw == 0 {
+				ref = 0
+				return
+			}
+			metaIdx := uint32(pw) - 1
+			dataOff = int(uint32(pw >> 32))
+			if w.st.Guardian(metaIdx) != kv.GuardianLive {
+				ref = 0
+				return
+			}
+			guardTick = w.tick
+			raw := w.st.ArenaData()
+			k, v, ok := kv.DecodeItem(raw[dataOff:])
+			if !ok || !bytes.Equal(k, w.key) {
+				ref = 0
+				return
+			}
+			itemLen = kv.ItemSize(len(k), len(v))
+			data = make([]byte, 0, itemLen)
+			probing = true
+		})
+		if probing {
+			// The byte copy, split so reclamation can interleave: the real
+			// probe's copy/encode is not atomic with its validation.
+			t.Step("store", func() {
+				w.tick++
+				data = append(data, w.st.ArenaData()[dataOff:dataOff+itemLen-2]...)
+			})
+			t.Step("store,clock", func() {
+				w.tick++
+				data = append(data, w.st.ArenaData()[dataOff+itemLen-2:dataOff+itemLen]...)
+				if !bug {
+					slot.EndProbe()
+				}
+				k, v, ok := kv.DecodeItem(data)
+				if !ok || !bytes.Equal(k, w.key) {
+					t.Fail("probe copied bytes that no longer decode to the probed key (ref %d)", ref)
+				}
+				val := string(v)
+				if !w.liveDuring(val, guardTick, w.tick) {
+					t.Fail("read-plane GET returned %q, a torn or reclaimed value (guardian checked at tick %d, accepted at tick %d)",
+						val, guardTick, w.tick)
+				}
+				w.accept(val)
+			})
+		} else {
+			// Probe refused (detached mid-validation): close the section
+			// and fall back to the shard loop, modeled as an atomic Get.
+			t.Step("store", func() {
+				w.tick++
+				if !bug {
+					slot.EndProbe()
+				}
+				res, ok := w.st.Get(w.key)
+				if !ok {
+					t.Fail("fallback Get(%q) missed a key that is never deleted", w.key)
+				}
+				w.accept(string(res.Value))
+			})
+		}
+		t.Step("store,clock", func() {
+			w.tick++
+			w.readerDone = true
+		})
+	})
+
+	r.Spawn("clock", w.clockThread(3, 60))
+
+	r.AtEnd(func() error {
+		if len(w.accepted) == 0 {
+			return fmt.Errorf("reader never obtained a value")
+		}
+		if !gate.Quiescent() {
+			return fmt.Errorf("reader finished with its probe section still open")
+		}
+		return nil
+	})
+}

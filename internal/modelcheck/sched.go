@@ -125,7 +125,7 @@ type Model struct {
 
 // Models returns the registered protocol models in display order.
 func Models() []Model {
-	return []Model{guardianModel, leaseModel, mailboxModel, replicationModel}
+	return []Model{guardianModel, leaseModel, mailboxModel, replicationModel, readerplaneModel}
 }
 
 // Lookup finds a model by name.

@@ -16,7 +16,6 @@ package shard
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,8 +46,18 @@ type Config struct {
 	RingDepth int
 	// IdleSpins is the number of empty poll rounds before the loop naps.
 	IdleSpins int
-	// NapNs is the nap length once idle (paper: ~100 ns).
+	// NapNs is the first nap length once idle (paper: ~100 ns); the adaptive
+	// backoff doubles it on consecutive idle rounds up to NapMaxNs.
 	NapNs int64
+	// NapMaxNs caps the exponential idle nap (default 1 ms): the worst-case
+	// pickup delay for a fresh request arriving after a long idle period.
+	NapMaxNs int64
+	// ReaderThreads enables the parallel read plane: that many reader
+	// goroutines serve OpGet (and definitive OpRenewLease rejections)
+	// directly from connection mailboxes with guardian-validated probes,
+	// while every mutation stays exclusive to the shard loop (DESIGN.md
+	// §13). 0 keeps the classic single-goroutine shard.
+	ReaderThreads int
 	// ReclaimEvery runs a reclamation pass after this many handled requests.
 	ReclaimEvery int
 	// ExistingStore, when non-nil, adopts an already-populated store instead
@@ -70,6 +79,12 @@ func (c *Config) withDefaults() Config {
 	}
 	if cfg.NapNs == 0 {
 		cfg.NapNs = 100
+	}
+	if cfg.NapMaxNs == 0 {
+		cfg.NapMaxNs = int64(time.Millisecond)
+	}
+	if cfg.NapMaxNs < cfg.NapNs {
+		cfg.NapMaxNs = cfg.NapNs
 	}
 	if cfg.ReclaimEvery == 0 {
 		cfg.ReclaimEvery = 256
@@ -221,8 +236,12 @@ func (s *Shard) Run() {
 	defer s.own.Release()
 	s.started.Store(true)
 	defer close(s.stopped)
+	if s.cfg.ReaderThreads > 0 {
+		s.runReadPlane()
+		return
+	}
 	respBuf := make([]byte, s.cfg.MailboxBytes)
-	idle := 0
+	back := s.newBackoff()
 	handledSinceReclaim := 0
 	for {
 		select {
@@ -249,22 +268,11 @@ func (s *Shard) Run() {
 			handledSinceReclaim = 0
 		}
 		if progress {
-			idle = 0
+			back.reset()
 			continue
 		}
-		idle++
-		if idle >= s.cfg.IdleSpins {
-			// High-resolution nap keeps CPU use negligible when quiet
-			// (§4.2.1); Gosched keeps the single-core host live.
-			if s.cfg.NapNs >= int64(time.Millisecond) {
-				timing.Sleep(s.cfg.NapNs)
-			} else {
-				runtime.Gosched()
-			}
+		if back.idle() {
 			s.store.ReclaimDue()
-			idle = 0
-		} else {
-			runtime.Gosched()
 		}
 	}
 }
