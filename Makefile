@@ -5,7 +5,7 @@
 GO        ?= go
 FUZZTIME  ?= 20s
 
-.PHONY: all build vet test race lint lint-budget lint-budget-write lint-sarif deep-lint fuzz-smoke debug-test bench-smoke bench-json hydramc-smoke chaos-smoke cover ci
+.PHONY: all build vet test race lint lint-budget lint-budget-write lint-sarif lint-liveness deep-lint fuzz-smoke debug-test bench-smoke bench-json hydramc-smoke chaos-smoke cover ci
 
 all: build test
 
@@ -43,6 +43,13 @@ lint-budget:
 lint-budget-write:
 	$(GO) run ./cmd/hydralint -budget-write .hydralint-budget ./...
 
+# The liveness suite alone (DESIGN.md §14): goroutine-lifecycle stop-path
+# proofs, wait-cycle deadlock detection against the declared lock-order DAG,
+# and bounded-spin yield/exit proofs. Already part of every full lint run;
+# this target is the fast loop for concurrency-heavy changes.
+lint-liveness:
+	$(GO) run ./cmd/hydralint -checks=goroutine-lifecycle,wait-cycle,bounded-spin ./...
+
 # Machine-readable findings for code-scanning upload (written even when clean).
 lint-sarif:
 	$(GO) run ./cmd/hydralint -sarif hydralint.sarif ./...
@@ -54,7 +61,7 @@ lint-sarif:
 # blocking the per-PR pipeline.
 DEEPMCSCHEDULES ?= 200000
 DEEPMCTIMEOUT   ?= 2400
-deep-lint: lint-budget lint-sarif
+deep-lint: lint-budget lint-sarif lint-liveness
 	timeout $(DEEPMCTIMEOUT) $(GO) run ./cmd/hydramc -all -maxschedules $(DEEPMCSCHEDULES)
 	timeout $(DEEPMCTIMEOUT) $(GO) run -tags hydradebug ./cmd/hydramc -model mailbox -fine -maxsteps 800 -maxschedules $(DEEPMCSCHEDULES)
 	! timeout $(DEEPMCTIMEOUT) $(GO) run -tags hydradebug ./cmd/hydramc -model mailbox -fine -bug -maxsteps 800 -maxschedules $(DEEPMCSCHEDULES)
@@ -122,4 +129,4 @@ chaos-smoke:
 cover:
 	$(GO) test -cover ./... | grep -v "no test files"
 
-ci: build vet lint-budget test race debug-test bench-smoke fuzz-smoke hydramc-smoke chaos-smoke
+ci: build vet lint-budget lint-liveness test race debug-test bench-smoke fuzz-smoke hydramc-smoke chaos-smoke

@@ -159,6 +159,9 @@ func runOne(s chaos.Schedule, bug bool, readers int, verbose bool) int {
 	if len(res.LostKeys) > 0 {
 		fmt.Printf("  lost acked writes: %v\n", res.LostKeys)
 	}
+	if res.LeakedGoroutines > 0 {
+		fmt.Printf("  leaked goroutines: %d\n", res.LeakedGoroutines)
+	}
 	fmt.Printf("  replay: hydrachaos%s -replay '%s'\n", bugFlag(bug), s)
 	return 1
 }

@@ -43,6 +43,8 @@ type SuppressionCounts struct {
 	Holds     int
 	Aliases   int
 	Plainread int
+	Daemon    int
+	Spins     int
 
 	// legacyIgnore carries the aggregate total of a version-1 baseline file;
 	// legacy is set when the file had no keyed entries to compare against.
@@ -59,7 +61,7 @@ func (c SuppressionCounts) IgnoreTotal() int {
 }
 
 func (c SuppressionCounts) Total() int {
-	return c.IgnoreTotal() + c.Holds + c.Aliases + c.Plainread
+	return c.IgnoreTotal() + c.Holds + c.Aliases + c.Plainread + c.Daemon + c.Spins
 }
 
 // aggregates orders the non-keyed categories deterministically.
@@ -74,6 +76,8 @@ func (c SuppressionCounts) aggregates() []struct {
 		{"holds", c.Holds},
 		{"aliases", c.Aliases},
 		{"plainread", c.Plainread},
+		{"daemon", c.Daemon},
+		{"spins", c.Spins},
 	}
 }
 
@@ -117,6 +121,10 @@ func countSuppressions(pkgs []*Package) SuppressionCounts {
 						c.Aliases++
 					case matchesMarker(text, "hydralint:plainread"):
 						c.Plainread++
+					case matchesMarker(text, "hydralint:daemon"):
+						c.Daemon++
+					case matchesMarker(text, "hydralint:spins"):
+						c.Spins++
 					}
 				}
 			}
@@ -174,7 +182,7 @@ func parseBudget(path string) (SuppressionCounts, error) {
 			default:
 				return bad("malformed line (want \"ignore <check> <pkg> <symbol> <count>\")")
 			}
-		case "holds", "aliases", "plainread":
+		case "holds", "aliases", "plainread", "daemon", "spins":
 			if len(fields) != 2 {
 				return bad("malformed line (want \"category count\")")
 			}
@@ -189,6 +197,10 @@ func parseBudget(path string) (SuppressionCounts, error) {
 				c.Aliases = n
 			case "plainread":
 				c.Plainread = n
+			case "daemon":
+				c.Daemon = n
+			case "spins":
+				c.Spins = n
 			}
 		default:
 			return bad("unknown category")

@@ -1,0 +1,327 @@
+package main
+
+// goroutine-lifecycle: every `go` statement in non-test code must have a
+// provable stop path.
+//
+// The proof obligation splits by shape. A spawned body with no unbounded
+// loop (counted loops and ranges over data only) terminates on its own — a
+// fire-and-forget worker. A body that can loop forever must *observe* a
+// cancellation signal — a stop-channel receive (`<-s.stop`, select case,
+// `range ch` which ends at close), or an atomic stop-flag load — and that
+// signal must have a *trigger* — a close/send/atomic-store on the same
+// identity — sitting in the spawning function itself or in code reachable
+// from a shutdown surface (a function whose name starts with Stop, Close,
+// Shutdown, Kill, ...; reachability runs over the reverse call graph, so
+// Stop → helper → close(ch) proves too).
+//
+// Signals and triggers meet in the nominal key space of liveness.go:
+// `<-s.stop` inside (*Shard).Run and `close(s.stop)` inside (*Shard).Stop
+// both key as "hydradb/internal/shard.Shard.stop" no matter the receiver
+// variable. Channel-typed parameters are mapped through the spawn site's
+// arguments (`go r.run(r.stopCh, ...)` lets the callee's `<-stop` count as
+// observing Renewer.stopCh), and channel locals that alias a field
+// (`stop := r.stopCh; close(stop)`) resolve to the field's key.
+//
+// The analysis is optimistic about calls it cannot resolve below the entry
+// (they are assumed to terminate) and pessimistic about the spawn itself: a
+// `go` through a function value or interface method is unprovable and
+// reported. `//hydralint:daemon <why>` on the go statement (or the spawned
+// function's doc) opts out a deliberately process-lifetime goroutine; the
+// marker is counted by the suppression budget.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// spawnFacts is what one spawned-body analysis establishes.
+type spawnFacts struct {
+	signals   map[string]bool // cancellation identities the body observes
+	unbounded bool            // body contains a loop with no structural bound
+}
+
+func runGoroutineLifecycle(prog *Program, rep func(*Package) *Reporter) {
+	triggers := collectStopTriggers(prog)
+	callers := callerIndex(prog)
+
+	for _, p := range prog.Pkgs {
+		r := rep(p)
+		for _, f := range p.Files {
+			if p.isTestFile(f) {
+				continue
+			}
+			daemon := markedLines(p.Fset, f, "hydralint:daemon")
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				spawner := ""
+				if obj, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+					spawner = obj.FullName()
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					gs, ok := n.(*ast.GoStmt)
+					if !ok {
+						return true
+					}
+					checkSpawn(prog, p, r, gs, spawner, daemon, triggers, callers)
+					return true
+				})
+			}
+		}
+	}
+}
+
+func checkSpawn(prog *Program, p *Package, r *Reporter, gs *ast.GoStmt, spawner string,
+	daemon map[int]bool, triggers map[string][]string, callers map[string]map[string]bool) {
+
+	if daemon[p.Fset.Position(gs.Pos()).Line] {
+		return
+	}
+
+	var facts spawnFacts
+	switch fun := unparen(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		facts = analyzeSpawnBody(prog, p, fun.Body, nil, nil, 0, map[string]bool{}, p.ImportPath)
+	default:
+		callee, inputs, ok := prog.resolveCallee(p, gs.Call)
+		if !ok {
+			r.report("goroutine-lifecycle", gs.Pos(),
+				"goroutine spawned through a function value or interface method; its lifetime cannot be proven — spawn a declared function observing a stop signal, or mark //hydralint:daemon <why>")
+			return
+		}
+		if docHasMarker(callee.Decl.Doc, "hydralint:daemon") {
+			return
+		}
+		// Map channel/flag arguments at the spawn site into the callee's
+		// parameter space so a bare-parameter observation keys nominally.
+		argKeys := map[int]string{}
+		vars := inputVars(callee)
+		aliases := localAliases(p, enclosingBody(p, gs))
+		for idx := range vars {
+			if arg := inputs.inputExpr(idx); arg != nil {
+				if key, ok := keyWithAliases(p, aliases, arg); ok {
+					argKeys[idx] = key
+				}
+			}
+		}
+		facts = analyzeSpawnBody(prog, callee.Pkg, callee.Decl.Body, callee, argKeys, 0, map[string]bool{}, callee.Pkg.ImportPath)
+	}
+
+	if !facts.unbounded {
+		return // body provably terminates on its own
+	}
+	var observed []string
+	for key := range facts.signals {
+		observed = append(observed, key)
+	}
+	sort.Strings(observed)
+	for _, key := range observed {
+		for _, fn := range triggers[key] {
+			if reachesStopSurface(callers, fn, spawner) {
+				return // provable stop path: signal + shutdown-reachable trigger
+			}
+		}
+	}
+	if len(observed) == 0 {
+		r.report("goroutine-lifecycle", gs.Pos(),
+			"goroutine loops forever without observing any cancellation signal (stop-channel receive, range over a closable channel, or atomic flag load); it will outlive Close/Stop — add one or mark //hydralint:daemon <why>")
+		return
+	}
+	r.report("goroutine-lifecycle", gs.Pos(),
+		"goroutine waits on %s but no close/send/store of it is reachable from a Stop/Close surface or from the spawner; the stop path is unprovable — trigger it from shutdown or mark //hydralint:daemon <why>",
+		strings.Join(observed, ", "))
+}
+
+// enclosingBody returns the top-level function body containing pos — the
+// scope whose channel aliases apply at the spawn site.
+func enclosingBody(p *Package, gs *ast.GoStmt) *ast.BlockStmt {
+	for _, f := range p.Files {
+		if gs.Pos() < f.Pos() || gs.Pos() >= f.End() {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if gs.Pos() >= fd.Body.Pos() && gs.Pos() < fd.Body.End() {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}
+
+// analyzeSpawnBody walks a spawned body collecting observed stop signals and
+// the unbounded-loop bit, recursing into resolvable callees within the
+// entry's own package (depth- and cycle-bounded). Cross-package callees
+// below the entry are assumed to terminate — their internal retry loops are
+// bounded by their own package's contracts (deadlines, lease revocation),
+// and propagating their structure would drown every spawn in the client
+// library's timeout loops. fnInfo/argKeys are the callee declaration and
+// its input→key mapping when the body belongs to a named function; both are
+// nil for a spawned literal, whose field selectors key nominally on their
+// own.
+func analyzeSpawnBody(prog *Program, p *Package, body *ast.BlockStmt, fnInfo *FuncInfo,
+	argKeys map[int]string, depth int, visited map[string]bool, rootPath string) spawnFacts {
+
+	facts := spawnFacts{signals: map[string]bool{}}
+	if body == nil {
+		return facts
+	}
+
+	// Function literals nested under the spawned body may run on other
+	// goroutines (or not at all): their observations still count toward the
+	// signal set (over-approximation hurts nothing — a signal still needs a
+	// shutdown-reachable trigger), but their loops do not make THIS
+	// goroutine unbounded.
+	var litRanges []*ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			litRanges = append(litRanges, lit)
+		}
+		return true
+	})
+	inLit := func(pos token.Pos) bool {
+		for _, lit := range litRanges {
+			if pos > lit.Pos() && pos < lit.End() {
+				return true
+			}
+		}
+		return false
+	}
+
+	signalKey := func(e ast.Expr) (string, bool) {
+		e = unparen(e)
+		if id, ok := e.(*ast.Ident); ok && fnInfo != nil {
+			if idx, isInput := inputIndexOf(fnInfo, id); isInput {
+				key, mapped := argKeys[idx]
+				return key, mapped
+			}
+		}
+		return livenessKey(p, e)
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			if !inLit(n.Pos()) && !boundedLoop(p, n) {
+				facts.unbounded = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := p.Info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					// range over a channel is an unbounded loop AND an
+					// observation: it ends when the channel closes.
+					if !inLit(n.Pos()) {
+						facts.unbounded = true
+					}
+					if key, ok := signalKey(n.X); ok {
+						facts.signals[key] = true
+					}
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if key, ok := signalKey(n.X); ok {
+					facts.signals[key] = true
+				}
+			}
+		case *ast.CallExpr:
+			if recv, method, ok := atomicMethodOn(p, n); ok {
+				if method == "Load" {
+					if key, ok := signalKey(recv); ok {
+						facts.signals[key] = true
+					}
+				}
+				return true
+			}
+			callee, inputs, ok := prog.resolveCallee(p, n)
+			if !ok || depth >= 6 || visited[callee.Obj.FullName()] ||
+				callee.Pkg.ImportPath != rootPath {
+				return true
+			}
+			visited[callee.Obj.FullName()] = true
+			childKeys := map[int]string{}
+			for idx := range inputVars(callee) {
+				if arg := inputs.inputExpr(idx); arg != nil {
+					if key, ok := signalKey(arg); ok {
+						childKeys[idx] = key
+					}
+				}
+			}
+			sub := analyzeSpawnBody(prog, callee.Pkg, callee.Decl.Body, callee, childKeys, depth+1, visited, rootPath)
+			for key := range sub.signals {
+				facts.signals[key] = true
+			}
+			if sub.unbounded && !inLit(n.Pos()) {
+				facts.unbounded = true
+			}
+		}
+		return true
+	})
+	return facts
+}
+
+// collectStopTriggers indexes every cancellation trigger in non-test code:
+// close(ch), a channel send, or an atomic store/swap/CAS, keyed nominally,
+// mapped to the FullNames of the top-level functions containing them.
+func collectStopTriggers(prog *Program) map[string][]string {
+	triggers := map[string][]string{}
+	add := func(key, fn string) {
+		for _, have := range triggers[key] {
+			if have == fn {
+				return
+			}
+		}
+		triggers[key] = append(triggers[key], fn)
+	}
+	for _, p := range prog.Pkgs {
+		for _, f := range p.Files {
+			if p.isTestFile(f) {
+				continue
+			}
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := p.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				fn := obj.FullName()
+				aliases := localAliases(p, fd.Body)
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.SendStmt:
+						if key, ok := keyWithAliases(p, aliases, n.Chan); ok {
+							add(key, fn)
+						}
+					case *ast.CallExpr:
+						if id, isIdent := unparen(n.Fun).(*ast.Ident); isIdent && id.Name == "close" {
+							if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin && len(n.Args) == 1 {
+								if key, ok := keyWithAliases(p, aliases, n.Args[0]); ok {
+									add(key, fn)
+								}
+							}
+							return true
+						}
+						if recv, method, ok := atomicMethodOn(p, n); ok && atomicStoreMethod(method) {
+							if key, ok := keyWithAliases(p, aliases, recv); ok {
+								add(key, fn)
+							}
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+	return triggers
+}

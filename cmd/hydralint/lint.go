@@ -82,6 +82,21 @@ var allChecks = []Check{
 		RunProgram: runPublicationOrder,
 	},
 	{
+		Name:       "goroutine-lifecycle",
+		Desc:       "every go statement must have a provable stop path: a cancellation signal triggered from a Stop/Close surface (whole-program; //hydralint:daemon opt-out)",
+		RunProgram: runGoroutineLifecycle,
+	},
+	{
+		Name:       "wait-cycle",
+		Desc:       "the static wait-for graph over mutexes, channels, and WaitGroups must be acyclic, and lock nesting must follow invariant.LockOrder (whole-program)",
+		RunProgram: runWaitCycle,
+	},
+	{
+		Name:       "bounded-spin",
+		Desc:       "busy-wait loops must both yield (Gosched/Sleep/SchedPoint) and have an exit (whole-program; //hydralint:spins opt-out)",
+		RunProgram: runBoundedSpin,
+	},
+	{
 		Name: "stale-suppression",
 		Desc: "hydralint:ignore directives that no longer match a finding must be removed (ratchet)",
 		// Runs built-in at the end of a full RunLint; no Run/RunProgram.
@@ -95,6 +110,61 @@ func knownCheck(name string) bool {
 		}
 	}
 	return false
+}
+
+// resolveCheckSelection parses a -checks spec into the list RunLint runs.
+// Entries are check names to run, `-name` entries are checks to skip, and
+// `all` names the full registry. Positive names select exactly that subset;
+// a spec of only negations (with an optional `all`) means "everything but
+// these". A selection that resolves to the full registry returns nil, which
+// RunLint treats as a full run (enabling the stale-suppression pass — a
+// restricted run cannot tell whether a directive is truly unused).
+func resolveCheckSelection(spec string) ([]string, error) {
+	want := map[string]bool{}
+	skip := map[string]bool{}
+	positive := false
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		switch {
+		case entry == "":
+			continue
+		case entry == "all":
+			positive = true
+			for _, c := range allChecks {
+				want[c.Name] = true
+			}
+		case strings.HasPrefix(entry, "-"):
+			name := entry[1:]
+			if !knownCheck(name) {
+				return nil, fmt.Errorf("unknown check %q (use -list)", name)
+			}
+			skip[name] = true
+		default:
+			if !knownCheck(entry) {
+				return nil, fmt.Errorf("unknown check %q (use -list)", entry)
+			}
+			positive = true
+			want[entry] = true
+		}
+	}
+	if !positive {
+		for _, c := range allChecks {
+			want[c.Name] = true
+		}
+	}
+	var only []string
+	for _, c := range allChecks {
+		if want[c.Name] && !skip[c.Name] {
+			only = append(only, c.Name)
+		}
+	}
+	if len(only) == len(allChecks) {
+		return nil, nil // the full registry: a full run
+	}
+	if len(only) == 0 {
+		return nil, fmt.Errorf("-checks selection %q selects no checks", spec)
+	}
+	return only, nil
 }
 
 // Diagnostic is one reported finding. Pkg and Symbol identify the finding

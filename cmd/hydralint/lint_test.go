@@ -68,7 +68,10 @@ func main() { println(time.Now().UnixNano()) }
 		want:  1,
 		src: `package shard
 
-func SpawnWorker(f func()) { go f() }
+// The go statement is the shard-exclusivity finding under test; the
+// trailing daemon marker opts it out of the lifecycle pass (and survives
+// the suppression test inserting ignore lines above).
+func SpawnWorker(f func()) { go f() } //hydralint:daemon fixture: lifetime intentionally unproven
 `,
 	},
 	{
@@ -1070,6 +1073,227 @@ func Tick() {
 }
 `,
 	},
+
+	// goroutine-lifecycle: a spawned loop observing a stop channel that no
+	// function in the package ever triggers — the seeded leak.
+	{
+		name:  "lifecycle-untriggered-stop",
+		path:  "internal/lc1/lc1.go",
+		check: "goroutine-lifecycle",
+		want:  1,
+		src: `package lc1
+
+type Pump struct {
+	stop chan struct{}
+}
+
+func New() *Pump { return &Pump{stop: make(chan struct{})} }
+
+func (p *Pump) Start() { go p.loop() }
+
+func (p *Pump) loop() {
+	for {
+		select {
+		case <-p.stop:
+			return
+		}
+	}
+}
+`,
+	},
+	// The corrected twin: Stop closes the channel the loop observes, so the
+	// spawn has a provable stop path and the pass stays quiet.
+	{
+		name:  "lifecycle-stop-path-ok",
+		path:  "internal/lc2/lc2.go",
+		check: "goroutine-lifecycle",
+		want:  0,
+		src: `package lc2
+
+type Pump struct {
+	stop chan struct{}
+}
+
+func New() *Pump { return &Pump{stop: make(chan struct{})} }
+
+func (p *Pump) Start() { go p.loop() }
+
+func (p *Pump) Stop() { close(p.stop) }
+
+func (p *Pump) loop() {
+	for {
+		select {
+		case <-p.stop:
+			return
+		}
+	}
+}
+`,
+	},
+	// A spawn through a function value cannot be traced at all.
+	{
+		name:  "lifecycle-func-value",
+		path:  "internal/lc3/lc3.go",
+		check: "goroutine-lifecycle",
+		want:  1,
+		src: `package lc3
+
+func Launch(f func()) { go f() }
+`,
+	},
+
+	// wait-cycle: the classic AB/BA inversion; both edges of the cycle are
+	// reported.
+	{
+		name:  "waitcycle-abba",
+		path:  "internal/wc1/wc1.go",
+		check: "wait-cycle",
+		want:  2,
+		src: `package wc1
+
+import "sync"
+
+type S struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (s *S) X() {
+	s.a.Lock()
+	s.b.Lock()
+	s.b.Unlock()
+	s.a.Unlock()
+}
+
+func (s *S) Y() {
+	s.b.Lock()
+	s.a.Lock()
+	s.a.Unlock()
+	s.b.Unlock()
+}
+`,
+	},
+	// Lock-order DAG enforcement: the fixture module declares lo before hi,
+	// and Bad acquires them inverted. One wait-cycle finding (inversion), no
+	// cycle — the nesting is one-directional.
+	{
+		name:  "waitcycle-lockorder-decl",
+		path:  "internal/invariant/lockorder.go",
+		check: "wait-cycle",
+		want:  0,
+		src: `package invariant
+
+// LockOrder is the fixture module's declared lock-order DAG.
+var LockOrder = [][]string{
+	{"hydradb/internal/wc2.T.lo"},
+	{"hydradb/internal/wc2.T.hi"},
+}
+`,
+	},
+	{
+		name:  "waitcycle-lockorder-inversion",
+		path:  "internal/wc2/wc2.go",
+		check: "wait-cycle",
+		want:  1,
+		src: `package wc2
+
+import "sync"
+
+type T struct {
+	lo sync.Mutex
+	hi sync.Mutex
+}
+
+func (t *T) Bad() {
+	t.hi.Lock()
+	t.lo.Lock()
+	t.lo.Unlock()
+	t.hi.Unlock()
+}
+`,
+	},
+	// Consistent one-directional nesting: no cycle, no declared levels for
+	// these locks, nothing to report.
+	{
+		name:  "waitcycle-consistent-ok",
+		path:  "internal/wc3/wc3.go",
+		check: "wait-cycle",
+		want:  0,
+		src: `package wc3
+
+import "sync"
+
+type T struct {
+	lo sync.Mutex
+	hi sync.Mutex
+}
+
+func (t *T) Good() {
+	t.lo.Lock()
+	t.hi.Lock()
+	t.hi.Unlock()
+	t.lo.Unlock()
+}
+`,
+	},
+
+	// bounded-spin: a busy-wait on an atomic flag with no yield in the body.
+	{
+		name:  "spin-no-yield",
+		path:  "internal/sp1/sp1.go",
+		check: "bounded-spin",
+		want:  1,
+		src: `package sp1
+
+import "sync/atomic"
+
+type W struct{ done atomic.Bool }
+
+func (w *W) Wait() {
+	for !w.done.Load() {
+	}
+}
+`,
+	},
+	// The corrected twin: same loop, yielding each miss.
+	{
+		name:  "spin-yield-ok",
+		path:  "internal/sp2/sp2.go",
+		check: "bounded-spin",
+		want:  0,
+		src: `package sp2
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+type W struct{ done atomic.Bool }
+
+func (w *W) Wait() {
+	for !w.done.Load() {
+		runtime.Gosched()
+	}
+}
+`,
+	},
+	// A yielding loop with no exit condition at all: polite, but unbounded.
+	{
+		name:  "spin-no-exit",
+		path:  "internal/sp3/sp3.go",
+		check: "bounded-spin",
+		want:  1,
+		src: `package sp3
+
+import "runtime"
+
+func Forever() {
+	for {
+		runtime.Gosched()
+	}
+}
+`,
+	},
 }
 
 // writeModule materializes the fixture module and returns its root.
@@ -1196,6 +1420,60 @@ func TestChecksFlagRestrictsRun(t *testing.T) {
 		if d.Check != "clock-discipline" {
 			t.Errorf("unexpected check in restricted run: %+v", d)
 		}
+	}
+}
+
+// TestResolveCheckSelection covers the -checks grammar: names run, -names
+// skip, "all" expands, pure-negation spec means all-minus-skipped, the full
+// registry collapses to nil (a full run with stale-suppression armed), and
+// empty or unknown selections are errors.
+func TestResolveCheckSelection(t *testing.T) {
+	if got, err := resolveCheckSelection(""); err != nil || got != nil {
+		t.Errorf("empty spec = %v, %v; want nil, nil", got, err)
+	}
+	if got, err := resolveCheckSelection("all"); err != nil || got != nil {
+		t.Errorf("all = %v, %v; want nil, nil", got, err)
+	}
+
+	got, err := resolveCheckSelection("clock-discipline, bounded-spin")
+	if err != nil {
+		t.Fatalf("positive selection: %v", err)
+	}
+	if len(got) != 2 {
+		t.Errorf("positive selection = %v, want 2 names", got)
+	}
+
+	got, err = resolveCheckSelection("-bounded-spin")
+	if err != nil {
+		t.Fatalf("negation selection: %v", err)
+	}
+	if len(got) != len(allChecks)-1 {
+		t.Errorf("-bounded-spin selected %d checks, want %d", len(got), len(allChecks)-1)
+	}
+	for _, name := range got {
+		if name == "bounded-spin" {
+			t.Error("-bounded-spin did not skip bounded-spin")
+		}
+	}
+
+	// A skip cancels an explicit run of the same name.
+	if _, err := resolveCheckSelection("bounded-spin,-bounded-spin"); err == nil {
+		t.Error("self-cancelling selection did not error")
+	}
+	if _, err := resolveCheckSelection("no-such-check"); err == nil {
+		t.Error("unknown check name did not error")
+	}
+	if _, err := resolveCheckSelection("-no-such-check"); err == nil {
+		t.Error("unknown skipped check name did not error")
+	}
+
+	// all,-name: the documented way to run a full sweep minus one pass.
+	got, err = resolveCheckSelection("all,-stale-suppression")
+	if err != nil {
+		t.Fatalf("all,-stale-suppression: %v", err)
+	}
+	if len(got) != len(allChecks)-1 {
+		t.Errorf("all,-stale-suppression = %d checks, want %d", len(got), len(allChecks)-1)
 	}
 }
 

@@ -82,6 +82,27 @@
 //	                   events are atomic stores of `hydralint:publish` marked
 //	                   constants and calls to `hydralint:publishes` functions;
 //	                   interprocedural via write-effect call summaries.
+//	goroutine-lifecycle  whole-program liveness: every `go` statement in
+//	                   non-test code must have a provable stop path. A body
+//	                   with no unbounded loop terminates on its own; one that
+//	                   loops must observe a cancellation signal (stop-channel
+//	                   receive, range over a closable channel, atomic flag
+//	                   load) whose trigger — close/send/atomic store on the
+//	                   same nominal identity — is reachable from a Stop/Close
+//	                   surface or sits in the spawner. Deliberate process-
+//	                   lifetime goroutines carry `//hydralint:daemon <why>`.
+//	wait-cycle         whole-program liveness: static wait-for graph over
+//	                   mutexes, channel rendezvous, and WaitGroups; any cycle
+//	                   is reported, lock nesting is checked against the
+//	                   declared invariant.LockOrder DAG, and a blocking op
+//	                   inside a ReadSlot probe section (contractually wait-
+//	                   free) is an immediate finding.
+//	bounded-spin       liveness: a loop whose iteration neither blocks nor
+//	                   does observable work (a busy-wait) must both yield
+//	                   (Gosched / timing.Sleep / SchedPoint, directly or via
+//	                   a module callee) and have an exit (condition, break,
+//	                   return). Deliberately unbounded spins carry
+//	                   `//hydralint:spins <why>`.
 //	stale-suppression  a `hydralint:ignore` that no longer filters any
 //	                   finding is itself a finding — suppressions only
 //	                   ratchet down.
@@ -92,10 +113,15 @@
 //	          [-json] [-sarif out.sarif] [-budget .hydralint-budget]
 //	          [-budget-write .hydralint-budget] [packages]
 //
-// Packages default to ./... and use `go list` syntax. _test.go files are
-// linted too unless -tests=false; checks whose rules only govern production
-// code (clock-discipline, shard-exclusivity, published-escape) always skip
-// them. -json prints findings in a versioned envelope {"version": N,
+// Packages default to ./... and use `go list` syntax. -checks selects what
+// runs: positive names run exactly that subset, `-name` entries skip checks
+// ("all,-region-bounds" or just "-region-bounds" runs everything else), and
+// a selection resolving to the full registry behaves like an unrestricted
+// run. _test.go files are linted too unless -tests=false; checks whose
+// rules only govern production code (clock-discipline, shard-exclusivity,
+// published-escape, the liveness passes) always skip them.
+//
+// -json prints findings in a versioned envelope {"version": N,
 // "findings": [...]} sorted deterministically; -sarif writes a SARIF 2.1.0
 // log for code-scanning upload (always written, even when clean), with each
 // result fingerprinted by check+package+symbol so findings track across
@@ -110,13 +136,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 )
 
 func main() {
 	var (
 		listFlag    = flag.Bool("list", false, "list registered checks and exit")
-		checksFlag  = flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+		checksFlag  = flag.String("checks", "", "comma-separated checks to run; -name skips a check (default: all)")
 		testsFlag   = flag.Bool("tests", true, "also lint _test.go files")
 		jsonFlag    = flag.Bool("json", false, "print findings as a versioned JSON envelope")
 		sarifFlag   = flag.String("sarif", "", "write a SARIF 2.1.0 log to this file")
@@ -138,12 +163,11 @@ func main() {
 
 	var only []string
 	if *checksFlag != "" {
-		only = strings.Split(*checksFlag, ",")
-		for _, name := range only {
-			if !knownCheck(name) {
-				fmt.Fprintf(os.Stderr, "hydralint: unknown check %q (use -list)\n", name)
-				os.Exit(2)
-			}
+		var err error
+		only, err = resolveCheckSelection(*checksFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hydralint: %v\n", err)
+			os.Exit(2)
 		}
 	}
 

@@ -6,6 +6,7 @@ package chaos
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -14,6 +15,7 @@ import (
 	"hydradb/internal/client"
 	"hydradb/internal/cluster"
 	"hydradb/internal/history"
+	"hydradb/internal/invariant"
 	"hydradb/internal/kv"
 	"hydradb/internal/testutil"
 	"hydradb/internal/timing"
@@ -44,10 +46,15 @@ type Result struct {
 	Promotions int32
 	Injected   string       // injector counters, human-readable
 	History    []history.Op // the full recorded history (debugging, stats)
+	// LeakedGoroutines is the goroutine-count delta after the full cluster
+	// teardown settled (0 when every stop path drained).
+	LeakedGoroutines int
 }
 
 // Failed reports whether the run found a correctness violation.
-func (r *Result) Failed() bool { return r.Violation != nil || len(r.LostKeys) > 0 }
+func (r *Result) Failed() bool {
+	return r.Violation != nil || len(r.LostKeys) > 0 || r.LeakedGoroutines > 0
+}
 
 // Run executes one chaos run to completion.
 func Run(opts Options) (*Result, error) {
@@ -64,6 +71,7 @@ func Run(opts Options) (*Result, error) {
 	// arithmetic deterministic). Liveness — client timeouts, recovery
 	// measurement — runs on the wall clock.
 	clk := timing.NewManualClock(1e9)
+	baseline := runtime.NumGoroutine()
 	cl, err := cluster.New(cluster.Config{
 		ServerMachines:   3,
 		ClientMachines:   sched.Clients,
@@ -198,6 +206,13 @@ func Run(opts Options) (*Result, error) {
 				in.Partition(fmt.Sprintf("server-%d", secs[0]))
 			case ActHeal:
 				in.Heal()
+			case ActStop:
+				id := ids[ev.Shard%len(ids)]
+				stopDrain(cl, id, logf)
+			case ActCloseAll:
+				for _, id := range ids {
+					stopDrain(cl, id, logf)
+				}
 			}
 		}
 	}()
@@ -239,9 +254,38 @@ func Run(opts Options) (*Result, error) {
 	res.History = ops
 	res.LostKeys = lostAckedWrites(ops, finalFound)
 	res.Violation = history.Check(ops)
-	logf("checked %d recorded ops across %d keys: violation=%v lost=%v",
-		len(ops), sched.Keys, res.Violation != nil, res.LostKeys)
+
+	// Explicit teardown with leak accounting (the deferred Stop is then a
+	// no-op). Every stop path the run exercised — kills, moves, stops, the
+	// final Stop — must have drained its goroutines; under -tags hydradebug
+	// the spawn registry names any straggler, and the plain-count delta
+	// catches leaks even in the default build. The count settles with a
+	// grace period: runtime bookkeeping lags the last goroutine exit.
+	cl.Stop()
+	invariant.AssertDrained("")
+	testutil.Eventually(5*time.Second, func() bool { return runtime.NumGoroutine() <= baseline })
+	if n := runtime.NumGoroutine() - baseline; n > 0 {
+		res.LeakedGoroutines = n
+		logf("%d goroutine(s) leaked past cluster teardown", n)
+	}
+
+	logf("checked %d recorded ops across %d keys: violation=%v lost=%v leaked=%d",
+		len(ops), sched.Keys, res.Violation != nil, res.LostKeys, res.LeakedGoroutines)
 	return res, nil
+}
+
+// stopDrain gracefully stops a partition — primary, pipeline, secondaries —
+// and restarts it in place on its current machine under a new epoch. Errors
+// are logged and tolerated: chaos may have the partition mid-promotion.
+func stopDrain(cl *cluster.Cluster, id uint32, logf func(string, ...any)) {
+	prim, _, err := cl.GroupMachines(id)
+	if err != nil {
+		logf("stop shard %d: %v", id, err)
+		return
+	}
+	if err := cl.MoveShard(id, prim); err != nil {
+		logf("stop shard %d: %v", id, err)
+	}
 }
 
 // corruptOneAckedKey deletes an acked key directly from the owning shard's

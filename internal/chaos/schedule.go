@@ -38,6 +38,14 @@ const (
 	ActPartitionSec = "partitionsec"
 	// ActHeal lifts all partitions.
 	ActHeal = "heal"
+	// ActStop gracefully stops the Shard-th partition — full stop-drain of
+	// the primary, its pipeline, and its secondaries — and restarts it in
+	// place on the same machine under a new epoch. Unlike ActKill nothing
+	// dies abruptly: this exercises the orderly Close path under chaos.
+	ActStop = "stop"
+	// ActCloseAll runs the ActStop drain over every partition in turn, so a
+	// kill-then-close sequence exercises stop-drain on whatever survived.
+	ActCloseAll = "closeall"
 )
 
 // Event is one scripted node-level fault, fired when the cluster-wide
@@ -52,7 +60,7 @@ type Event struct {
 // String renders the event token (the inverse of parseEvent).
 func (e Event) String() string {
 	switch e.Action {
-	case ActKill, ActPartitionSec:
+	case ActKill, ActPartitionSec, ActStop:
 		return fmt.Sprintf("%s:%d@%d", e.Action, e.Shard, e.AtOp)
 	case ActMove:
 		return fmt.Sprintf("%s:%d:%d@%d", e.Action, e.Shard, e.Arg, e.AtOp)
@@ -185,7 +193,7 @@ func parseEvent(tok string) (Event, error) {
 	e.AtOp = n
 	parts := strings.Split(body, ":")
 	e.Action = parts[0]
-	argc := map[string]int{ActKill: 1, ActKillLeader: 0, ActMove: 2, ActPartitionSec: 1, ActHeal: 0}
+	argc := map[string]int{ActKill: 1, ActKillLeader: 0, ActMove: 2, ActPartitionSec: 1, ActHeal: 0, ActStop: 1, ActCloseAll: 0}
 	want, known := argc[e.Action]
 	if !known {
 		return e, fmt.Errorf("chaos: unknown event action %q", e.Action)
@@ -221,7 +229,7 @@ func (s *Schedule) validate() error {
 // Scenarios lists the named scenarios ForScenario accepts, in the order the
 // smoke suite runs them.
 func Scenarios() []string {
-	return []string{"crash-primary", "partition-secondary", "leader-kill"}
+	return []string{"crash-primary", "partition-secondary", "leader-kill", "stop-drain"}
 }
 
 // ForScenario builds the canonical schedule for a named scenario. The same
@@ -260,6 +268,18 @@ func ForScenario(name string, seed uint64) (Schedule, error) {
 		base.Events = []Event{
 			{AtOp: third, Action: ActKillLeader},
 			{AtOp: 2 * third, Action: ActKill, Shard: 2},
+		}
+	case "stop-drain":
+		// Partition a secondary, gracefully stop-drain one partition while
+		// the mesh is cut, heal, crash a primary, then close-drain everything
+		// that survived: every stop path runs under and after faults, and the
+		// harness's leak accounting must still read zero.
+		base.Events = []Event{
+			{AtOp: third / 2, Action: ActPartitionSec, Shard: 1},
+			{AtOp: third, Action: ActStop, Shard: 0},
+			{AtOp: third + third/2, Action: ActHeal},
+			{AtOp: 2 * third, Action: ActKill, Shard: 2},
+			{AtOp: 2*third + third/2, Action: ActCloseAll},
 		}
 	default:
 		return Schedule{}, fmt.Errorf("chaos: unknown scenario %q (have %v)", name, Scenarios())

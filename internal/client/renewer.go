@@ -1,8 +1,11 @@
 package client
 
 import (
+	"fmt"
 	"sync"
 	"time"
+
+	"hydradb/internal/invariant"
 )
 
 // Renewer implements the paper's periodic lease renewal: "clients
@@ -63,6 +66,9 @@ func (r *Renewer) Start() {
 
 func (r *Renewer) run(stop <-chan struct{}, done chan<- struct{}) {
 	defer close(done)
+	// LIFO: deregisters before done closes, so Stop's join implies drained.
+	spawnDone := invariant.Spawned(fmt.Sprintf("client.Renewer/%p", r))
+	defer spawnDone()
 	ticker := time.NewTicker(r.period)
 	defer ticker.Stop()
 	for {
@@ -99,6 +105,7 @@ func (r *Renewer) Stop() {
 	r.mu.Unlock()
 	close(stop)
 	<-done
+	invariant.AssertDrained(fmt.Sprintf("client.Renewer/%p", r))
 }
 
 // TotalRenewed reports cumulative successful renewals.

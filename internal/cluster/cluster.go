@@ -372,6 +372,13 @@ func (cl *Cluster) Promote(id uint32) error {
 			return true
 		})
 		if syncErr != nil {
+			// The drain loops above are already running but the group was
+			// never installed in cl.groups, so Stop would never reach them:
+			// join them here or they leak.
+			for _, sec := range newGroup.secondaries {
+				sec.sec.Stop()
+				sec.running = false
+			}
 			return syncErr
 		}
 	}

@@ -1,0 +1,16 @@
+//go:build !hydradebug
+
+package invariant
+
+// noopDone is returned by the disabled Spawned; a single shared func keeps
+// the production spawn path allocation-free.
+var noopDone = func() {}
+
+// Spawned is a no-op without -tags hydradebug.
+func Spawned(string) (done func()) { return noopDone }
+
+// LiveSpawns is a no-op without -tags hydradebug.
+func LiveSpawns(string) []string { return nil }
+
+// AssertDrained is a no-op without -tags hydradebug.
+func AssertDrained(string) {}

@@ -1,0 +1,77 @@
+//go:build hydradebug
+
+package invariant
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Goroutine-leak sanitizer: the runtime counterpart of hydralint's
+// goroutine-lifecycle pass. Long-running goroutines register a label on
+// entry and deregister on exit; a stop path then proves itself by calling
+// AssertDrained after its join. The linter proves a stop path *exists*; this
+// registry proves the path actually *ran* on this execution — together they
+// close the gap between "provable" and "proven".
+//
+// Labels are instance-scoped (they embed the owning struct's pointer), so a
+// component asserts only its own goroutines and concurrent clusters in one
+// test process never trip each other.
+
+var spawnReg struct {
+	mu   sync.Mutex
+	next uint64
+	live map[uint64]string
+}
+
+// Spawned registers the calling goroutine under label and returns its
+// deregistration. Call it first thing in the goroutine body and defer the
+// returned func AFTER any done-channel close defer, so deregistration
+// happens-before the close that a joining Stop waits on:
+//
+//	defer close(s.stopped)
+//	done := invariant.Spawned(fmt.Sprintf("shard/%p/run", s))
+//	defer done()
+func Spawned(label string) (done func()) {
+	spawnReg.mu.Lock()
+	defer spawnReg.mu.Unlock()
+	if spawnReg.live == nil {
+		spawnReg.live = make(map[uint64]string)
+	}
+	id := spawnReg.next
+	spawnReg.next++
+	spawnReg.live[id] = label
+	return func() {
+		spawnReg.mu.Lock()
+		delete(spawnReg.live, id)
+		spawnReg.mu.Unlock()
+	}
+}
+
+// LiveSpawns returns the labels of registered goroutines whose label starts
+// with prefix ("" = all), sorted.
+func LiveSpawns(prefix string) []string {
+	spawnReg.mu.Lock()
+	defer spawnReg.mu.Unlock()
+	var out []string
+	for _, label := range spawnReg.live {
+		if strings.HasPrefix(label, prefix) {
+			out = append(out, label)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AssertDrained panics when any registered goroutine under prefix is still
+// live. Call it after the join a stop path performs — the channel receive or
+// WaitGroup wait that orders the goroutine's deregistration before this
+// check. Calling it without such a join is a race by construction.
+func AssertDrained(prefix string) {
+	if live := LiveSpawns(prefix); len(live) > 0 {
+		panic(fmt.Sprintf("invariant: %d goroutine(s) leaked past their stop path: %s",
+			len(live), strings.Join(live, ", ")))
+	}
+}

@@ -1,0 +1,59 @@
+package invariant
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSpawnRegistry exercises the goroutine-leak sanitizer's bookkeeping:
+// registration, prefix filtering, deregistration, and the AssertDrained
+// panic. Under the default build the registry is compiled out and the test
+// only checks the no-op contract.
+func TestSpawnRegistry(t *testing.T) {
+	done1 := Spawned("test/alpha/1")
+	done2 := Spawned("test/alpha/2")
+	done3 := Spawned("test/beta/1")
+
+	if !Enabled {
+		if got := LiveSpawns(""); got != nil {
+			t.Fatalf("disabled LiveSpawns = %v, want nil", got)
+		}
+		AssertDrained("") // must be a no-op, not a panic
+		done1()
+		done2()
+		done3()
+		return
+	}
+
+	if got := LiveSpawns("test/alpha/"); len(got) != 2 {
+		t.Fatalf("LiveSpawns(test/alpha/) = %v, want 2 entries", got)
+	}
+	if got := LiveSpawns("test/"); len(got) != 3 {
+		t.Fatalf("LiveSpawns(test/) = %v, want 3 entries", got)
+	}
+
+	// A live label under the prefix must trip the assertion...
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("AssertDrained(test/beta/) did not panic with a live spawn")
+			}
+			if msg, ok := r.(string); !ok || !strings.Contains(msg, "test/beta/1") {
+				t.Fatalf("panic %v does not name the leaked label", r)
+			}
+		}()
+		AssertDrained("test/beta/")
+	}()
+
+	// ...and deregistration must clear it. done() is idempotent per label
+	// only in the sense that each registration has exactly one deleter.
+	done3()
+	AssertDrained("test/beta/")
+	if got := LiveSpawns("test/"); len(got) != 2 {
+		t.Fatalf("after done3, LiveSpawns(test/) = %v, want 2 entries", got)
+	}
+	done1()
+	done2()
+	AssertDrained("test/")
+}

@@ -1,14 +1,25 @@
 package replication
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync/atomic"
 
 	"hydradb/internal/arena"
+	"hydradb/internal/invariant"
 	"hydradb/internal/rdma"
 	"hydradb/internal/stats"
+	"hydradb/internal/timing"
 )
+
+// ErrFlushTimeout reports that a bounded flush gave up before every secondary
+// acknowledged: some replica is dead or partitioned and its acks may never
+// arrive. Records the flush could not confirm are not lost — the §5.2 nack
+// protocol re-sends the missing suffix when the replica reappears — but the
+// caller must not block on them, or a partition turns a graceful stop into a
+// hang.
+var ErrFlushTimeout = errors.New("replication: flush timed out waiting for secondary acks")
 
 // LogConfig sizes a replication log ring.
 type LogConfig struct {
@@ -268,6 +279,10 @@ func (s *Secondary) sendAckWord(w uint64) {
 func (s *Secondary) Run() {
 	s.started.Store(true)
 	defer close(s.done)
+	// Registered after the done defer (LIFO): deregistration precedes the
+	// close a joining Stop waits on, so AssertDrained after Stop is exact.
+	spawnDone := invariant.Spawned(fmt.Sprintf("replication.Secondary/%p", s))
+	defer spawnDone()
 	for {
 		select {
 		case <-s.stop:
@@ -290,6 +305,7 @@ func (s *Secondary) Stop() {
 	}
 	if s.started.Load() {
 		<-s.done
+		invariant.AssertDrained(fmt.Sprintf("replication.Secondary/%p", s))
 	}
 }
 
@@ -506,8 +522,19 @@ func (p *Primary) waitForAckProgress() {
 	}
 }
 
-// waitAcked blocks until every secondary acknowledged seq.
+// waitAcked blocks until every secondary acknowledged seq. It has no
+// deadline: the strict-mode request path deliberately inherits the
+// conventional baseline's blocking semantics (Fig. 13's comparison mode).
+// Stop paths must use waitAckedUntil via FlushTimeout instead.
 func (p *Primary) waitAcked(seq uint64) error {
+	return p.waitAckedUntil(seq, 0)
+}
+
+// waitAckedUntil blocks until every secondary acknowledged seq or the wall
+// clock passes deadline (0 means no deadline). The deadline is checked on
+// the same stride as the doorbell re-ring so the exit test stays off the
+// per-spin fast path.
+func (p *Primary) waitAckedUntil(seq uint64, deadline int64) error {
 	for i := 0; ; i++ {
 		p.pollAcks()
 		done := true
@@ -521,6 +548,9 @@ func (p *Primary) waitAcked(seq uint64) error {
 			return nil
 		}
 		if i%4096 == 4095 {
+			if deadline > 0 && timing.Wall().Now() >= deadline {
+				return ErrFlushTimeout
+			}
 			p.catchUp()
 			if !p.cfg.Strict {
 				p.ringBehind(seq)
@@ -540,7 +570,8 @@ func (p *Primary) ringBehind(seq uint64) {
 
 // Flush solicits acknowledgements (via doorbells) and waits until every
 // secondary caught up to the last assigned sequence — used before promoting
-// a secondary and at shutdown.
+// a secondary. It waits forever; shutdown paths that must stay live under
+// partitions use FlushTimeout.
 func (p *Primary) Flush() error {
 	if len(p.secs) == 0 || p.seq == 0 {
 		return nil
@@ -548,6 +579,21 @@ func (p *Primary) Flush() error {
 	p.catchUp()
 	p.ringBehind(p.seq)
 	return p.waitAcked(p.seq)
+}
+
+// FlushTimeout is Flush with a wall-clock budget: it returns ErrFlushTimeout
+// if some secondary has not acknowledged the last assigned sequence within
+// budgetNs. Graceful stop paths use it so a partitioned or dead replica
+// cannot hang Shard.Stop — the goroutine-lifecycle contract is that Stop
+// always returns, and unconfirmed records recover via the §5.2 resend
+// protocol once the replica heals.
+func (p *Primary) FlushTimeout(budgetNs int64) error {
+	if len(p.secs) == 0 || p.seq == 0 {
+		return nil
+	}
+	p.catchUp()
+	p.ringBehind(p.seq)
+	return p.waitAckedUntil(p.seq, timing.Wall().Now()+budgetNs)
 }
 
 // PollAcksOnce consumes pending acknowledgement words exactly once without

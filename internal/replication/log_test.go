@@ -7,6 +7,7 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"hydradb/internal/kv"
 	"hydradb/internal/message"
@@ -597,6 +598,36 @@ func TestFlushCatchesUpGap(t *testing.T) {
 	testutil.Must(env.primary.Flush())
 	if got := env.secs[0].AppliedSeq(); got != 2 {
 		t.Fatalf("applied = %d, want 2 after Flush", got)
+	}
+}
+
+// TestFlushTimeoutPartitionedSecondary: a bounded flush against a secondary
+// that never polls gives up with ErrFlushTimeout instead of spinning forever
+// (the chaos stop-drain hang: Shard.Stop → Flush → waitAcked with the mesh
+// cut), and succeeds once the secondary drains.
+func TestFlushTimeoutPartitionedSecondary(t *testing.T) {
+	env := newReplEnv(t, LogConfig{Slots: 16, SlotSize: 128, AckEvery: 4}, 1)
+	testutil.Must(env.primary.Replicate(put("a", "1")))
+
+	// The secondary never runs: acks can't arrive. The bounded flush must
+	// return promptly with the sentinel rather than hang.
+	start := timing.Wall().Now()
+	if err := env.primary.FlushTimeout(int64(50 * time.Millisecond)); err != ErrFlushTimeout {
+		t.Fatalf("FlushTimeout = %v, want ErrFlushTimeout", err)
+	}
+	if took := timing.Wall().Now() - start; took > int64(5*time.Second) {
+		t.Fatalf("bounded flush took %dns", took)
+	}
+
+	// Once the secondary is live and answering doorbells, the same bounded
+	// flush succeeds well within its budget.
+	go env.secs[0].Run()
+	defer env.secs[0].Stop()
+	if err := env.primary.FlushTimeout(int64(5 * time.Second)); err != nil {
+		t.Fatalf("FlushTimeout with live secondary = %v", err)
+	}
+	if got := env.secs[0].AppliedSeq(); got != 1 {
+		t.Fatalf("applied = %d, want 1", got)
 	}
 }
 

@@ -1,8 +1,12 @@
 package shard
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+
+	"hydradb/internal/invariant"
 )
 
 // Pipelined is the decoupled execution model of Fig. 5(a), implemented as
@@ -17,10 +21,12 @@ type Pipelined struct {
 	dispatchers int
 	workers     int
 
-	mu    sync.Mutex // serializes store access across workers
-	queue chan pipelinedReq
-	stop  chan struct{}
-	wg    sync.WaitGroup
+	mu      sync.Mutex // serializes store access across workers
+	queue   chan pipelinedReq
+	stop    chan struct{}
+	done    chan struct{} // closed when Run (and every stage goroutine) has exited
+	started atomic.Bool
+	wg      sync.WaitGroup
 }
 
 type pipelinedReq struct {
@@ -44,11 +50,16 @@ func NewPipelined(s *Shard, dispatchers, workers int) *Pipelined {
 		workers:     workers,
 		queue:       make(chan pipelinedReq, 1024),
 		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
 	}
 }
 
 // Run starts dispatchers and workers and blocks until Stop.
 func (p *Pipelined) Run() {
+	p.started.Store(true)
+	defer close(p.done)
+	spawnDone := invariant.Spawned(fmt.Sprintf("pipelined/%p/run", p))
+	defer spawnDone()
 	for d := 0; d < p.dispatchers; d++ {
 		p.wg.Add(1)
 		go p.dispatch(d)
@@ -64,6 +75,8 @@ func (p *Pipelined) Run() {
 // (the hand-off copy is part of the cost the single-threaded design avoids).
 func (p *Pipelined) dispatch(stripe int) {
 	defer p.wg.Done()
+	spawnDone := invariant.Spawned(fmt.Sprintf("pipelined/%p/dispatch/%d", p, stripe))
+	defer spawnDone()
 	for {
 		select {
 		case <-p.stop:
@@ -96,6 +109,8 @@ func (p *Pipelined) dispatch(stripe int) {
 
 func (p *Pipelined) work() {
 	defer p.wg.Done()
+	spawnDone := invariant.Spawned(fmt.Sprintf("pipelined/%p/work", p))
+	defer spawnDone()
 	respBuf := make([]byte, p.shard.cfg.MailboxBytes)
 	handled := 0
 	for {
@@ -121,11 +136,17 @@ func (p *Pipelined) work() {
 	}
 }
 
-// Stop terminates the pipeline.
+// Stop terminates the pipeline and joins every stage goroutine: without the
+// join, dispatchers and workers would still be draining while the cluster
+// tears down the fabric under them.
 func (p *Pipelined) Stop() {
 	select {
 	case <-p.stop:
 	default:
 		close(p.stop)
+	}
+	if p.started.Load() {
+		<-p.done
+		invariant.AssertDrained(fmt.Sprintf("pipelined/%p/", p))
 	}
 }

@@ -14,8 +14,10 @@
 package shard
 
 import (
+	"fmt"
 	"sync"
 
+	"hydradb/internal/invariant"
 	"hydradb/internal/kv"
 	"hydradb/internal/message"
 )
@@ -47,6 +49,10 @@ func (s *Shard) runReadPlane() {
 		wg.Add(1)
 		go func(idx int) {
 			defer wg.Done()
+			// Registered after the Done defer: deregistration (LIFO) runs
+			// first, so once wg.Wait returns the registry entry is gone.
+			spawnDone := invariant.Spawned(fmt.Sprintf("shard/%p/reader/%d", s, idx))
+			defer spawnDone()
 			s.readLoop(idx, nReaders, gate.Slot(idx), fallback)
 		}(i)
 	}

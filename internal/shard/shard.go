@@ -236,6 +236,10 @@ func (s *Shard) Run() {
 	defer s.own.Release()
 	s.started.Store(true)
 	defer close(s.stopped)
+	// Leak-sanitizer registration sits after the stopped defer so its
+	// deregistration (LIFO) happens-before the close a joining Stop waits on.
+	spawnDone := invariant.Spawned(fmt.Sprintf("shard/%p/run", s))
+	defer spawnDone()
 	if s.cfg.ReaderThreads > 0 {
 		s.runReadPlane()
 		return
@@ -416,12 +420,20 @@ func (s *Shard) Stop() {
 	}
 	if s.started.Load() {
 		<-s.stopped
+		invariant.AssertDrained(fmt.Sprintf("shard/%p/", s))
 	}
 	if s.primary != nil {
+		// Bounded: a partitioned or dead secondary must not hang Stop (the
+		// chaos stop-drain scenario stops shards while the mesh is cut).
 		//hydralint:ignore error-discipline graceful-stop flush; secondaries that miss it recover via the §5.2 resend protocol
-		_ = s.primary.Flush()
+		_ = s.primary.FlushTimeout(stopFlushBudgetNs)
 	}
 }
+
+// stopFlushBudgetNs bounds the replication flush in Stop: long enough for a
+// healthy replica set to drain its ring, short enough that stopping a shard
+// whose secondary is partitioned completes promptly.
+const stopFlushBudgetNs = int64(2 * time.Second)
 
 // Kill terminates the loop abruptly without flushing — the §5 failure
 // injection: acknowledged data must still survive on secondaries because
@@ -435,6 +447,7 @@ func (s *Shard) Kill() {
 	}
 	if s.started.Load() {
 		<-s.stopped
+		invariant.AssertDrained(fmt.Sprintf("shard/%p/", s))
 	}
 	// A dead process takes its memory registrations with it: one-sided reads
 	// of the frozen arena must fail at the fabric, not return pre-crash

@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"hydradb/internal/coord"
+	"hydradb/internal/invariant"
 )
 
 // Reactor is invoked by the current SWAT leader when a watched shard's
@@ -99,6 +100,12 @@ func (t *Team) newMember(name string) (*member, error) {
 func (t *Team) run(m *member) {
 	defer close(m.done)
 	defer t.replace(m)
+	// Registered last so it deregisters first (LIFO): by the time a joining
+	// Stop sees m.done closed, the registry entry is already gone. replace
+	// runs in between, but under Stop it observes t.stopped and spawns
+	// nothing.
+	spawnDone := invariant.Spawned(fmt.Sprintf("swat/%p/%s", t, m.name))
+	defer spawnDone()
 	for {
 		select {
 		case <-m.stop:
@@ -249,4 +256,5 @@ func (t *Team) Stop() {
 		m.sess.Close()
 		<-m.done
 	}
+	invariant.AssertDrained(fmt.Sprintf("swat/%p/", t))
 }
