@@ -5,7 +5,7 @@
 GO        ?= go
 FUZZTIME  ?= 20s
 
-.PHONY: all build vet test race lint lint-budget lint-budget-write lint-sarif lint-liveness deep-lint fuzz-smoke debug-test bench-smoke bench-json hydramc-smoke chaos-smoke cover ci
+.PHONY: all build vet test race lint lint-budget lint-budget-write lint-sarif lint-liveness deep-lint fuzz-smoke debug-test bench-smoke bench-json hydramc-smoke chaos-smoke sim-smoke cover ci
 
 all: build test
 
@@ -124,9 +124,20 @@ chaos-smoke:
 	timeout $(CHAOSTIMEOUT) $(GO) run ./cmd/hydrachaos -seed 1 -seeds $(CHAOSSEEDS) -readers 2 -clients 3 -ops 100 -keys 16
 	! timeout $(CHAOSTIMEOUT) $(GO) run ./cmd/hydrachaos -scenario crash-primary -bug -clients 2 -ops 60 -keys 8
 
+# Fleet-simulator smoke (DESIGN.md §15): every named scenario at smoke
+# scale with its invariant checks, then the armed seeded-bug self-test,
+# which must exit non-zero or the scenario checkers are blind. `timeout`
+# backstops an event-loop regression turning the bounded run into a hang.
+# SIMJSON captures the canonical results (CI uploads it as an artifact).
+SIMTIMEOUT ?= 300
+SIMJSON    ?= sim-results.json
+sim-smoke:
+	timeout $(SIMTIMEOUT) $(GO) run ./cmd/hydrasim -scenario all -scale smoke -seed 1 -json $(SIMJSON) > /dev/null
+	! timeout $(SIMTIMEOUT) $(GO) run ./cmd/hydrasim -scenario promotion-storm -scale smoke -seed 1 -bug stuck-promotion -json /dev/null > /dev/null 2>&1
+
 # Per-package statement coverage, so the HA packages' verification gain is
 # visible at a glance.
 cover:
 	$(GO) test -cover ./... | grep -v "no test files"
 
-ci: build vet lint-budget lint-liveness test race debug-test bench-smoke fuzz-smoke hydramc-smoke chaos-smoke
+ci: build vet lint-budget lint-liveness test race debug-test bench-smoke fuzz-smoke hydramc-smoke chaos-smoke sim-smoke

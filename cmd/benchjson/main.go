@@ -22,12 +22,12 @@ import (
 
 // Result is one benchmark line, flattened.
 type Result struct {
-	Iterations int64    `json:"iterations"`
-	NsPerOp    float64  `json:"ns_per_op"`
-	OpsPerSec  float64  `json:"ops_per_sec"`
-	BytesPerOp *int64   `json:"bytes_per_op,omitempty"`
-	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
-	Metrics    map[string]float64 `json:"metrics,omitempty"` // custom b.ReportMetric units
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	OpsPerSec   float64            `json:"ops_per_sec"`
+	BytesPerOp  *int64             `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64             `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"` // custom b.ReportMetric units
 }
 
 // Report is the whole document.

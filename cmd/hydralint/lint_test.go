@@ -1713,7 +1713,7 @@ func copyRepoGoTree(t *testing.T) string {
 			}
 			return nil
 		}
-		if ext := filepath.Ext(path); ext != ".go" && ext != ".mod" {
+		if ext := filepath.Ext(path); ext != ".go" && ext != ".mod" && ext != ".json" {
 			return nil
 		}
 		rel, err := filepath.Rel(root, path)

@@ -1,0 +1,100 @@
+package consistent
+
+import (
+	"fmt"
+	"testing"
+
+	"hydradb/internal/testutil"
+)
+
+// Scale tests for the fleet simulator's routing substrate: the ring must
+// stay balanced and move a bounded key fraction at the 100- and 1000-shard
+// sizes the fleet scenarios run.
+
+// TestScaleBalance checks load balance with default vnodes at fleet sizes:
+// every shard owns keys, and the heaviest/lightest shard stays within a
+// factor of the mean consistent with vnode variance.
+func TestScaleBalance(t *testing.T) {
+	const samples = 200_000
+	for _, shards := range []int{100, 1000} {
+		r := testutil.Must1(Build(ids(shards), 0))
+		hit := map[uint32]int{}
+		for i := 0; i < samples; i++ {
+			hit[r.OwnerOfKey([]byte(fmt.Sprintf("u%011d", i)))]++
+		}
+		if len(hit) != shards {
+			t.Fatalf("%d shards: only %d receive keys", shards, len(hit))
+		}
+		mean := float64(samples) / float64(shards)
+		for id, n := range hit {
+			if f := float64(n) / mean; f > 1.8 || f < 0.3 {
+				t.Errorf("%d shards: shard %d holds %.2fx the mean load", shards, id, f)
+			}
+		}
+	}
+}
+
+// TestScaleMovementFraction pins the consistent-hashing contract the
+// routing-convergence scenario depends on: adding k shards to an n-shard
+// ring moves roughly k/(n+k) of the keyspace — never a wholesale reshuffle.
+func TestScaleMovementFraction(t *testing.T) {
+	for _, tc := range []struct{ n, add int }{
+		{100, 1}, {100, 8}, {1000, 10}, {1000, 50},
+	} {
+		before := testutil.Must1(Build(ids(tc.n), 0))
+		after := testutil.Must1(Build(ids(tc.n+tc.add), 0))
+		moved := before.MovedArcs(after, 16384)
+		ideal := float64(tc.add) / float64(tc.n+tc.add)
+		if moved < 0.25*ideal || moved > 3*ideal {
+			t.Errorf("%d+%d shards: moved %.4f, want within [0.25, 3]x ideal %.4f",
+				tc.n, tc.add, moved, ideal)
+		}
+	}
+}
+
+// TestScaleMonotoneOwnership is the convergence bound behind WrongShard
+// rerouting: when shards are added, a key either keeps its owner or moves
+// to one of the new shards — so a stale routing table only ever bounces a
+// request toward keys that moved to NEW shards, and one table refresh
+// converges the client (no churn among surviving shards).
+func TestScaleMonotoneOwnership(t *testing.T) {
+	for _, tc := range []struct{ n, add int }{{100, 8}, {1000, 50}} {
+		before := testutil.Must1(Build(ids(tc.n), 0))
+		after := testutil.Must1(Build(ids(tc.n+tc.add), 0))
+		churned := 0
+		const samples = 50_000
+		for i := 0; i < samples; i++ {
+			key := []byte(fmt.Sprintf("u%011d", i))
+			oldO, newO := before.OwnerOfKey(key), after.OwnerOfKey(key)
+			if oldO != newO && newO <= uint32(tc.n) {
+				churned++
+			}
+		}
+		if churned != 0 {
+			t.Errorf("%d+%d shards: %d of %d keys churned between surviving shards",
+				tc.n, tc.add, churned, samples)
+		}
+	}
+}
+
+// TestScaleCumulativeGrowth bounds total movement across incremental
+// growth: growing 100 -> 120 one shard at a time moves no more per step
+// than the single-step ideal allows, so rolling reconfigurations converge.
+func TestScaleCumulativeGrowth(t *testing.T) {
+	prev := testutil.Must1(Build(ids(100), 0))
+	total := 0.0
+	for n := 101; n <= 120; n++ {
+		next := testutil.Must1(Build(ids(n), 0))
+		moved := prev.MovedArcs(next, 8192)
+		if ideal := 1.0 / float64(n); moved > 3*ideal {
+			t.Errorf("step to %d shards moved %.4f > 3x ideal %.4f", n, moved, ideal)
+		}
+		total += moved
+		prev = next
+	}
+	// Harmonic sum 1/101..1/120 is ~0.18; wholesale reshuffles would blow
+	// far past this.
+	if total > 0.6 {
+		t.Errorf("cumulative movement %.3f over 20 steps, want < 0.6", total)
+	}
+}

@@ -78,6 +78,29 @@ func (e *Engine) Step() bool {
 	return true
 }
 
+// The three step primitives below decompose Run() so a multi-instance
+// coordinator (Fleet) can drive several engines in global timestamp order:
+// the coordinator peeks every instance's next event time, advances the
+// instance holding the globally earliest one, and repeats. Each event still
+// executes against its own instance's state only.
+
+// HasPendingEvents reports whether any event is queued.
+func (e *Engine) HasPendingEvents() bool { return e.events.Len() > 0 }
+
+// PeekNextEventTime reports the timestamp of the earliest queued event
+// without executing it; ok is false when the heap is empty.
+func (e *Engine) PeekNextEventTime() (t int64, ok bool) {
+	if e.events.Len() == 0 {
+		return 0, false
+	}
+	return e.events[0].t, true
+}
+
+// ProcessNextEvent executes exactly the earliest queued event; false when
+// the heap is empty. Identical to Step — the alias exists so coordinator
+// code reads as the peek/process pair it is.
+func (e *Engine) ProcessNextEvent() bool { return e.Step() }
+
 // Run executes events until the heap drains.
 func (e *Engine) Run() {
 	for e.Step() {

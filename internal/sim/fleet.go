@@ -1,0 +1,106 @@
+package sim
+
+// Fleet coordinates N instance engines behind one shared clock: events from
+// all instances execute in global timestamp order, exactly one event at a
+// time. Each instance keeps its own event heap, virtual clock, and random
+// source; the fleet merely decides *which instance advances next*, so an
+// instance's clock only moves when one of its own events runs — machines
+// legitimately observe slightly stale local time between their events, as
+// real machines do between interrupts.
+//
+// Determinism: ties on the global timestamp break by instance index, and
+// within an instance by insertion sequence (the engine heap's own order).
+// Two fleets built identically therefore execute identical event traces.
+//
+// Cross-instance interactions schedule on the *destination* instance:
+//
+//	dst.At(fleet.Now()+delayNs, deliver)
+//
+// Because the fleet always runs the globally earliest event, such a
+// scheduled time can never lie in the destination's past.
+type Fleet struct {
+	insts []*Engine
+	now   int64 // timestamp of the last executed event (global clock)
+	ran   int64
+}
+
+// NewFleet creates a fleet of n instance engines. Instance i's randomness
+// derives deterministically from seed and i.
+func NewFleet(seed int64, n int) *Fleet {
+	f := &Fleet{}
+	for i := 0; i < n; i++ {
+		f.insts = append(f.insts, NewEngine(seed*1_000_003+int64(i)))
+	}
+	return f
+}
+
+// Instance returns engine i.
+func (f *Fleet) Instance(i int) *Engine { return f.insts[i] }
+
+// Size reports the instance count.
+func (f *Fleet) Size() int { return len(f.insts) }
+
+// Now reports the shared clock: the timestamp of the last executed event.
+func (f *Fleet) Now() int64 { return f.now }
+
+// Events reports how many events have executed fleet-wide.
+func (f *Fleet) Events() int64 { return f.ran }
+
+// next returns the instance index holding the globally earliest event, or
+// -1 when every heap is empty. Ties break by instance index.
+func (f *Fleet) next() int {
+	best, bestT := -1, int64(0)
+	for i, e := range f.insts {
+		t, ok := e.PeekNextEventTime()
+		if !ok {
+			continue
+		}
+		if best == -1 || t < bestT {
+			best, bestT = i, t
+		}
+	}
+	return best
+}
+
+// Step executes the globally earliest event; false when all heaps are
+// drained. The shared clock never moves backwards: instance heaps pop in
+// timestamp order and new events are always scheduled at or after the
+// moment their creating event ran.
+func (f *Fleet) Step() bool {
+	i := f.next()
+	if i < 0 {
+		return false
+	}
+	t, _ := f.insts[i].PeekNextEventTime()
+	if t > f.now {
+		f.now = t
+	}
+	f.insts[i].ProcessNextEvent()
+	f.ran++
+	return true
+}
+
+// Run executes events until every instance heap drains.
+func (f *Fleet) Run() {
+	for f.Step() {
+	}
+}
+
+// RunUntil executes all events with timestamp <= t (global order) and
+// advances the shared clock to t, leaving later events queued.
+func (f *Fleet) RunUntil(t int64) {
+	for {
+		i := f.next()
+		if i < 0 {
+			break
+		}
+		et, _ := f.insts[i].PeekNextEventTime()
+		if et > t {
+			break
+		}
+		f.Step()
+	}
+	if t > f.now {
+		f.now = t
+	}
+}

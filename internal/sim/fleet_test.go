@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// traceRec is one executed event as observed by the test hooks.
+type traceRec struct {
+	inst int
+	t    int64
+}
+
+// buildWorkload schedules a deterministic cascading workload on a fleet and
+// returns the pointer to the shared trace the events append to.
+func buildWorkload(f *Fleet, seed int64, events int) *[]traceRec {
+	trace := &[]traceRec{}
+	rng := rand.New(rand.NewSource(seed))
+	var spawn func(inst int, depth int)
+	spawn = func(inst int, depth int) {
+		e := f.Instance(inst)
+		delay := rng.Int63n(5000)
+		target := rng.Intn(f.Size())
+		e.After(delay, func() {
+			*trace = append(*trace, traceRec{inst: inst, t: e.Now()})
+			if depth > 0 {
+				// Cross-instance hand-off: schedule on the destination at a
+				// global-now-relative time, as fleet actors do.
+				f.Instance(target).At(f.Now()+rng.Int63n(3000), func() {
+					*trace = append(*trace, traceRec{inst: target, t: f.Instance(target).Now()})
+				})
+				spawn(inst, depth-1)
+			}
+		})
+	}
+	for i := 0; i < events; i++ {
+		spawn(rng.Intn(f.Size()), 3)
+	}
+	return trace
+}
+
+// TestFleetGlobalOrder is the core shared-clock property: events across all
+// instances execute in non-decreasing global timestamp order, and each
+// instance's own clock is monotone.
+func TestFleetGlobalOrder(t *testing.T) {
+	f := NewFleet(7, 5)
+	trace := buildWorkload(f, 7, 40)
+	lastGlobal := int64(-1)
+	lastPerInst := map[int]int64{}
+	steps := 0
+	for f.Step() {
+		steps++
+		if f.Now() < lastGlobal {
+			t.Fatalf("global clock moved backwards: %d -> %d", lastGlobal, f.Now())
+		}
+		lastGlobal = f.Now()
+	}
+	if steps == 0 || len(*trace) == 0 {
+		t.Fatal("workload executed no events")
+	}
+	for _, rec := range *trace {
+		if rec.t < lastPerInst[rec.inst] {
+			t.Fatalf("instance %d time moved backwards: %d -> %d", rec.inst, lastPerInst[rec.inst], rec.t)
+		}
+		lastPerInst[rec.inst] = rec.t
+	}
+	// The trace itself must be globally ordered: it was appended in
+	// execution order, so timestamps must be non-decreasing.
+	prev := int64(-1)
+	for i, rec := range *trace {
+		if rec.t < prev {
+			t.Fatalf("trace[%d] out of order: %d after %d", i, rec.t, prev)
+		}
+		prev = rec.t
+	}
+}
+
+// TestFleetDeterministic pins that two identically-built fleets execute
+// identical event traces — the foundation of the scenario golden hashes.
+func TestFleetDeterministic(t *testing.T) {
+	run := func() []traceRec {
+		f := NewFleet(42, 4)
+		trace := buildWorkload(f, 42, 30)
+		f.Run()
+		return *trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace diverges at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestFleetTieBreakByInstance pins the deterministic tie rule: same
+// timestamp on two instances runs the lower instance index first.
+func TestFleetTieBreakByInstance(t *testing.T) {
+	f := NewFleet(1, 3)
+	var order []int
+	// Schedule in reverse instance order at the identical timestamp.
+	for i := 2; i >= 0; i-- {
+		i := i
+		f.Instance(i).At(100, func() { order = append(order, i) })
+	}
+	f.Run()
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("tie-break order = %v, want [0 1 2]", order)
+	}
+	if f.Now() != 100 {
+		t.Fatalf("fleet clock %d, want 100", f.Now())
+	}
+}
+
+// TestFleetRunUntil pins the bounded-run semantics: events at or before the
+// horizon execute, later ones stay queued, and the clock lands on the
+// horizon.
+func TestFleetRunUntil(t *testing.T) {
+	f := NewFleet(1, 2)
+	var got []int64
+	for _, d := range []int64{50, 150, 250} {
+		d := d
+		f.Instance(int(d)%2).At(d, func() { got = append(got, d) })
+	}
+	f.RunUntil(200)
+	if len(got) != 2 || got[0] != 50 || got[1] != 150 {
+		t.Fatalf("RunUntil executed %v, want [50 150]", got)
+	}
+	if f.Now() != 200 {
+		t.Fatalf("clock %d, want 200", f.Now())
+	}
+	f.Run()
+	if len(got) != 3 || got[2] != 250 {
+		t.Fatalf("drain executed %v", got)
+	}
+}
+
+// TestFleetCrossInstanceNeverInPast: an event scheduled from instance A on
+// instance B at fleet-now+delay must never observe B's clock ahead of the
+// scheduled time (i.e. the fleet never runs B past the hand-off before
+// delivering it).
+func TestFleetCrossInstanceNeverInPast(t *testing.T) {
+	f := NewFleet(3, 4)
+	violations := 0
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		src, dst := rng.Intn(4), rng.Intn(4)
+		f.Instance(src).After(rng.Int63n(10_000), func() {
+			at := f.Now() + rng.Int63n(2_000)
+			f.Instance(dst).At(at, func() {
+				if f.Instance(dst).Now() > at {
+					violations++
+				}
+			})
+		})
+	}
+	f.Run()
+	if violations != 0 {
+		t.Fatalf("%d cross-instance deliveries arrived in the destination's past", violations)
+	}
+}
+
+// FuzzFleetOrdering feeds arbitrary schedules to the fleet and checks the
+// two liveness-critical orderings: global timestamps never decrease across
+// Step calls, and no instance clock moves backwards.
+func FuzzFleetOrdering(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, int64(1))
+	f.Add([]byte{0, 0, 0, 0, 255, 255, 9, 1, 2, 200}, int64(99))
+	f.Fuzz(func(t *testing.T, data []byte, seed int64) {
+		if len(data) == 0 || len(data) > 512 {
+			return
+		}
+		fl := NewFleet(seed, 1+int(data[0]%8))
+		// Each byte pair schedules one seed event; executed events chain one
+		// follow-up each so the heaps interleave.
+		for i := 0; i+1 < len(data); i += 2 {
+			inst := int(data[i]) % fl.Size()
+			delay := int64(data[i+1]) * 37
+			e := fl.Instance(inst)
+			e.After(delay, func() {
+				e.After(int64(data[i%len(data)])*11, func() {})
+			})
+		}
+		lastGlobal := int64(-1)
+		lastInst := make([]int64, fl.Size())
+		for {
+			i := fl.next()
+			if i < 0 {
+				break
+			}
+			et, _ := fl.Instance(i).PeekNextEventTime()
+			if et < lastInst[i] {
+				t.Fatalf("instance %d would run event at %d after %d", i, et, lastInst[i])
+			}
+			lastInst[i] = et
+			if !fl.Step() {
+				t.Fatal("Step returned false with pending events")
+			}
+			if fl.Now() < lastGlobal {
+				t.Fatalf("global clock backwards: %d -> %d", lastGlobal, fl.Now())
+			}
+			lastGlobal = fl.Now()
+		}
+	})
+}

@@ -138,22 +138,15 @@ func (b *BaselineSim) tcpNicCost(bytes int) int64 {
 // kernel/protocol latency that dominates the TCP baselines.
 func (b *BaselineSim) tcpHop(a, to *machine, bytes int, cont func()) {
 	c := &b.cfg.Cost
-	a.nic.Acquire(b.tcpNicCost(bytes), func() {
-		b.eng.After(c.WireNs+c.TCPExtraNs, func() {
-			to.nic.Acquire(b.tcpNicCost(bytes), cont)
-		})
-	})
+	cost := b.tcpNicCost(bytes)
+	rawHop(b.eng, a, to, cost, cost, c.WireNs+c.TCPExtraNs, cont)
 }
 
 // verbsHop is the native InfiniBand Send/Recv transport (RAMCloud).
 func (b *BaselineSim) verbsHop(a, to *machine, bytes int, cont func()) {
 	c := &b.cfg.Cost
 	cost := c.NICOpNs + int64(float64(bytes)*c.NICByteNs)
-	a.nic.Acquire(cost, func() {
-		b.eng.After(c.WireNs, func() {
-			to.nic.Acquire(cost, cont)
-		})
-	})
+	rawHop(b.eng, a, to, cost, cost, c.WireNs, cont)
 }
 
 // Run executes the workload and reports the result.

@@ -1,0 +1,93 @@
+package simcluster
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hydradb/internal/testutil"
+)
+
+// -update regenerates calibration.json from the checked-in benchmark
+// snapshot: go test -run TestCalibration -update ./internal/simcluster
+var update = flag.Bool("update", false, "regenerate calibration.json from BENCH_PR7.json")
+
+const benchSnapshot = "../../BENCH_PR7.json"
+
+// TestCalibration is the conformance gate between the embedded calibration
+// and the live-mode microbenchmark snapshot: every class's sampler mean must
+// stay within CalibrationDriftBound of a fresh derivation, and the recipe
+// (bench names, distribution shape) must match exactly. Drift beyond the
+// bound fails loudly and is resolved by rerunning with -update — never by
+// the calibration silently tracking the snapshot.
+func TestCalibration(t *testing.T) {
+	raw := testutil.Must1(os.ReadFile(benchSnapshot))
+	derived := testutil.Must1(DeriveCalibration(raw, filepath.Base(benchSnapshot)))
+
+	if *update {
+		out := testutil.Must1(EncodeCalibration(derived))
+		testutil.Must(os.WriteFile("calibration.json", out, 0o644))
+		t.Logf("calibration.json regenerated from %s", benchSnapshot)
+		return
+	}
+
+	embedded := DefaultCalibration()
+	if embedded.Source != filepath.Base(benchSnapshot) {
+		t.Errorf("embedded source = %q, want %q", embedded.Source, filepath.Base(benchSnapshot))
+	}
+	if got, want := len(embedded.Classes), len(derived.Classes); got != want {
+		t.Fatalf("embedded calibration has %d classes, derivation has %d", got, want)
+	}
+	for _, r := range classRecipes {
+		emb, derv := embedded.Classes[r.Class], derived.Classes[r.Class]
+		if emb.Dist != derv.Dist || emb.Sigma != derv.Sigma {
+			t.Errorf("class %s: shape (%s, %.2f) != derived (%s, %.2f)",
+				r.Class, emb.Dist, emb.Sigma, derv.Dist, derv.Sigma)
+		}
+		if len(emb.Bench) != len(derv.Bench) {
+			t.Errorf("class %s: bench recipe %v != derived %v", r.Class, emb.Bench, derv.Bench)
+			continue
+		}
+		for i := range emb.Bench {
+			if emb.Bench[i] != derv.Bench[i] {
+				t.Errorf("class %s: bench[%d] = %q, derived %q", r.Class, i, emb.Bench[i], derv.Bench[i])
+			}
+		}
+		drift := math.Abs(emb.MeanNs-derv.MeanNs) / derv.MeanNs
+		if drift > CalibrationDriftBound {
+			t.Errorf("class %s: embedded mean %.1f ns drifted %.0f%% from derived %.1f ns (bound %.0f%%) — rerun with -update",
+				r.Class, emb.MeanNs, drift*100, derv.MeanNs, CalibrationDriftBound*100)
+		}
+	}
+}
+
+// TestCalibrationFileCanonical pins that calibration.json is byte-identical
+// to what -update would write (guards hand edits that would make -update
+// produce spurious diffs).
+func TestCalibrationFileCanonical(t *testing.T) {
+	onDisk := testutil.Must1(os.ReadFile("calibration.json"))
+	reenc := testutil.Must1(EncodeCalibration(DefaultCalibration()))
+	if !bytes.Equal(onDisk, reenc) {
+		t.Fatalf("calibration.json is not in canonical -update form; rerun go test -run TestCalibration -update")
+	}
+}
+
+// TestDeriveCalibrationErrors pins the failure modes: missing benchmark,
+// non-positive figure, malformed snapshot.
+func TestDeriveCalibrationErrors(t *testing.T) {
+	if _, err := DeriveCalibration([]byte("{"), "x"); err == nil {
+		t.Error("malformed snapshot: want error")
+	}
+	if _, err := DeriveCalibration([]byte(`{"benchmarks":{}}`), "x"); err == nil {
+		t.Error("missing benchmarks: want error")
+	}
+	if _, err := DeriveCalibration([]byte(`{"benchmarks":{"BenchmarkLiveGet_RDMARead":{"ns_per_op":-1}}}`), "x"); err == nil {
+		t.Error("non-positive ns_per_op: want error")
+	}
+	if _, err := ParseCalibration([]byte(`{"source":"x","classes":{}}`)); err == nil {
+		t.Error("calibration missing classes: want error")
+	}
+}

@@ -78,6 +78,27 @@ type CostModel struct {
 	RCDispatchNs int64
 	RCWorkerNs   int64
 	RCWorkers    int
+
+	// Fleet-scale control-plane costs (cmd/hydrasim scenarios). The data
+	// plane above is per-op; these parameterize the events that only matter
+	// at 100+ machines: SWAT promotions, routing-table refreshes, and lease
+	// renewals.
+
+	// PromoteFixedNs is the SWAT promotion handshake per failed shard
+	// (election message + secondary freeze), and PromotePerRecNs the
+	// per-record replication-ring drain during promotion; both calibrated
+	// against the chaos harness's measured 1.0–7.5 ms time-to-recover.
+	PromoteFixedNs  int64
+	PromotePerRecNs int64
+	// SwatParallel is how many promotions the SWAT drives concurrently —
+	// the serialization knob behind correlated-failure promotion storms.
+	SwatParallel int
+	// TableRefreshNs is a client's routing-table refresh round trip after a
+	// WrongShard bounce (coordinator fetch + ring rebuild).
+	TableRefreshNs int64
+	// RenewNs is the shard CPU charged per lease renewal message — the unit
+	// cost of a renewal thundering herd.
+	RenewNs int64
 }
 
 // DefaultCostModel returns the calibrated testbed.
@@ -119,5 +140,11 @@ func DefaultCostModel() CostModel {
 		RCDispatchNs: 900,
 		RCWorkerNs:   2500,
 		RCWorkers:    7,
+
+		PromoteFixedNs:  1_200_000, // ~1.2 ms: low end of measured chaos recovery
+		PromotePerRecNs: 2_000,
+		SwatParallel:    4,
+		TableRefreshNs:  25_000,
+		RenewNs:         400,
 	}
 }

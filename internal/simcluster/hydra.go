@@ -92,12 +92,6 @@ type HydraConfig struct {
 	MaxItemsPerShard int
 }
 
-type machine struct {
-	id  int
-	nic *sim.Resource
-	qps int
-}
-
 type simShard struct {
 	id    uint32
 	m     *machine
@@ -111,18 +105,6 @@ type simShard struct {
 	// replication
 	secMachines []*machine
 	secApply    []*sim.Resource
-}
-
-type ptrEntry struct {
-	ptr      kv.RemotePtr
-	leaseExp int64
-}
-
-type simClient struct {
-	id     int
-	m      *machine
-	cache  map[string]*ptrEntry
-	keyBuf [64]byte
 }
 
 // HydraSim is one run instance.
@@ -334,11 +316,7 @@ func (h *HydraSim) hop(a, b *machine, bytes int, cont func()) {
 		}
 		wire += c.TCPExtraNs
 	}
-	a.nic.Acquire(srcCost, func() {
-		h.eng.After(wire, func() {
-			b.nic.Acquire(dstCost, cont)
-		})
-	})
+	rawHop(h.eng, a, b, srcCost, dstCost, wire, cont)
 }
 
 // Run executes the workload to completion and reports the result.

@@ -1,0 +1,47 @@
+package simcluster
+
+import (
+	"hydradb/internal/kv"
+	"hydradb/internal/sim"
+)
+
+// This file holds the topology primitives every simulated deployment shares
+// — testbed machines, clients with remote-pointer caches, and the NIC/wire
+// hop — so HydraSim, BaselineSim, and FleetSim model the network one way.
+
+// machine is one testbed box: a finite NIC resource plus the queue-pair
+// count that drives the §6.3 driver-scalability overhead.
+type machine struct {
+	id  int
+	nic *sim.Resource
+	qps int
+}
+
+// ptrEntry is one cached remote pointer with its lease horizon (§4.2.2).
+type ptrEntry struct {
+	ptr      kv.RemotePtr
+	leaseExp int64
+}
+
+// simClient is a full-fidelity simulated client: it owns (or shares) a
+// pointer cache and a scratch key buffer for zero-allocation key rendering.
+type simClient struct {
+	id     int
+	m      *machine
+	cache  map[string]*ptrEntry
+	keyBuf [64]byte
+}
+
+// rawHop moves one message from machine a to machine b on engine eng:
+// source NIC service, wire propagation, destination NIC service, then cont.
+// Collocated endpoints still pay both NIC passes on the shared device
+// (loopback through the HCA). srcCost/dstCost carry any transport-specific
+// per-message extras (kernel crossings, higher IPoIB copy costs) so every
+// transport flavor funnels through the same three-stage pipeline.
+func rawHop(eng *sim.Engine, a, b *machine, srcCost, dstCost, wireNs int64, cont func()) {
+	a.nic.Acquire(srcCost, func() {
+		eng.Delay(wireNs, func() {
+			b.nic.Acquire(dstCost, cont)
+		})
+	})
+}
