@@ -5,7 +5,7 @@
 GO        ?= go
 FUZZTIME  ?= 20s
 
-.PHONY: all build vet test race lint lint-budget lint-budget-write lint-sarif lint-liveness deep-lint fuzz-smoke debug-test bench-smoke bench-json hydramc-smoke chaos-smoke sim-smoke cover ci
+.PHONY: all build vet test race lint lint-budget lint-budget-write lint-sarif lint-liveness lint-spec deep-lint fuzz-smoke debug-test bench-smoke bench-json hydramc-smoke chaos-smoke sim-smoke cover ci
 
 all: build test
 
@@ -54,6 +54,15 @@ lint-liveness:
 lint-sarif:
 	$(GO) run ./cmd/hydralint -sarif hydralint.sarif ./...
 
+# The declarative-spec loop (DESIGN.md §16): the spec engine's self-tests
+# (seeded-bug fixtures, the publication-order golden, README table sync),
+# the generated-vs-hand-written footprint test, and the hydramc -footprints
+# diff on the command line.
+lint-spec:
+	$(GO) test -count=1 -run 'Spec|Golden|ReadmeSync' ./cmd/hydralint
+	$(GO) test -count=1 -run 'TestGeneratedFootprintsMatchHandWritten' ./internal/modelcheck
+	$(GO) run ./cmd/hydramc -footprints
+
 # Nightly deep verification (.github/workflows/nightly.yml): the budgeted
 # lint plus a hydramc exploration an order of magnitude past the smoke
 # bound, including a word-granularity (-fine) mailbox leg. Model drift and
@@ -61,7 +70,7 @@ lint-sarif:
 # blocking the per-PR pipeline.
 DEEPMCSCHEDULES ?= 200000
 DEEPMCTIMEOUT   ?= 2400
-deep-lint: lint-budget lint-sarif lint-liveness
+deep-lint: lint-budget lint-sarif lint-liveness lint-spec
 	timeout $(DEEPMCTIMEOUT) $(GO) run ./cmd/hydramc -all -maxschedules $(DEEPMCSCHEDULES)
 	timeout $(DEEPMCTIMEOUT) $(GO) run -tags hydradebug ./cmd/hydramc -model mailbox -fine -maxsteps 800 -maxschedules $(DEEPMCSCHEDULES)
 	! timeout $(DEEPMCTIMEOUT) $(GO) run -tags hydradebug ./cmd/hydramc -model mailbox -fine -bug -maxsteps 800 -maxschedules $(DEEPMCSCHEDULES)
@@ -140,4 +149,4 @@ sim-smoke:
 cover:
 	$(GO) test -cover ./... | grep -v "no test files"
 
-ci: build vet lint-budget lint-liveness test race debug-test bench-smoke fuzz-smoke hydramc-smoke chaos-smoke sim-smoke
+ci: build vet lint-budget lint-liveness lint-spec test race debug-test bench-smoke fuzz-smoke hydramc-smoke chaos-smoke sim-smoke

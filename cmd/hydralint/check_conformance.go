@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"go/ast"
 	"go/constant"
 	"go/token"
@@ -36,7 +37,11 @@ type fpDecl struct {
 }
 
 func runModelConformance(prog *Program, rep func(*Package) *Reporter) {
-	decls := parseFootprints(prog, rep)
+	fps := parseFootprints(prog)
+	for _, e := range fps.errs {
+		rep(e.p).report("model-conformance", e.pos, "%s", e.msg)
+	}
+	decls := fps.decls
 	if len(decls) == 0 {
 		return
 	}
@@ -176,11 +181,29 @@ func modelNames(decls []*fpDecl) string {
 	return strings.Join(names, ", ")
 }
 
+// fpErr is a footprint parse problem; runModelConformance reports each as
+// a model-conformance finding (the parse is memoized on the Program, so
+// spec-drift can consume the declarations without double-reporting).
+type fpErr struct {
+	p   *Package
+	pos token.Pos
+	msg string
+}
+
+// fpParse is the memoized result of parsing every Footprint literal.
+type fpParse struct {
+	decls []*fpDecl
+	errs  []fpErr
+}
+
 // parseFootprints statically reads every Footprint composite literal declared
 // in an internal/modelcheck package. Entries that are not constant strings
 // are findings: the conformance diff is only as trustworthy as the parse.
-func parseFootprints(prog *Program, rep func(*Package) *Reporter) []*fpDecl {
-	var decls []*fpDecl
+func parseFootprints(prog *Program) *fpParse {
+	if prog.fps != nil {
+		return prog.fps
+	}
+	fps := &fpParse{}
 	seen := map[string]bool{}
 	for _, p := range prog.Pkgs {
 		if p.RelPath != "internal/modelcheck" || seen[p.ImportPath] {
@@ -196,12 +219,13 @@ func parseFootprints(prog *Program, rep func(*Package) *Reporter) []*fpDecl {
 				if !ok || !isFootprintLit(p, cl) {
 					return true
 				}
-				decls = append(decls, parseFootprintLit(p, rep(p), cl))
+				fps.decls = append(fps.decls, parseFootprintLit(p, fps, cl))
 				return false // field literals inside are not footprints
 			})
 		}
 	}
-	return decls
+	prog.fps = fps
+	return fps
 }
 
 // isFootprintLit reports whether cl's type is the Footprint struct declared
@@ -219,12 +243,16 @@ func isFootprintLit(p *Package, cl *ast.CompositeLit) bool {
 	return obj.Name() == "Footprint" && obj.Pkg() != nil && obj.Pkg() == p.Pkg
 }
 
-func parseFootprintLit(p *Package, r *Reporter, cl *ast.CompositeLit) *fpDecl {
+func (fps *fpParse) errf(p *Package, pos token.Pos, format string, args ...any) {
+	fps.errs = append(fps.errs, fpErr{p: p, pos: pos, msg: fmt.Sprintf(format, args...)})
+}
+
+func parseFootprintLit(p *Package, fps *fpParse, cl *ast.CompositeLit) *fpDecl {
 	d := &fpDecl{p: p, pos: cl.Pos(), words: map[string]token.Pos{}, tags: map[string]token.Pos{}}
 	for _, elt := range cl.Elts {
 		kv, ok := elt.(*ast.KeyValueExpr)
 		if !ok {
-			r.report("model-conformance", elt.Pos(),
+			fps.errf(p, elt.Pos(),
 				"Footprint literals must use keyed fields so the conformance pass can parse them statically")
 			continue
 		}
@@ -237,14 +265,14 @@ func parseFootprintLit(p *Package, r *Reporter, cl *ast.CompositeLit) *fpDecl {
 			if s, ok := constString(p, kv.Value); ok {
 				d.model = s
 			} else {
-				r.report("model-conformance", kv.Value.Pos(), "Footprint.Model must be a literal string")
+				fps.errf(p, kv.Value.Pos(), "Footprint.Model must be a literal string")
 			}
 		case "Packages":
-			d.pkgs = parseStringList(p, r, kv.Value, "Footprint.Packages", nil)
+			d.pkgs = parseStringList(p, fps, kv.Value, "Footprint.Packages", nil)
 		case "AtomicWords":
-			parseStringList(p, r, kv.Value, "Footprint.AtomicWords", d.words)
+			parseStringList(p, fps, kv.Value, "Footprint.AtomicWords", d.words)
 		case "SchedTags":
-			parseStringList(p, r, kv.Value, "Footprint.SchedTags", d.tags)
+			parseStringList(p, fps, kv.Value, "Footprint.SchedTags", d.tags)
 		}
 	}
 	return d
@@ -252,17 +280,17 @@ func parseFootprintLit(p *Package, r *Reporter, cl *ast.CompositeLit) *fpDecl {
 
 // parseStringList reads a []string composite literal of constant strings,
 // optionally recording each element's position into at.
-func parseStringList(p *Package, r *Reporter, e ast.Expr, what string, at map[string]token.Pos) []string {
+func parseStringList(p *Package, fps *fpParse, e ast.Expr, what string, at map[string]token.Pos) []string {
 	cl, ok := unparen(e).(*ast.CompositeLit)
 	if !ok {
-		r.report("model-conformance", e.Pos(), "%s must be a literal []string so it can be parsed statically", what)
+		fps.errf(p, e.Pos(), "%s must be a literal []string so it can be parsed statically", what)
 		return nil
 	}
 	var out []string
 	for _, elt := range cl.Elts {
 		s, ok := constString(p, elt)
 		if !ok {
-			r.report("model-conformance", elt.Pos(), "%s entries must be literal strings", what)
+			fps.errf(p, elt.Pos(), "%s entries must be literal strings", what)
 			continue
 		}
 		out = append(out, s)

@@ -6,9 +6,10 @@ import (
 	"go/types"
 )
 
-// publication-order: enforce the out-of-place PUT idiom — every store into
-// memory reachable from a to-be-published pointer must be sequenced before
-// the guardian release store that makes the item remotely visible.
+// The payload-before-release leg of spec-order: enforce the out-of-place
+// PUT idiom — every store into memory reachable from a to-be-published
+// pointer must be sequenced before the guardian release store that makes
+// the item remotely visible.
 //
 // The pass tracks *allocation groups*: the locals bound by one multi-value
 // definition (dataOff, metaIdx, ref, err := s.allocItem(...)) name one item's
@@ -29,7 +30,15 @@ import (
 // //hydralint:publishes function the roles invert: the first atomic
 // indicator store is the publication point, and plain payload writes after
 // it are findings.
-func runPublicationOrder(prog *Program, rep func(*Package) *Reporter) {
+//
+// A package's protocolspec.Spec declares this flow as a
+// payload-before-release edge (spec-drift verifies the edge's From still
+// carries the publish marker the walker keys on, closing the loop), names
+// the spec findings are attributed under, and — via lease-word Writers —
+// sanctions the one post-release store the protocol allows: monotonic
+// lease renewal. Marker-only packages still get the full flow pass, with
+// an empty spec attribution.
+func (sm *specModel) flowPass(prog *Program) {
 	m := prog.markersFor()
 	if len(m.publishConsts) == 0 && len(m.publishesFuncs) == 0 {
 		return
@@ -53,7 +62,8 @@ func runPublicationOrder(prog *Program, rep func(*Package) *Reporter) {
 					continue
 				}
 				w := &pubWalker{
-					prog: prog, p: info.Pkg, info: info, r: rep(info.Pkg), m: m,
+					prog: prog, p: info.Pkg, info: info, sm: sm, m: m,
+					spec:        sm.pkgSpec[info.Pkg.ImportPath],
 					groups:      map[*types.Var]map[int]bool{},
 					regionLocal: map[*types.Var]bool{},
 					inPublishes: m.publishesFuncs[obj.FullName()],
@@ -95,13 +105,19 @@ type pubWalker struct {
 	prog *Program
 	p    *Package
 	info *FuncInfo
-	r    *Reporter
+	sm   *specModel
 	m    *progMarkers
+	spec string // covering spec name for finding attribution ("" if none)
 
 	groups      map[*types.Var]map[int]bool // var -> allocation groups
 	regionLocal map[*types.Var]bool         // var aliases region-backed memory
 	nextGroup   int
 	inPublishes bool
+}
+
+// emit records a spec-order finding attributed to the covering spec.
+func (w *pubWalker) emit(pos token.Pos, format string, args ...any) {
+	w.sm.add(w.p, pos, "spec-order", w.spec, format, args...)
 }
 
 func (w *pubWalker) lookupVar(id *ast.Ident) (*types.Var, bool) {
@@ -209,8 +225,8 @@ func (w *pubWalker) unpublish(env *pubEnv, groups map[int]bool) {
 func (w *pubWalker) writeCheck(env *pubEnv, groups map[int]bool, pos token.Pos, what string) {
 	for g := range groups {
 		if pubPos, ok := env.published[g]; ok {
-			p := w.r.fset.Position(pubPos)
-			w.r.report("publication-order", pos,
+			p := w.p.Fset.Position(pubPos)
+			w.emit(pos,
 				"%s after the item was published at line %d; sequence all payload writes before the release store, or store the hydralint:unpublish constant first",
 				what, p.Line)
 			return
@@ -225,7 +241,7 @@ func (w *pubWalker) pubAllCheck(env *pubEnv, e ast.Expr, pos token.Pos, what str
 		return
 	}
 	if w.mentionsInput(e) || w.regionDerived(e) {
-		w.r.report("publication-order", pos,
+		w.emit(pos,
 			"%s after the indicator store in a hydralint:publishes function; the payload must be complete before the indicator is released", what)
 	}
 }
@@ -294,6 +310,13 @@ func (w *pubWalker) handleCall(env *pubEnv, call *ast.CallExpr) {
 		return
 	}
 	name := callee.Obj.FullName()
+
+	// A Writers entry on a lease-word role is the protocol's one
+	// sanctioned post-release store (monotonic renewal under a guardian
+	// readers re-validate); its writes are exempt from the order check.
+	if w.sm.leaseWriters[name] {
+		return
+	}
 
 	// A publish/unpublish constant handed to any callee classifies the call.
 	for _, a := range call.Args {

@@ -12,9 +12,12 @@ import (
 // Check is one named rule. Run inspects a single package; RunProgram (for
 // whole-program rules like mixed-access) sees every loaded package at once
 // and reports through per-package reporters. A check sets one or the other.
+// Short is the one-line blurb -listchecks renders into README's check
+// table (a sync test keeps the two identical).
 type Check struct {
 	Name       string
 	Desc       string
+	Short      string
 	Run        func(p *Package, r *Reporter)
 	RunProgram func(prog *Program, rep func(*Package) *Reporter)
 }
@@ -22,85 +25,130 @@ type Check struct {
 // allChecks is the registry, in the order findings group in the output.
 var allChecks = []Check{
 	{
-		Name: "clock-discipline",
-		Desc: "no direct time.Now/Since/Sleep in internal/ data-plane code; use timing.Clock",
-		Run:  runClockDiscipline,
+		Name:  "clock-discipline",
+		Desc:  "no direct time.Now/Since/Sleep in internal/ data-plane code; use timing.Clock",
+		Short: "no wall-clock reads/sleeps in data-plane packages",
+		Run:   runClockDiscipline,
 	},
 	{
-		Name: "shard-exclusivity",
-		Desc: "no go statements, mutexes, or channel sends on the shard hot path (§4.1.1)",
-		Run:  runShardExclusivity,
+		Name:  "shard-exclusivity",
+		Desc:  "no go statements, mutexes, or channel sends on the shard hot path (§4.1.1)",
+		Short: "no locks or goroutine launches on the shard hot path",
+		Run:   runShardExclusivity,
 	},
 	{
-		Name: "atomic-word",
-		Desc: "values containing sync/atomic types must not be copied, ranged over, or aliased",
-		Run:  runAtomicWord,
+		Name:  "atomic-word",
+		Desc:  "values containing sync/atomic types must not be copied, ranged over, or aliased",
+		Short: "atomic-bearing values never copied, ranged over, or aliased",
+		Run:   runAtomicWord,
 	},
 	{
-		Name: "hotpath-alloc",
-		Desc: "functions marked hydralint:hotpath must not allocate",
-		Run:  runHotpathAlloc,
+		Name:  "hotpath-alloc",
+		Desc:  "functions marked hydralint:hotpath must not allocate",
+		Short: "`hydralint:hotpath` functions stay allocation-free",
+		Run:   runHotpathAlloc,
 	},
 	{
-		Name: "error-discipline",
-		Desc: "no discarded errors in internal/ packages",
-		Run:  runErrorDiscipline,
+		Name:  "error-discipline",
+		Desc:  "no discarded errors in internal/ packages",
+		Short: "no discarded errors in `internal/`",
+		Run:   runErrorDiscipline,
 	},
 	{
-		Name: "lease-discipline",
-		Desc: "every lock/lease acquire must be released on all paths (interprocedural via call summaries)",
-		Run:  runLeaseDiscipline,
+		Name:  "lease-discipline",
+		Desc:  "every lock/lease acquire must be released on all paths (interprocedural via call summaries)",
+		Short: "lock acquire/release balance, via call summaries",
+		Run:   runLeaseDiscipline,
 	},
 	{
-		Name: "published-escape",
-		Desc: "no pointer into an RDMA-registered region may escape to an un-leased reference (interprocedural)",
-		Run:  runPublishedEscape,
+		Name:  "published-escape",
+		Desc:  "no pointer into an RDMA-registered region may escape to an un-leased reference (interprocedural)",
+		Short: "no region views escaping past publication",
+		Run:   runPublishedEscape,
 	},
 	{
 		Name:       "mixed-access",
 		Desc:       "a word accessed with sync/atomic anywhere must never be accessed plainly (whole-program)",
+		Short:      "no word sees both atomic and plain access, program-wide",
 		RunProgram: runMixedAccess,
 	},
 	{
-		Name: "layout",
-		Desc: "compile-time wire-layout checks: hydralint:assert, hydralint:layout size=, hydralint:cacheline",
-		Run:  runLayout,
+		Name:  "layout",
+		Desc:  "compile-time wire-layout checks: hydralint:assert, hydralint:layout size=, hydralint:cacheline",
+		Short: "`assert`/`layout`/`cacheline` pins with go/types sizes",
+		Run:   runLayout,
 	},
 	{
 		Name:       "region-bounds",
 		Desc:       "one-sided offsets into RDMA regions must be provably in-bounds, aligned, and offset-source derived (def-use interpreter)",
+		Short:      "every offset into an RDMA region proven in-bounds",
 		RunProgram: runRegionBounds,
 	},
 	{
 		Name:       "model-conformance",
 		Desc:       "the atomic words and SchedPoint tags of covered packages must match the modelcheck Footprint declarations (whole-program)",
+		Short:      "hydramc footprints match the real atomic surface",
 		RunProgram: runModelConformance,
 	},
 	{
-		Name:       "publication-order",
-		Desc:       "every write into an item's region memory must sequence before its guardian/indicator release store (out-of-place PUT)",
-		RunProgram: runPublicationOrder,
+		Name:       "spec-order",
+		Desc:       "the happens-before edges declared in protocolspec.Spec literals — payload-before-release, retract-before-free, apply-after-replicate — hold on every code path (spec-driven flow pass)",
+		Short:      "declared protocol edges hold on every code path",
+		RunProgram: runSpecOrder,
+	},
+	{
+		Name:       "spec-coverage",
+		Desc:       "every atomic store to a word declared in a protocolspec.Spec must be sanctioned by a Writers entry, a covering edge, or a publish/unpublish constant (whole-program)",
+		Short:      "every store to a spec'd word is sanctioned by its spec",
+		RunProgram: runSpecCoverage,
+	},
+	{
+		Name:       "spec-drift",
+		Desc:       "protocolspec.Spec declarations must name only atomic words, functions, marker constants, and hydramc footprints that still exist (whole-program)",
+		Short:      "specs name only words, functions, and models that exist",
+		RunProgram: runSpecDrift,
+	},
+	{
+		Name:       "spec-guard",
+		Desc:       "torn-read guards and reclamation gates declared in protocolspec.Spec must still be enforced by the named readers and reclaimers (whole-program)",
+		Short:      "declared torn-read guards and reclamation gates still hold",
+		RunProgram: runSpecGuard,
 	},
 	{
 		Name:       "goroutine-lifecycle",
 		Desc:       "every go statement must have a provable stop path: a cancellation signal triggered from a Stop/Close surface (whole-program; //hydralint:daemon opt-out)",
+		Short:      "every `go` statement has a provable stop path",
 		RunProgram: runGoroutineLifecycle,
 	},
 	{
 		Name:       "wait-cycle",
 		Desc:       "the static wait-for graph over mutexes, channels, and WaitGroups must be acyclic, and lock nesting must follow invariant.LockOrder (whole-program)",
+		Short:      "no static wait cycles; lock nesting follows the declared DAG",
 		RunProgram: runWaitCycle,
 	},
 	{
 		Name:       "bounded-spin",
 		Desc:       "busy-wait loops must both yield (Gosched/Sleep/SchedPoint) and have an exit (whole-program; //hydralint:spins opt-out)",
+		Short:      "non-blocking loops yield *and* carry an exit condition",
 		RunProgram: runBoundedSpin,
 	},
 	{
-		Name: "stale-suppression",
-		Desc: "hydralint:ignore directives that no longer match a finding must be removed (ratchet)",
+		Name:  "stale-suppression",
+		Desc:  "hydralint:ignore directives that no longer match a finding must be removed (ratchet)",
+		Short: "every `ignore` still filters a finding",
 		// Runs built-in at the end of a full RunLint; no Run/RunProgram.
 	},
+}
+
+// checkTableMarkdown renders the README check table from the registry;
+// -listchecks prints it and a test pins README to it verbatim.
+func checkTableMarkdown() string {
+	var b strings.Builder
+	b.WriteString("| check | enforces |\n|---|---|\n")
+	for _, c := range allChecks {
+		fmt.Fprintf(&b, "| `%s` | %s |\n", c.Name, c.Short)
+	}
+	return b.String()
 }
 
 func knownCheck(name string) bool {
@@ -179,6 +227,11 @@ type Diagnostic struct {
 	Pkg    string `json:"pkg"`
 	Symbol string `json:"symbol"`
 	Msg    string `json:"msg"`
+	// Spec names the protocolspec.Spec a spec-driven finding verifies
+	// (empty for marker-implied protocols and non-spec checks). SARIF
+	// emits it as an extra fingerprint so code-scanning dedup survives
+	// check renames.
+	Spec string `json:"spec,omitempty"`
 }
 
 // directive is one hydralint:ignore suppression for one check name. used is
@@ -337,6 +390,12 @@ func (r *Reporter) indexSuppressions(f *ast.File) {
 }
 
 func (r *Reporter) report(check string, pos token.Pos, format string, args ...any) {
+	r.reportSpec(check, "", pos, format, args...)
+}
+
+// reportSpec is report with the finding attributed to a named
+// protocolspec.Spec; suppression directives still match by check name.
+func (r *Reporter) reportSpec(check, spec string, pos token.Pos, format string, args ...any) {
 	p := r.fset.Position(pos)
 	if byLine, ok := r.suppressed[p.Filename]; ok {
 		if d, ok := byLine[p.Line][check]; ok && d != nil {
@@ -354,6 +413,7 @@ func (r *Reporter) report(check string, pos token.Pos, format string, args ...an
 		Col:   p.Column,
 		Check: check,
 		Msg:   fmt.Sprintf(format, args...),
+		Spec:  spec,
 	}
 	if r.pkg != nil {
 		d.Pkg = r.pkg.ImportPath

@@ -920,11 +920,11 @@ func (r *Ring) First() byte { return r.data[r.base] }
 `,
 	},
 
-	// --- publication-order -------------------------------------------------
+	// --- spec-order (payload-before-release flow pass) ---------------------
 	{
 		name:  "puborder-write-after-publish",
 		path:  "internal/pb1/pb1.go",
-		check: "publication-order",
+		check: "spec-order",
 		want:  1,
 		src: `package pb1
 
@@ -950,7 +950,7 @@ func (s *Shard) Put(b byte) {
 	{
 		name:  "puborder-write-before-publish-ok",
 		path:  "internal/pb2/pb2.go",
-		check: "publication-order",
+		check: "spec-order",
 		want:  0,
 		src: `package pb2
 
@@ -976,7 +976,7 @@ func (s *Shard) Put(b byte) {
 	{
 		name:  "puborder-unpublish-retracts-ok",
 		path:  "internal/pb3/pb3.go",
-		check: "publication-order",
+		check: "spec-order",
 		want:  0,
 		src: `package pb3
 
@@ -1006,7 +1006,7 @@ func (s *Shard) Rollback(b byte) {
 	{
 		name:  "puborder-payload-after-indicator",
 		path:  "internal/pb4/pb4.go",
-		check: "publication-order",
+		check: "spec-order",
 		want:  1,
 		src: `package pb4
 
@@ -1027,6 +1027,261 @@ func (b *Box) Deliver(body []byte, ind uint64) {
 	idx := b.slot()
 	b.words[idx].Store(ind)
 	copy(b.data, body)
+}
+`,
+	},
+
+	// --- protocolspec-driven checks ----------------------------------------
+	// The fixture module carries its own protocolspec stub (the engine
+	// matches the type by package-path suffix), so the spf packages below can
+	// declare Spec literals that seed one violation per spec check.
+	{
+		name:  "protocolspec-stub",
+		path:  "internal/protocolspec/spec.go",
+		check: "spec-drift",
+		want:  0,
+		src: `package protocolspec
+
+type Role string
+
+type EdgeKind string
+
+type Word struct {
+	Name      string
+	Role      Role
+	Footprint bool
+	Writers   []string
+	Why       string
+}
+
+type Edge struct {
+	Kind     EdgeKind
+	From, To string
+	Why      string
+}
+
+type Guard struct {
+	Reader, Bound, Why string
+}
+
+type Reclaim struct {
+	Reclaimer, Gate string
+	Frees           []string
+	Why             string
+}
+
+type Spec struct {
+	Name, Model string
+	Packages    []string
+	SchedTags   []string
+	Words       []Word
+	Edges       []Edge
+	Guards      []Guard
+	Reclaims    []Reclaim
+}
+`,
+	},
+	{
+		name:  "spec-retract-after-free",
+		path:  "internal/spf1/spf1.go",
+		check: "spec-order",
+		want:  1,
+		src: `package spf1
+
+import (
+	"sync/atomic"
+
+	"hydradb/internal/protocolspec"
+)
+
+const Dead = 2 // hydralint:unpublish fixture retraction value
+
+var spec = protocolspec.Spec{
+	Name: "spf1",
+	Words: []protocolspec.Word{
+		{Name: "hydradb/internal/spf1.Pool.words[]", Role: "guardian"},
+	},
+	Edges: []protocolspec.Edge{
+		{Kind: "retract-before-free", From: "hydradb/internal/spf1.Dead", To: "(*hydradb/internal/spf1.Pool).free"},
+	},
+}
+
+var _ = spec
+
+type Pool struct {
+	words []atomic.Uint64
+}
+
+func (p *Pool) free(idx int) {}
+
+// Retire frees the slot before retracting the guardian: seeded bug.
+func (p *Pool) Retire(idx int) {
+	p.free(idx)
+	p.words[idx].Store(Dead)
+}
+`,
+	},
+	{
+		name:  "spec-uncovered-store",
+		path:  "internal/spf2/spf2.go",
+		check: "spec-coverage",
+		want:  1,
+		src: `package spf2
+
+import (
+	"sync/atomic"
+
+	"hydradb/internal/protocolspec"
+)
+
+var spec = protocolspec.Spec{
+	Name: "spf2",
+	Words: []protocolspec.Word{
+		{Name: "hydradb/internal/spf2.Gate.ready", Role: "ready-word", Writers: []string{"(*hydradb/internal/spf2.Gate).Publish"}},
+	},
+}
+
+var _ = spec
+
+type Gate struct {
+	ready atomic.Uint64
+}
+
+func (g *Gate) Publish() { g.ready.Store(1) }
+
+// Sneak stores to the ready word without a covering Writers entry: seeded bug.
+func (g *Gate) Sneak() { g.ready.Store(7) }
+`,
+	},
+	{
+		name:  "spec-stale-word",
+		path:  "internal/spf3/spf3.go",
+		check: "spec-drift",
+		want:  1,
+		src: `package spf3
+
+import (
+	"sync/atomic"
+
+	"hydradb/internal/protocolspec"
+)
+
+var spec = protocolspec.Spec{
+	Name: "spf3",
+	Words: []protocolspec.Word{
+		{Name: "hydradb/internal/spf3.Flag.live", Role: "pub-word", Writers: []string{"(*hydradb/internal/spf3.Flag).Set"}},
+		{Name: "hydradb/internal/spf3.Flag.gone", Role: "pub-word"},
+	},
+}
+
+var _ = spec
+
+type Flag struct {
+	live atomic.Uint64
+}
+
+func (f *Flag) Set() { f.live.Store(1) }
+`,
+	},
+	{
+		name:  "spec-guard-removed",
+		path:  "internal/spf4/spf4.go",
+		check: "spec-guard",
+		want:  1,
+		src: `package spf4
+
+import "hydradb/internal/protocolspec"
+
+var spec = protocolspec.Spec{
+	Name: "spf4",
+	Guards: []protocolspec.Guard{
+		{Reader: "(*hydradb/internal/spf4.Ring).Poll", Bound: "slotCap"},
+	},
+}
+
+var _ = spec
+
+type Ring struct {
+	slotCap int
+}
+
+// Poll lost its torn-read comparison against slotCap: seeded bug.
+func (r *Ring) Poll(size int) bool { return size > 0 }
+`,
+	},
+	{
+		name:  "spec-free-before-gate",
+		path:  "internal/spf5/spf5.go",
+		check: "spec-guard",
+		want:  1,
+		src: `package spf5
+
+import "hydradb/internal/protocolspec"
+
+var spec = protocolspec.Spec{
+	Name: "spf5",
+	Reclaims: []protocolspec.Reclaim{
+		{Reclaimer: "(*hydradb/internal/spf5.Pool).Reclaim", Gate: "(*hydradb/internal/spf5.Pool).Quiet", Frees: []string{"(*hydradb/internal/spf5.Pool).free"}},
+	},
+}
+
+var _ = spec
+
+type Pool struct{ n int }
+
+func (p *Pool) Quiet() bool { return p.n == 0 }
+
+func (p *Pool) free(idx int) {}
+
+// Reclaim frees before waiting for quiescence: seeded bug.
+func (p *Pool) Reclaim(idx int) {
+	p.free(idx)
+	if !p.Quiet() {
+		return
+	}
+}
+`,
+	},
+	{
+		name:  "spec-watermark-ahead-of-apply",
+		path:  "internal/spf6/spf6.go",
+		check: "spec-order",
+		want:  1,
+		src: `package spf6
+
+import (
+	"sync/atomic"
+
+	"hydradb/internal/protocolspec"
+)
+
+var spec = protocolspec.Spec{
+	Name: "spf6",
+	Words: []protocolspec.Word{
+		{Name: "hydradb/internal/spf6.Log.applied", Role: "commit-word"},
+	},
+	Edges: []protocolspec.Edge{
+		{Kind: "apply-after-replicate", From: "Apply", To: "hydradb/internal/spf6.Log.applied"},
+	},
+}
+
+var _ = spec
+
+type applier interface{ Apply(seq uint64) }
+
+type Log struct {
+	sink    applier
+	applied atomic.Uint64
+}
+
+func (l *Log) Advance(seq uint64) {
+	l.sink.Apply(seq)
+	l.applied.Store(seq)
+}
+
+// Commit bumps the watermark without applying the record: seeded bug.
+func (l *Log) Commit(seq uint64) {
+	l.applied.Store(seq)
 }
 `,
 	},
@@ -1683,6 +1938,40 @@ func TestEmitters(t *testing.T) {
 	if fingerprint(reworded) == fingerprint(diags[0]) {
 		t.Errorf("fingerprint identical across different messages")
 	}
+
+	// Spec-attributed findings carry a second fingerprint keyed on the spec
+	// name instead of the check name, so code-scanning dedup survives a pass
+	// rename; non-spec findings must not grow one.
+	if _, ok := r.PartialFingerprints["hydralintFinding/v2"]; ok {
+		t.Errorf("non-spec finding must not carry a spec fingerprint: %+v", r)
+	}
+	specd := Diagnostic{
+		File: "internal/kv/store.go", Line: 9, Col: 1,
+		Check: "spec-order", Spec: "kv-guardian", Pkg: "hydradb/internal/kv",
+		Symbol: "(*Store).Put", Msg: "boom",
+	}
+	sbuf.Reset()
+	if err := writeSARIF(&sbuf, []Diagnostic{specd}); err != nil {
+		t.Fatalf("writeSARIF: %v", err)
+	}
+	var slog sarifLog
+	if err := json.Unmarshal([]byte(sbuf.String()), &slog); err != nil {
+		t.Fatalf("sarif output does not parse: %v", err)
+	}
+	sres := slog.Runs[0].Results[0]
+	if sres.PartialFingerprints["hydralintFinding/v2"] == "" {
+		t.Errorf("spec-attributed finding missing spec fingerprint: %+v", sres)
+	}
+	renamed := specd
+	renamed.Check = "publication-order"
+	if specFingerprint(renamed) != specFingerprint(specd) {
+		t.Errorf("spec fingerprint changed across a pass rename")
+	}
+	otherSpec := specd
+	otherSpec.Spec = "mailbox-ring"
+	if specFingerprint(otherSpec) == specFingerprint(specd) {
+		t.Errorf("spec fingerprint identical across different specs")
+	}
 }
 
 // TestRepoIsClean is the dogfooding gate: the repository this linter ships
@@ -1784,5 +2073,59 @@ func TestFootprintDriftFailsLint(t *testing.T) {
 	}
 	if mailbox == 0 {
 		t.Error("no finding names the mailbox model whose footprint drifted")
+	}
+}
+
+// TestSpecOrderGolden pins the spec-order flow pass to the exact findings
+// the retired hardcoded publication-order pass produced on the pb fixtures
+// (captured verbatim from the pre-refactor binary before it was deleted):
+// the move to the spec-driven engine must not lose, move, or reword a
+// single finding.
+func TestSpecOrderGolden(t *testing.T) {
+	files := map[string]string{}
+	for _, c := range fixtures {
+		if strings.HasPrefix(c.path, "internal/pb") {
+			files[c.path] = c.src
+		}
+	}
+	dir := writeModule(t, files)
+
+	res, err := RunLint(dir, []string{"./..."}, []string{"spec-order"}, true)
+	if err != nil {
+		t.Fatalf("RunLint: %v", err)
+	}
+	want := []Diagnostic{
+		{
+			File: "internal/pb1/pb1.go", Line: 18, Col: 2,
+			Check: "spec-order", Pkg: "hydradb/internal/pb1", Symbol: "(*Shard).Put",
+			Msg: "store into region memory after the item was published at line 17; sequence all payload writes before the release store, or store the hydralint:unpublish constant first",
+		},
+		{
+			File: "internal/pb4/pb4.go", Line: 19, Col: 2,
+			Check: "spec-order", Pkg: "hydradb/internal/pb4", Symbol: "(*Box).Deliver",
+			Msg: "copy into the payload after the indicator store in a hydralint:publishes function; the payload must be complete before the indicator is released",
+		},
+	}
+	got := make([]Diagnostic, len(res.Diags))
+	for i, d := range res.Diags {
+		d.File = filepath.ToSlash(d.File)
+		got[i] = d
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("spec-order drifted from the publication-order golden:\n got: %+v\nwant: %+v", got, want)
+	}
+}
+
+// TestReadmeSyncChecksTable keeps the README check table generated: the
+// exact markdown `hydralint -listchecks` prints must appear verbatim in
+// README.md, so adding or rewording a check forces the docs to follow.
+func TestReadmeSyncChecksTable(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("..", "..", "README.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := checkTableMarkdown()
+	if !strings.Contains(string(src), table) {
+		t.Errorf("README.md check table is out of date; paste the output of `hydralint -listchecks`:\n%s", table)
 	}
 }

@@ -75,13 +75,31 @@
 //	                   stale declaration nothing implements) fails the lint,
 //	                   so the hydramc models provably talk about the code as
 //	                   written.
-//	publication-order  out-of-place PUT discipline (§4.2.3): every store into
-//	                   region memory reachable from a to-be-published pointer
-//	                   must sequence before the guardian/indicator release
-//	                   store that makes it remotely visible. Publication
-//	                   events are atomic stores of `hydralint:publish` marked
-//	                   constants and calls to `hydralint:publishes` functions;
+//	spec-order         the happens-before edges declared in protocolspec.Spec
+//	                   literals hold on every code path. The
+//	                   payload-before-release leg is the out-of-place PUT
+//	                   flow pass (§4.2.3): every store into region memory
+//	                   reachable from a to-be-published pointer must sequence
+//	                   before the guardian/indicator release store, with
+//	                   publication events keyed on `hydralint:publish`
+//	                   constants and `hydralint:publishes` functions,
 //	                   interprocedural via write-effect call summaries.
+//	                   retract-before-free requires the retraction store to
+//	                   precede any declared free in the same function;
+//	                   apply-after-replicate requires an applier call before
+//	                   any store to the declared commit word.
+//	spec-coverage      whole-program: every atomic store to a word a spec
+//	                   declares must be sanctioned — by a Writers entry, a
+//	                   covering apply edge, a publish/unpublish constant, or
+//	                   a publishes/unpublishes function the flow pass orders.
+//	spec-drift         a spec may only name atomic words, functions, marker
+//	                   constants, edge kinds, and hydramc footprints that
+//	                   still exist; a declaration nothing implements fails
+//	                   the lint (specs must not rot).
+//	spec-guard         the declared torn-read guards still compare against
+//	                   their bound in the reader's body, and declared
+//	                   reclaimers call their quiescence gate before any
+//	                   declared free.
 //	goroutine-lifecycle  whole-program liveness: every `go` statement in
 //	                   non-test code must have a provable stop path. A body
 //	                   with no unbounded loop terminates on its own; one that
@@ -110,7 +128,8 @@
 // Usage:
 //
 //	hydralint [-checks clock-discipline,...] [-tests=false] [-list]
-//	          [-json] [-sarif out.sarif] [-budget .hydralint-budget]
+//	          [-listchecks] [-json] [-sarif out.sarif]
+//	          [-budget .hydralint-budget]
 //	          [-budget-write .hydralint-budget] [packages]
 //
 // Packages default to ./... and use `go list` syntax. -checks selects what
@@ -119,7 +138,9 @@
 // a selection resolving to the full registry behaves like an unrestricted
 // run. _test.go files are linted too unless -tests=false; checks whose
 // rules only govern production code (clock-discipline, shard-exclusivity,
-// published-escape, the liveness passes) always skip them.
+// published-escape, the liveness passes) always skip them. -listchecks
+// prints the README check table (generated from the registry; a test keeps
+// README in sync).
 //
 // -json prints findings in a versioned envelope {"version": N,
 // "findings": [...]} sorted deterministically; -sarif writes a SARIF 2.1.0
@@ -141,6 +162,7 @@ import (
 func main() {
 	var (
 		listFlag    = flag.Bool("list", false, "list registered checks and exit")
+		listChecks  = flag.Bool("listchecks", false, "print the README check table (markdown) and exit")
 		checksFlag  = flag.String("checks", "", "comma-separated checks to run; -name skips a check (default: all)")
 		testsFlag   = flag.Bool("tests", true, "also lint _test.go files")
 		jsonFlag    = flag.Bool("json", false, "print findings as a versioned JSON envelope")
@@ -158,6 +180,11 @@ func main() {
 		for _, c := range allChecks {
 			fmt.Printf("%-18s %s\n", c.Name, c.Desc)
 		}
+		return
+	}
+
+	if *listChecks {
+		fmt.Print(checkTableMarkdown())
 		return
 	}
 

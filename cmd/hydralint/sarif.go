@@ -84,6 +84,14 @@ func sarifReport(diags []Diagnostic) sarifLog {
 	}
 	results := make([]sarifResult, 0, len(diags))
 	for _, d := range diags {
+		fps := map[string]string{"hydralintFinding/v1": fingerprint(d)}
+		if d.Spec != "" {
+			// Spec-attributed findings additionally fingerprint on the spec
+			// name instead of the check name, so code-scanning dedup
+			// survives a pass rename (publication-order -> spec-order) as
+			// long as the protocol itself is unchanged.
+			fps["hydralintFinding/v2"] = specFingerprint(d)
+		}
 		results = append(results, sarifResult{
 			RuleID:  d.Check,
 			Level:   "error",
@@ -94,7 +102,7 @@ func sarifReport(diags []Diagnostic) sarifLog {
 					Region:           sarifRegion{StartLine: d.Line, StartColumn: d.Col},
 				},
 			}},
-			PartialFingerprints: map[string]string{"hydralintFinding/v1": fingerprint(d)},
+			PartialFingerprints: fps,
 		})
 	}
 	return sarifLog{
@@ -110,6 +118,14 @@ func sarifReport(diags []Diagnostic) sarifLog {
 func fingerprint(d Diagnostic) string {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%s\x00%s\x00%s\x00%s", d.Check, d.Pkg, d.Symbol, d.Msg)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// specFingerprint is fingerprint keyed on the owning spec name rather than
+// the check name: the protocol's identity, not the pass's.
+func specFingerprint(d Diagnostic) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s\x00%s\x00%s\x00%s", d.Spec, d.Pkg, d.Symbol, d.Msg)
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 

@@ -11,7 +11,7 @@ import (
 )
 
 // This file is the whole-program def-use layer the region-bounds and
-// publication-order passes run on: a pruned-SSA-style abstract interpreter
+// spec-order passes run on: a pruned-SSA-style abstract interpreter
 // over the per-function control flow the summary layer (summaries.go,
 // callgraph.go) already walks. Instead of materializing phi nodes, every
 // assignment produces a fresh abstract value and join points merge the

@@ -640,10 +640,10 @@ func (prog *Program) atomicSummaryFor(name string) *atomicSummary {
 }
 
 // ---------------------------------------------------------------------------
-// Mutation summaries (publication-order)
+// Mutation summaries (spec-order)
 
 // mutateSummary records a function's externally visible writes, for the
-// publication-order pass:
+// spec-order flow pass:
 //
 //	writesInputs    the function writes *through* this pointer/slice input
 //	                (element stores, field stores, copy/clear, or handing it

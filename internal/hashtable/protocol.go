@@ -1,0 +1,27 @@
+package hashtable
+
+import "hydradb/internal/protocolspec"
+
+// RootSpec declares the root-bucket publication protocol: every store
+// into the shared main[] bucket array funnels through setWord
+// (slot-before-filter on insert, filter-before-slot on delete), and
+// one-sided root probes refuse buckets whose header carries an
+// overflow link. Feeds the "readerplane" model footprint together
+// with kv.ReadPlaneSpec.
+var RootSpec = protocolspec.Spec{
+	Name:     "hashtable-root",
+	Model:    "readerplane",
+	Packages: []string{"hydradb/internal/hashtable"},
+	Words: []protocolspec.Word{{
+		Name:      "hydradb/internal/hashtable.Table.main[]",
+		Role:      protocolspec.PubWord,
+		Footprint: true,
+		Writers:   []string{"(*hydradb/internal/hashtable.Table).setWord"},
+		Why:       "single store funnel keeps the slot/filter ordering argument in one place",
+	}},
+	Guards: []protocolspec.Guard{{
+		Reader: "(*hydradb/internal/hashtable.Table).ProbeRoot",
+		Bound:  "headerLink",
+		Why:    "a linked bucket means the chain is being walked under the shard owner; a lock-free probe must bail out rather than follow it",
+	}},
+}

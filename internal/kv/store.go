@@ -297,7 +297,6 @@ func (s *Store) Put(key, val []byte) (GetResult, bool, error) {
 	} else {
 		s.ctr.Inserts.Inc()
 	}
-	//hydralint:ignore publication-order lease renewal on the just-published item is the §4.2.3 protocol; readers see a monotonically later expiry
 	exp := s.touch(rec, now)
 	return GetResult{Ptr: s.remotePtr(rec), LeaseExp: exp}, replaced, nil
 }
